@@ -1,0 +1,45 @@
+//! Fig 3: time-retrieval latency (a) and world-transition latency (b).
+//! Paper: native TA 10 µs, WaTZ 13 µs; enter 86 µs, leave 20 µs.
+
+use std::time::Instant;
+use tz_hal::PlatformConfig;
+use watz_bench::{fmt, header, median_time, reps};
+use watz_runtime::{AppConfig, WatzRuntime};
+
+fn main() {
+    let n = reps(1000);
+    let rt = WatzRuntime::new_device_with(b"fig3", PlatformConfig::with_paper_latencies()).unwrap();
+
+    header("Fig 3a: time retrieval latency", "native TA ~10us, WaTZ ~13us");
+    // Native TA: secure-world clock query.
+    let native = median_time(n, || {
+        let _ = optee_sim::time::secure_clock_ns(rt.platform());
+    });
+    // WaTZ: the same query through a hosted Wasm app's WASI import.
+    let wasm = minic::compile("extern long clock_ns(); long f() { return clock_ns(); }").unwrap();
+    let mut app = rt.load(&wasm, &AppConfig::default()).unwrap();
+    app.invoke("f", &[]).unwrap(); // warm up (fills `execution` phase)
+    let watz = median_time(n, || {
+        app.invoke("f", &[]).unwrap();
+    });
+    println!("  {:<22} {}", "Native TA", fmt(native));
+    println!("  {:<22} {}  (includes one TA command invocation)", "WaTZ (Wasm via WASI)", fmt(watz));
+
+    header("Fig 3b: world transition latency", "enter 86us / leave 20us");
+    let both = median_time(n, || {
+        rt.platform().enter_secure(|| {});
+    });
+    let policy = rt.platform().latency_policy();
+    println!("  {:<22} {}", "Enter+Leave (measured)", fmt(both));
+    println!(
+        "  {:<22} {} / {}",
+        "Injected constants",
+        fmt(std::time::Duration::from_nanos(policy.enter_secure_ns)),
+        fmt(std::time::Duration::from_nanos(policy.leave_secure_ns))
+    );
+    let t = Instant::now();
+    for _ in 0..n {
+        rt.platform().enter_secure(|| {});
+    }
+    println!("  {:<22} {}", "Mean over batch", fmt(t.elapsed() / n as u32));
+}

@@ -1,0 +1,74 @@
+//! Fig 4: startup breakdown of Wasm applications (1-9 MB).
+//! Paper: loading ~73%, init ~16%, alloc ~5%, hashing ~4%, rest <1%.
+
+use tz_hal::PlatformConfig;
+use watz_bench::header;
+use watz_runtime::{AppConfig, WatzRuntime};
+use watz_wasm::builder::ModuleBuilder;
+use watz_wasm::instr::Instr;
+use watz_wasm::types::ValType;
+
+/// Builds a synthetic app of roughly `target_mb` MB of unrolled code,
+/// mirroring the paper's loop-unrolling generator.
+fn synthetic_app(target_mb: usize) -> Vec<u8> {
+    let mut b = ModuleBuilder::new();
+    let ty = b.add_type(&[], &[ValType::I64]);
+    // Each function is ~10 KB of unrolled adds.
+    let per_func = 1200;
+    let funcs_per_mb = 100;
+    let mut main_idx = 0;
+    for f in 0..target_mb * funcs_per_mb {
+        let mut code = Vec::with_capacity(per_func * 2 + 2);
+        code.push(Instr::I64Const(f as i64));
+        for k in 0..per_func {
+            code.push(Instr::I64Const(k as i64));
+            code.push(Instr::I64Add);
+        }
+        code.push(Instr::End);
+        main_idx = b.add_func(ty, &[], code);
+    }
+    b.export_func("main", main_idx);
+    b.add_memory(1, None);
+    b.build()
+}
+
+fn main() {
+    header("Fig 4: startup breakdown vs application size", "load phase dominates (~73%)");
+    println!(
+        "  {:<6} {:>10} {:>12} {:>12} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "size", "bytes", "transition", "mem alloc", "hashing", "init", "loading", "instantiate", "exec"
+    );
+    let rt = WatzRuntime::new_device_with(b"fig4", PlatformConfig::with_paper_latencies()).unwrap();
+    for mb in 1..=9 {
+        let app_bytes = synthetic_app(mb);
+        let config = AppConfig {
+            heap_bytes: 27 * 1024 * 1024,
+            mode: watz_wasm::ExecMode::Aot,
+        };
+        let mut app = match rt.load(&app_bytes, &config) {
+            Ok(app) => app,
+            Err(e) => {
+                println!("  {mb} MB: {e}");
+                continue;
+            }
+        };
+        app.invoke("main", &[]).unwrap();
+        let b = app.startup_breakdown();
+        let pct = |d: std::time::Duration| {
+            format!("{:>6.1}%", 100.0 * d.as_secs_f64() / b.total().as_secs_f64())
+        };
+        println!(
+            "  {:<6} {:>10} {:>12} {:>12} {:>10} {:>10} {:>12} {:>12} {:>10}   total {}",
+            format!("{mb} MB"),
+            app_bytes.len(),
+            pct(b.transition),
+            pct(b.memory_allocation),
+            pct(b.hashing),
+            pct(b.init),
+            pct(b.loading),
+            pct(b.instantiate),
+            pct(b.execution),
+            watz_bench::fmt(b.total()),
+        );
+    }
+}

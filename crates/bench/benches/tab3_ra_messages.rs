@@ -1,0 +1,92 @@
+//! Table III: per-message cost breakdown of the RA protocol.
+//! Paper: asymmetric crypto dominates (~159-238 ms on A53); symmetric
+//! ~80-88 us; memory management ~5-52 us.
+
+use tz_hal::{Platform, PlatformConfig};
+use optee_sim::TrustedOs;
+use watz_attestation::attester::Attester;
+use watz_attestation::service::AttestationService;
+use watz_attestation::verifier::{Verifier, VerifierConfig};
+use watz_attestation::StepTimings;
+use watz_bench::{fmt, header, reps};
+use watz_crypto::ecdsa::SigningKey;
+use watz_crypto::fortuna::Fortuna;
+use watz_crypto::sha256::Sha256;
+
+fn row(label: &str, t: &StepTimings) {
+    println!(
+        "  {:<28} mem {:>10}  keygen {:>10}  sym {:>10}  asym {:>10}",
+        label,
+        fmt(t.memory),
+        fmt(t.key_generation),
+        fmt(t.symmetric),
+        fmt(t.asymmetric)
+    );
+}
+
+fn add(acc: &mut StepTimings, t: &StepTimings) {
+    acc.memory += t.memory;
+    acc.key_generation += t.key_generation;
+    acc.symmetric += t.symmetric;
+    acc.asymmetric += t.asymmetric;
+}
+
+fn div(acc: &StepTimings, n: u32) -> StepTimings {
+    StepTimings {
+        memory: acc.memory / n,
+        key_generation: acc.key_generation / n,
+        symmetric: acc.symmetric / n,
+        asymmetric: acc.asymmetric / n,
+    }
+}
+
+fn main() {
+    header("Table III: RA message costs", "asym >> sym >> memory; keygen ~2x sign");
+    let n = reps(10) as u32;
+    let platform = Platform::new(PlatformConfig::default());
+    tz_hal::boot::install_genuine_chain(&platform).unwrap();
+    let os = TrustedOs::boot(platform).unwrap();
+    let service = AttestationService::install(&os);
+    let measurement = Sha256::digest(b"benchmark app");
+    let mut id_rng = Fortuna::from_seed(b"verifier identity");
+    let identity = SigningKey::generate(&mut id_rng);
+    let config = VerifierConfig::new(identity)
+        .endorse_device(service.public_key())
+        .trust_measurement(measurement)
+        .with_secret(vec![0u8; 1024]);
+    let pinned = config.identity_public_key();
+
+    let (mut a_msg0, mut v_msg0) = (StepTimings::default(), StepTimings::default());
+    let (mut a_msg1, mut v_msg1) = (StepTimings::default(), StepTimings::default());
+    let (mut a_msg2, mut v_msg2) = (StepTimings::default(), StepTimings::default());
+
+    let mut arng = Fortuna::from_seed(b"attester rng");
+    let mut vrng = Fortuna::from_seed(b"verifier rng");
+    for _ in 0..n {
+        let (mut attester, msg0, t) = Attester::start_timed(&mut arng);
+        add(&mut a_msg0, &t);
+        let mut verifier = Verifier::new(config.clone());
+        let (msg1, t) = verifier.handle_msg0(&msg0, &mut vrng).unwrap();
+        add(&mut v_msg0, &t);
+        let (_anchor, t) = attester.handle_msg1(&msg1, &pinned).unwrap();
+        add(&mut a_msg1, &t);
+        let (quote, t) = attester.collect_quote(&service, &measurement).unwrap();
+        add(&mut a_msg2, &t);
+        let (msg2, t) = attester.build_msg2(quote).unwrap();
+        add(&mut a_msg2, &t);
+        let (msg3, t) = verifier.handle_msg2(&msg2).unwrap();
+        add(&mut v_msg2, &t);
+        let (_secret, t) = attester.handle_msg3(&msg3).unwrap();
+        add(&mut a_msg1, &StepTimings::default());
+        let _ = t;
+    }
+
+    println!("  (a) Attester");
+    row("generate msg0", &div(&a_msg0, n));
+    row("handle msg1", &div(&a_msg1, n));
+    row("generate msg2 (evidence)", &div(&a_msg2, n));
+    println!("  (b) Verifier");
+    row("handle msg0 / gen msg1", &div(&v_msg0, n));
+    row("handle msg2 / gen msg3", &div(&v_msg2, n));
+    let _ = v_msg1;
+}

@@ -1,0 +1,79 @@
+//! Table IV: end-to-end WASI-RA timings.
+//! Paper: handshake 1.34 s, collect_quote 239 ms, send_quote 1 ms,
+//! receive_data 168 ms (0.1 MB) - 209 ms (1 MB); total ~1.75-1.79 s.
+
+use std::time::Instant;
+use watz_bench::{fmt, header};
+use watz_crypto::ecdsa::SigningKey;
+use watz_crypto::fortuna::Fortuna;
+use watz_crypto::sha256::Sha256;
+use watz_runtime::{AppConfig, RaVerifierConfig, VerifierServer, WatzRuntime};
+use watz_wasm::exec::Value;
+
+const GUEST: &str = r#"
+    extern int ra_handshake(int port, int key_ptr);
+    extern int ra_collect_quote(int ctx);
+    extern int ra_send_quote(int ctx, int q);
+    extern int ra_receive_data(int ctx, int buf, int len);
+    int key_addr = 0;
+    int ctx = 0; int quote = 0; int buf = 0;
+    int set_key_buf() { key_addr = (int)alloc(64); return key_addr; }
+    int do_handshake(int port) { ctx = ra_handshake(port, key_addr); return ctx; }
+    int do_collect() { quote = ra_collect_quote(ctx); return quote; }
+    int do_send() { return ra_send_quote(ctx, quote); }
+    int do_receive(int max) {
+        buf = (int)alloc(max);
+        return ra_receive_data(ctx, buf, max);
+    }
+"#;
+
+fn main() {
+    header("Table IV: WASI-RA end-to-end timings", "handshake dominates; receive includes verifier-side appraisal");
+    for (label, secret_len) in [("0.1 MB", 100 * 1024usize), ("1 MB", 1024 * 1024)] {
+        let rt = WatzRuntime::new_device(b"tab4").unwrap();
+        let wasm = minic::compile(GUEST).unwrap();
+        let measurement = Sha256::digest(&wasm);
+        let mut vrng = Fortuna::from_seed(b"verifier id");
+        let identity = SigningKey::generate(&mut vrng);
+        let config = RaVerifierConfig::new(identity)
+            .endorse_device(rt.device_public_key())
+            .trust_measurement(measurement)
+            .with_secret(vec![0x42; secret_len]);
+        let pinned = config.identity_public_key();
+        let port = 9500;
+        let server = VerifierServer::spawn(rt.os(), config, port).unwrap();
+
+        let mut app = rt.load(&wasm, &AppConfig::default()).unwrap();
+        let key_addr = app.invoke("set_key_buf", &[]).unwrap()[0].as_u32();
+        app.write_memory(key_addr, &pinned).unwrap();
+
+        let t = Instant::now();
+        let ctx = app.invoke("do_handshake", &[Value::I32(i32::from(port))]).unwrap();
+        let handshake = t.elapsed();
+        assert!(matches!(ctx[0], Value::I32(v) if v >= 0), "handshake failed: {ctx:?}");
+
+        let t = Instant::now();
+        app.invoke("do_collect", &[]).unwrap();
+        let collect = t.elapsed();
+
+        let t = Instant::now();
+        app.invoke("do_send", &[]).unwrap();
+        let send = t.elapsed();
+
+        let t = Instant::now();
+        let got = app.invoke("do_receive", &[Value::I32(2 * 1024 * 1024)]).unwrap();
+        let receive = t.elapsed();
+        assert_eq!(got, vec![Value::I32(secret_len as i32)]);
+
+        println!(
+            "  secret {:>7}: handshake {:>10}  collect_quote {:>10}  send_quote {:>10}  receive_data {:>10}  total {:>10}",
+            label,
+            fmt(handshake),
+            fmt(collect),
+            fmt(send),
+            fmt(receive),
+            fmt(handshake + collect + send + receive)
+        );
+        server.shutdown();
+    }
+}

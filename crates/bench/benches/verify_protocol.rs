@@ -1,0 +1,24 @@
+//! §VII: formal verification of the RA protocol (Scyther stand-in).
+//! Paper: "Scyther revealed no attack or flaw in our proposal."
+
+fn main() {
+    watz_bench::header(
+        "Protocol verification (scyther-lite)",
+        "secrecy + authentication claims, bounded Dolev-Yao",
+    );
+    for model in [
+        scyther_lite::watz_model(),
+        scyther_lite::flawed_plaintext_blob(),
+        scyther_lite::flawed_static_dh(),
+    ] {
+        println!("  model '{}':", model.name);
+        for claim in scyther_lite::analyse(&model, 4) {
+            println!(
+                "    {:<26} {}  ({})",
+                claim.name,
+                if claim.holds { "OK" } else { "ATTACK" },
+                claim.detail
+            );
+        }
+    }
+}

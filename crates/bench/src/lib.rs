@@ -1,0 +1,58 @@
+//! Shared helpers for the WaTZ benchmark harness.
+//!
+//! Each `[[bench]]` target regenerates one table or figure of the paper
+//! (see DESIGN.md's per-experiment index). Targets print the same rows /
+//! series the paper reports; EXPERIMENTS.md records paper-vs-measured.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Number of repetitions, scalable via `WATZ_BENCH_REPS`.
+#[must_use]
+pub fn reps(default: usize) -> usize {
+    std::env::var("WATZ_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Problem-size scale, via `WATZ_BENCH_N`.
+#[must_use]
+pub fn scale(default: usize) -> usize {
+    std::env::var("WATZ_BENCH_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Times `f`, returning the median of `reps` runs.
+pub fn median_time(reps: usize, mut f: impl FnMut()) -> Duration {
+    let mut samples: Vec<Duration> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Formats a duration compactly.
+#[must_use]
+pub fn fmt(d: Duration) -> String {
+    if d.as_secs() >= 1 {
+        format!("{:.2} s", d.as_secs_f64())
+    } else if d.as_millis() >= 1 {
+        format!("{:.2} ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.1} µs", d.as_secs_f64() * 1e6)
+    }
+}
+
+/// Prints a bench header.
+pub fn header(title: &str, paper: &str) {
+    println!("\n=== {title} ===");
+    println!("    paper reference: {paper}");
+}

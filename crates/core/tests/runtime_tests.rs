@@ -1,0 +1,295 @@
+//! End-to-end tests of the WaTZ runtime: loading, measurement, memory caps,
+//! and full attestation sessions driven from inside Wasm guests via WASI-RA.
+
+use std::time::Duration;
+
+use optee_sim::TeeError;
+use watz_crypto::sha256::Sha256;
+use watz_runtime::{run_native_ta, AppConfig, VerifierServer, WatzError, WatzRuntime};
+use watz_wasm::exec::{ExecMode, Value};
+
+fn runtime() -> WatzRuntime {
+    WatzRuntime::new_device(b"core-test-device").unwrap()
+}
+
+#[test]
+fn load_and_run_minic_app() {
+    let rt = runtime();
+    let wasm = minic::compile("int add(int a, int b) { return a + b; }").unwrap();
+    let mut app = rt.load(&wasm, &AppConfig::default()).unwrap();
+    let out = app.invoke("add", &[Value::I32(40), Value::I32(2)]).unwrap();
+    assert_eq!(out, vec![Value::I32(42)]);
+}
+
+#[test]
+fn interpreted_mode_also_works() {
+    let rt = runtime();
+    let wasm = minic::compile("int sq(int a) { return a * a; }").unwrap();
+    let config = AppConfig {
+        mode: ExecMode::Interpreted,
+        ..AppConfig::default()
+    };
+    let mut app = rt.load(&wasm, &config).unwrap();
+    let out = app.invoke("sq", &[Value::I32(9)]).unwrap();
+    assert_eq!(out, vec![Value::I32(81)]);
+}
+
+#[test]
+fn measurement_is_sha256_of_bytecode() {
+    let rt = runtime();
+    let wasm1 = minic::compile("int f() { return 1; }").unwrap();
+    let wasm2 = minic::compile("int f() { return 2; }").unwrap();
+    let app1 = rt.load(&wasm1, &AppConfig::default()).unwrap();
+    let app2 = rt.load(&wasm2, &AppConfig::default()).unwrap();
+    assert_ne!(app1.measurement(), app2.measurement());
+    assert_eq!(app1.measurement(), Sha256::digest(&wasm1));
+}
+
+#[test]
+fn oversized_app_rejected_by_shared_memory_cap() {
+    let rt = runtime();
+    // One byte over the 9 MB shared-buffer limit the paper patched in.
+    let huge = vec![0u8; 9 * 1024 * 1024 + 1];
+    assert!(matches!(
+        rt.load(&huge, &AppConfig::default()),
+        Err(WatzError::Tee(TeeError::OutOfMemory { .. }))
+    ));
+}
+
+#[test]
+fn heap_budget_enforced() {
+    let rt = runtime();
+    let wasm = minic::compile("int f() { return 0; }").unwrap();
+    let config = AppConfig {
+        heap_bytes: 1024, // too small for code copy + linear memory
+        mode: ExecMode::Aot,
+    };
+    assert!(matches!(
+        rt.load(&wasm, &config),
+        Err(WatzError::Tee(TeeError::OutOfMemory { .. }))
+    ));
+}
+
+#[test]
+fn malformed_module_rejected() {
+    let rt = runtime();
+    assert!(matches!(
+        rt.load(b"not wasm at all", &AppConfig::default()),
+        Err(WatzError::Load(_))
+    ));
+}
+
+#[test]
+fn startup_breakdown_is_populated() {
+    let rt = runtime();
+    let mut src = String::new();
+    for i in 0..100 {
+        src.push_str(&format!("int f{i}(int x) {{ return x * {i} + 1; }}\n"));
+    }
+    let wasm = minic::compile(&src).unwrap();
+    let mut app = rt.load(&wasm, &AppConfig::default()).unwrap();
+    app.invoke("f0", &[Value::I32(1)]).unwrap();
+    let b = app.startup_breakdown();
+    assert!(b.loading > Duration::ZERO);
+    assert!(b.hashing > Duration::ZERO);
+    assert!(b.execution > Duration::ZERO);
+    assert!(b.total() > Duration::ZERO);
+}
+
+#[test]
+fn guest_stdout_captured() {
+    let rt = runtime();
+    let wasm = minic::compile(
+        r#"
+        extern void print_str(int s);
+        int main() { print_str("from the secure world"); return 0; }
+        "#,
+    )
+    .unwrap();
+    let mut app = rt.load(&wasm, &AppConfig::default()).unwrap();
+    app.invoke("main", &[]).unwrap();
+    assert_eq!(app.stdout(), b"from the secure world");
+}
+
+#[test]
+fn device_keys_are_stable_per_device() {
+    let rt1 = WatzRuntime::new_device(b"same-device").unwrap();
+    let rt2 = WatzRuntime::new_device(b"same-device").unwrap();
+    let rt3 = WatzRuntime::new_device(b"other-device").unwrap();
+    assert_eq!(
+        rt1.device_public_key().to_vec(),
+        rt2.device_public_key().to_vec()
+    );
+    assert_ne!(
+        rt1.device_public_key().to_vec(),
+        rt3.device_public_key().to_vec()
+    );
+}
+
+const ATTEST_GUEST: &str = r#"
+    extern int ra_handshake(int port, int key_ptr);
+    extern int ra_collect_quote(int ctx);
+    extern int ra_send_quote(int ctx, int q);
+    extern int ra_receive_data(int ctx, int buf, int len);
+    extern int ra_dispose_quote(int q);
+    extern int ra_dispose(int ctx);
+    int key_addr = 0;
+    int blob_addr = 0;
+    int set_key_buf() { key_addr = (int)alloc(64); return key_addr; }
+    int blob_ptr() { return blob_addr; }
+    int attest(int port) {
+        int ctx = ra_handshake(port, key_addr);
+        if (ctx < 0) { return ctx; }
+        int q = ra_collect_quote(ctx);
+        if (q < 0) { return q; }
+        int rc = ra_send_quote(ctx, q);
+        if (rc < 0) { return rc; }
+        blob_addr = (int)alloc(65536);
+        int n = ra_receive_data(ctx, blob_addr, 65536);
+        if (n < 0) { return n; }
+        ra_dispose_quote(q);
+        ra_dispose(ctx);
+        return n;
+    }
+"#;
+
+fn verifier_config_for(
+    rt: &WatzRuntime,
+    measurement: [u8; 32],
+    secret: &[u8],
+) -> (watz_runtime::RaVerifierConfig, [u8; 64]) {
+    let mut vrng = watz_crypto::fortuna::Fortuna::from_seed(b"verifier id");
+    let identity = watz_crypto::ecdsa::SigningKey::generate(&mut vrng);
+    let config = watz_runtime::RaVerifierConfig::new(identity)
+        .endorse_device(rt.device_public_key())
+        .trust_measurement(measurement)
+        .with_secret(secret.to_vec());
+    let pinned = config.identity_public_key();
+    (config, pinned)
+}
+
+#[test]
+fn guest_attests_and_receives_secret() {
+    let rt = runtime();
+    let secret = b"attested configuration data".to_vec();
+    let wasm = minic::compile(ATTEST_GUEST).unwrap();
+    let measurement = Sha256::digest(&wasm);
+
+    let (config, pinned) = verifier_config_for(&rt, measurement, &secret);
+    let server = VerifierServer::spawn(rt.os(), config, 9400).unwrap();
+
+    let mut app = rt.load(&wasm, &AppConfig::default()).unwrap();
+    let out = app.invoke("set_key_buf", &[]).unwrap();
+    let key_addr = out[0].as_u32();
+    app.write_memory(key_addr, &pinned).unwrap();
+
+    let out = app.invoke("attest", &[Value::I32(9400)]).unwrap();
+    assert_eq!(out, vec![Value::I32(secret.len() as i32)]);
+
+    // Pull the blob out of guest memory and compare.
+    let blob_addr = app.invoke("blob_ptr", &[]).unwrap()[0].as_u32();
+    let blob = app.read_memory(blob_addr, secret.len() as u32).unwrap();
+    assert_eq!(blob, secret);
+    assert_eq!(server.shutdown(), 1);
+}
+
+#[test]
+fn unexpected_measurement_fails_attestation() {
+    let rt = runtime();
+    let wasm = minic::compile(ATTEST_GUEST).unwrap();
+
+    // The verifier trusts a DIFFERENT measurement (e.g. the original app
+    // before an attacker modified it).
+    let (config, pinned) = verifier_config_for(&rt, [0xAB; 32], b"secret");
+    let server = VerifierServer::spawn(rt.os(), config, 9401).unwrap();
+
+    let mut app = rt.load(&wasm, &AppConfig::default()).unwrap();
+    let out = app.invoke("set_key_buf", &[]).unwrap();
+    let key_addr = out[0].as_u32();
+    app.write_memory(key_addr, &pinned).unwrap();
+
+    let out = app.invoke("attest", &[Value::I32(9401)]).unwrap();
+    assert_eq!(out, vec![Value::I32(watz_wasi::err_codes::PROTOCOL)]);
+    assert_eq!(server.shutdown(), 0);
+}
+
+#[test]
+fn wrong_pinned_key_aborts_client_side() {
+    let rt = runtime();
+    let wasm = minic::compile(ATTEST_GUEST).unwrap();
+    let measurement = Sha256::digest(&wasm);
+
+    let (config, _real_pinned) = verifier_config_for(&rt, measurement, b"secret");
+    let server = VerifierServer::spawn(rt.os(), config, 9402).unwrap();
+
+    let mut app = rt.load(&wasm, &AppConfig::default()).unwrap();
+    let out = app.invoke("set_key_buf", &[]).unwrap();
+    let key_addr = out[0].as_u32();
+    // Pin garbage instead of the real verifier key.
+    app.write_memory(key_addr, &[0x42u8; 64]).unwrap();
+
+    let out = app.invoke("attest", &[Value::I32(9402)]).unwrap();
+    assert_eq!(out, vec![Value::I32(watz_wasi::err_codes::PROTOCOL)]);
+    assert_eq!(server.shutdown(), 0);
+}
+
+#[test]
+fn unendorsed_device_rejected() {
+    let rt = runtime();
+    let rogue = WatzRuntime::new_device(b"rogue-device").unwrap();
+    let wasm = minic::compile(ATTEST_GUEST).unwrap();
+    let measurement = Sha256::digest(&wasm);
+
+    // Verifier endorses the *other* device, then serves on the rogue's net.
+    let mut vrng = watz_crypto::fortuna::Fortuna::from_seed(b"verifier id");
+    let identity = watz_crypto::ecdsa::SigningKey::generate(&mut vrng);
+    let config = watz_runtime::RaVerifierConfig::new(identity)
+        .endorse_device(rt.device_public_key()) // not the rogue's key
+        .trust_measurement(measurement)
+        .with_secret(b"secret".to_vec());
+    let pinned = config.identity_public_key();
+    let server = VerifierServer::spawn(rogue.os(), config, 9403).unwrap();
+
+    let mut app = rogue.load(&wasm, &AppConfig::default()).unwrap();
+    let out = app.invoke("set_key_buf", &[]).unwrap();
+    let key_addr = out[0].as_u32();
+    app.write_memory(key_addr, &pinned).unwrap();
+
+    let out = app.invoke("attest", &[Value::I32(9403)]).unwrap();
+    assert_eq!(out, vec![Value::I32(watz_wasi::err_codes::PROTOCOL)]);
+    assert_eq!(server.shutdown(), 0);
+}
+
+#[test]
+fn native_ta_helper_runs_in_secure_world() {
+    let rt = runtime();
+    let before = rt.platform().transition_stats().enters();
+    let result = run_native_ta(rt.os(), 1024 * 1024, || 6 * 7).unwrap();
+    assert_eq!(result, 42);
+    assert!(rt.platform().transition_stats().enters() > before);
+}
+
+#[test]
+fn sandboxed_apps_cannot_see_each_other() {
+    // Two apps on the same device: memory is per-instance; a secret written
+    // by one is invisible to the other (Wasm sandbox isolation).
+    let rt = runtime();
+    let writer = minic::compile(
+        r#"
+        int stash() { int* p = (int*)alloc(4); *p = 1234567; return (int)p; }
+        "#,
+    )
+    .unwrap();
+    let reader = minic::compile(
+        r#"
+        int peek(int addr) { return *(int*)addr; }
+        "#,
+    )
+    .unwrap();
+    let mut app_w = rt.load(&writer, &AppConfig::default()).unwrap();
+    let mut app_r = rt.load(&reader, &AppConfig::default()).unwrap();
+    let addr = app_w.invoke("stash", &[]).unwrap()[0].as_u32();
+    // The same numeric address in the reader's memory holds zero.
+    let out = app_r.invoke("peek", &[Value::I32(addr as i32)]).unwrap();
+    assert_ne!(out, vec![Value::I32(1234567)]);
+}

@@ -1,0 +1,459 @@
+//! Statement execution: planning (index selection) and evaluation.
+
+use std::cmp::Ordering;
+use std::ops::Bound;
+
+use crate::parser::{CmpOp, Predicate, SelectItem, SetExpr, Statement};
+use crate::storage::{IndexKey, Table, Value};
+use crate::{Database, DbError};
+
+/// The result of executing a statement.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryResult {
+    /// Result rows (SELECT only).
+    pub rows: Vec<Vec<Value>>,
+    /// Rows affected (INSERT/UPDATE/DELETE).
+    pub affected: usize,
+}
+
+pub(crate) fn execute(db: &mut Database, stmt: &Statement) -> Result<QueryResult, DbError> {
+    match stmt {
+        Statement::Transaction => Ok(QueryResult::default()),
+        Statement::CreateTable {
+            name,
+            columns,
+            types,
+        } => {
+            db.insert_table(Table::new(name.clone(), columns.clone(), types.clone()))?;
+            Ok(QueryResult::default())
+        }
+        Statement::CreateIndex {
+            name,
+            table,
+            column,
+        } => {
+            let t = db.table_mut(table)?;
+            let col = t
+                .column_index(column)
+                .ok_or_else(|| DbError::NoSuchColumn(column.clone()))?;
+            if t.indexes.iter().any(|i| i.name == *name) {
+                return Err(DbError::AlreadyExists(name.clone()));
+            }
+            t.create_index(name.clone(), col);
+            Ok(QueryResult::default())
+        }
+        Statement::DropTable { name } => {
+            db.drop_table(name)?;
+            Ok(QueryResult::default())
+        }
+        Statement::Insert { table, rows } => {
+            let t = db.table_mut(table)?;
+            for row in rows {
+                if row.len() != t.columns.len() {
+                    return Err(DbError::ArityMismatch {
+                        expected: t.columns.len(),
+                        got: row.len(),
+                    });
+                }
+                t.insert(row.clone());
+            }
+            Ok(QueryResult {
+                rows: Vec::new(),
+                affected: rows.len(),
+            })
+        }
+        Statement::Select {
+            items,
+            table,
+            predicate,
+            order_by,
+            limit,
+        } => select(db, items, table, predicate.as_ref(), order_by.as_ref(), *limit),
+        Statement::Update {
+            table,
+            sets,
+            predicate,
+        } => {
+            let t = db.table_mut(table)?;
+            let matching = matching_rows(t, predicate.as_ref())?;
+            // Resolve assignments to column positions first.
+            let resolved: Vec<(usize, &SetExpr)> = sets
+                .iter()
+                .map(|(col, expr)| {
+                    t.column_index(col)
+                        .map(|i| (i, expr))
+                        .ok_or_else(|| DbError::NoSuchColumn(col.clone()))
+                })
+                .collect::<Result<_, _>>()?;
+            for row_id in &matching {
+                for (col, expr) in &resolved {
+                    let new_value = eval_set_expr(t, *row_id, expr)?;
+                    t.update_cell(*row_id, *col, new_value);
+                }
+            }
+            Ok(QueryResult {
+                rows: Vec::new(),
+                affected: matching.len(),
+            })
+        }
+        Statement::Delete { table, predicate } => {
+            let t = db.table_mut(table)?;
+            let matching = matching_rows(t, predicate.as_ref())?;
+            for row_id in &matching {
+                t.delete(*row_id);
+            }
+            Ok(QueryResult {
+                rows: Vec::new(),
+                affected: matching.len(),
+            })
+        }
+    }
+}
+
+fn eval_set_expr(t: &Table, row_id: usize, expr: &SetExpr) -> Result<Value, DbError> {
+    let row = t.rows[row_id].as_ref().expect("matched rows are live");
+    Ok(match expr {
+        SetExpr::Literal(v) => v.clone(),
+        SetExpr::Column(name) => {
+            let i = t
+                .column_index(name)
+                .ok_or_else(|| DbError::NoSuchColumn(name.clone()))?;
+            row[i].clone()
+        }
+        SetExpr::Arith { column, op, value } => {
+            let i = t
+                .column_index(column)
+                .ok_or_else(|| DbError::NoSuchColumn(column.clone()))?;
+            arith(&row[i], *op, value)?
+        }
+    })
+}
+
+fn arith(a: &Value, op: char, b: &Value) -> Result<Value, DbError> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Ok(Value::Int(match op {
+            '+' => x.wrapping_add(*y),
+            '-' => x.wrapping_sub(*y),
+            '*' => x.wrapping_mul(*y),
+            '/' => {
+                if *y == 0 {
+                    return Ok(Value::Null);
+                }
+                x / y
+            }
+            _ => unreachable!("parser restricts ops"),
+        })),
+        (Value::Real(_) | Value::Int(_), Value::Real(_) | Value::Int(_)) => {
+            let x = as_f64(a);
+            let y = as_f64(b);
+            Ok(Value::Real(match op {
+                '+' => x + y,
+                '-' => x - y,
+                '*' => x * y,
+                '/' => x / y,
+                _ => unreachable!("parser restricts ops"),
+            }))
+        }
+        _ => Err(DbError::TypeError(format!(
+            "cannot apply '{op}' to {a} and {b}"
+        ))),
+    }
+}
+
+fn as_f64(v: &Value) -> f64 {
+    match v {
+        Value::Int(x) => *x as f64,
+        Value::Real(x) => *x,
+        _ => f64::NAN,
+    }
+}
+
+/// Collects the row ids matching a predicate, using an index when one
+/// covers the (single) equality/range/prefix term on an indexed column.
+fn matching_rows(t: &Table, predicate: Option<&Predicate>) -> Result<Vec<usize>, DbError> {
+    let Some(pred) = predicate else {
+        return Ok(t.iter_live().map(|(id, _)| id).collect());
+    };
+
+    // Try an index for the outermost term.
+    if let Some(candidates) = index_candidates(t, pred)? {
+        let mut out = Vec::with_capacity(candidates.len());
+        for id in candidates {
+            if let Some(row) = t.rows[id].as_ref() {
+                if eval_predicate(t, row, pred)? {
+                    out.push(id);
+                }
+            }
+        }
+        return Ok(out);
+    }
+
+    let mut out = Vec::new();
+    for (id, row) in t.iter_live() {
+        if eval_predicate(t, row, pred)? {
+            out.push(id);
+        }
+    }
+    Ok(out)
+}
+
+/// If some term of the predicate can be answered by an index, return the
+/// candidate row ids from it (a superset filter).
+fn index_candidates(t: &Table, pred: &Predicate) -> Result<Option<Vec<usize>>, DbError> {
+    match pred {
+        Predicate::Compare { column, op, value } => {
+            let Some(col) = t.column_index(column) else {
+                return Err(DbError::NoSuchColumn(column.clone()));
+            };
+            let Some(index) = t.index_on(col) else {
+                return Ok(None);
+            };
+            let key = IndexKey(value.clone());
+            let ids: Vec<usize> = match op {
+                CmpOp::Eq => index.map.get(&key).cloned().unwrap_or_default(),
+                CmpOp::Lt => index
+                    .map
+                    .range((Bound::Unbounded, Bound::Excluded(key)))
+                    .flat_map(|(_, v)| v.iter().copied())
+                    .collect(),
+                CmpOp::Le => index
+                    .map
+                    .range((Bound::Unbounded, Bound::Included(key)))
+                    .flat_map(|(_, v)| v.iter().copied())
+                    .collect(),
+                CmpOp::Gt => index
+                    .map
+                    .range((Bound::Excluded(key), Bound::Unbounded))
+                    .flat_map(|(_, v)| v.iter().copied())
+                    .collect(),
+                CmpOp::Ge => index
+                    .map
+                    .range((Bound::Included(key), Bound::Unbounded))
+                    .flat_map(|(_, v)| v.iter().copied())
+                    .collect(),
+                CmpOp::Ne => return Ok(None),
+            };
+            Ok(Some(ids))
+        }
+        Predicate::Between { column, lo, hi } => {
+            let Some(col) = t.column_index(column) else {
+                return Err(DbError::NoSuchColumn(column.clone()));
+            };
+            let Some(index) = t.index_on(col) else {
+                return Ok(None);
+            };
+            let ids = index
+                .map
+                .range((
+                    Bound::Included(IndexKey(lo.clone())),
+                    Bound::Included(IndexKey(hi.clone())),
+                ))
+                .flat_map(|(_, v)| v.iter().copied())
+                .collect();
+            Ok(Some(ids))
+        }
+        Predicate::And(a, b) => {
+            if let Some(ids) = index_candidates(t, a)? {
+                return Ok(Some(ids));
+            }
+            index_candidates(t, b)
+        }
+        Predicate::LikePrefix { .. } => Ok(None),
+    }
+}
+
+fn eval_predicate(t: &Table, row: &[Value], pred: &Predicate) -> Result<bool, DbError> {
+    match pred {
+        Predicate::Compare { column, op, value } => {
+            let col = t
+                .column_index(column)
+                .ok_or_else(|| DbError::NoSuchColumn(column.clone()))?;
+            let cell = &row[col];
+            if matches!(cell, Value::Null) || matches!(value, Value::Null) {
+                return Ok(false);
+            }
+            let ord = cell.compare(value);
+            Ok(match op {
+                CmpOp::Eq => ord == Ordering::Equal,
+                CmpOp::Ne => ord != Ordering::Equal,
+                CmpOp::Lt => ord == Ordering::Less,
+                CmpOp::Le => ord != Ordering::Greater,
+                CmpOp::Gt => ord == Ordering::Greater,
+                CmpOp::Ge => ord != Ordering::Less,
+            })
+        }
+        Predicate::Between { column, lo, hi } => {
+            let col = t
+                .column_index(column)
+                .ok_or_else(|| DbError::NoSuchColumn(column.clone()))?;
+            let cell = &row[col];
+            if matches!(cell, Value::Null) {
+                return Ok(false);
+            }
+            Ok(cell.compare(lo) != Ordering::Less && cell.compare(hi) != Ordering::Greater)
+        }
+        Predicate::LikePrefix { column, prefix } => {
+            let col = t
+                .column_index(column)
+                .ok_or_else(|| DbError::NoSuchColumn(column.clone()))?;
+            match &row[col] {
+                Value::Text(s) => Ok(s.starts_with(prefix)),
+                _ => Ok(false),
+            }
+        }
+        Predicate::And(a, b) => Ok(eval_predicate(t, row, a)? && eval_predicate(t, row, b)?),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn select(
+    db: &Database,
+    items: &[SelectItem],
+    table: &str,
+    predicate: Option<&Predicate>,
+    order_by: Option<&(String, bool)>,
+    limit: Option<usize>,
+) -> Result<QueryResult, DbError> {
+    let t = db.table(table)?;
+    let mut row_ids = matching_rows(t, predicate)?;
+
+    let is_aggregate = items.iter().any(SelectItem::is_aggregate);
+    if is_aggregate {
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            out.push(aggregate(t, &row_ids, item)?);
+        }
+        return Ok(QueryResult {
+            rows: vec![out],
+            affected: 0,
+        });
+    }
+
+    if let Some((col, desc)) = order_by {
+        let c = t
+            .column_index(col)
+            .ok_or_else(|| DbError::NoSuchColumn(col.clone()))?;
+        row_ids.sort_by(|a, b| {
+            let ra = t.rows[*a].as_ref().expect("live");
+            let rb = t.rows[*b].as_ref().expect("live");
+            let ord = ra[c].compare(&rb[c]);
+            if *desc {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+    } else {
+        row_ids.sort_unstable(); // deterministic scan order
+    }
+
+    if let Some(n) = limit {
+        row_ids.truncate(n);
+    }
+
+    // Resolve output columns.
+    let mut cols = Vec::new();
+    for item in items {
+        let SelectItem::Column(name) = item else {
+            unreachable!("aggregates handled above")
+        };
+        if name == "*" {
+            cols.extend(0..t.columns.len());
+        } else {
+            cols.push(
+                t.column_index(name)
+                    .ok_or_else(|| DbError::NoSuchColumn(name.clone()))?,
+            );
+        }
+    }
+
+    let rows = row_ids
+        .iter()
+        .map(|id| {
+            let row = t.rows[*id].as_ref().expect("live");
+            cols.iter().map(|c| row[*c].clone()).collect()
+        })
+        .collect();
+    Ok(QueryResult { rows, affected: 0 })
+}
+
+fn aggregate(t: &Table, row_ids: &[usize], item: &SelectItem) -> Result<Value, DbError> {
+    let col_of = |name: &str| {
+        t.column_index(name)
+            .ok_or_else(|| DbError::NoSuchColumn(name.to_string()))
+    };
+    Ok(match item {
+        SelectItem::CountStar => Value::Int(row_ids.len() as i64),
+        SelectItem::Column(name) => {
+            // Mixed aggregate/plain select: take the first row's value
+            // (SQLite's bare-column behaviour).
+            let c = col_of(name)?;
+            row_ids
+                .first()
+                .and_then(|id| t.rows[*id].as_ref())
+                .map_or(Value::Null, |r| r[c].clone())
+        }
+        SelectItem::Sum(name) => {
+            let c = col_of(name)?;
+            let mut int_sum = 0i64;
+            let mut real_sum = 0.0f64;
+            let mut any_real = false;
+            let mut any = false;
+            for id in row_ids {
+                match &t.rows[*id].as_ref().expect("live")[c] {
+                    Value::Int(v) => {
+                        int_sum = int_sum.wrapping_add(*v);
+                        any = true;
+                    }
+                    Value::Real(v) => {
+                        real_sum += v;
+                        any_real = true;
+                        any = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !any {
+                Value::Null
+            } else if any_real {
+                Value::Real(real_sum + int_sum as f64)
+            } else {
+                Value::Int(int_sum)
+            }
+        }
+        SelectItem::Avg(name) => {
+            let c = col_of(name)?;
+            let vals: Vec<f64> = row_ids
+                .iter()
+                .filter_map(|id| match &t.rows[*id].as_ref().expect("live")[c] {
+                    Value::Int(v) => Some(*v as f64),
+                    Value::Real(v) => Some(*v),
+                    _ => None,
+                })
+                .collect();
+            if vals.is_empty() {
+                Value::Null
+            } else {
+                Value::Real(vals.iter().sum::<f64>() / vals.len() as f64)
+            }
+        }
+        SelectItem::Min(name) => extremum(t, row_ids, col_of(name)?, Ordering::Less),
+        SelectItem::Max(name) => extremum(t, row_ids, col_of(name)?, Ordering::Greater),
+    })
+}
+
+fn extremum(t: &Table, row_ids: &[usize], col: usize, want: Ordering) -> Value {
+    let mut best: Option<Value> = None;
+    for id in row_ids {
+        let v = &t.rows[*id].as_ref().expect("live")[col];
+        if matches!(v, Value::Null) {
+            continue;
+        }
+        match &best {
+            None => best = Some(v.clone()),
+            Some(b) if v.compare(b) == want => best = Some(v.clone()),
+            _ => {}
+        }
+    }
+    best.unwrap_or(Value::Null)
+}

@@ -1,0 +1,754 @@
+//! SQL tokenizer and parser (the Speedtest1-relevant subset).
+
+use crate::storage::{ColumnType, Value};
+use crate::DbError;
+
+/// Comparison operators in predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A WHERE predicate (conjunction of simple terms).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `col <op> literal`
+    Compare {
+        /// Column name.
+        column: String,
+        /// Operator.
+        op: CmpOp,
+        /// Literal to compare against.
+        value: Value,
+    },
+    /// `col BETWEEN lo AND hi`
+    Between {
+        /// Column name.
+        column: String,
+        /// Inclusive lower bound.
+        lo: Value,
+        /// Inclusive upper bound.
+        hi: Value,
+    },
+    /// `col LIKE 'prefix%'` (prefix matching only).
+    LikePrefix {
+        /// Column name.
+        column: String,
+        /// Literal prefix before the `%`.
+        prefix: String,
+    },
+    /// `a AND b`
+    And(Box<Predicate>, Box<Predicate>),
+}
+
+/// A selected output column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// Plain column reference.
+    Column(String),
+    /// `COUNT(*)`
+    CountStar,
+    /// `SUM(col)`
+    Sum(String),
+    /// `AVG(col)`
+    Avg(String),
+    /// `MIN(col)`
+    Min(String),
+    /// `MAX(col)`
+    Max(String),
+}
+
+impl SelectItem {
+    /// True for aggregate items.
+    #[must_use]
+    pub fn is_aggregate(&self) -> bool {
+        !matches!(self, SelectItem::Column(_))
+    }
+}
+
+/// A value expression in `SET col = expr` (column, literal, or
+/// `col <op> literal` arithmetic).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetExpr {
+    /// Literal value.
+    Literal(Value),
+    /// Copy of another column.
+    Column(String),
+    /// `col + n`, `col - n`, `col * n` style arithmetic.
+    Arith {
+        /// Source column.
+        column: String,
+        /// One of `+ - * /`.
+        op: char,
+        /// Literal operand.
+        value: Value,
+    },
+}
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col type, ...)`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column names.
+        columns: Vec<String>,
+        /// Column affinities.
+        types: Vec<ColumnType>,
+    },
+    /// `CREATE INDEX name ON table(col)`
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Table name.
+        table: String,
+        /// Indexed column.
+        column: String,
+    },
+    /// `DROP TABLE name`
+    DropTable {
+        /// Table name.
+        name: String,
+    },
+    /// `INSERT INTO t VALUES (...), (...)`
+    Insert {
+        /// Table name.
+        table: String,
+        /// Row literals.
+        rows: Vec<Vec<Value>>,
+    },
+    /// `SELECT items FROM t [WHERE p] [ORDER BY col [DESC]] [LIMIT n]`
+    Select {
+        /// Output items.
+        items: Vec<SelectItem>,
+        /// Table name.
+        table: String,
+        /// Optional predicate.
+        predicate: Option<Predicate>,
+        /// Optional ordering column (+ descending flag).
+        order_by: Option<(String, bool)>,
+        /// Optional row limit.
+        limit: Option<usize>,
+    },
+    /// `UPDATE t SET col = expr, ... [WHERE p]`
+    Update {
+        /// Table name.
+        table: String,
+        /// Assignments.
+        sets: Vec<(String, SetExpr)>,
+        /// Optional predicate.
+        predicate: Option<Predicate>,
+    },
+    /// `DELETE FROM t [WHERE p]`
+    Delete {
+        /// Table name.
+        table: String,
+        /// Optional predicate.
+        predicate: Option<Predicate>,
+    },
+    /// `BEGIN` / `COMMIT` / `ROLLBACK` (no-ops for the in-memory engine).
+    Transaction,
+}
+
+// ---- Tokenizer -------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Int(i64),
+    Real(f64),
+    Str(String),
+    Punct(char),
+    Le,
+    Ge,
+    Ne,
+}
+
+fn tokenize(sql: &str) -> Result<Vec<Tok>, DbError> {
+    let bytes = sql.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' | ')' | ',' | '*' | '=' | '+' | '-' | '/' | ';' => {
+                // Negative number literal?
+                if c == '-' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                    let (tok, next) = lex_number(sql, i)?;
+                    toks.push(tok);
+                    i = next;
+                } else {
+                    toks.push(Tok::Punct(c));
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Le);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    toks.push(Tok::Ne);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Punct('<'));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Punct('>'));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Ne);
+                    i += 2;
+                } else {
+                    return Err(DbError::Syntax("stray '!'".into()));
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(DbError::Syntax("unterminated string".into())),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b) => {
+                            s.push(*b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                toks.push(Tok::Str(s));
+            }
+            '0'..='9' => {
+                let (tok, next) = lex_number(sql, i)?;
+                toks.push(tok);
+                i = next;
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push(Tok::Word(sql[start..i].to_string()));
+            }
+            other => return Err(DbError::Syntax(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(toks)
+}
+
+fn lex_number(sql: &str, start: usize) -> Result<(Tok, usize), DbError> {
+    let bytes = sql.as_bytes();
+    let mut i = start;
+    if bytes[i] == b'-' {
+        i += 1;
+    }
+    let mut is_real = false;
+    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+        if bytes[i] == b'.' {
+            is_real = true;
+        }
+        i += 1;
+    }
+    let text = &sql[start..i];
+    let tok = if is_real {
+        Tok::Real(
+            text.parse()
+                .map_err(|_| DbError::Syntax(format!("bad number '{text}'")))?,
+        )
+    } else {
+        Tok::Int(
+            text.parse()
+                .map_err(|_| DbError::Syntax(format!("bad number '{text}'")))?,
+        )
+    };
+    Ok((tok, i))
+}
+
+// ---- Parser ----------------------------------------------------------------
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Word(w)) = self.peek() {
+            if w.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), DbError> {
+        if self.keyword(kw) {
+            Ok(())
+        } else {
+            Err(DbError::Syntax(format!("expected {kw}")))
+        }
+    }
+
+    fn expect_punct(&mut self, p: char) -> Result<(), DbError> {
+        match self.next() {
+            Some(Tok::Punct(c)) if c == p => Ok(()),
+            other => Err(DbError::Syntax(format!("expected '{p}', found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, DbError> {
+        match self.next() {
+            Some(Tok::Word(w)) => Ok(w),
+            other => Err(DbError::Syntax(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value, DbError> {
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(Value::Int(v)),
+            Some(Tok::Real(v)) => Ok(Value::Real(v)),
+            Some(Tok::Str(s)) => Ok(Value::Text(s)),
+            Some(Tok::Word(w)) if w.eq_ignore_ascii_case("null") => Ok(Value::Null),
+            other => Err(DbError::Syntax(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, DbError> {
+        let mut lhs = self.predicate_term()?;
+        while self.keyword("AND") {
+            let rhs = self.predicate_term()?;
+            lhs = Predicate::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn predicate_term(&mut self) -> Result<Predicate, DbError> {
+        let column = self.ident()?;
+        if self.keyword("BETWEEN") {
+            let lo = self.literal()?;
+            self.expect_keyword("AND")?;
+            let hi = self.literal()?;
+            return Ok(Predicate::Between { column, lo, hi });
+        }
+        if self.keyword("LIKE") {
+            let Value::Text(pattern) = self.literal()? else {
+                return Err(DbError::Syntax("LIKE needs a string".into()));
+            };
+            let Some(prefix) = pattern.strip_suffix('%') else {
+                return Err(DbError::Syntax(
+                    "only prefix LIKE ('abc%') is supported".into(),
+                ));
+            };
+            if prefix.contains('%') || prefix.contains('_') {
+                return Err(DbError::Syntax(
+                    "only prefix LIKE ('abc%') is supported".into(),
+                ));
+            }
+            return Ok(Predicate::LikePrefix {
+                column,
+                prefix: prefix.to_string(),
+            });
+        }
+        let op = match self.next() {
+            Some(Tok::Punct('=')) => CmpOp::Eq,
+            Some(Tok::Punct('<')) => CmpOp::Lt,
+            Some(Tok::Punct('>')) => CmpOp::Gt,
+            Some(Tok::Le) => CmpOp::Le,
+            Some(Tok::Ge) => CmpOp::Ge,
+            Some(Tok::Ne) => CmpOp::Ne,
+            other => return Err(DbError::Syntax(format!("expected operator, found {other:?}"))),
+        };
+        let value = self.literal()?;
+        Ok(Predicate::Compare { column, op, value })
+    }
+}
+
+/// Parses one SQL statement.
+///
+/// # Errors
+///
+/// Returns [`DbError::Syntax`] on malformed SQL.
+#[allow(clippy::too_many_lines)]
+pub fn parse(sql: &str) -> Result<Statement, DbError> {
+    let mut p = P {
+        toks: tokenize(sql)?,
+        pos: 0,
+    };
+
+    if p.keyword("BEGIN") || p.keyword("COMMIT") || p.keyword("ROLLBACK") {
+        return Ok(Statement::Transaction);
+    }
+
+    if p.keyword("CREATE") {
+        if p.keyword("TABLE") {
+            let name = p.ident()?;
+            p.expect_punct('(')?;
+            let mut columns = Vec::new();
+            let mut types = Vec::new();
+            loop {
+                columns.push(p.ident()?);
+                let ty = p.ident()?;
+                types.push(match ty.to_ascii_uppercase().as_str() {
+                    "INT" | "INTEGER" => ColumnType::Int,
+                    "REAL" | "FLOAT" | "DOUBLE" => ColumnType::Real,
+                    "TEXT" | "VARCHAR" | "CHAR" => ColumnType::Text,
+                    other => return Err(DbError::Syntax(format!("unknown type {other}"))),
+                });
+                match p.next() {
+                    Some(Tok::Punct(',')) => continue,
+                    Some(Tok::Punct(')')) => break,
+                    other => {
+                        return Err(DbError::Syntax(format!("expected , or ), found {other:?}")))
+                    }
+                }
+            }
+            return Ok(Statement::CreateTable {
+                name,
+                columns,
+                types,
+            });
+        }
+        if p.keyword("INDEX") {
+            let name = p.ident()?;
+            p.expect_keyword("ON")?;
+            let table = p.ident()?;
+            p.expect_punct('(')?;
+            let column = p.ident()?;
+            p.expect_punct(')')?;
+            return Ok(Statement::CreateIndex {
+                name,
+                table,
+                column,
+            });
+        }
+        return Err(DbError::Syntax("expected TABLE or INDEX after CREATE".into()));
+    }
+
+    if p.keyword("DROP") {
+        p.expect_keyword("TABLE")?;
+        let name = p.ident()?;
+        return Ok(Statement::DropTable { name });
+    }
+
+    if p.keyword("INSERT") {
+        p.expect_keyword("INTO")?;
+        let table = p.ident()?;
+        p.expect_keyword("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            p.expect_punct('(')?;
+            let mut row = Vec::new();
+            loop {
+                row.push(p.literal()?);
+                match p.next() {
+                    Some(Tok::Punct(',')) => continue,
+                    Some(Tok::Punct(')')) => break,
+                    other => {
+                        return Err(DbError::Syntax(format!("expected , or ), found {other:?}")))
+                    }
+                }
+            }
+            rows.push(row);
+            if matches!(p.peek(), Some(Tok::Punct(','))) {
+                p.pos += 1;
+                continue;
+            }
+            break;
+        }
+        return Ok(Statement::Insert { table, rows });
+    }
+
+    if p.keyword("SELECT") {
+        let mut items = Vec::new();
+        loop {
+            let item = if matches!(p.peek(), Some(Tok::Punct('*'))) {
+                p.pos += 1;
+                // Bare '*' means all columns: encode as Column("*").
+                SelectItem::Column("*".into())
+            } else {
+                let word = p.ident()?;
+                let agg = word.to_ascii_uppercase();
+                if matches!(agg.as_str(), "COUNT" | "SUM" | "AVG" | "MIN" | "MAX")
+                    && matches!(p.peek(), Some(Tok::Punct('(')))
+                {
+                    p.pos += 1;
+                    let inner = if matches!(p.peek(), Some(Tok::Punct('*'))) {
+                        p.pos += 1;
+                        "*".to_string()
+                    } else {
+                        p.ident()?
+                    };
+                    p.expect_punct(')')?;
+                    match agg.as_str() {
+                        "COUNT" => SelectItem::CountStar,
+                        "SUM" => SelectItem::Sum(inner),
+                        "AVG" => SelectItem::Avg(inner),
+                        "MIN" => SelectItem::Min(inner),
+                        _ => SelectItem::Max(inner),
+                    }
+                } else {
+                    SelectItem::Column(word)
+                }
+            };
+            items.push(item);
+            if matches!(p.peek(), Some(Tok::Punct(','))) {
+                p.pos += 1;
+                continue;
+            }
+            break;
+        }
+        p.expect_keyword("FROM")?;
+        let table = p.ident()?;
+        let predicate = if p.keyword("WHERE") {
+            Some(p.predicate()?)
+        } else {
+            None
+        };
+        let order_by = if p.keyword("ORDER") {
+            p.expect_keyword("BY")?;
+            let col = p.ident()?;
+            let desc = p.keyword("DESC");
+            if !desc {
+                let _ = p.keyword("ASC");
+            }
+            Some((col, desc))
+        } else {
+            None
+        };
+        let limit = if p.keyword("LIMIT") {
+            match p.next() {
+                Some(Tok::Int(n)) if n >= 0 => Some(n as usize),
+                other => return Err(DbError::Syntax(format!("bad LIMIT {other:?}"))),
+            }
+        } else {
+            None
+        };
+        return Ok(Statement::Select {
+            items,
+            table,
+            predicate,
+            order_by,
+            limit,
+        });
+    }
+
+    if p.keyword("UPDATE") {
+        let table = p.ident()?;
+        p.expect_keyword("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let column = p.ident()?;
+            p.expect_punct('=')?;
+            // Expression: literal | column | column op literal.
+            let expr = match p.next() {
+                Some(Tok::Int(v)) => SetExpr::Literal(Value::Int(v)),
+                Some(Tok::Real(v)) => SetExpr::Literal(Value::Real(v)),
+                Some(Tok::Str(s)) => SetExpr::Literal(Value::Text(s)),
+                Some(Tok::Word(w)) if w.eq_ignore_ascii_case("null") => {
+                    SetExpr::Literal(Value::Null)
+                }
+                Some(Tok::Word(src)) => {
+                    if let Some(Tok::Punct(op @ ('+' | '-' | '*' | '/'))) = p.peek().cloned() {
+                        p.pos += 1;
+                        let value = p.literal()?;
+                        SetExpr::Arith {
+                            column: src,
+                            op,
+                            value,
+                        }
+                    } else {
+                        SetExpr::Column(src)
+                    }
+                }
+                other => return Err(DbError::Syntax(format!("bad SET expression {other:?}"))),
+            };
+            sets.push((column, expr));
+            if matches!(p.peek(), Some(Tok::Punct(','))) {
+                p.pos += 1;
+                continue;
+            }
+            break;
+        }
+        let predicate = if p.keyword("WHERE") {
+            Some(p.predicate()?)
+        } else {
+            None
+        };
+        return Ok(Statement::Update {
+            table,
+            sets,
+            predicate,
+        });
+    }
+
+    if p.keyword("DELETE") {
+        p.expect_keyword("FROM")?;
+        let table = p.ident()?;
+        let predicate = if p.keyword("WHERE") {
+            Some(p.predicate()?)
+        } else {
+            None
+        };
+        return Ok(Statement::Delete { table, predicate });
+    }
+
+    Err(DbError::Syntax(format!(
+        "unrecognised statement: {}",
+        sql.chars().take(40).collect::<String>()
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create_table() {
+        let s = parse("CREATE TABLE t1(a INT, b REAL, c TEXT)").unwrap();
+        assert_eq!(
+            s,
+            Statement::CreateTable {
+                name: "t1".into(),
+                columns: vec!["a".into(), "b".into(), "c".into()],
+                types: vec![ColumnType::Int, ColumnType::Real, ColumnType::Text],
+            }
+        );
+    }
+
+    #[test]
+    fn parses_multi_row_insert() {
+        let s = parse("INSERT INTO t VALUES (1, 'a'), (2, 'b')").unwrap();
+        let Statement::Insert { rows, .. } = s else {
+            panic!()
+        };
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1][1], Value::Text("b".into()));
+    }
+
+    #[test]
+    fn parses_negative_and_real_literals() {
+        let s = parse("INSERT INTO t VALUES (-5, 2.75)").unwrap();
+        let Statement::Insert { rows, .. } = s else {
+            panic!()
+        };
+        assert_eq!(rows[0], vec![Value::Int(-5), Value::Real(2.75)]);
+    }
+
+    #[test]
+    fn parses_select_with_everything() {
+        let s = parse(
+            "SELECT a, COUNT(*) FROM t WHERE b >= 3 AND c LIKE 'ab%' ORDER BY a DESC LIMIT 10",
+        )
+        .unwrap();
+        let Statement::Select {
+            items,
+            predicate,
+            order_by,
+            limit,
+            ..
+        } = s
+        else {
+            panic!()
+        };
+        assert_eq!(items.len(), 2);
+        assert!(matches!(predicate, Some(Predicate::And(_, _))));
+        assert_eq!(order_by, Some(("a".into(), true)));
+        assert_eq!(limit, Some(10));
+    }
+
+    #[test]
+    fn parses_between() {
+        let s = parse("SELECT a FROM t WHERE b BETWEEN 1 AND 5").unwrap();
+        let Statement::Select { predicate, .. } = s else {
+            panic!()
+        };
+        assert_eq!(
+            predicate,
+            Some(Predicate::Between {
+                column: "b".into(),
+                lo: Value::Int(1),
+                hi: Value::Int(5)
+            })
+        );
+    }
+
+    #[test]
+    fn parses_update_arith() {
+        let s = parse("UPDATE t SET b = b + 10, c = 'x' WHERE a = 1").unwrap();
+        let Statement::Update { sets, .. } = s else {
+            panic!()
+        };
+        assert_eq!(
+            sets[0].1,
+            SetExpr::Arith {
+                column: "b".into(),
+                op: '+',
+                value: Value::Int(10)
+            }
+        );
+        assert_eq!(sets[1].1, SetExpr::Literal(Value::Text("x".into())));
+    }
+
+    #[test]
+    fn quoted_quote() {
+        let s = parse("INSERT INTO t VALUES ('it''s')").unwrap();
+        let Statement::Insert { rows, .. } = s else {
+            panic!()
+        };
+        assert_eq!(rows[0][0], Value::Text("it's".into()));
+    }
+
+    #[test]
+    fn rejects_full_like() {
+        assert!(parse("SELECT a FROM t WHERE c LIKE '%mid%'").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("EXPLAIN QUANTUM JOIN").is_err());
+        assert!(parse("SELECT FROM").is_err());
+    }
+}

@@ -1,0 +1,246 @@
+//! MiniC abstract syntax tree.
+
+/// A MiniC type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ty {
+    /// 32-bit signed integer.
+    Int,
+    /// 64-bit signed integer.
+    Long,
+    /// 32-bit float.
+    Float,
+    /// 64-bit float.
+    Double,
+    /// Typed pointer (i32 address at the Wasm level).
+    Ptr(Box<Ty>),
+    /// Function-return-only "no value" type.
+    Void,
+}
+
+impl Ty {
+    /// Size in bytes of a value of this type in linear memory.
+    #[must_use]
+    pub fn size(&self) -> u32 {
+        match self {
+            Ty::Int | Ty::Float | Ty::Ptr(_) => 4,
+            Ty::Long | Ty::Double => 8,
+            Ty::Void => 0,
+        }
+    }
+
+    /// True for `int`, `long` and pointers.
+    #[must_use]
+    pub fn is_integral(&self) -> bool {
+        matches!(self, Ty::Int | Ty::Long | Ty::Ptr(_))
+    }
+
+    /// True for `float` and `double`.
+    #[must_use]
+    pub fn is_float(&self) -> bool {
+        matches!(self, Ty::Float | Ty::Double)
+    }
+}
+
+impl std::fmt::Display for Ty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Ty::Int => write!(f, "int"),
+            Ty::Long => write!(f, "long"),
+            Ty::Float => write!(f, "float"),
+            Ty::Double => write!(f, "double"),
+            Ty::Ptr(inner) => write!(f, "{inner}*"),
+            Ty::Void => write!(f, "void"),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    LogicalAnd,
+    LogicalOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!`), yields `int`.
+    Not,
+    /// Bitwise complement (`~`).
+    BitNot,
+}
+
+/// An expression with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// 1-based source line, for diagnostics.
+    pub line: u32,
+    /// The expression node.
+    pub kind: ExprKind,
+}
+
+/// Expression nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// String literal (address of NUL-terminated bytes in the data segment).
+    StrLit(String),
+    /// Variable reference.
+    Var(String),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+    /// Explicit cast `(ty)expr`.
+    Cast(Ty, Box<Expr>),
+    /// Pointer indexing `p[i]` (element-size scaled).
+    Index(Box<Expr>, Box<Expr>),
+    /// Pointer dereference `*p`.
+    Deref(Box<Expr>),
+    /// Conditional `c ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `sizeof(type)`.
+    SizeOf(Ty),
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A named local or global variable.
+    Var(String),
+    /// A pointer element `p[i]`.
+    Index(Expr, Expr),
+    /// A dereferenced pointer `*p`.
+    Deref(Expr),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local declaration with optional initializer.
+    Decl {
+        /// Declared type.
+        ty: Ty,
+        /// Variable name.
+        name: String,
+        /// Optional initializer expression.
+        init: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Assignment `lhs = rhs;`.
+    Assign {
+        /// The target.
+        target: LValue,
+        /// The value.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// Expression evaluated for side effects.
+    Expr(Expr),
+    /// `if (cond) then [else els]`.
+    If {
+        /// Condition (nonzero = true).
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Optional else branch.
+        els: Option<Vec<Stmt>>,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Optional init statement.
+        init: Option<Box<Stmt>>,
+        /// Optional condition (absent = infinite).
+        cond: Option<Expr>,
+        /// Optional step statement.
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `return [expr];`.
+    Return(Option<Expr>, u32),
+    /// `break;`.
+    Break(u32),
+    /// `continue;`.
+    Continue(u32),
+    /// Nested block.
+    Block(Vec<Stmt>),
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter type.
+    pub ty: Ty,
+    /// Parameter name.
+    pub name: String,
+}
+
+/// A function definition or extern declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name (also the export/import name).
+    pub name: String,
+    /// Return type.
+    pub ret: Ty,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Body; `None` for `extern` declarations (imports).
+    pub body: Option<Vec<Stmt>>,
+    /// Source line of the signature.
+    pub line: u32,
+}
+
+/// A global variable definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalVar {
+    /// Global type.
+    pub ty: Ty,
+    /// Global name.
+    pub name: String,
+    /// Constant initializer (integer/float literal), defaults to zero.
+    pub init: Option<Expr>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A parsed MiniC compilation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Global variables in declaration order.
+    pub globals: Vec<GlobalVar>,
+    /// Functions (defined and extern) in declaration order.
+    pub functions: Vec<Function>,
+}

@@ -1,0 +1,228 @@
+//! The supplicant-mediated loopback network.
+//!
+//! The GP sockets API in OP-TEE is implemented by bouncing traffic through
+//! the normal-world `tee-supplicant` daemon over a small shared-memory
+//! buffer (§V). The verifier additionally needs a normal-world *listener*
+//! because the GP API cannot accept incoming connections.
+//!
+//! This module models that plumbing as an in-process message network:
+//! message-oriented, byte-copying (every message is copied in and out, like
+//! the shared buffer), and blocking with a timeout so misbehaving peers
+//! surface as errors instead of hangs.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::TeeError;
+
+/// Default receive timeout.
+pub const RECV_TIMEOUT: Duration = Duration::from_secs(10);
+
+type Channel = (Sender<Vec<u8>>, Receiver<Vec<u8>>);
+
+/// The loopback network shared by every party on a device (and, in tests,
+/// between "devices" that share a `Network`).
+#[derive(Debug)]
+pub struct Network {
+    listeners: Mutex<HashMap<u16, Sender<Connection>>>,
+}
+
+impl Network {
+    /// An empty network.
+    #[must_use]
+    pub fn new() -> Self {
+        Network {
+            listeners: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Binds a listener on `port`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::Net`] if the port is already bound.
+    pub fn listen(&self, port: u16) -> Result<Listener, TeeError> {
+        let mut listeners = self.listeners.lock();
+        if listeners.contains_key(&port) {
+            return Err(TeeError::Net(format!("port {port} already bound")));
+        }
+        let (tx, rx) = bounded(16);
+        listeners.insert(port, tx);
+        Ok(Listener { accept_rx: rx })
+    }
+
+    /// Unbinds the listener on `port`.
+    pub fn unbind(&self, port: u16) {
+        self.listeners.lock().remove(&port);
+    }
+
+    /// Connects to the listener on `port`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::Net`] if nothing is listening.
+    pub fn connect(&self, port: u16) -> Result<Connection, TeeError> {
+        let accept_tx = {
+            let listeners = self.listeners.lock();
+            listeners
+                .get(&port)
+                .cloned()
+                .ok_or_else(|| TeeError::Net(format!("connection refused on port {port}")))?
+        };
+        let (c2s_tx, c2s_rx): Channel = bounded(64);
+        let (s2c_tx, s2c_rx): Channel = bounded(64);
+        let server_side = Connection {
+            tx: s2c_tx,
+            rx: c2s_rx,
+        };
+        accept_tx
+            .send(server_side)
+            .map_err(|_| TeeError::Net(format!("listener on port {port} is gone")))?;
+        Ok(Connection {
+            tx: c2s_tx,
+            rx: s2c_rx,
+        })
+    }
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A bound listener.
+#[derive(Debug)]
+pub struct Listener {
+    accept_rx: Receiver<Connection>,
+}
+
+impl Listener {
+    /// Accepts the next incoming connection (blocking, with timeout).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::Net`] on timeout.
+    pub fn accept(&self) -> Result<Connection, TeeError> {
+        self.accept_timeout(RECV_TIMEOUT)
+    }
+
+    /// Accepts with a caller-chosen timeout (used by polling servers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::Net`] on timeout.
+    pub fn accept_timeout(&self, timeout: Duration) -> Result<Connection, TeeError> {
+        self.accept_rx
+            .recv_timeout(timeout)
+            .map_err(|_| TeeError::Net("accept timed out".into()))
+    }
+}
+
+/// One end of an established connection (message-oriented).
+#[derive(Debug)]
+pub struct Connection {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl Connection {
+    /// Sends one message (copied, like the supplicant's shared buffer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::Net`] if the peer hung up.
+    pub fn send(&self, data: &[u8]) -> Result<(), TeeError> {
+        self.tx
+            .send(data.to_vec())
+            .map_err(|_| TeeError::Net("peer disconnected".into()))
+    }
+
+    /// Receives one message (blocking, with timeout).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::Net`] on timeout or hangup.
+    pub fn recv(&self) -> Result<Vec<u8>, TeeError> {
+        self.rx
+            .recv_timeout(RECV_TIMEOUT)
+            .map_err(|_| TeeError::Net("receive timed out or peer disconnected".into()))
+    }
+
+    /// Non-blocking receive attempt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::Net`] if no message is ready.
+    pub fn try_recv(&self) -> Result<Vec<u8>, TeeError> {
+        self.rx
+            .try_recv()
+            .map_err(|_| TeeError::Net("no message ready".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_send_recv() {
+        let net = Network::new();
+        let listener = net.listen(7000).unwrap();
+        let client = net.connect(7000).unwrap();
+        let server = listener.accept().unwrap();
+        client.send(b"msg0").unwrap();
+        assert_eq!(server.recv().unwrap(), b"msg0");
+        server.send(b"msg1").unwrap();
+        assert_eq!(client.recv().unwrap(), b"msg1");
+    }
+
+    #[test]
+    fn connection_refused() {
+        let net = Network::new();
+        assert!(net.connect(9999).is_err());
+    }
+
+    #[test]
+    fn double_bind_rejected() {
+        let net = Network::new();
+        let _a = net.listen(7001).unwrap();
+        assert!(net.listen(7001).is_err());
+    }
+
+    #[test]
+    fn unbind_frees_port() {
+        let net = Network::new();
+        let _a = net.listen(7002).unwrap();
+        net.unbind(7002);
+        assert!(net.listen(7002).is_ok());
+    }
+
+    #[test]
+    fn multiple_connections_to_one_listener() {
+        let net = Network::new();
+        let listener = net.listen(7003).unwrap();
+        let c1 = net.connect(7003).unwrap();
+        let c2 = net.connect(7003).unwrap();
+        let s1 = listener.accept().unwrap();
+        let s2 = listener.accept().unwrap();
+        c1.send(b"one").unwrap();
+        c2.send(b"two").unwrap();
+        assert_eq!(s1.recv().unwrap(), b"one");
+        assert_eq!(s2.recv().unwrap(), b"two");
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let net = Network::new();
+        let listener = net.listen(7004).unwrap();
+        let client = net.connect(7004).unwrap();
+        let server = listener.accept().unwrap();
+        assert!(server.try_recv().is_err());
+        client.send(b"x").unwrap();
+        assert_eq!(server.try_recv().unwrap(), b"x");
+    }
+}

@@ -1,0 +1,123 @@
+//! Root of trust: OTPMK and the CAAM's master key verification blob.
+//!
+//! On the i.MX 8MQ, "the root of trust is a unique 256-bit one-time
+//! programmable key (OTPMK), fused into hardware at manufacturing time. The
+//! CAAM provides two different hashes of OTPMK, depending on if the
+//! requesting thread is in the normal or in the secure world. This hash is
+//! called the master key verification blob (MKVB)" (§V). The MKVB seeds the
+//! Fortuna PRNG that deterministically regenerates the attestation key pair
+//! at every boot.
+
+use watz_crypto::sha256::Sha256;
+
+use crate::World;
+
+/// Errors from root-of-trust operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RotError {
+    /// The secure-world MKVB is only released after a verified secure boot.
+    SecureBootRequired,
+}
+
+impl std::fmt::Display for RotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RotError::SecureBootRequired => {
+                write!(f, "secure boot must complete before the secure MKVB is available")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RotError {}
+
+/// The modelled cryptographic accelerator and assurance module.
+///
+/// Holds the fused OTPMK. The raw key is private to this struct — consumers
+/// only ever see per-world MKVB hashes, exactly like the hardware.
+pub struct Caam {
+    otpmk: [u8; 32],
+}
+
+impl std::fmt::Debug for Caam {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The OTPMK never leaves the module, not even through Debug.
+        write!(f, "Caam {{ otpmk: <fused> }}")
+    }
+}
+
+impl Caam {
+    /// "Manufactures" a device: fuses an OTPMK derived from the seed.
+    #[must_use]
+    pub fn fuse(device_seed: &[u8]) -> Self {
+        let mut h = Sha256::new();
+        h.update(b"watz-otpmk-fuse-v1");
+        h.update(device_seed);
+        Caam { otpmk: h.finalize() }
+    }
+
+    /// Returns the per-world MKVB (hash of the OTPMK bound to the world).
+    ///
+    /// Access control (secure boot gating) is enforced by the platform, not
+    /// here — see [`crate::CaamHandle::mkvb`].
+    #[must_use]
+    pub fn mkvb(&self, world: World) -> [u8; 32] {
+        let tag: &[u8] = match world {
+            World::Normal => b"mkvb-normal-world",
+            World::Secure => b"mkvb-secure-world",
+        };
+        let mut h = Sha256::new();
+        h.update(&self.otpmk);
+        h.update(tag);
+        h.finalize()
+    }
+}
+
+/// Derives a subkey from an MKVB with a usage label.
+///
+/// Mirrors OP-TEE's `huk_subkey_derive`, which the paper uses to turn the
+/// MKVB into the Fortuna seed for attestation-key generation.
+#[must_use]
+pub fn huk_subkey_derive(mkvb: &[u8; 32], usage: &str) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(mkvb);
+    h.update(b"huk-subkey:");
+    h.update(usage.as_bytes());
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mkvb_world_separation() {
+        let caam = Caam::fuse(b"device");
+        assert_ne!(caam.mkvb(World::Normal), caam.mkvb(World::Secure));
+    }
+
+    #[test]
+    fn fusing_is_deterministic_per_seed() {
+        let a = Caam::fuse(b"device");
+        let b = Caam::fuse(b"device");
+        assert_eq!(a.mkvb(World::Secure), b.mkvb(World::Secure));
+        let c = Caam::fuse(b"other");
+        assert_ne!(a.mkvb(World::Secure), c.mkvb(World::Secure));
+    }
+
+    #[test]
+    fn subkey_derivation_separates_usages() {
+        let caam = Caam::fuse(b"device");
+        let mkvb = caam.mkvb(World::Secure);
+        let attestation = huk_subkey_derive(&mkvb, "attestation");
+        let storage = huk_subkey_derive(&mkvb, "storage");
+        assert_ne!(attestation, storage);
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let caam = Caam::fuse(b"secret device seed");
+        let s = format!("{caam:?}");
+        assert!(s.contains("<fused>"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Secure monitor call (SMC) bookkeeping.
+//!
+//! The actual world switch is [`crate::Platform::enter_secure`]; this module
+//! holds the transition statistics used by the Fig 3b reproduction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters for world transitions on a platform.
+#[derive(Debug)]
+pub struct TransitionStats {
+    enters: AtomicU64,
+    leaves: AtomicU64,
+}
+
+impl TransitionStats {
+    /// Fresh, zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        TransitionStats {
+            enters: AtomicU64::new(0),
+            leaves: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record_enter(&self) {
+        self.enters.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_leave(&self) {
+        self.leaves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of normal→secure transitions so far.
+    #[must_use]
+    pub fn enters(&self) -> u64 {
+        self.enters.load(Ordering::Relaxed)
+    }
+
+    /// Number of secure→normal transitions so far.
+    #[must_use]
+    pub fn leaves(&self) -> u64 {
+        self.leaves.load(Ordering::Relaxed)
+    }
+
+    /// Resets both counters (between bench iterations).
+    pub fn reset(&self) {
+        self.enters.store(0, Ordering::Relaxed);
+        self.leaves.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for TransitionStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_and_reset() {
+        let stats = TransitionStats::new();
+        stats.record_enter();
+        stats.record_enter();
+        stats.record_leave();
+        assert_eq!(stats.enters(), 2);
+        assert_eq!(stats.leaves(), 1);
+        stats.reset();
+        assert_eq!(stats.enters(), 0);
+        assert_eq!(stats.leaves(), 0);
+    }
+}

@@ -1,0 +1,254 @@
+//! The attester role (the WaTZ device side of the protocol).
+
+use watz_crypto::cmac::AesCmac;
+use watz_crypto::ecdh::EphemeralKeyPair;
+use watz_crypto::ecdsa::{Signature, VerifyingKey};
+use watz_crypto::fortuna::Fortuna;
+use watz_crypto::gcm::AesGcm128;
+use watz_crypto::kdf::{derive_session_keys, SessionKeys};
+use watz_crypto::sha256::Sha256;
+
+use crate::evidence::session_anchor;
+use crate::service::AttestationService;
+use crate::timed;
+use crate::wire::{Msg0, Msg1, Msg2, Msg3};
+use crate::{RaError, StepTimings};
+
+enum State {
+    /// `msg0` sent, waiting for `msg1`.
+    AwaitMsg1 { session: EphemeralKeyPair },
+    /// Handshake done; session keys derived, anchor known. The hosted Wasm
+    /// application may now collect a quote (`wasi_ra_collect_quote`).
+    Handshaken { keys: SessionKeys, anchor: [u8; 32] },
+    /// `msg2` sent, waiting for the secret blob.
+    AwaitMsg3 { keys: SessionKeys },
+    /// Protocol completed.
+    Done,
+}
+
+/// Attester state machine.
+///
+/// Freshness and forward secrecy come from the ephemeral session key pair
+/// generated in [`Attester::start`]; a new `Attester` must be created for
+/// every attestation attempt (§IV security requirements 4 and 5).
+pub struct Attester {
+    state: State,
+    ga: [u8; 64],
+}
+
+impl std::fmt::Debug for Attester {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match self.state {
+            State::AwaitMsg1 { .. } => "await-msg1",
+            State::Handshaken { .. } => "handshaken",
+            State::AwaitMsg3 { .. } => "await-msg3",
+            State::Done => "done",
+        };
+        write!(f, "Attester {{ state: {state} }}")
+    }
+}
+
+impl Attester {
+    /// Starts a session: generates the ephemeral key pair and produces
+    /// `msg0`.
+    #[must_use]
+    pub fn start(rng: &mut Fortuna) -> (Self, Msg0) {
+        let (attester, msg0, _) = Self::start_timed(rng);
+        (attester, msg0)
+    }
+
+    /// [`Attester::start`] with the Table III cost breakdown.
+    #[must_use]
+    pub fn start_timed(rng: &mut Fortuna) -> (Self, Msg0, StepTimings) {
+        let mut t = StepTimings::default();
+        let session = timed!(t, key_generation, EphemeralKeyPair::generate(rng));
+        let ga = timed!(t, memory, session.public_bytes());
+        let msg0 = timed!(t, memory, Msg0 { ga });
+        (
+            Attester {
+                state: State::AwaitMsg1 { session },
+                ga,
+            },
+            msg0,
+            t,
+        )
+    }
+
+    /// The attester's public session key `Ga`.
+    #[must_use]
+    pub fn ga(&self) -> [u8; 64] {
+        self.ga
+    }
+
+    /// Handles `msg1`: authenticates the verifier and derives the session
+    /// keys, returning the session **anchor** (`HASH(Ga || Gv)`).
+    ///
+    /// `pinned_verifier_key` is the verifier identity hardcoded into the
+    /// Wasm application (and therefore covered by the code measurement);
+    /// a mismatch aborts the protocol (§IV requirement 2).
+    ///
+    /// This is the tail end of `wasi_ra_net_handshake`; the application then
+    /// collects a quote for the anchor and sends it via
+    /// [`Attester::build_msg2`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`RaError`] on any authentication failure; the attester
+    /// is left unusable afterwards (fresh sessions need fresh attesters).
+    pub fn handle_msg1(
+        &mut self,
+        msg1: &Msg1,
+        pinned_verifier_key: &[u8; 64],
+    ) -> Result<([u8; 32], StepTimings), RaError> {
+        let mut t = StepTimings::default();
+        let State::AwaitMsg1 { session } =
+            std::mem::replace(&mut self.state, State::Done)
+        else {
+            return Err(RaError::BadState("handle_msg1"));
+        };
+
+        // Pinned-identity check before any cryptography: the application
+        // only ever talks to its intended service.
+        if &msg1.verifier_id != pinned_verifier_key {
+            return Err(RaError::VerifierKeyMismatch);
+        }
+
+        // ECDH + KDF (same derivations as Intel SGX).
+        let shared = timed!(t, key_generation, session.diffie_hellman(&msg1.gv))?;
+        let keys = timed!(t, symmetric, derive_session_keys(&shared));
+
+        // MAC check over content1.
+        let mac_ok = timed!(t, symmetric, {
+            let cmac = AesCmac::new(&keys.km);
+            watz_crypto::ct_eq(&cmac.mac(&msg1.content()), &msg1.mac)
+        });
+        if !mac_ok {
+            return Err(RaError::BadMac);
+        }
+
+        // Verify SIGN_V(Gv || Ga): different session keys reveal a
+        // masquerading or replay attack.
+        let sig_ok = timed!(t, asymmetric, {
+            let verifier_key = VerifyingKey::from_bytes(&msg1.verifier_id)?;
+            let sig =
+                Signature::from_bytes(&msg1.signature).map_err(|_| RaError::BadSignature)?;
+            let mut h = Sha256::new();
+            h.update(&msg1.gv);
+            h.update(&self.ga);
+            verifier_key.verify(&h.finalize(), &sig)
+        });
+        if !sig_ok {
+            return Err(RaError::BadSignature);
+        }
+
+        // Evidence will be bound to this session via the anchor.
+        let anchor = timed!(t, symmetric, session_anchor(&self.ga, &msg1.gv));
+        self.state = State::Handshaken { keys, anchor };
+        Ok((anchor, t))
+    }
+
+    /// The session anchor, available after a successful handshake.
+    #[must_use]
+    pub fn anchor(&self) -> Option<[u8; 32]> {
+        match &self.state {
+            State::Handshaken { anchor, .. } => Some(*anchor),
+            _ => None,
+        }
+    }
+
+    /// Collects a quote (evidence) from the attestation service for the
+    /// current session anchor — `wasi_ra_collect_quote`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RaError::BadState`] before the handshake completed.
+    pub fn collect_quote(
+        &self,
+        service: &AttestationService,
+        measurement: &[u8; 32],
+    ) -> Result<(crate::evidence::Evidence, StepTimings), RaError> {
+        let mut t = StepTimings::default();
+        let State::Handshaken { anchor, .. } = &self.state else {
+            return Err(RaError::BadState("collect_quote"));
+        };
+        let evidence = timed!(t, asymmetric, service.issue_evidence(*anchor, *measurement));
+        Ok((evidence, t))
+    }
+
+    /// Wraps evidence into the MAC'd `msg2` — `wasi_ra_net_send_quote`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RaError::BadState`] before the handshake completed.
+    pub fn build_msg2(
+        &mut self,
+        evidence: crate::evidence::Evidence,
+    ) -> Result<(Msg2, StepTimings), RaError> {
+        let mut t = StepTimings::default();
+        let State::Handshaken { keys, .. } = std::mem::replace(&mut self.state, State::Done)
+        else {
+            return Err(RaError::BadState("build_msg2"));
+        };
+        let msg2 = timed!(t, memory, {
+            let mut msg2 = Msg2 {
+                ga: self.ga,
+                evidence,
+                mac: [0; 16],
+            };
+            let content = msg2.content();
+            msg2.mac = timed!(t, symmetric, AesCmac::new(&keys.km).mac(&content));
+            msg2
+        });
+        self.state = State::AwaitMsg3 { keys };
+        Ok((msg2, t))
+    }
+
+    /// Convenience: `handle_msg1` + `collect_quote` + `build_msg2` in one
+    /// step, for callers that do not need the WASI-RA phase separation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any failure from the three steps.
+    pub fn attest(
+        &mut self,
+        msg1: &Msg1,
+        pinned_verifier_key: &[u8; 64],
+        service: &AttestationService,
+        measurement: &[u8; 32],
+    ) -> Result<(Msg2, StepTimings), RaError> {
+        let (_anchor, mut t) = self.handle_msg1(msg1, pinned_verifier_key)?;
+        let (evidence, t2) = self.collect_quote(service, measurement)?;
+        let (msg2, t3) = self.build_msg2(evidence)?;
+        t.memory += t2.memory + t3.memory;
+        t.key_generation += t2.key_generation + t3.key_generation;
+        t.symmetric += t2.symmetric + t3.symmetric;
+        t.asymmetric += t2.asymmetric + t3.asymmetric;
+        Ok((msg2, t))
+    }
+
+    /// Handles `msg3`: decrypts and returns the secret blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RaError::DecryptFailed`] if the AEAD tag does not verify,
+    /// or [`RaError::BadState`] out of order.
+    pub fn handle_msg3(&mut self, msg3: &Msg3) -> Result<(Vec<u8>, StepTimings), RaError> {
+        let mut t = StepTimings::default();
+        let State::AwaitMsg3 { keys } = std::mem::replace(&mut self.state, State::Done) else {
+            return Err(RaError::BadState("handle_msg3"));
+        };
+        let plaintext = timed!(t, symmetric, {
+            let cipher = AesGcm128::new(&keys.ke);
+            cipher
+                .decrypt(&msg3.iv, &msg3.ciphertext, b"", &msg3.tag)
+                .map_err(|_| RaError::DecryptFailed)
+        })?;
+        Ok((plaintext, t))
+    }
+
+    /// True once the protocol has completed (or aborted).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, State::Done)
+    }
+}

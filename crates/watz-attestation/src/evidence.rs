@@ -1,0 +1,177 @@
+//! Evidence: the cryptographically signed report asserting that a Wasm
+//! application and its device are trustworthy (§IV, "Proof of trust").
+
+use watz_crypto::ecdsa::{Signature, VerifyingKey};
+use watz_crypto::sha256::Sha256;
+
+use crate::RaError;
+
+/// Serialized evidence length in bytes.
+pub const EVIDENCE_LEN: usize = 32 + 4 + 32 + 64 + 64;
+
+/// Signed evidence, as issued by the attestation service.
+///
+/// Contains, per the paper: (i) the **anchor** binding the evidence to a
+/// transport session, (ii) the WaTZ **version**, (iii) the **claim** (the
+/// Wasm bytecode measurement), (iv) the device's public **attestation key**
+/// (the endorsement handle), and (v) the **signature** over all of it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evidence {
+    /// Transport-session binding value, `HASH(Ga || Gv)` in the protocol.
+    pub anchor: [u8; 32],
+    /// WaTZ version, for excluding outdated runtimes.
+    pub version: u32,
+    /// SHA-256 measurement of the Wasm AOT bytecode.
+    pub claim: [u8; 32],
+    /// The device's public attestation key (x || y).
+    pub attestation_pubkey: [u8; 64],
+    /// ECDSA signature over the digest of the four fields above.
+    pub signature: [u8; 64],
+}
+
+impl Evidence {
+    /// The digest covered by the evidence signature.
+    #[must_use]
+    pub fn signed_digest(&self) -> [u8; 32] {
+        signed_digest(&self.anchor, self.version, &self.claim, &self.attestation_pubkey)
+    }
+
+    /// Serializes to the fixed wire layout.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(EVIDENCE_LEN);
+        out.extend_from_slice(&self.anchor);
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&self.claim);
+        out.extend_from_slice(&self.attestation_pubkey);
+        out.extend_from_slice(&self.signature);
+        out
+    }
+
+    /// Parses from the fixed wire layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RaError::Malformed`] on a length mismatch.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, RaError> {
+        if bytes.len() != EVIDENCE_LEN {
+            return Err(RaError::Malformed("evidence length"));
+        }
+        let mut anchor = [0u8; 32];
+        anchor.copy_from_slice(&bytes[0..32]);
+        let version = u32::from_le_bytes([bytes[32], bytes[33], bytes[34], bytes[35]]);
+        let mut claim = [0u8; 32];
+        claim.copy_from_slice(&bytes[36..68]);
+        let mut attestation_pubkey = [0u8; 64];
+        attestation_pubkey.copy_from_slice(&bytes[68..132]);
+        let mut signature = [0u8; 64];
+        signature.copy_from_slice(&bytes[132..196]);
+        Ok(Evidence {
+            anchor,
+            version,
+            claim,
+            attestation_pubkey,
+            signature,
+        })
+    }
+
+    /// Verifies the evidence signature against the embedded key.
+    ///
+    /// Note: a self-contained check only proves internal consistency; the
+    /// verifier must additionally check the key against its endorsement
+    /// list (see [`crate::verifier`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RaError::BadSignature`] or a crypto error for malformed
+    /// keys/signatures.
+    pub fn verify_signature(&self) -> Result<(), RaError> {
+        let key = VerifyingKey::from_bytes(&self.attestation_pubkey)?;
+        let sig = Signature::from_bytes(&self.signature).map_err(|_| RaError::BadSignature)?;
+        if key.verify(&self.signed_digest(), &sig) {
+            Ok(())
+        } else {
+            Err(RaError::BadSignature)
+        }
+    }
+}
+
+/// Computes the digest covered by an evidence signature.
+#[must_use]
+pub fn signed_digest(
+    anchor: &[u8; 32],
+    version: u32,
+    claim: &[u8; 32],
+    attestation_pubkey: &[u8; 64],
+) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"watz-evidence-v1");
+    h.update(anchor);
+    h.update(&version.to_le_bytes());
+    h.update(claim);
+    h.update(attestation_pubkey);
+    h.finalize()
+}
+
+/// Computes the session anchor `HASH(Ga || Gv)`.
+#[must_use]
+pub fn session_anchor(ga: &[u8; 64], gv: &[u8; 64]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(ga);
+    h.update(gv);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Evidence {
+        Evidence {
+            anchor: [1; 32],
+            version: 7,
+            claim: [2; 32],
+            attestation_pubkey: [3; 64],
+            signature: [4; 64],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let e = sample();
+        assert_eq!(Evidence::from_bytes(&e.to_bytes()).unwrap(), e);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        assert_eq!(
+            Evidence::from_bytes(&[0u8; 10]),
+            Err(RaError::Malformed("evidence length"))
+        );
+    }
+
+    #[test]
+    fn digest_covers_every_field() {
+        let base = sample();
+        let d0 = base.signed_digest();
+        let mut e = sample();
+        e.anchor[0] ^= 1;
+        assert_ne!(e.signed_digest(), d0);
+        let mut e = sample();
+        e.version += 1;
+        assert_ne!(e.signed_digest(), d0);
+        let mut e = sample();
+        e.claim[31] ^= 1;
+        assert_ne!(e.signed_digest(), d0);
+        let mut e = sample();
+        e.attestation_pubkey[63] ^= 1;
+        assert_ne!(e.signed_digest(), d0);
+    }
+
+    #[test]
+    fn anchor_is_order_sensitive() {
+        let ga = [1u8; 64];
+        let gv = [2u8; 64];
+        assert_ne!(session_anchor(&ga, &gv), session_anchor(&gv, &ga));
+    }
+}

@@ -1,0 +1,286 @@
+//! Byte-level wire format of the four protocol messages.
+//!
+//! Fixed layouts with a one-byte tag, so a corrupted or reordered message
+//! is caught at parse time rather than by cryptography alone.
+
+use crate::evidence::{Evidence, EVIDENCE_LEN};
+use crate::RaError;
+
+const TAG_MSG0: u8 = 0xa0;
+const TAG_MSG1: u8 = 0xa1;
+const TAG_MSG2: u8 = 0xa2;
+const TAG_MSG3: u8 = 0xa3;
+
+/// `msg0`: the attester's ephemeral public session key `Ga`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Msg0 {
+    /// Attester public session key (x || y).
+    pub ga: [u8; 64],
+}
+
+impl Msg0 {
+    /// Serializes the message.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(65);
+        out.push(TAG_MSG0);
+        out.extend_from_slice(&self.ga);
+        out
+    }
+
+    /// Parses the message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RaError::Malformed`] for wrong tag or length.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, RaError> {
+        if bytes.len() != 65 || bytes[0] != TAG_MSG0 {
+            return Err(RaError::Malformed("msg0"));
+        }
+        let mut ga = [0u8; 64];
+        ga.copy_from_slice(&bytes[1..]);
+        Ok(Msg0 { ga })
+    }
+}
+
+/// `msg1`: verifier session key, identity and signature, MAC'd under `Km`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Msg1 {
+    /// Verifier public session key `Gv`.
+    pub gv: [u8; 64],
+    /// Verifier identity key `V` (ECDSA public).
+    pub verifier_id: [u8; 64],
+    /// `SIGN_V(Gv || Ga)`.
+    pub signature: [u8; 64],
+    /// `MAC_Km(content1)`.
+    pub mac: [u8; 16],
+}
+
+impl Msg1 {
+    /// The MAC'd content (`content1` in Table II).
+    #[must_use]
+    pub fn content(&self) -> Vec<u8> {
+        let mut c = Vec::with_capacity(192);
+        c.extend_from_slice(&self.gv);
+        c.extend_from_slice(&self.verifier_id);
+        c.extend_from_slice(&self.signature);
+        c
+    }
+
+    /// Serializes the message.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + 192 + 16);
+        out.push(TAG_MSG1);
+        out.extend_from_slice(&self.content());
+        out.extend_from_slice(&self.mac);
+        out
+    }
+
+    /// Parses the message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RaError::Malformed`] for wrong tag or length.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, RaError> {
+        if bytes.len() != 1 + 192 + 16 || bytes[0] != TAG_MSG1 {
+            return Err(RaError::Malformed("msg1"));
+        }
+        let mut gv = [0u8; 64];
+        let mut verifier_id = [0u8; 64];
+        let mut signature = [0u8; 64];
+        let mut mac = [0u8; 16];
+        gv.copy_from_slice(&bytes[1..65]);
+        verifier_id.copy_from_slice(&bytes[65..129]);
+        signature.copy_from_slice(&bytes[129..193]);
+        mac.copy_from_slice(&bytes[193..209]);
+        Ok(Msg1 {
+            gv,
+            verifier_id,
+            signature,
+            mac,
+        })
+    }
+}
+
+/// `msg2`: the attester echoes `Ga` and presents signed evidence, MAC'd
+/// under `Km`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Msg2 {
+    /// Attester public session key, echoed from `msg0`.
+    pub ga: [u8; 64],
+    /// The signed evidence.
+    pub evidence: Evidence,
+    /// `MAC_Km(content2)`.
+    pub mac: [u8; 16],
+}
+
+impl Msg2 {
+    /// The MAC'd content (`content2` in Table II). The evidence signature
+    /// (`SIGN_A(evidence)`) is embedded in the evidence structure.
+    #[must_use]
+    pub fn content(&self) -> Vec<u8> {
+        let mut c = Vec::with_capacity(64 + EVIDENCE_LEN);
+        c.extend_from_slice(&self.ga);
+        c.extend_from_slice(&self.evidence.to_bytes());
+        c
+    }
+
+    /// Serializes the message.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + 64 + EVIDENCE_LEN + 16);
+        out.push(TAG_MSG2);
+        out.extend_from_slice(&self.content());
+        out.extend_from_slice(&self.mac);
+        out
+    }
+
+    /// Parses the message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RaError::Malformed`] for wrong tag or length.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, RaError> {
+        let expect = 1 + 64 + EVIDENCE_LEN + 16;
+        if bytes.len() != expect || bytes[0] != TAG_MSG2 {
+            return Err(RaError::Malformed("msg2"));
+        }
+        let mut ga = [0u8; 64];
+        ga.copy_from_slice(&bytes[1..65]);
+        let evidence = Evidence::from_bytes(&bytes[65..65 + EVIDENCE_LEN])?;
+        let mut mac = [0u8; 16];
+        mac.copy_from_slice(&bytes[65 + EVIDENCE_LEN..]);
+        Ok(Msg2 { ga, evidence, mac })
+    }
+}
+
+/// `msg3`: the confidential payload (secret blob), AES-GCM encrypted under
+/// `Ke`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Msg3 {
+    /// AES-GCM initialisation vector.
+    pub iv: [u8; 12],
+    /// Ciphertext of the secret blob.
+    pub ciphertext: Vec<u8>,
+    /// AES-GCM authentication tag.
+    pub tag: [u8; 16],
+}
+
+impl Msg3 {
+    /// Serializes the message.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + 12 + 16 + self.ciphertext.len());
+        out.push(TAG_MSG3);
+        out.extend_from_slice(&self.iv);
+        out.extend_from_slice(&self.tag);
+        out.extend_from_slice(&self.ciphertext);
+        out
+    }
+
+    /// Parses the message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RaError::Malformed`] for wrong tag or truncated input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, RaError> {
+        if bytes.len() < 1 + 12 + 16 || bytes[0] != TAG_MSG3 {
+            return Err(RaError::Malformed("msg3"));
+        }
+        let mut iv = [0u8; 12];
+        let mut tag = [0u8; 16];
+        iv.copy_from_slice(&bytes[1..13]);
+        tag.copy_from_slice(&bytes[13..29]);
+        Ok(Msg3 {
+            iv,
+            tag,
+            ciphertext: bytes[29..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg0_roundtrip() {
+        let m = Msg0 { ga: [7; 64] };
+        assert_eq!(Msg0::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn msg1_roundtrip() {
+        let m = Msg1 {
+            gv: [1; 64],
+            verifier_id: [2; 64],
+            signature: [3; 64],
+            mac: [4; 16],
+        };
+        assert_eq!(Msg1::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn msg2_roundtrip() {
+        let m = Msg2 {
+            ga: [1; 64],
+            evidence: Evidence {
+                anchor: [2; 32],
+                version: 3,
+                claim: [4; 32],
+                attestation_pubkey: [5; 64],
+                signature: [6; 64],
+            },
+            mac: [7; 16],
+        };
+        assert_eq!(Msg2::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn msg3_roundtrip() {
+        let m = Msg3 {
+            iv: [1; 12],
+            ciphertext: vec![1, 2, 3, 4, 5],
+            tag: [2; 16],
+        };
+        assert_eq!(Msg3::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn msg3_empty_payload() {
+        let m = Msg3 {
+            iv: [0; 12],
+            ciphertext: vec![],
+            tag: [0; 16],
+        };
+        assert_eq!(Msg3::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn wrong_tags_rejected() {
+        let m0 = Msg0 { ga: [7; 64] };
+        let mut bytes = m0.to_bytes();
+        bytes[0] = 0xff;
+        assert!(Msg0::from_bytes(&bytes).is_err());
+        // A msg0 cannot parse as msg1.
+        assert!(Msg1::from_bytes(&m0.to_bytes()).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let m = Msg2 {
+            ga: [1; 64],
+            evidence: Evidence {
+                anchor: [0; 32],
+                version: 0,
+                claim: [0; 32],
+                attestation_pubkey: [0; 64],
+                signature: [0; 64],
+            },
+            mac: [0; 16],
+        };
+        let bytes = m.to_bytes();
+        assert!(Msg2::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+    }
+}

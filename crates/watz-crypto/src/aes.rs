@@ -1,0 +1,334 @@
+//! AES block cipher (FIPS 197), 128- and 256-bit keys.
+//!
+//! AES-128 backs the CMAC and GCM constructions of the WaTZ protocol;
+//! AES-256 backs the Fortuna generator (Fortuna's reference design uses a
+//! 256-bit block cipher key that is rehashed on every reseed).
+
+/// AES block size in bytes.
+pub const BLOCK_LEN: usize = 16;
+
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+const INV_SBOX: [u8; 256] = {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[SBOX[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+};
+
+const RCON: [u8; 15] = [
+    0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d, 0x9a,
+];
+
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (if b & 0x80 != 0 { 0x1b } else { 0 })
+}
+
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// An expanded AES key, ready for encryption and decryption.
+#[derive(Clone)]
+pub struct Aes {
+    round_keys: Vec<[u8; 16]>,
+    rounds: usize,
+}
+
+impl core::fmt::Debug for Aes {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print key material.
+        write!(f, "Aes {{ rounds: {} }}", self.rounds)
+    }
+}
+
+impl Aes {
+    /// Expands a 128-bit key (AES-128, 10 rounds).
+    #[must_use]
+    pub fn new_128(key: &[u8; 16]) -> Self {
+        Self::expand(key, 4, 10)
+    }
+
+    /// Expands a 256-bit key (AES-256, 14 rounds).
+    #[must_use]
+    pub fn new_256(key: &[u8; 32]) -> Self {
+        Self::expand(key, 8, 14)
+    }
+
+    fn expand(key: &[u8], nk: usize, rounds: usize) -> Self {
+        let total_words = 4 * (rounds + 1);
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for i in 0..nk {
+            w.push([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        }
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp = [
+                    SBOX[temp[1] as usize] ^ RCON[i / nk - 1],
+                    SBOX[temp[2] as usize],
+                    SBOX[temp[3] as usize],
+                    SBOX[temp[0] as usize],
+                ];
+            } else if nk > 6 && i % nk == 4 {
+                temp = [
+                    SBOX[temp[0] as usize],
+                    SBOX[temp[1] as usize],
+                    SBOX[temp[2] as usize],
+                    SBOX[temp[3] as usize],
+                ];
+            }
+            let prev = w[i - nk];
+            w.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+        let round_keys = w
+            .chunks_exact(4)
+            .map(|c| {
+                let mut rk = [0u8; 16];
+                for (j, word) in c.iter().enumerate() {
+                    rk[4 * j..4 * j + 4].copy_from_slice(word);
+                }
+                rk
+            })
+            .collect();
+        Aes { round_keys, rounds }
+    }
+
+    /// Encrypts a single 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        add_round_key(block, &self.round_keys[0]);
+        for round in 1..self.rounds {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[round]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[self.rounds]);
+    }
+
+    /// Decrypts a single 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        add_round_key(block, &self.round_keys[self.rounds]);
+        for round in (1..self.rounds).rev() {
+            inv_shift_rows(block);
+            inv_sub_bytes(block);
+            add_round_key(block, &self.round_keys[round]);
+            inv_mix_columns(block);
+        }
+        inv_shift_rows(block);
+        inv_sub_bytes(block);
+        add_round_key(block, &self.round_keys[0]);
+    }
+
+    /// Returns the encryption of `block` without mutating the input.
+    #[must_use]
+    pub fn encrypt(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut out = *block;
+        self.encrypt_block(&mut out);
+        out
+    }
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        state[i] ^= rk[i];
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn inv_sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = INV_SBOX[*b as usize];
+    }
+}
+
+// State is column-major: state[4*c + r] is row r, column c.
+fn shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * ((c + r) % 4) + r] = s[4 * c + r];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
+        state[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
+        state[4 * c + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
+        state[4 * c] =
+            gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
+        state[4 * c + 1] =
+            gmul(col[0], 0x09) ^ gmul(col[1], 0x0e) ^ gmul(col[2], 0x0b) ^ gmul(col[3], 0x0d);
+        state[4 * c + 2] =
+            gmul(col[0], 0x0d) ^ gmul(col[1], 0x09) ^ gmul(col[2], 0x0e) ^ gmul(col[3], 0x0b);
+        state[4 * c + 3] =
+            gmul(col[0], 0x0b) ^ gmul(col[1], 0x0d) ^ gmul(col[2], 0x09) ^ gmul(col[3], 0x0e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // FIPS 197 Appendix C.1.
+    #[test]
+    fn fips197_aes128() {
+        let key: [u8; 16] = [
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
+        ];
+        let mut block: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let aes = Aes::new_128(&key);
+        aes.encrypt_block(&mut block);
+        assert_eq!(
+            block,
+            [
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+                0xc5, 0x5a
+            ]
+        );
+        aes.decrypt_block(&mut block);
+        assert_eq!(block[0], 0x00);
+        assert_eq!(block[15], 0xff);
+    }
+
+    // FIPS 197 Appendix C.3.
+    #[test]
+    fn fips197_aes256() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let mut block: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let aes = Aes::new_256(&key);
+        aes.encrypt_block(&mut block);
+        assert_eq!(
+            block,
+            [
+                0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45, 0xbf, 0xea, 0xfc, 0x49, 0x90, 0x4b, 0x49,
+                0x60, 0x89
+            ]
+        );
+        aes.decrypt_block(&mut block);
+        assert_eq!(block[1], 0x11);
+    }
+
+    // RFC 3686-style known AES-128 single-block vector (SP 800-38A F.1.1).
+    #[test]
+    fn sp800_38a_ecb_block1() {
+        let key: [u8; 16] = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let mut block: [u8; 16] = [
+            0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93,
+            0x17, 0x2a,
+        ];
+        Aes::new_128(&key).encrypt_block(&mut block);
+        assert_eq!(
+            block,
+            [
+                0x3a, 0xd7, 0x7b, 0xb4, 0x0d, 0x7a, 0x36, 0x60, 0xa8, 0x9e, 0xca, 0xf3, 0x24, 0x66,
+                0xef, 0x97
+            ]
+        );
+    }
+
+    #[test]
+    fn roundtrip_random_blocks() {
+        // Deterministic pseudo-random roundtrips across both key sizes.
+        let mut seed = 0x1234_5678_9abc_def0u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 24) as u8
+        };
+        let key128: [u8; 16] = core::array::from_fn(|_| next());
+        let key256: [u8; 32] = core::array::from_fn(|_| next());
+        let a128 = Aes::new_128(&key128);
+        let a256 = Aes::new_256(&key256);
+        for _ in 0..64 {
+            let block: [u8; 16] = core::array::from_fn(|_| next());
+            let mut b = block;
+            a128.encrypt_block(&mut b);
+            assert_ne!(b, block);
+            a128.decrypt_block(&mut b);
+            assert_eq!(b, block);
+            let mut b = block;
+            a256.encrypt_block(&mut b);
+            a256.decrypt_block(&mut b);
+            assert_eq!(b, block);
+        }
+    }
+}

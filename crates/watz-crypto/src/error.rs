@@ -1,0 +1,45 @@
+use core::fmt;
+
+/// Error type for all fallible operations in this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// An authentication tag or MAC did not verify.
+    AuthenticationFailed,
+    /// A signature did not verify.
+    InvalidSignature,
+    /// An encoded public key or point was not on the curve / malformed.
+    InvalidPoint,
+    /// A scalar was zero or not in the valid range `[1, n-1]`.
+    InvalidScalar,
+    /// An input had an invalid length (key, IV, tag, ...).
+    InvalidLength {
+        /// What the length described.
+        what: &'static str,
+        /// The expected length in bytes.
+        expected: usize,
+        /// The length actually supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::AuthenticationFailed => write!(f, "authentication tag mismatch"),
+            CryptoError::InvalidSignature => write!(f, "signature verification failed"),
+            CryptoError::InvalidPoint => write!(f, "invalid elliptic curve point"),
+            CryptoError::InvalidScalar => write!(f, "scalar out of range"),
+            CryptoError::InvalidLength {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "invalid {what} length: expected {expected} bytes, got {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}

@@ -1,0 +1,224 @@
+//! AES-128-GCM (NIST SP 800-38D).
+//!
+//! WaTZ encrypts the `msg3` secret blob with AES-GCM-128 under the session
+//! encryption key `Ke` (§IV). Fig 7 of the paper sweeps the blob size from
+//! 0.5 MB to 3 MB through exactly this code path.
+
+use crate::aes::Aes;
+use crate::{ct_eq, CryptoError, Result};
+
+/// GCM authentication tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// Recommended IV length in bytes (96 bits).
+pub const IV_LEN: usize = 12;
+
+/// AES-128-GCM AEAD cipher.
+///
+/// ```
+/// use watz_crypto::gcm::AesGcm128;
+/// let cipher = AesGcm128::new(&[0x42; 16]);
+/// let iv = [7u8; 12];
+/// let (ct, tag) = cipher.encrypt(&iv, b"secret blob", b"evidence header");
+/// let pt = cipher.decrypt(&iv, &ct, b"evidence header", &tag).unwrap();
+/// assert_eq!(pt, b"secret blob");
+/// ```
+#[derive(Debug, Clone)]
+pub struct AesGcm128 {
+    aes: Aes,
+    h: u128,
+}
+
+impl AesGcm128 {
+    /// Creates a cipher from a 128-bit key.
+    #[must_use]
+    pub fn new(key: &[u8; 16]) -> Self {
+        let aes = Aes::new_128(key);
+        let h_block = aes.encrypt(&[0u8; 16]);
+        AesGcm128 {
+            aes,
+            h: u128::from_be_bytes(h_block),
+        }
+    }
+
+    /// Encrypts `plaintext` with additional authenticated data `aad`.
+    ///
+    /// Returns the ciphertext and the 16-byte authentication tag.
+    #[must_use]
+    pub fn encrypt(&self, iv: &[u8; IV_LEN], plaintext: &[u8], aad: &[u8]) -> (Vec<u8>, [u8; TAG_LEN]) {
+        let j0 = self.j0(iv);
+        let mut ct = plaintext.to_vec();
+        self.ctr(&mut ct, inc32(j0));
+        let tag = self.tag(&j0, aad, &ct);
+        (ct, tag)
+    }
+
+    /// Decrypts `ciphertext`, verifying the tag against the AAD first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::AuthenticationFailed`] if the tag does not
+    /// verify; no plaintext is released in that case.
+    pub fn decrypt(
+        &self,
+        iv: &[u8; IV_LEN],
+        ciphertext: &[u8],
+        aad: &[u8],
+        tag: &[u8; TAG_LEN],
+    ) -> Result<Vec<u8>> {
+        let j0 = self.j0(iv);
+        let expect = self.tag(&j0, aad, ciphertext);
+        if !ct_eq(&expect, tag) {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        let mut pt = ciphertext.to_vec();
+        self.ctr(&mut pt, inc32(j0));
+        Ok(pt)
+    }
+
+    fn j0(&self, iv: &[u8; IV_LEN]) -> [u8; 16] {
+        // 96-bit IV: J0 = IV || 0^31 || 1.
+        let mut j0 = [0u8; 16];
+        j0[..IV_LEN].copy_from_slice(iv);
+        j0[15] = 1;
+        j0
+    }
+
+    fn ctr(&self, data: &mut [u8], mut counter: [u8; 16]) {
+        for chunk in data.chunks_mut(16) {
+            let keystream = self.aes.encrypt(&counter);
+            for (b, k) in chunk.iter_mut().zip(keystream.iter()) {
+                *b ^= k;
+            }
+            counter = inc32(counter);
+        }
+    }
+
+    fn tag(&self, j0: &[u8; 16], aad: &[u8], ct: &[u8]) -> [u8; TAG_LEN] {
+        let mut y = 0u128;
+        self.ghash_update(&mut y, aad);
+        self.ghash_update(&mut y, ct);
+        let mut len_block = [0u8; 16];
+        len_block[..8].copy_from_slice(&((aad.len() as u64) * 8).to_be_bytes());
+        len_block[8..].copy_from_slice(&((ct.len() as u64) * 8).to_be_bytes());
+        y = gf_mul(y ^ u128::from_be_bytes(len_block), self.h);
+
+        let e_j0 = self.aes.encrypt(j0);
+        let mut tag = y.to_be_bytes();
+        for (t, e) in tag.iter_mut().zip(e_j0.iter()) {
+            *t ^= e;
+        }
+        tag
+    }
+
+    fn ghash_update(&self, y: &mut u128, data: &[u8]) {
+        for chunk in data.chunks(16) {
+            let mut block = [0u8; 16];
+            block[..chunk.len()].copy_from_slice(chunk);
+            *y = gf_mul(*y ^ u128::from_be_bytes(block), self.h);
+        }
+    }
+}
+
+/// Increments the rightmost 32 bits of the counter block (inc_32).
+fn inc32(mut block: [u8; 16]) -> [u8; 16] {
+    let ctr = u32::from_be_bytes([block[12], block[13], block[14], block[15]]).wrapping_add(1);
+    block[12..].copy_from_slice(&ctr.to_be_bytes());
+    block
+}
+
+/// GF(2^128) multiplication with the GCM polynomial (bit-reflected per spec).
+fn gf_mul(x: u128, y: u128) -> u128 {
+    const R: u128 = 0xe1 << 120;
+    let mut z = 0u128;
+    let mut v = y;
+    for i in 0..128 {
+        if (x >> (127 - i)) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            v ^= R;
+        }
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // NIST GCM spec, test case 1: zero key, zero IV, empty everything.
+    #[test]
+    fn nist_case1_empty() {
+        let cipher = AesGcm128::new(&[0u8; 16]);
+        let (ct, tag) = cipher.encrypt(&[0u8; 12], b"", b"");
+        assert!(ct.is_empty());
+        assert_eq!(hex(&tag), "58e2fccefa7e3061367f1d57a4e7455a");
+    }
+
+    // NIST GCM spec, test case 2: zero key/IV, 16 zero bytes of plaintext.
+    #[test]
+    fn nist_case2_single_block() {
+        let cipher = AesGcm128::new(&[0u8; 16]);
+        let (ct, tag) = cipher.encrypt(&[0u8; 12], &[0u8; 16], b"");
+        assert_eq!(hex(&ct), "0388dace60b6a392f328c2b971b2fe78");
+        assert_eq!(hex(&tag), "ab6e47d42cec13bdf53a67b21257bddf");
+    }
+
+    #[test]
+    fn roundtrip_with_aad() {
+        let cipher = AesGcm128::new(b"0123456789abcdef");
+        let iv = [9u8; 12];
+        let msg = b"the confidential secret blob of the relying party";
+        let aad = b"watz-msg3";
+        let (ct, tag) = cipher.encrypt(&iv, msg, aad);
+        assert_ne!(&ct[..], &msg[..]);
+        let pt = cipher.decrypt(&iv, &ct, aad, &tag).unwrap();
+        assert_eq!(pt, msg);
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let cipher = AesGcm128::new(&[1u8; 16]);
+        let iv = [2u8; 12];
+        let (mut ct, tag) = cipher.encrypt(&iv, b"data", b"");
+        ct[0] ^= 1;
+        assert_eq!(
+            cipher.decrypt(&iv, &ct, b"", &tag),
+            Err(CryptoError::AuthenticationFailed)
+        );
+    }
+
+    #[test]
+    fn tampered_tag_rejected() {
+        let cipher = AesGcm128::new(&[1u8; 16]);
+        let iv = [2u8; 12];
+        let (ct, mut tag) = cipher.encrypt(&iv, b"data", b"");
+        tag[15] ^= 0x80;
+        assert!(cipher.decrypt(&iv, &ct, b"", &tag).is_err());
+    }
+
+    #[test]
+    fn wrong_aad_rejected() {
+        let cipher = AesGcm128::new(&[1u8; 16]);
+        let iv = [2u8; 12];
+        let (ct, tag) = cipher.encrypt(&iv, b"data", b"aad-one");
+        assert!(cipher.decrypt(&iv, &ct, b"aad-two", &tag).is_err());
+    }
+
+    #[test]
+    fn large_payload_roundtrip() {
+        let cipher = AesGcm128::new(&[7u8; 16]);
+        let iv = [3u8; 12];
+        let msg: Vec<u8> = (0..65_537u32).map(|i| (i % 251) as u8).collect();
+        let (ct, tag) = cipher.encrypt(&iv, &msg, b"");
+        let pt = cipher.decrypt(&iv, &ct, b"", &tag).unwrap();
+        assert_eq!(pt, msg);
+    }
+}

@@ -1,0 +1,702 @@
+//! NIST P-256 (secp256r1) arithmetic: 256-bit integers, prime-field ops,
+//! and Jacobian-coordinate group operations.
+//!
+//! The paper selects secp256r1 "as recommended by the NIST" for both the
+//! attestation key pair (ECDSA) and the session keys (ECDHE). This module is
+//! the shared arithmetic core for [`crate::ecdsa`] and [`crate::ecdh`].
+//!
+//! The implementation favours auditability over speed: modular reduction is
+//! a generic 2^256-fold (`x = hi·2^256 + lo ≡ hi·(2^256 mod m) + lo`), which
+//! works for any modulus in `(2^255, 2^256)` and is validated by group-law
+//! and curve-equation tests rather than trusting transcribed magic-number
+//! reduction schedules.
+
+/// A 256-bit unsigned integer, four little-endian `u64` limbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct U256(pub [u64; 4]);
+
+impl U256 {
+    /// Zero.
+    pub const ZERO: U256 = U256([0; 4]);
+    /// One.
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+
+    /// Builds from a 32-byte big-endian encoding.
+    #[must_use]
+    pub fn from_be_bytes(bytes: &[u8; 32]) -> Self {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(&bytes[(3 - i) * 8..(4 - i) * 8]);
+            limbs[i] = u64::from_be_bytes(word);
+        }
+        U256(limbs)
+    }
+
+    /// Serializes to 32 big-endian bytes.
+    #[must_use]
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[(3 - i) * 8..(4 - i) * 8].copy_from_slice(&self.0[i].to_be_bytes());
+        }
+        out
+    }
+
+    /// Parses a hexadecimal string (no `0x` prefix, up to 64 digits).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid hex; intended for compile-time constants and tests.
+    #[must_use]
+    pub fn from_hex(s: &str) -> Self {
+        assert!(s.len() <= 64, "hex too long");
+        let mut bytes = [0u8; 32];
+        let padded = format!("{s:0>64}");
+        for i in 0..32 {
+            bytes[i] = u8::from_str_radix(&padded[2 * i..2 * i + 2], 16).expect("invalid hex");
+        }
+        U256::from_be_bytes(&bytes)
+    }
+
+    /// True if the value is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// True if the lowest bit is set.
+    #[must_use]
+    pub fn is_odd(&self) -> bool {
+        self.0[0] & 1 == 1
+    }
+
+    /// Returns bit `i` (0 = least significant).
+    #[must_use]
+    pub fn bit(&self, i: usize) -> bool {
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of significant bits.
+    #[must_use]
+    pub fn bits(&self) -> usize {
+        for i in (0..4).rev() {
+            if self.0[i] != 0 {
+                return 64 * i + (64 - self.0[i].leading_zeros() as usize);
+            }
+        }
+        0
+    }
+
+    /// `self < other`.
+    #[must_use]
+    pub fn lt(&self, other: &U256) -> bool {
+        for i in (0..4).rev() {
+            if self.0[i] != other.0[i] {
+                return self.0[i] < other.0[i];
+            }
+        }
+        false
+    }
+
+    /// Wrapping addition; returns (sum, carry).
+    #[must_use]
+    pub fn adc(&self, other: &U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let (s1, c1) = self.0[i].overflowing_add(other.0[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out[i] = s2;
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        (U256(out), carry != 0)
+    }
+
+    /// Wrapping subtraction; returns (difference, borrow).
+    #[must_use]
+    pub fn sbb(&self, other: &U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = 0u64;
+        for i in 0..4 {
+            let (d1, b1) = self.0[i].overflowing_sub(other.0[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out[i] = d2;
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        (U256(out), borrow != 0)
+    }
+
+    /// Full 256×256 → 512-bit multiplication (lo, hi).
+    #[must_use]
+    pub fn widening_mul(&self, other: &U256) -> (U256, U256) {
+        let mut t = [0u64; 8];
+        for i in 0..4 {
+            let mut carry = 0u128;
+            for j in 0..4 {
+                let cur = u128::from(t[i + j])
+                    + u128::from(self.0[i]) * u128::from(other.0[j])
+                    + carry;
+                t[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            t[i + 4] = carry as u64;
+        }
+        (
+            U256([t[0], t[1], t[2], t[3]]),
+            U256([t[4], t[5], t[6], t[7]]),
+        )
+    }
+}
+
+/// Modular arithmetic context for a modulus `m` with `2^255 < m < 2^256`.
+#[derive(Debug, Clone, Copy)]
+pub struct Modulus {
+    /// The modulus itself.
+    pub m: U256,
+    /// `2^256 mod m`, used for the fold-based reduction.
+    pub r: U256,
+}
+
+impl Modulus {
+    /// Creates a context; computes `r = 2^256 - m` (valid because `m > 2^255`).
+    #[must_use]
+    pub fn new(m: U256) -> Self {
+        // 2^256 - m == wrapping negation of m.
+        let (r, _) = U256::ZERO.sbb(&m);
+        Modulus { m, r }
+    }
+
+    /// Reduces a value already known to be `< 2^256` into `[0, m)`.
+    #[must_use]
+    pub fn reduce(&self, mut x: U256) -> U256 {
+        while !x.lt(&self.m) {
+            let (d, _) = x.sbb(&self.m);
+            x = d;
+        }
+        x
+    }
+
+    /// `(a + b) mod m`, inputs must be `< m`.
+    #[must_use]
+    pub fn add(&self, a: &U256, b: &U256) -> U256 {
+        let (sum, carry) = a.adc(b);
+        if carry || !sum.lt(&self.m) {
+            let (d, _) = sum.sbb(&self.m);
+            d
+        } else {
+            sum
+        }
+    }
+
+    /// `(a - b) mod m`, inputs must be `< m`.
+    #[must_use]
+    pub fn sub(&self, a: &U256, b: &U256) -> U256 {
+        let (diff, borrow) = a.sbb(b);
+        if borrow {
+            let (d, _) = diff.adc(&self.m);
+            d
+        } else {
+            diff
+        }
+    }
+
+    /// `(a * b) mod m`.
+    #[must_use]
+    pub fn mul(&self, a: &U256, b: &U256) -> U256 {
+        let (lo, hi) = a.widening_mul(b);
+        self.reduce_wide(lo, hi)
+    }
+
+    /// `a² mod m`.
+    #[must_use]
+    pub fn sqr(&self, a: &U256) -> U256 {
+        self.mul(a, a)
+    }
+
+    /// Reduces a 512-bit value `hi·2^256 + lo` modulo `m` by repeated folding:
+    /// `hi·2^256 + lo ≡ hi·r + lo (mod m)` where `r = 2^256 mod m`.
+    #[must_use]
+    pub fn reduce_wide(&self, mut lo: U256, mut hi: U256) -> U256 {
+        while !hi.is_zero() {
+            let (prod_lo, prod_hi) = hi.widening_mul(&self.r);
+            let (sum, carry) = lo.adc(&prod_lo);
+            lo = sum;
+            // carry feeds back into the high half (carry < 2, prod_hi small).
+            let (new_hi, overflow) = prod_hi.adc(&U256([u64::from(carry), 0, 0, 0]));
+            debug_assert!(!overflow);
+            hi = new_hi;
+        }
+        self.reduce(lo)
+    }
+
+    /// `base^exp mod m` by square-and-multiply.
+    #[must_use]
+    pub fn pow(&self, base: &U256, exp: &U256) -> U256 {
+        let mut result = self.reduce(U256::ONE);
+        let base = self.reduce(*base);
+        let nbits = exp.bits();
+        for i in (0..nbits).rev() {
+            result = self.sqr(&result);
+            if exp.bit(i) {
+                result = self.mul(&result, &base);
+            }
+        }
+        result
+    }
+
+    /// Modular inverse via Fermat's little theorem (`m` must be prime).
+    #[must_use]
+    pub fn inv(&self, a: &U256) -> U256 {
+        let (m_minus_2, _) = self.m.sbb(&U256([2, 0, 0, 0]));
+        self.pow(a, &m_minus_2)
+    }
+
+    /// `(-a) mod m`.
+    #[must_use]
+    pub fn neg(&self, a: &U256) -> U256 {
+        if a.is_zero() {
+            U256::ZERO
+        } else {
+            let (d, _) = self.m.sbb(a);
+            d
+        }
+    }
+}
+
+/// Curve parameters for P-256.
+pub mod curve {
+    use super::{Modulus, U256};
+    use std::sync::OnceLock;
+
+    /// Field prime `p`.
+    pub fn p() -> U256 {
+        U256::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff")
+    }
+
+    /// Group order `n`.
+    pub fn n() -> U256 {
+        U256::from_hex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551")
+    }
+
+    /// Curve coefficient `b` (`a` is `p - 3`).
+    pub fn b() -> U256 {
+        U256::from_hex("5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b")
+    }
+
+    /// Base point x-coordinate.
+    pub fn gx() -> U256 {
+        U256::from_hex("6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296")
+    }
+
+    /// Base point y-coordinate.
+    pub fn gy() -> U256 {
+        U256::from_hex("4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5")
+    }
+
+    /// Field modulus context (cached).
+    pub fn fp() -> &'static Modulus {
+        static FP: OnceLock<Modulus> = OnceLock::new();
+        FP.get_or_init(|| Modulus::new(p()))
+    }
+
+    /// Order modulus context (cached).
+    pub fn fn_() -> &'static Modulus {
+        static FN: OnceLock<Modulus> = OnceLock::new();
+        FN.get_or_init(|| Modulus::new(n()))
+    }
+}
+
+/// A point on P-256 in affine coordinates, or the point at infinity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AffinePoint {
+    /// The identity element.
+    Infinity,
+    /// A finite point `(x, y)`.
+    Point {
+        /// x-coordinate.
+        x: U256,
+        /// y-coordinate.
+        y: U256,
+    },
+}
+
+impl AffinePoint {
+    /// The P-256 base point `G`.
+    #[must_use]
+    pub fn generator() -> Self {
+        AffinePoint::Point {
+            x: curve::gx(),
+            y: curve::gy(),
+        }
+    }
+
+    /// Checks `y² = x³ - 3x + b (mod p)`.
+    #[must_use]
+    pub fn is_on_curve(&self) -> bool {
+        match self {
+            AffinePoint::Infinity => true,
+            AffinePoint::Point { x, y } => {
+                let fp = curve::fp();
+                let y2 = fp.sqr(y);
+                let x3 = fp.mul(&fp.sqr(x), x);
+                let three_x = fp.add(&fp.add(x, x), x);
+                let rhs = fp.add(&fp.sub(&x3, &three_x), &curve::b());
+                y2 == rhs
+            }
+        }
+    }
+
+    /// Encodes as 64 bytes (`x || y`, big-endian).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the point at infinity, which has no affine encoding.
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; 64] {
+        match self {
+            AffinePoint::Infinity => panic!("cannot encode the point at infinity"),
+            AffinePoint::Point { x, y } => {
+                let mut out = [0u8; 64];
+                out[..32].copy_from_slice(&x.to_be_bytes());
+                out[32..].copy_from_slice(&y.to_be_bytes());
+                out
+            }
+        }
+    }
+
+    /// Decodes from 64 bytes, validating curve membership.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CryptoError::InvalidPoint`] if the coordinates are out
+    /// of range or the point is not on the curve.
+    pub fn from_bytes(bytes: &[u8; 64]) -> crate::Result<Self> {
+        let mut xb = [0u8; 32];
+        let mut yb = [0u8; 32];
+        xb.copy_from_slice(&bytes[..32]);
+        yb.copy_from_slice(&bytes[32..]);
+        let x = U256::from_be_bytes(&xb);
+        let y = U256::from_be_bytes(&yb);
+        let p = curve::p();
+        if !x.lt(&p) || !y.lt(&p) {
+            return Err(crate::CryptoError::InvalidPoint);
+        }
+        let point = AffinePoint::Point { x, y };
+        if !point.is_on_curve() {
+            return Err(crate::CryptoError::InvalidPoint);
+        }
+        Ok(point)
+    }
+
+    /// Converts to Jacobian coordinates.
+    #[must_use]
+    pub fn to_jacobian(&self) -> JacobianPoint {
+        match self {
+            AffinePoint::Infinity => JacobianPoint::infinity(),
+            AffinePoint::Point { x, y } => JacobianPoint {
+                x: *x,
+                y: *y,
+                z: U256::ONE,
+            },
+        }
+    }
+
+    /// Scalar multiplication `k · self`.
+    #[must_use]
+    pub fn mul_scalar(&self, k: &U256) -> AffinePoint {
+        self.to_jacobian().mul_scalar(k).to_affine()
+    }
+}
+
+/// A point in Jacobian projective coordinates (`x/z²`, `y/z³`).
+#[derive(Debug, Clone, Copy)]
+pub struct JacobianPoint {
+    /// Projective X.
+    pub x: U256,
+    /// Projective Y.
+    pub y: U256,
+    /// Projective Z (zero encodes infinity).
+    pub z: U256,
+}
+
+impl JacobianPoint {
+    /// The identity element.
+    #[must_use]
+    pub fn infinity() -> Self {
+        JacobianPoint {
+            x: U256::ONE,
+            y: U256::ONE,
+            z: U256::ZERO,
+        }
+    }
+
+    /// True if this is the identity.
+    #[must_use]
+    pub fn is_infinity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Point doubling (dbl-2001-b, a = -3).
+    #[must_use]
+    pub fn double(&self) -> JacobianPoint {
+        if self.is_infinity() || self.y.is_zero() {
+            return JacobianPoint::infinity();
+        }
+        let fp = curve::fp();
+        let delta = fp.sqr(&self.z);
+        let gamma = fp.sqr(&self.y);
+        let beta = fp.mul(&self.x, &gamma);
+        // alpha = 3 (x - delta)(x + delta)
+        let t0 = fp.sub(&self.x, &delta);
+        let t1 = fp.add(&self.x, &delta);
+        let t2 = fp.mul(&t0, &t1);
+        let alpha = fp.add(&fp.add(&t2, &t2), &t2);
+        // x3 = alpha^2 - 8 beta
+        let beta2 = fp.add(&beta, &beta);
+        let beta4 = fp.add(&beta2, &beta2);
+        let beta8 = fp.add(&beta4, &beta4);
+        let x3 = fp.sub(&fp.sqr(&alpha), &beta8);
+        // z3 = (y + z)^2 - gamma - delta
+        let yz = fp.add(&self.y, &self.z);
+        let z3 = fp.sub(&fp.sub(&fp.sqr(&yz), &gamma), &delta);
+        // y3 = alpha (4 beta - x3) - 8 gamma^2
+        let g2 = fp.sqr(&gamma);
+        let g2_2 = fp.add(&g2, &g2);
+        let g2_4 = fp.add(&g2_2, &g2_2);
+        let g2_8 = fp.add(&g2_4, &g2_4);
+        let y3 = fp.sub(&fp.mul(&alpha, &fp.sub(&beta4, &x3)), &g2_8);
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// General point addition.
+    #[must_use]
+    pub fn add(&self, other: &JacobianPoint) -> JacobianPoint {
+        if self.is_infinity() {
+            return *other;
+        }
+        if other.is_infinity() {
+            return *self;
+        }
+        let fp = curve::fp();
+        let z1z1 = fp.sqr(&self.z);
+        let z2z2 = fp.sqr(&other.z);
+        let u1 = fp.mul(&self.x, &z2z2);
+        let u2 = fp.mul(&other.x, &z1z1);
+        let s1 = fp.mul(&fp.mul(&self.y, &other.z), &z2z2);
+        let s2 = fp.mul(&fp.mul(&other.y, &self.z), &z1z1);
+        let h = fp.sub(&u2, &u1);
+        let r = fp.sub(&s2, &s1);
+        if h.is_zero() {
+            if r.is_zero() {
+                return self.double();
+            }
+            return JacobianPoint::infinity();
+        }
+        let hh = fp.sqr(&h);
+        let hhh = fp.mul(&h, &hh);
+        let v = fp.mul(&u1, &hh);
+        // x3 = r^2 - hhh - 2v
+        let x3 = fp.sub(&fp.sub(&fp.sqr(&r), &hhh), &fp.add(&v, &v));
+        // y3 = r (v - x3) - s1 hhh
+        let y3 = fp.sub(&fp.mul(&r, &fp.sub(&v, &x3)), &fp.mul(&s1, &hhh));
+        let z3 = fp.mul(&fp.mul(&self.z, &other.z), &h);
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Scalar multiplication by double-and-add (MSB first).
+    #[must_use]
+    pub fn mul_scalar(&self, k: &U256) -> JacobianPoint {
+        let mut acc = JacobianPoint::infinity();
+        let nbits = k.bits();
+        for i in (0..nbits).rev() {
+            acc = acc.double();
+            if k.bit(i) {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+
+    /// Converts back to affine coordinates.
+    #[must_use]
+    pub fn to_affine(&self) -> AffinePoint {
+        if self.is_infinity() {
+            return AffinePoint::Infinity;
+        }
+        let fp = curve::fp();
+        let zinv = fp.inv(&self.z);
+        let zinv2 = fp.sqr(&zinv);
+        let zinv3 = fp.mul(&zinv2, &zinv);
+        AffinePoint::Point {
+            x: fp.mul(&self.x, &zinv2),
+            y: fp.mul(&self.y, &zinv3),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u256_roundtrip_bytes() {
+        let v = U256::from_hex("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef");
+        assert_eq!(U256::from_be_bytes(&v.to_be_bytes()), v);
+    }
+
+    #[test]
+    fn u256_add_sub_inverse() {
+        let a = U256::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff00");
+        let b = U256::from_hex("00000000000000000000000000000000000000000000000000000000000000ff");
+        let (sum, carry) = a.adc(&b);
+        assert!(!carry);
+        let (diff, borrow) = sum.sbb(&b);
+        assert!(!borrow);
+        assert_eq!(diff, a);
+    }
+
+    #[test]
+    fn u256_mul_small() {
+        let a = U256([7, 0, 0, 0]);
+        let b = U256([6, 0, 0, 0]);
+        let (lo, hi) = a.widening_mul(&b);
+        assert_eq!(lo, U256([42, 0, 0, 0]));
+        assert!(hi.is_zero());
+    }
+
+    #[test]
+    fn u256_mul_carries_into_high() {
+        let max = U256([u64::MAX; 4]);
+        let (lo, hi) = max.widening_mul(&max);
+        // (2^256 - 1)^2 = 2^512 - 2^257 + 1
+        assert_eq!(lo, U256([1, 0, 0, 0]));
+        assert_eq!(hi, U256([u64::MAX - 1, u64::MAX, u64::MAX, u64::MAX]));
+    }
+
+    #[test]
+    fn modulus_reduce_wide_agrees_with_naive() {
+        let fp = curve::fp();
+        // x mod p for x slightly above p.
+        let (above, _) = fp.m.adc(&U256([12345, 0, 0, 0]));
+        assert_eq!(fp.reduce(above), U256([12345, 0, 0, 0]));
+    }
+
+    #[test]
+    fn field_mul_matches_pow() {
+        let fp = curve::fp();
+        let a = U256::from_hex("deadbeef");
+        let a2 = fp.mul(&a, &a);
+        let a2_pow = fp.pow(&a, &U256([2, 0, 0, 0]));
+        assert_eq!(a2, a2_pow);
+    }
+
+    #[test]
+    fn field_inverse() {
+        let fp = curve::fp();
+        let a = U256::from_hex("123456789abcdef123456789abcdef");
+        let inv = fp.inv(&a);
+        assert_eq!(fp.mul(&a, &inv), U256::ONE);
+    }
+
+    #[test]
+    fn order_inverse() {
+        let fn_ = curve::fn_();
+        let a = U256::from_hex("abcdef0102030405");
+        assert_eq!(fn_.mul(&a, &fn_.inv(&a)), U256::ONE);
+    }
+
+    #[test]
+    fn generator_on_curve() {
+        assert!(AffinePoint::generator().is_on_curve());
+    }
+
+    #[test]
+    fn doubling_stays_on_curve() {
+        let g2 = AffinePoint::generator().to_jacobian().double().to_affine();
+        assert!(g2.is_on_curve());
+        assert_ne!(g2, AffinePoint::generator());
+    }
+
+    #[test]
+    fn add_matches_double() {
+        let g = AffinePoint::generator().to_jacobian();
+        let via_add = g.add(&g).to_affine();
+        let via_double = g.double().to_affine();
+        assert_eq!(via_add, via_double);
+    }
+
+    #[test]
+    fn three_g_two_ways() {
+        let g = AffinePoint::generator().to_jacobian();
+        let g2 = g.double();
+        let a = g2.add(&g).to_affine(); // 2G + G
+        let b = g.add(&g2).to_affine(); // G + 2G
+        assert_eq!(a, b);
+        assert!(a.is_on_curve());
+        let c = g.mul_scalar(&U256([3, 0, 0, 0])).to_affine();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn order_times_generator_is_infinity() {
+        let ng = AffinePoint::generator().mul_scalar(&curve::n());
+        assert_eq!(ng, AffinePoint::Infinity);
+    }
+
+    #[test]
+    fn n_minus_one_g_is_negative_g() {
+        let (n_minus_1, _) = curve::n().sbb(&U256::ONE);
+        let p = AffinePoint::generator().mul_scalar(&n_minus_1);
+        match (p, AffinePoint::generator()) {
+            (AffinePoint::Point { x, y }, AffinePoint::Point { x: gx, y: gy }) => {
+                assert_eq!(x, gx);
+                assert_eq!(y, curve::fp().neg(&gy));
+            }
+            _ => panic!("unexpected infinity"),
+        }
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        // (a + b) G == aG + bG for fixed scalars.
+        let a = U256::from_hex("1111111111111111");
+        let b = U256::from_hex("2222222222222222222222");
+        let fn_ = curve::fn_();
+        let ab = fn_.add(&a, &b);
+        let g = AffinePoint::generator().to_jacobian();
+        let lhs = g.mul_scalar(&ab).to_affine();
+        let rhs = g.mul_scalar(&a).add(&g.mul_scalar(&b)).to_affine();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn point_encoding_roundtrip() {
+        let g5 = AffinePoint::generator().mul_scalar(&U256([5, 0, 0, 0]));
+        let bytes = g5.to_bytes();
+        let decoded = AffinePoint::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, g5);
+    }
+
+    #[test]
+    fn off_curve_point_rejected() {
+        let mut bytes = AffinePoint::generator().to_bytes();
+        bytes[63] ^= 1;
+        assert!(AffinePoint::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn coordinate_out_of_range_rejected() {
+        let mut bytes = [0xffu8; 64];
+        bytes[32..].copy_from_slice(&curve::gy().to_be_bytes());
+        assert!(AffinePoint::from_bytes(&bytes).is_err());
+    }
+}

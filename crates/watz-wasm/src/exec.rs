@@ -1,0 +1,1405 @@
+//! Execution: instantiation, the interpreter, and the AOT-prepared mode.
+//!
+//! WAMR (the runtime WaTZ embeds) offers interpreted, JIT and AOT execution;
+//! WaTZ uses AOT, reporting it "on average 28× faster than with
+//! interpretation" (§III). We reproduce the *mode structure* portably:
+//!
+//! * [`ExecMode::Interpreted`] executes the structured instruction sequence
+//!   directly, discovering each block's `end`/`else` by scanning forward at
+//!   runtime — the classic naive interpreter behaviour.
+//! * [`ExecMode::Aot`] performs an ahead-of-time translation pass at load
+//!   time that resolves every branch target into side tables, so control
+//!   flow is O(1) at runtime.
+//!
+//! Both modes share one semantics implementation and are differentially
+//! tested against each other. Because our AOT stops at pre-resolution rather
+//! than native code generation, its speedup over interpretation is smaller
+//! than WAMR's 28× (see EXPERIMENTS.md).
+
+use std::collections::HashMap;
+
+use crate::instr::Instr;
+use crate::module::{ExportKind, Module};
+use crate::types::{BlockType, FuncType, ValType};
+use crate::PAGE_SIZE;
+
+/// Maximum call depth before a `CallStackExhausted` trap.
+///
+/// Guest recursion maps onto host recursion, so this is sized to stay well
+/// inside a default 2 MiB thread stack even in debug builds. OP-TEE TAs run
+/// with kilobyte-scale stacks, so a tight limit is also faithful.
+pub const MAX_CALL_DEPTH: usize = 200;
+
+/// Hard cap on memory growth (pages) when a module declares no maximum.
+pub const DEFAULT_MAX_PAGES: u32 = 1024; // 64 MiB
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// 32-bit integer.
+    I32(i32),
+    /// 64-bit integer.
+    I64(i64),
+    /// 32-bit float.
+    F32(f32),
+    /// 64-bit float.
+    F64(f64),
+}
+
+impl Value {
+    /// The value's type.
+    #[must_use]
+    pub fn ty(&self) -> ValType {
+        match self {
+            Value::I32(_) => ValType::I32,
+            Value::I64(_) => ValType::I64,
+            Value::F32(_) => ValType::F32,
+            Value::F64(_) => ValType::F64,
+        }
+    }
+
+    /// Zero value of the given type.
+    #[must_use]
+    pub fn zero(ty: ValType) -> Self {
+        match ty {
+            ValType::I32 => Value::I32(0),
+            ValType::I64 => Value::I64(0),
+            ValType::F32 => Value::F32(0.0),
+            ValType::F64 => Value::F64(0.0),
+        }
+    }
+
+    fn as_i32(self) -> i32 {
+        match self {
+            Value::I32(v) => v,
+            _ => unreachable!("validated module: expected i32"),
+        }
+    }
+
+    fn as_i64(self) -> i64 {
+        match self {
+            Value::I64(v) => v,
+            _ => unreachable!("validated module: expected i64"),
+        }
+    }
+
+    fn as_f32(self) -> f32 {
+        match self {
+            Value::F32(v) => v,
+            _ => unreachable!("validated module: expected f32"),
+        }
+    }
+
+    fn as_f64(self) -> f64 {
+        match self {
+            Value::F64(v) => v,
+            _ => unreachable!("validated module: expected f64"),
+        }
+    }
+
+    /// Interprets as an unsigned 32-bit integer.
+    #[must_use]
+    pub fn as_u32(self) -> u32 {
+        self.as_i32() as u32
+    }
+}
+
+/// A runtime trap, aborting guest execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// `unreachable` executed.
+    Unreachable,
+    /// Out-of-bounds linear memory access.
+    MemoryOutOfBounds,
+    /// Integer division (or remainder) by zero.
+    DivisionByZero,
+    /// `i32::MIN / -1`-style overflow.
+    IntegerOverflow,
+    /// Float-to-int conversion of NaN or out-of-range value.
+    BadConversion,
+    /// Guest recursion exceeded [`MAX_CALL_DEPTH`].
+    CallStackExhausted,
+    /// `call_indirect` through a null table slot.
+    UndefinedTableElement,
+    /// `call_indirect` signature mismatch.
+    IndirectTypeMismatch,
+    /// `call_indirect` index outside the table.
+    TableOutOfBounds,
+    /// An unresolved import was called.
+    UnresolvedImport {
+        /// Import module namespace.
+        module: String,
+        /// Import field name.
+        name: String,
+    },
+    /// A host function reported an error.
+    Host(String),
+    /// The guest requested a clean exit (e.g. WASI `proc_exit`).
+    Exit(i32),
+    /// Instantiation failed (bad segment bounds, missing export, bad args).
+    Instantiation(String),
+}
+
+impl std::fmt::Display for Trap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Trap::Unreachable => write!(f, "unreachable executed"),
+            Trap::MemoryOutOfBounds => write!(f, "out-of-bounds memory access"),
+            Trap::DivisionByZero => write!(f, "integer division by zero"),
+            Trap::IntegerOverflow => write!(f, "integer overflow"),
+            Trap::BadConversion => write!(f, "invalid float-to-int conversion"),
+            Trap::CallStackExhausted => write!(f, "call stack exhausted"),
+            Trap::UndefinedTableElement => write!(f, "undefined table element"),
+            Trap::IndirectTypeMismatch => write!(f, "indirect call type mismatch"),
+            Trap::TableOutOfBounds => write!(f, "table index out of bounds"),
+            Trap::UnresolvedImport { module, name } => {
+                write!(f, "unresolved import {module}.{name}")
+            }
+            Trap::Host(msg) => write!(f, "host error: {msg}"),
+            Trap::Exit(code) => write!(f, "guest exit with code {code}"),
+            Trap::Instantiation(msg) => write!(f, "instantiation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// Execution mode for an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Naive structured interpretation (branch targets found by scanning).
+    Interpreted,
+    /// Ahead-of-time prepared execution (branch targets pre-resolved).
+    Aot,
+}
+
+/// The embedder interface: resolves and executes imported functions.
+pub trait HostEnv {
+    /// Invoked for every call to an imported function.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] to abort guest execution.
+    fn call(
+        &mut self,
+        module: &str,
+        name: &str,
+        memory: &mut Memory,
+        args: &[Value],
+    ) -> Result<Vec<Value>, Trap>;
+}
+
+/// A host environment that rejects every import.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoHost;
+
+impl HostEnv for NoHost {
+    fn call(
+        &mut self,
+        module: &str,
+        name: &str,
+        _memory: &mut Memory,
+        _args: &[Value],
+    ) -> Result<Vec<Value>, Trap> {
+        Err(Trap::UnresolvedImport {
+            module: module.to_string(),
+            name: name.to_string(),
+        })
+    }
+}
+
+/// Guest linear memory.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    data: Vec<u8>,
+    max_pages: u32,
+}
+
+impl Memory {
+    /// Creates a memory with `min` pages, growable to `max` pages.
+    #[must_use]
+    pub fn new(min: u32, max: Option<u32>) -> Self {
+        Memory {
+            data: vec![0; min as usize * PAGE_SIZE],
+            max_pages: max.unwrap_or(DEFAULT_MAX_PAGES),
+        }
+    }
+
+    /// Current size in pages.
+    #[must_use]
+    pub fn size_pages(&self) -> u32 {
+        (self.data.len() / PAGE_SIZE) as u32
+    }
+
+    /// Grows by `delta` pages; returns the previous size, or -1 on failure.
+    pub fn grow(&mut self, delta: u32) -> i32 {
+        let old = self.size_pages();
+        let Some(new) = old.checked_add(delta) else {
+            return -1;
+        };
+        if new > self.max_pages {
+            return -1;
+        }
+        self.data.resize(new as usize * PAGE_SIZE, 0);
+        old as i32
+    }
+
+    /// Raw view of the memory contents.
+    #[must_use]
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Raw mutable view of the memory contents.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Reads `len` bytes at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Traps with [`Trap::MemoryOutOfBounds`] past the end of memory.
+    pub fn read_bytes(&self, addr: u32, len: u32) -> Result<&[u8], Trap> {
+        let start = addr as usize;
+        let end = start
+            .checked_add(len as usize)
+            .ok_or(Trap::MemoryOutOfBounds)?;
+        self.data.get(start..end).ok_or(Trap::MemoryOutOfBounds)
+    }
+
+    /// Writes `bytes` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Traps with [`Trap::MemoryOutOfBounds`] past the end of memory.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), Trap> {
+        let start = addr as usize;
+        let end = start
+            .checked_add(bytes.len())
+            .ok_or(Trap::MemoryOutOfBounds)?;
+        self.data
+            .get_mut(start..end)
+            .ok_or(Trap::MemoryOutOfBounds)?
+            .copy_from_slice(bytes);
+        Ok(())
+    }
+
+    fn addr(&self, base: i32, offset: u32, width: usize) -> Result<usize, Trap> {
+        let ea = u64::from(base as u32) + u64::from(offset);
+        let end = ea + width as u64;
+        if end > self.data.len() as u64 {
+            return Err(Trap::MemoryOutOfBounds);
+        }
+        Ok(ea as usize)
+    }
+
+    fn load<const N: usize>(&self, base: i32, offset: u32) -> Result<[u8; N], Trap> {
+        let a = self.addr(base, offset, N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.data[a..a + N]);
+        Ok(out)
+    }
+
+    fn store(&mut self, base: i32, offset: u32, bytes: &[u8]) -> Result<(), Trap> {
+        let a = self.addr(base, offset, bytes.len())?;
+        self.data[a..a + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+}
+
+/// Per-function branch-target tables built by the AOT preparation pass.
+#[derive(Debug, Clone, Default)]
+struct BranchMap {
+    /// For each `Block`/`Loop`/`If` pc: the pc of its matching `End`.
+    end_of: Vec<u32>,
+    /// For each `If` pc: the pc of its `Else` (or the `End` if absent).
+    else_of: Vec<u32>,
+}
+
+const NO_TARGET: u32 = u32::MAX;
+
+impl BranchMap {
+    fn build(code: &[Instr]) -> Self {
+        let mut end_of = vec![NO_TARGET; code.len()];
+        let mut else_of = vec![NO_TARGET; code.len()];
+        let mut openers: Vec<usize> = Vec::new();
+        for (pc, instr) in code.iter().enumerate() {
+            match instr {
+                Instr::Block(_) | Instr::Loop(_) | Instr::If(_) => openers.push(pc),
+                Instr::Else => {
+                    if let Some(&opener) = openers.last() {
+                        else_of[opener] = pc as u32;
+                    }
+                }
+                Instr::End => {
+                    if let Some(opener) = openers.pop() {
+                        end_of[opener] = pc as u32;
+                    }
+                }
+                _ => {}
+            }
+        }
+        BranchMap { end_of, else_of }
+    }
+}
+
+/// Scans forward from an opener pc for its matching `End` (and `Else`).
+fn scan_block(code: &[Instr], opener_pc: usize) -> (usize, Option<usize>) {
+    let mut depth = 0usize;
+    let mut else_pc = None;
+    let mut pc = opener_pc + 1;
+    while pc < code.len() {
+        match &code[pc] {
+            i if i.opens_block() => depth += 1,
+            Instr::Else if depth == 0 => else_pc = Some(pc),
+            Instr::End => {
+                if depth == 0 {
+                    return (pc, else_pc);
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+        pc += 1;
+    }
+    unreachable!("validated code has matching end");
+}
+
+#[derive(Debug)]
+struct PreparedFunc {
+    type_idx: u32,
+    locals: Vec<ValType>,
+    code: Vec<Instr>,
+    branch_map: Option<BranchMap>,
+}
+
+#[derive(Debug)]
+enum FuncDef {
+    Import { module: String, name: String, type_idx: u32 },
+    Local { body: usize },
+}
+
+/// Runtime label on the control stack.
+#[derive(Debug, Clone, Copy)]
+struct Label {
+    /// pc to jump to when branching to this label.
+    target: usize,
+    /// Values transferred on a branch.
+    arity: usize,
+    /// Operand stack height below the label.
+    height: usize,
+    /// Loops keep their label alive after a branch.
+    is_loop: bool,
+}
+
+/// An instantiated module ready to execute.
+#[derive(Debug)]
+pub struct Instance {
+    types: Vec<FuncType>,
+    funcs: Vec<FuncDef>,
+    bodies: Vec<PreparedFunc>,
+    memory: Memory,
+    globals: Vec<Value>,
+    table: Vec<Option<u32>>,
+    exports: HashMap<String, (ExportKind, u32)>,
+    mode: ExecMode,
+}
+
+impl Instance {
+    /// Instantiates a validated module: allocates memory/table, applies data
+    /// and element segments, prepares code for the chosen mode and runs the
+    /// start function (if any).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::Instantiation`] for out-of-bounds segments, or any
+    /// trap raised by the start function.
+    pub fn instantiate(
+        module: &Module,
+        mode: ExecMode,
+        host: &mut dyn HostEnv,
+    ) -> Result<Self, Trap> {
+        let memory = module
+            .memories
+            .first()
+            .map_or_else(|| Memory::new(0, Some(0)), |l| Memory::new(l.min, l.max));
+
+        let mut funcs = Vec::with_capacity(module.func_count());
+        for imp in &module.func_imports {
+            funcs.push(FuncDef::Import {
+                module: imp.module.clone(),
+                name: imp.name.clone(),
+                type_idx: imp.type_idx,
+            });
+        }
+        let mut bodies = Vec::with_capacity(module.funcs.len());
+        for f in &module.funcs {
+            funcs.push(FuncDef::Local { body: bodies.len() });
+            let branch_map = match mode {
+                ExecMode::Aot => Some(BranchMap::build(&f.code)),
+                ExecMode::Interpreted => None,
+            };
+            bodies.push(PreparedFunc {
+                type_idx: f.type_idx,
+                locals: f.locals.clone(),
+                code: f.code.clone(),
+                branch_map,
+            });
+        }
+
+        let globals = module
+            .globals
+            .iter()
+            .map(|g| match g.init {
+                Instr::I32Const(v) => Value::I32(v),
+                Instr::I64Const(v) => Value::I64(v),
+                Instr::F32Const(v) => Value::F32(v),
+                Instr::F64Const(v) => Value::F64(v),
+                _ => unreachable!("validated initializer"),
+            })
+            .collect();
+
+        let mut table = vec![None; module.tables.first().map_or(0, |t| t.min as usize)];
+        for elem in &module.elems {
+            let Instr::I32Const(offset) = elem.offset else {
+                unreachable!("validated offset")
+            };
+            let offset = offset as usize;
+            if offset + elem.funcs.len() > table.len() {
+                return Err(Trap::Instantiation("element segment out of bounds".into()));
+            }
+            for (i, f) in elem.funcs.iter().enumerate() {
+                table[offset + i] = Some(*f);
+            }
+        }
+
+        let mut instance = Instance {
+            types: module.types.clone(),
+            funcs,
+            bodies,
+            memory,
+            globals,
+            table,
+            exports: module
+                .exports
+                .iter()
+                .map(|e| (e.name.clone(), (e.kind, e.index)))
+                .collect(),
+            mode,
+        };
+
+        for data in &module.data {
+            let Instr::I32Const(offset) = data.offset else {
+                unreachable!("validated offset")
+            };
+            instance
+                .memory
+                .write_bytes(offset as u32, &data.bytes)
+                .map_err(|_| Trap::Instantiation("data segment out of bounds".into()))?;
+        }
+
+        if let Some(start) = module.start {
+            instance.call_function(host, start, &[], 0)?;
+        }
+
+        Ok(instance)
+    }
+
+    /// The execution mode this instance was prepared for.
+    #[must_use]
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// The instance's linear memory.
+    #[must_use]
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Mutable access to the linear memory.
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.memory
+    }
+
+    /// Invokes an exported function by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::Instantiation`] for unknown exports or argument
+    /// type/count mismatches, or any [`Trap`] raised during execution.
+    pub fn invoke(
+        &mut self,
+        host: &mut dyn HostEnv,
+        name: &str,
+        args: &[Value],
+    ) -> Result<Vec<Value>, Trap> {
+        let (kind, idx) = *self
+            .exports
+            .get(name)
+            .ok_or_else(|| Trap::Instantiation(format!("no export '{name}'")))?;
+        if kind != ExportKind::Func {
+            return Err(Trap::Instantiation(format!("export '{name}' is not a function")));
+        }
+        let ty = self.func_type(idx).clone();
+        if ty.params.len() != args.len()
+            || ty.params.iter().zip(args).any(|(p, a)| *p != a.ty())
+        {
+            return Err(Trap::Instantiation(format!(
+                "argument mismatch for '{name}'"
+            )));
+        }
+        self.call_function(host, idx, args, 0)
+    }
+
+    fn func_type(&self, func_idx: u32) -> &FuncType {
+        let type_idx = match &self.funcs[func_idx as usize] {
+            FuncDef::Import { type_idx, .. } => *type_idx,
+            FuncDef::Local { body } => self.bodies[*body].type_idx,
+        };
+        &self.types[type_idx as usize]
+    }
+
+    fn call_function(
+        &mut self,
+        host: &mut dyn HostEnv,
+        func_idx: u32,
+        args: &[Value],
+        _depth: usize,
+    ) -> Result<Vec<Value>, Trap> {
+        match &self.funcs[func_idx as usize] {
+            FuncDef::Import { module, name, .. } => {
+                let (module, name) = (module.clone(), name.clone());
+                host.call(&module, &name, &mut self.memory, args)
+            }
+            FuncDef::Local { body } => {
+                let body_idx = *body;
+                let mut locals: Vec<Value> = args.to_vec();
+                for ty in &self.bodies[body_idx].locals {
+                    locals.push(Value::zero(*ty));
+                }
+                self.exec_body(host, body_idx, locals)
+            }
+        }
+    }
+
+    /// Resolves the `(end, else)` targets of the opener at `pc`.
+    fn block_targets(&self, body_idx: usize, pc: usize) -> (usize, Option<usize>) {
+        let body = &self.bodies[body_idx];
+        if let Some(map) = &body.branch_map {
+            let end = map.end_of[pc] as usize;
+            let els = map.else_of[pc];
+            (end, (els != NO_TARGET).then_some(els as usize))
+        } else {
+            scan_block(&body.code, pc)
+        }
+    }
+
+    fn block_arities(&self, bt: BlockType) -> (usize, usize) {
+        match bt {
+            BlockType::Empty => (0, 0),
+            BlockType::Value(_) => (0, 1),
+            BlockType::Func(idx) => {
+                let ty = &self.types[idx as usize];
+                (ty.params.len(), ty.results.len())
+            }
+        }
+    }
+
+    /// Executes a function body on an explicit frame stack.
+    ///
+    /// Guest calls do **not** consume host stack frames: each `call` pushes a
+    /// [`Frame`] onto a heap-allocated vector, so [`MAX_CALL_DEPTH`] levels of
+    /// guest recursion are safe regardless of the host's stack size.
+    #[allow(clippy::too_many_lines)]
+    fn exec_body(
+        &mut self,
+        host: &mut dyn HostEnv,
+        mut body_idx: usize,
+        mut locals: Vec<Value>,
+    ) -> Result<Vec<Value>, Trap> {
+        let mut result_arity = self.types[self.bodies[body_idx].type_idx as usize]
+            .results
+            .len();
+        let mut code_len = self.bodies[body_idx].code.len();
+        let mut stack: Vec<Value> = Vec::with_capacity(32);
+        let mut labels: Vec<Label> = Vec::with_capacity(8);
+        let mut pc: usize = 0;
+        let mut stack_base: usize = 0;
+        let mut frames: Vec<Frame> = Vec::new();
+
+        /// Saved caller state for a guest-level call.
+        struct Frame {
+            body_idx: usize,
+            locals: Vec<Value>,
+            labels: Vec<Label>,
+            pc: usize,
+            stack_base: usize,
+            result_arity: usize,
+        }
+
+        macro_rules! enter_function {
+            ($f:expr, $n_params:expr) => {{
+                let callee_body = match &self.funcs[$f as usize] {
+                    FuncDef::Local { body } => *body,
+                    FuncDef::Import { .. } => unreachable!("imports handled by caller"),
+                };
+                if frames.len() + 1 >= MAX_CALL_DEPTH {
+                    return Err(Trap::CallStackExhausted);
+                }
+                let mut new_locals: Vec<Value> = stack.split_off(stack.len() - $n_params);
+                for ty in &self.bodies[callee_body].locals {
+                    new_locals.push(Value::zero(*ty));
+                }
+                frames.push(Frame {
+                    body_idx,
+                    locals: std::mem::take(&mut locals),
+                    labels: std::mem::take(&mut labels),
+                    pc,
+                    stack_base,
+                    result_arity,
+                });
+                body_idx = callee_body;
+                locals = new_locals;
+                pc = 0;
+                stack_base = stack.len();
+                result_arity = self.types[self.bodies[callee_body].type_idx as usize]
+                    .results
+                    .len();
+                code_len = self.bodies[callee_body].code.len();
+                continue;
+            }};
+        }
+
+        macro_rules! leave_function {
+            () => {{
+                // The top `result_arity` values are the results; discard the
+                // frame's leftover operands beneath them.
+                let results_start = stack.len() - result_arity;
+                stack.drain(stack_base..results_start);
+                match frames.pop() {
+                    Some(frame) => {
+                        body_idx = frame.body_idx;
+                        locals = frame.locals;
+                        labels = frame.labels;
+                        pc = frame.pc;
+                        stack_base = frame.stack_base;
+                        result_arity = frame.result_arity;
+                        code_len = self.bodies[body_idx].code.len();
+                        continue;
+                    }
+                    None => return Ok(stack),
+                }
+            }};
+        }
+
+        macro_rules! instr_at {
+            ($pc:expr) => {
+                // Clone is cheap for all but BrTable; BrTable is cloned only
+                // when executed.
+                self.bodies[body_idx].code[$pc].clone()
+            };
+        }
+
+        macro_rules! binop {
+            ($as:ident, $wrap:ident, $f:expr) => {{
+                let b = stack.pop().expect("validated").$as();
+                let a = stack.pop().expect("validated").$as();
+                stack.push(Value::$wrap($f(a, b)));
+            }};
+        }
+        macro_rules! unop {
+            ($as:ident, $wrap:ident, $f:expr) => {{
+                let a = stack.pop().expect("validated").$as();
+                stack.push(Value::$wrap($f(a)));
+            }};
+        }
+        macro_rules! relop {
+            ($as:ident, $f:expr) => {{
+                let b = stack.pop().expect("validated").$as();
+                let a = stack.pop().expect("validated").$as();
+                stack.push(Value::I32(i32::from($f(a, b))));
+            }};
+        }
+        macro_rules! load {
+            ($m:expr, $n:expr, $conv:expr) => {{
+                let base = stack.pop().expect("validated").as_i32();
+                let bytes: [u8; $n] = self.memory.load(base, $m.offset)?;
+                stack.push($conv(bytes));
+            }};
+        }
+        macro_rules! store {
+            ($m:expr, $as:ident, $conv:expr) => {{
+                let v = stack.pop().expect("validated").$as();
+                let base = stack.pop().expect("validated").as_i32();
+                self.memory.store(base, $m.offset, &$conv(v))?;
+            }};
+        }
+
+        /// Performs a branch to relative label depth `d`.
+        macro_rules! do_branch {
+            ($d:expr) => {{
+                let idx = labels.len() - 1 - $d as usize;
+                let label = labels[idx];
+                let keep = stack.len() - label.arity;
+                stack.drain(label.height..keep);
+                pc = label.target;
+                if label.is_loop {
+                    labels.truncate(idx + 1);
+                } else {
+                    labels.truncate(idx);
+                }
+                continue;
+            }};
+        }
+
+        loop {
+            if pc >= code_len {
+                leave_function!();
+            }
+            let instr = instr_at!(pc);
+            pc += 1;
+            match instr {
+                Instr::Unreachable => return Err(Trap::Unreachable),
+                Instr::Nop => {}
+                Instr::Block(bt) => {
+                    let (end, _) = self.block_targets(body_idx, pc - 1);
+                    let (params, results) = self.block_arities(bt);
+                    labels.push(Label {
+                        target: end + 1,
+                        arity: results,
+                        height: stack.len() - params,
+                        is_loop: false,
+                    });
+                }
+                Instr::Loop(bt) => {
+                    let (params, _) = self.block_arities(bt);
+                    labels.push(Label {
+                        target: pc, // re-enter just after the Loop opcode
+                        arity: params,
+                        height: stack.len() - params,
+                        is_loop: true,
+                    });
+                }
+                Instr::If(bt) => {
+                    let cond = stack.pop().expect("validated").as_i32();
+                    let (end, else_pc) = self.block_targets(body_idx, pc - 1);
+                    let (params, results) = self.block_arities(bt);
+                    if cond != 0 {
+                        labels.push(Label {
+                            target: end + 1,
+                            arity: results,
+                            height: stack.len() - params,
+                            is_loop: false,
+                        });
+                    } else if let Some(else_pc) = else_pc {
+                        labels.push(Label {
+                            target: end + 1,
+                            arity: results,
+                            height: stack.len() - params,
+                            is_loop: false,
+                        });
+                        pc = else_pc + 1;
+                    } else {
+                        // No else: validation guarantees params == results.
+                        pc = end + 1;
+                    }
+                }
+                Instr::Else => {
+                    // Fell out of the then-branch: jump past the End.
+                    let label = labels.pop().expect("validated control");
+                    pc = label.target;
+                }
+                Instr::End => {
+                    if labels.pop().is_none() {
+                        leave_function!();
+                    }
+                }
+                Instr::Br(d) => do_branch!(d),
+                Instr::BrIf(d) => {
+                    let cond = stack.pop().expect("validated").as_i32();
+                    if cond != 0 {
+                        do_branch!(d);
+                    }
+                }
+                Instr::BrTable { targets, default } => {
+                    let i = stack.pop().expect("validated").as_u32() as usize;
+                    let d = targets.get(i).copied().unwrap_or(default);
+                    do_branch!(d);
+                }
+                Instr::Return => leave_function!(),
+                Instr::Call(f) => {
+                    let n_params = self.func_type(f).params.len();
+                    if let FuncDef::Import { module, name, .. } = &self.funcs[f as usize] {
+                        let (module, name) = (module.clone(), name.clone());
+                        let args: Vec<Value> = stack.split_off(stack.len() - n_params);
+                        let results = host.call(&module, &name, &mut self.memory, &args)?;
+                        stack.extend(results);
+                    } else {
+                        enter_function!(f, n_params);
+                    }
+                }
+                Instr::CallIndirect { type_idx, .. } => {
+                    let i = stack.pop().expect("validated").as_u32() as usize;
+                    let slot = *self.table.get(i).ok_or(Trap::TableOutOfBounds)?;
+                    let f = slot.ok_or(Trap::UndefinedTableElement)?;
+                    let expected = &self.types[type_idx as usize];
+                    if self.func_type(f) != expected {
+                        return Err(Trap::IndirectTypeMismatch);
+                    }
+                    let n_params = expected.params.len();
+                    if let FuncDef::Import { module, name, .. } = &self.funcs[f as usize] {
+                        let (module, name) = (module.clone(), name.clone());
+                        let args: Vec<Value> = stack.split_off(stack.len() - n_params);
+                        let results = host.call(&module, &name, &mut self.memory, &args)?;
+                        stack.extend(results);
+                    } else {
+                        enter_function!(f, n_params);
+                    }
+                }
+                Instr::Drop => {
+                    stack.pop();
+                }
+                Instr::Select => {
+                    let c = stack.pop().expect("validated").as_i32();
+                    let b = stack.pop().expect("validated");
+                    let a = stack.pop().expect("validated");
+                    stack.push(if c != 0 { a } else { b });
+                }
+                Instr::LocalGet(i) => stack.push(locals[i as usize]),
+                Instr::LocalSet(i) => locals[i as usize] = stack.pop().expect("validated"),
+                Instr::LocalTee(i) => locals[i as usize] = *stack.last().expect("validated"),
+                Instr::GlobalGet(i) => stack.push(self.globals[i as usize]),
+                Instr::GlobalSet(i) => {
+                    self.globals[i as usize] = stack.pop().expect("validated");
+                }
+
+                Instr::I32Load(m) => load!(m, 4, |b| Value::I32(i32::from_le_bytes(b))),
+                Instr::I64Load(m) => load!(m, 8, |b| Value::I64(i64::from_le_bytes(b))),
+                Instr::F32Load(m) => load!(m, 4, |b| Value::F32(f32::from_le_bytes(b))),
+                Instr::F64Load(m) => load!(m, 8, |b| Value::F64(f64::from_le_bytes(b))),
+                Instr::I32Load8S(m) => {
+                    load!(m, 1, |b: [u8; 1]| Value::I32(i32::from(b[0] as i8)))
+                }
+                Instr::I32Load8U(m) => load!(m, 1, |b: [u8; 1]| Value::I32(i32::from(b[0]))),
+                Instr::I32Load16S(m) => {
+                    load!(m, 2, |b| Value::I32(i32::from(i16::from_le_bytes(b))))
+                }
+                Instr::I32Load16U(m) => {
+                    load!(m, 2, |b| Value::I32(i32::from(u16::from_le_bytes(b))))
+                }
+                Instr::I64Load8S(m) => {
+                    load!(m, 1, |b: [u8; 1]| Value::I64(i64::from(b[0] as i8)))
+                }
+                Instr::I64Load8U(m) => load!(m, 1, |b: [u8; 1]| Value::I64(i64::from(b[0]))),
+                Instr::I64Load16S(m) => {
+                    load!(m, 2, |b| Value::I64(i64::from(i16::from_le_bytes(b))))
+                }
+                Instr::I64Load16U(m) => {
+                    load!(m, 2, |b| Value::I64(i64::from(u16::from_le_bytes(b))))
+                }
+                Instr::I64Load32S(m) => {
+                    load!(m, 4, |b| Value::I64(i64::from(i32::from_le_bytes(b))))
+                }
+                Instr::I64Load32U(m) => {
+                    load!(m, 4, |b| Value::I64(i64::from(u32::from_le_bytes(b))))
+                }
+                Instr::I32Store(m) => store!(m, as_i32, |v: i32| v.to_le_bytes()),
+                Instr::I64Store(m) => store!(m, as_i64, |v: i64| v.to_le_bytes()),
+                Instr::F32Store(m) => store!(m, as_f32, |v: f32| v.to_le_bytes()),
+                Instr::F64Store(m) => store!(m, as_f64, |v: f64| v.to_le_bytes()),
+                Instr::I32Store8(m) => store!(m, as_i32, |v: i32| [(v & 0xff) as u8]),
+                Instr::I32Store16(m) => {
+                    store!(m, as_i32, |v: i32| (v as u16).to_le_bytes())
+                }
+                Instr::I64Store8(m) => store!(m, as_i64, |v: i64| [(v & 0xff) as u8]),
+                Instr::I64Store16(m) => {
+                    store!(m, as_i64, |v: i64| (v as u16).to_le_bytes())
+                }
+                Instr::I64Store32(m) => {
+                    store!(m, as_i64, |v: i64| (v as u32).to_le_bytes())
+                }
+                Instr::MemorySize => stack.push(Value::I32(self.memory.size_pages() as i32)),
+                Instr::MemoryGrow => {
+                    let delta = stack.pop().expect("validated").as_u32();
+                    stack.push(Value::I32(self.memory.grow(delta)));
+                }
+                Instr::MemoryCopy => {
+                    let len = stack.pop().expect("validated").as_u32();
+                    let src = stack.pop().expect("validated").as_u32();
+                    let dst = stack.pop().expect("validated").as_u32();
+                    let mem_len = self.memory.data.len() as u64;
+                    if u64::from(src) + u64::from(len) > mem_len
+                        || u64::from(dst) + u64::from(len) > mem_len
+                    {
+                        return Err(Trap::MemoryOutOfBounds);
+                    }
+                    self.memory.data.copy_within(
+                        src as usize..(src + len) as usize,
+                        dst as usize,
+                    );
+                }
+                Instr::MemoryFill => {
+                    let len = stack.pop().expect("validated").as_u32();
+                    let val = stack.pop().expect("validated").as_i32() as u8;
+                    let dst = stack.pop().expect("validated").as_u32();
+                    if u64::from(dst) + u64::from(len) > self.memory.data.len() as u64 {
+                        return Err(Trap::MemoryOutOfBounds);
+                    }
+                    self.memory.data[dst as usize..(dst + len) as usize].fill(val);
+                }
+
+                Instr::I32Const(v) => stack.push(Value::I32(v)),
+                Instr::I64Const(v) => stack.push(Value::I64(v)),
+                Instr::F32Const(v) => stack.push(Value::F32(v)),
+                Instr::F64Const(v) => stack.push(Value::F64(v)),
+
+                Instr::I32Eqz => unop!(as_i32, I32, |a: i32| i32::from(a == 0)),
+                Instr::I64Eqz => {
+                    let a = stack.pop().expect("validated").as_i64();
+                    stack.push(Value::I32(i32::from(a == 0)));
+                }
+                Instr::I32Eq => relop!(as_i32, |a, b| a == b),
+                Instr::I32Ne => relop!(as_i32, |a, b| a != b),
+                Instr::I32LtS => relop!(as_i32, |a, b| a < b),
+                Instr::I32LtU => relop!(as_i32, |a: i32, b: i32| (a as u32) < (b as u32)),
+                Instr::I32GtS => relop!(as_i32, |a, b| a > b),
+                Instr::I32GtU => relop!(as_i32, |a: i32, b: i32| (a as u32) > (b as u32)),
+                Instr::I32LeS => relop!(as_i32, |a, b| a <= b),
+                Instr::I32LeU => relop!(as_i32, |a: i32, b: i32| (a as u32) <= (b as u32)),
+                Instr::I32GeS => relop!(as_i32, |a, b| a >= b),
+                Instr::I32GeU => relop!(as_i32, |a: i32, b: i32| (a as u32) >= (b as u32)),
+                Instr::I64Eq => relop!(as_i64, |a, b| a == b),
+                Instr::I64Ne => relop!(as_i64, |a, b| a != b),
+                Instr::I64LtS => relop!(as_i64, |a, b| a < b),
+                Instr::I64LtU => relop!(as_i64, |a: i64, b: i64| (a as u64) < (b as u64)),
+                Instr::I64GtS => relop!(as_i64, |a, b| a > b),
+                Instr::I64GtU => relop!(as_i64, |a: i64, b: i64| (a as u64) > (b as u64)),
+                Instr::I64LeS => relop!(as_i64, |a, b| a <= b),
+                Instr::I64LeU => relop!(as_i64, |a: i64, b: i64| (a as u64) <= (b as u64)),
+                Instr::I64GeS => relop!(as_i64, |a, b| a >= b),
+                Instr::I64GeU => relop!(as_i64, |a: i64, b: i64| (a as u64) >= (b as u64)),
+                Instr::F32Eq => relop!(as_f32, |a, b| a == b),
+                Instr::F32Ne => relop!(as_f32, |a, b| a != b),
+                Instr::F32Lt => relop!(as_f32, |a, b| a < b),
+                Instr::F32Gt => relop!(as_f32, |a, b| a > b),
+                Instr::F32Le => relop!(as_f32, |a, b| a <= b),
+                Instr::F32Ge => relop!(as_f32, |a, b| a >= b),
+                Instr::F64Eq => relop!(as_f64, |a, b| a == b),
+                Instr::F64Ne => relop!(as_f64, |a, b| a != b),
+                Instr::F64Lt => relop!(as_f64, |a, b| a < b),
+                Instr::F64Gt => relop!(as_f64, |a, b| a > b),
+                Instr::F64Le => relop!(as_f64, |a, b| a <= b),
+                Instr::F64Ge => relop!(as_f64, |a, b| a >= b),
+
+                Instr::I32Clz => unop!(as_i32, I32, |a: i32| a.leading_zeros() as i32),
+                Instr::I32Ctz => unop!(as_i32, I32, |a: i32| a.trailing_zeros() as i32),
+                Instr::I32Popcnt => unop!(as_i32, I32, |a: i32| a.count_ones() as i32),
+                Instr::I32Add => binop!(as_i32, I32, i32::wrapping_add),
+                Instr::I32Sub => binop!(as_i32, I32, i32::wrapping_sub),
+                Instr::I32Mul => binop!(as_i32, I32, i32::wrapping_mul),
+                Instr::I32DivS => {
+                    let b = stack.pop().expect("validated").as_i32();
+                    let a = stack.pop().expect("validated").as_i32();
+                    if b == 0 {
+                        return Err(Trap::DivisionByZero);
+                    }
+                    let (q, ov) = a.overflowing_div(b);
+                    if ov {
+                        return Err(Trap::IntegerOverflow);
+                    }
+                    stack.push(Value::I32(q));
+                }
+                Instr::I32DivU => {
+                    let b = stack.pop().expect("validated").as_u32();
+                    let a = stack.pop().expect("validated").as_u32();
+                    if b == 0 {
+                        return Err(Trap::DivisionByZero);
+                    }
+                    stack.push(Value::I32((a / b) as i32));
+                }
+                Instr::I32RemS => {
+                    let b = stack.pop().expect("validated").as_i32();
+                    let a = stack.pop().expect("validated").as_i32();
+                    if b == 0 {
+                        return Err(Trap::DivisionByZero);
+                    }
+                    stack.push(Value::I32(a.wrapping_rem(b)));
+                }
+                Instr::I32RemU => {
+                    let b = stack.pop().expect("validated").as_u32();
+                    let a = stack.pop().expect("validated").as_u32();
+                    if b == 0 {
+                        return Err(Trap::DivisionByZero);
+                    }
+                    stack.push(Value::I32((a % b) as i32));
+                }
+                Instr::I32And => binop!(as_i32, I32, |a, b| a & b),
+                Instr::I32Or => binop!(as_i32, I32, |a, b| a | b),
+                Instr::I32Xor => binop!(as_i32, I32, |a, b| a ^ b),
+                Instr::I32Shl => binop!(as_i32, I32, |a: i32, b: i32| a.wrapping_shl(b as u32)),
+                Instr::I32ShrS => binop!(as_i32, I32, |a: i32, b: i32| a.wrapping_shr(b as u32)),
+                Instr::I32ShrU => {
+                    binop!(as_i32, I32, |a: i32, b: i32| ((a as u32)
+                        .wrapping_shr(b as u32))
+                        as i32)
+                }
+                Instr::I32Rotl => {
+                    binop!(as_i32, I32, |a: i32, b: i32| a.rotate_left(b as u32 % 32))
+                }
+                Instr::I32Rotr => {
+                    binop!(as_i32, I32, |a: i32, b: i32| a.rotate_right(b as u32 % 32))
+                }
+
+                Instr::I64Clz => unop!(as_i64, I64, |a: i64| i64::from(a.leading_zeros())),
+                Instr::I64Ctz => unop!(as_i64, I64, |a: i64| i64::from(a.trailing_zeros())),
+                Instr::I64Popcnt => unop!(as_i64, I64, |a: i64| i64::from(a.count_ones())),
+                Instr::I64Add => binop!(as_i64, I64, i64::wrapping_add),
+                Instr::I64Sub => binop!(as_i64, I64, i64::wrapping_sub),
+                Instr::I64Mul => binop!(as_i64, I64, i64::wrapping_mul),
+                Instr::I64DivS => {
+                    let b = stack.pop().expect("validated").as_i64();
+                    let a = stack.pop().expect("validated").as_i64();
+                    if b == 0 {
+                        return Err(Trap::DivisionByZero);
+                    }
+                    let (q, ov) = a.overflowing_div(b);
+                    if ov {
+                        return Err(Trap::IntegerOverflow);
+                    }
+                    stack.push(Value::I64(q));
+                }
+                Instr::I64DivU => {
+                    let b = stack.pop().expect("validated").as_i64() as u64;
+                    let a = stack.pop().expect("validated").as_i64() as u64;
+                    if b == 0 {
+                        return Err(Trap::DivisionByZero);
+                    }
+                    stack.push(Value::I64((a / b) as i64));
+                }
+                Instr::I64RemS => {
+                    let b = stack.pop().expect("validated").as_i64();
+                    let a = stack.pop().expect("validated").as_i64();
+                    if b == 0 {
+                        return Err(Trap::DivisionByZero);
+                    }
+                    stack.push(Value::I64(a.wrapping_rem(b)));
+                }
+                Instr::I64RemU => {
+                    let b = stack.pop().expect("validated").as_i64() as u64;
+                    let a = stack.pop().expect("validated").as_i64() as u64;
+                    if b == 0 {
+                        return Err(Trap::DivisionByZero);
+                    }
+                    stack.push(Value::I64((a % b) as i64));
+                }
+                Instr::I64And => binop!(as_i64, I64, |a, b| a & b),
+                Instr::I64Or => binop!(as_i64, I64, |a, b| a | b),
+                Instr::I64Xor => binop!(as_i64, I64, |a, b| a ^ b),
+                Instr::I64Shl => binop!(as_i64, I64, |a: i64, b: i64| a.wrapping_shl(b as u32)),
+                Instr::I64ShrS => binop!(as_i64, I64, |a: i64, b: i64| a.wrapping_shr(b as u32)),
+                Instr::I64ShrU => {
+                    binop!(as_i64, I64, |a: i64, b: i64| ((a as u64)
+                        .wrapping_shr(b as u32))
+                        as i64)
+                }
+                Instr::I64Rotl => {
+                    binop!(as_i64, I64, |a: i64, b: i64| a
+                        .rotate_left((b as u32) % 64))
+                }
+                Instr::I64Rotr => {
+                    binop!(as_i64, I64, |a: i64, b: i64| a
+                        .rotate_right((b as u32) % 64))
+                }
+
+                Instr::F32Abs => unop!(as_f32, F32, f32::abs),
+                Instr::F32Neg => unop!(as_f32, F32, |a: f32| -a),
+                Instr::F32Ceil => unop!(as_f32, F32, f32::ceil),
+                Instr::F32Floor => unop!(as_f32, F32, f32::floor),
+                Instr::F32Trunc => unop!(as_f32, F32, f32::trunc),
+                Instr::F32Nearest => unop!(as_f32, F32, f32::round_ties_even),
+                Instr::F32Sqrt => unop!(as_f32, F32, f32::sqrt),
+                Instr::F32Add => binop!(as_f32, F32, |a, b| a + b),
+                Instr::F32Sub => binop!(as_f32, F32, |a, b| a - b),
+                Instr::F32Mul => binop!(as_f32, F32, |a, b| a * b),
+                Instr::F32Div => binop!(as_f32, F32, |a, b| a / b),
+                Instr::F32Min => binop!(as_f32, F32, wasm_fmin32),
+                Instr::F32Max => binop!(as_f32, F32, wasm_fmax32),
+                Instr::F32Copysign => binop!(as_f32, F32, f32::copysign),
+                Instr::F64Abs => unop!(as_f64, F64, f64::abs),
+                Instr::F64Neg => unop!(as_f64, F64, |a: f64| -a),
+                Instr::F64Ceil => unop!(as_f64, F64, f64::ceil),
+                Instr::F64Floor => unop!(as_f64, F64, f64::floor),
+                Instr::F64Trunc => unop!(as_f64, F64, f64::trunc),
+                Instr::F64Nearest => unop!(as_f64, F64, f64::round_ties_even),
+                Instr::F64Sqrt => unop!(as_f64, F64, f64::sqrt),
+                Instr::F64Add => binop!(as_f64, F64, |a, b| a + b),
+                Instr::F64Sub => binop!(as_f64, F64, |a, b| a - b),
+                Instr::F64Mul => binop!(as_f64, F64, |a, b| a * b),
+                Instr::F64Div => binop!(as_f64, F64, |a, b| a / b),
+                Instr::F64Min => binop!(as_f64, F64, wasm_fmin64),
+                Instr::F64Max => binop!(as_f64, F64, wasm_fmax64),
+                Instr::F64Copysign => binop!(as_f64, F64, f64::copysign),
+
+                Instr::I32WrapI64 => {
+                    let a = stack.pop().expect("validated").as_i64();
+                    stack.push(Value::I32(a as i32));
+                }
+                Instr::I32TruncF32S => {
+                    let a = stack.pop().expect("validated").as_f32();
+                    stack.push(Value::I32(trunc_f32_to_i32_s(a)?));
+                }
+                Instr::I32TruncF32U => {
+                    let a = stack.pop().expect("validated").as_f32();
+                    stack.push(Value::I32(trunc_f32_to_u32(a)? as i32));
+                }
+                Instr::I32TruncF64S => {
+                    let a = stack.pop().expect("validated").as_f64();
+                    stack.push(Value::I32(trunc_f64_to_i32_s(a)?));
+                }
+                Instr::I32TruncF64U => {
+                    let a = stack.pop().expect("validated").as_f64();
+                    stack.push(Value::I32(trunc_f64_to_u32(a)? as i32));
+                }
+                Instr::I64ExtendI32S => {
+                    let a = stack.pop().expect("validated").as_i32();
+                    stack.push(Value::I64(i64::from(a)));
+                }
+                Instr::I64ExtendI32U => {
+                    let a = stack.pop().expect("validated").as_u32();
+                    stack.push(Value::I64(i64::from(a)));
+                }
+                Instr::I64TruncF32S => {
+                    let a = stack.pop().expect("validated").as_f32();
+                    stack.push(Value::I64(trunc_f32_to_i64_s(a)?));
+                }
+                Instr::I64TruncF32U => {
+                    let a = stack.pop().expect("validated").as_f32();
+                    stack.push(Value::I64(trunc_f32_to_u64(a)? as i64));
+                }
+                Instr::I64TruncF64S => {
+                    let a = stack.pop().expect("validated").as_f64();
+                    stack.push(Value::I64(trunc_f64_to_i64_s(a)?));
+                }
+                Instr::I64TruncF64U => {
+                    let a = stack.pop().expect("validated").as_f64();
+                    stack.push(Value::I64(trunc_f64_to_u64(a)? as i64));
+                }
+                Instr::F32ConvertI32S => {
+                    let a = stack.pop().expect("validated").as_i32();
+                    stack.push(Value::F32(a as f32));
+                }
+                Instr::F32ConvertI32U => {
+                    let a = stack.pop().expect("validated").as_u32();
+                    stack.push(Value::F32(a as f32));
+                }
+                Instr::F32ConvertI64S => {
+                    let a = stack.pop().expect("validated").as_i64();
+                    stack.push(Value::F32(a as f32));
+                }
+                Instr::F32ConvertI64U => {
+                    let a = stack.pop().expect("validated").as_i64() as u64;
+                    stack.push(Value::F32(a as f32));
+                }
+                Instr::F32DemoteF64 => {
+                    let a = stack.pop().expect("validated").as_f64();
+                    stack.push(Value::F32(a as f32));
+                }
+                Instr::F64ConvertI32S => {
+                    let a = stack.pop().expect("validated").as_i32();
+                    stack.push(Value::F64(f64::from(a)));
+                }
+                Instr::F64ConvertI32U => {
+                    let a = stack.pop().expect("validated").as_u32();
+                    stack.push(Value::F64(f64::from(a)));
+                }
+                Instr::F64ConvertI64S => {
+                    let a = stack.pop().expect("validated").as_i64();
+                    stack.push(Value::F64(a as f64));
+                }
+                Instr::F64ConvertI64U => {
+                    let a = stack.pop().expect("validated").as_i64() as u64;
+                    stack.push(Value::F64(a as f64));
+                }
+                Instr::F64PromoteF32 => {
+                    let a = stack.pop().expect("validated").as_f32();
+                    stack.push(Value::F64(f64::from(a)));
+                }
+                Instr::I32ReinterpretF32 => {
+                    let a = stack.pop().expect("validated").as_f32();
+                    stack.push(Value::I32(a.to_bits() as i32));
+                }
+                Instr::I64ReinterpretF64 => {
+                    let a = stack.pop().expect("validated").as_f64();
+                    stack.push(Value::I64(a.to_bits() as i64));
+                }
+                Instr::F32ReinterpretI32 => {
+                    let a = stack.pop().expect("validated").as_i32();
+                    stack.push(Value::F32(f32::from_bits(a as u32)));
+                }
+                Instr::F64ReinterpretI64 => {
+                    let a = stack.pop().expect("validated").as_i64();
+                    stack.push(Value::F64(f64::from_bits(a as u64)));
+                }
+                Instr::I32Extend8S => unop!(as_i32, I32, |a: i32| i32::from(a as i8)),
+                Instr::I32Extend16S => unop!(as_i32, I32, |a: i32| i32::from(a as i16)),
+                Instr::I64Extend8S => unop!(as_i64, I64, |a: i64| i64::from(a as i8)),
+                Instr::I64Extend16S => unop!(as_i64, I64, |a: i64| i64::from(a as i16)),
+                Instr::I64Extend32S => unop!(as_i64, I64, |a: i64| i64::from(a as i32)),
+            }
+        }
+    }
+}
+
+fn wasm_fmin32(a: f32, b: f32) -> f32 {
+    if a.is_nan() || b.is_nan() {
+        f32::NAN
+    } else if a == b {
+        if a.is_sign_negative() {
+            a
+        } else {
+            b
+        }
+    } else if a < b {
+        a
+    } else {
+        b
+    }
+}
+
+fn wasm_fmax32(a: f32, b: f32) -> f32 {
+    if a.is_nan() || b.is_nan() {
+        f32::NAN
+    } else if a == b {
+        if a.is_sign_positive() {
+            a
+        } else {
+            b
+        }
+    } else if a > b {
+        a
+    } else {
+        b
+    }
+}
+
+fn wasm_fmin64(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() {
+        f64::NAN
+    } else if a == b {
+        if a.is_sign_negative() {
+            a
+        } else {
+            b
+        }
+    } else if a < b {
+        a
+    } else {
+        b
+    }
+}
+
+fn wasm_fmax64(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() {
+        f64::NAN
+    } else if a == b {
+        if a.is_sign_positive() {
+            a
+        } else {
+            b
+        }
+    } else if a > b {
+        a
+    } else {
+        b
+    }
+}
+
+fn trunc_f32_to_i32_s(a: f32) -> Result<i32, Trap> {
+    if a.is_nan() {
+        return Err(Trap::BadConversion);
+    }
+    let t = a.trunc();
+    if t >= 2147483648.0 || t < -2147483648.0 {
+        return Err(Trap::BadConversion);
+    }
+    Ok(t as i32)
+}
+
+fn trunc_f32_to_u32(a: f32) -> Result<u32, Trap> {
+    if a.is_nan() {
+        return Err(Trap::BadConversion);
+    }
+    let t = a.trunc();
+    if t >= 4294967296.0 || t <= -1.0 {
+        return Err(Trap::BadConversion);
+    }
+    Ok(t as u32)
+}
+
+fn trunc_f64_to_i32_s(a: f64) -> Result<i32, Trap> {
+    if a.is_nan() {
+        return Err(Trap::BadConversion);
+    }
+    let t = a.trunc();
+    if t >= 2147483648.0 || t < -2147483648.0 {
+        return Err(Trap::BadConversion);
+    }
+    Ok(t as i32)
+}
+
+fn trunc_f64_to_u32(a: f64) -> Result<u32, Trap> {
+    if a.is_nan() {
+        return Err(Trap::BadConversion);
+    }
+    let t = a.trunc();
+    if t >= 4294967296.0 || t <= -1.0 {
+        return Err(Trap::BadConversion);
+    }
+    Ok(t as u32)
+}
+
+fn trunc_f32_to_i64_s(a: f32) -> Result<i64, Trap> {
+    if a.is_nan() {
+        return Err(Trap::BadConversion);
+    }
+    let t = a.trunc();
+    if t >= 9223372036854775808.0 || t < -9223372036854775808.0 {
+        return Err(Trap::BadConversion);
+    }
+    Ok(t as i64)
+}
+
+fn trunc_f32_to_u64(a: f32) -> Result<u64, Trap> {
+    if a.is_nan() {
+        return Err(Trap::BadConversion);
+    }
+    let t = a.trunc();
+    if t >= 18446744073709551616.0 || t <= -1.0 {
+        return Err(Trap::BadConversion);
+    }
+    Ok(t as u64)
+}
+
+fn trunc_f64_to_i64_s(a: f64) -> Result<i64, Trap> {
+    if a.is_nan() {
+        return Err(Trap::BadConversion);
+    }
+    let t = a.trunc();
+    if t >= 9223372036854775808.0 || t < -9223372036854775808.0 {
+        return Err(Trap::BadConversion);
+    }
+    Ok(t as i64)
+}
+
+fn trunc_f64_to_u64(a: f64) -> Result<u64, Trap> {
+    if a.is_nan() {
+        return Err(Trap::BadConversion);
+    }
+    let t = a.trunc();
+    if t >= 18446744073709551616.0 || t <= -1.0 {
+        return Err(Trap::BadConversion);
+    }
+    Ok(t as u64)
+}

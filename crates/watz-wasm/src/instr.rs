@@ -1,0 +1,275 @@
+//! The WebAssembly instruction set supported by the engine.
+//!
+//! Coverage: the full MVP numeric/control/memory instruction set, plus the
+//! sign-extension operators and the bulk-memory `memory.copy`/`memory.fill`
+//! (compiled C leans on `memcpy`/`memset`, so WAMR-targeting toolchains emit
+//! these).
+
+use crate::types::BlockType;
+
+/// Static memory-access immediate: alignment hint and constant offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemArg {
+    /// Alignment exponent (2^align bytes); a hint only.
+    pub align: u32,
+    /// Constant byte offset added to the dynamic address.
+    pub offset: u32,
+}
+
+impl MemArg {
+    /// Convenience constructor with zero offset.
+    #[must_use]
+    pub fn align(align: u32) -> Self {
+        MemArg { align, offset: 0 }
+    }
+
+    /// Constructor with offset.
+    #[must_use]
+    pub fn new(align: u32, offset: u32) -> Self {
+        MemArg { align, offset }
+    }
+}
+
+/// A single instruction.
+///
+/// Function bodies are flat `Vec<Instr>` sequences where structure is
+/// expressed by `Block`/`Loop`/`If`/`Else`/`End` markers, exactly mirroring
+/// the binary format.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // Variants mirror the spec's instruction names 1:1.
+pub enum Instr {
+    // Control.
+    Unreachable,
+    Nop,
+    Block(BlockType),
+    Loop(BlockType),
+    If(BlockType),
+    Else,
+    End,
+    Br(u32),
+    BrIf(u32),
+    BrTable { targets: Vec<u32>, default: u32 },
+    Return,
+    Call(u32),
+    CallIndirect { type_idx: u32, table: u32 },
+
+    // Parametric.
+    Drop,
+    Select,
+
+    // Variables.
+    LocalGet(u32),
+    LocalSet(u32),
+    LocalTee(u32),
+    GlobalGet(u32),
+    GlobalSet(u32),
+
+    // Memory loads.
+    I32Load(MemArg),
+    I64Load(MemArg),
+    F32Load(MemArg),
+    F64Load(MemArg),
+    I32Load8S(MemArg),
+    I32Load8U(MemArg),
+    I32Load16S(MemArg),
+    I32Load16U(MemArg),
+    I64Load8S(MemArg),
+    I64Load8U(MemArg),
+    I64Load16S(MemArg),
+    I64Load16U(MemArg),
+    I64Load32S(MemArg),
+    I64Load32U(MemArg),
+
+    // Memory stores.
+    I32Store(MemArg),
+    I64Store(MemArg),
+    F32Store(MemArg),
+    F64Store(MemArg),
+    I32Store8(MemArg),
+    I32Store16(MemArg),
+    I64Store8(MemArg),
+    I64Store16(MemArg),
+    I64Store32(MemArg),
+
+    MemorySize,
+    MemoryGrow,
+    MemoryCopy,
+    MemoryFill,
+
+    // Constants.
+    I32Const(i32),
+    I64Const(i64),
+    F32Const(f32),
+    F64Const(f64),
+
+    // i32 comparisons.
+    I32Eqz,
+    I32Eq,
+    I32Ne,
+    I32LtS,
+    I32LtU,
+    I32GtS,
+    I32GtU,
+    I32LeS,
+    I32LeU,
+    I32GeS,
+    I32GeU,
+
+    // i64 comparisons.
+    I64Eqz,
+    I64Eq,
+    I64Ne,
+    I64LtS,
+    I64LtU,
+    I64GtS,
+    I64GtU,
+    I64LeS,
+    I64LeU,
+    I64GeS,
+    I64GeU,
+
+    // f32 comparisons.
+    F32Eq,
+    F32Ne,
+    F32Lt,
+    F32Gt,
+    F32Le,
+    F32Ge,
+
+    // f64 comparisons.
+    F64Eq,
+    F64Ne,
+    F64Lt,
+    F64Gt,
+    F64Le,
+    F64Ge,
+
+    // i32 arithmetic.
+    I32Clz,
+    I32Ctz,
+    I32Popcnt,
+    I32Add,
+    I32Sub,
+    I32Mul,
+    I32DivS,
+    I32DivU,
+    I32RemS,
+    I32RemU,
+    I32And,
+    I32Or,
+    I32Xor,
+    I32Shl,
+    I32ShrS,
+    I32ShrU,
+    I32Rotl,
+    I32Rotr,
+
+    // i64 arithmetic.
+    I64Clz,
+    I64Ctz,
+    I64Popcnt,
+    I64Add,
+    I64Sub,
+    I64Mul,
+    I64DivS,
+    I64DivU,
+    I64RemS,
+    I64RemU,
+    I64And,
+    I64Or,
+    I64Xor,
+    I64Shl,
+    I64ShrS,
+    I64ShrU,
+    I64Rotl,
+    I64Rotr,
+
+    // f32 arithmetic.
+    F32Abs,
+    F32Neg,
+    F32Ceil,
+    F32Floor,
+    F32Trunc,
+    F32Nearest,
+    F32Sqrt,
+    F32Add,
+    F32Sub,
+    F32Mul,
+    F32Div,
+    F32Min,
+    F32Max,
+    F32Copysign,
+
+    // f64 arithmetic.
+    F64Abs,
+    F64Neg,
+    F64Ceil,
+    F64Floor,
+    F64Trunc,
+    F64Nearest,
+    F64Sqrt,
+    F64Add,
+    F64Sub,
+    F64Mul,
+    F64Div,
+    F64Min,
+    F64Max,
+    F64Copysign,
+
+    // Conversions.
+    I32WrapI64,
+    I32TruncF32S,
+    I32TruncF32U,
+    I32TruncF64S,
+    I32TruncF64U,
+    I64ExtendI32S,
+    I64ExtendI32U,
+    I64TruncF32S,
+    I64TruncF32U,
+    I64TruncF64S,
+    I64TruncF64U,
+    F32ConvertI32S,
+    F32ConvertI32U,
+    F32ConvertI64S,
+    F32ConvertI64U,
+    F32DemoteF64,
+    F64ConvertI32S,
+    F64ConvertI32U,
+    F64ConvertI64S,
+    F64ConvertI64U,
+    F64PromoteF32,
+    I32ReinterpretF32,
+    I64ReinterpretF64,
+    F32ReinterpretI32,
+    F64ReinterpretI64,
+
+    // Sign extension.
+    I32Extend8S,
+    I32Extend16S,
+    I64Extend8S,
+    I64Extend16S,
+    I64Extend32S,
+}
+
+impl Instr {
+    /// True for instructions that open a new control frame.
+    #[must_use]
+    pub fn opens_block(&self) -> bool {
+        matches!(self, Instr::Block(_) | Instr::Loop(_) | Instr::If(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::BlockType;
+
+    #[test]
+    fn block_openers() {
+        assert!(Instr::Block(BlockType::Empty).opens_block());
+        assert!(Instr::Loop(BlockType::Empty).opens_block());
+        assert!(Instr::If(BlockType::Empty).opens_block());
+        assert!(!Instr::End.opens_block());
+        assert!(!Instr::I32Add.opens_block());
+    }
+}

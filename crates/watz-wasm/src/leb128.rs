@@ -1,0 +1,228 @@
+//! LEB128 variable-length integer encoding, as used throughout the Wasm
+//! binary format.
+
+/// Error raised on malformed LEB128 sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LebError {
+    /// Ran off the end of the input.
+    UnexpectedEof,
+    /// The encoding used more bytes than allowed for the type.
+    Overflow,
+}
+
+/// Appends an unsigned LEB128 encoding of `value` to `out`.
+pub fn write_u32(out: &mut Vec<u8>, mut value: u32) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends an unsigned LEB128 encoding of a 64-bit `value` to `out`.
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a signed LEB128 encoding of `value` to `out`.
+pub fn write_i32(out: &mut Vec<u8>, value: i32) {
+    write_i64(out, i64::from(value));
+}
+
+/// Appends a signed LEB128 encoding of a 64-bit `value` to `out`.
+pub fn write_i64(out: &mut Vec<u8>, mut value: i64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        let sign_clear = byte & 0x40 == 0;
+        if (value == 0 && sign_clear) || (value == -1 && !sign_clear) {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned 32-bit LEB128 from `input` at `*pos`, advancing it.
+///
+/// # Errors
+///
+/// Returns [`LebError`] on truncation or overlong/overflowing encodings.
+pub fn read_u32(input: &[u8], pos: &mut usize) -> Result<u32, LebError> {
+    let v = read_u64_impl(input, pos, 5)?;
+    u32::try_from(v).map_err(|_| LebError::Overflow)
+}
+
+/// Reads an unsigned 64-bit LEB128.
+///
+/// # Errors
+///
+/// Returns [`LebError`] on truncation or overflow.
+pub fn read_u64(input: &[u8], pos: &mut usize) -> Result<u64, LebError> {
+    read_u64_impl(input, pos, 10)
+}
+
+fn read_u64_impl(input: &[u8], pos: &mut usize, max_bytes: usize) -> Result<u64, LebError> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    for i in 0..max_bytes {
+        let byte = *input.get(*pos).ok_or(LebError::UnexpectedEof)?;
+        *pos += 1;
+        let payload = u64::from(byte & 0x7f);
+        // Detect bits that fall off the top.
+        if shift >= 64 || (shift > 0 && payload.checked_shl(shift).is_none_or(|v| v >> shift != payload))
+        {
+            return Err(LebError::Overflow);
+        }
+        result |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok(result);
+        }
+        shift += 7;
+        if i == max_bytes - 1 {
+            return Err(LebError::Overflow);
+        }
+    }
+    Err(LebError::Overflow)
+}
+
+/// Reads a signed 32-bit LEB128.
+///
+/// # Errors
+///
+/// Returns [`LebError`] on truncation or overflow.
+pub fn read_i32(input: &[u8], pos: &mut usize) -> Result<i32, LebError> {
+    let v = read_i64_impl(input, pos, 5)?;
+    i32::try_from(v).map_err(|_| LebError::Overflow)
+}
+
+/// Reads a signed 64-bit LEB128.
+///
+/// # Errors
+///
+/// Returns [`LebError`] on truncation or overflow.
+pub fn read_i64(input: &[u8], pos: &mut usize) -> Result<i64, LebError> {
+    read_i64_impl(input, pos, 10)
+}
+
+fn read_i64_impl(input: &[u8], pos: &mut usize, max_bytes: usize) -> Result<i64, LebError> {
+    let mut result: i64 = 0;
+    let mut shift = 0u32;
+    for _ in 0..max_bytes {
+        let byte = *input.get(*pos).ok_or(LebError::UnexpectedEof)?;
+        *pos += 1;
+        if shift < 64 {
+            result |= i64::from(byte & 0x7f) << shift;
+        }
+        shift += 7;
+        if byte & 0x80 == 0 {
+            // Sign-extend.
+            if shift < 64 && byte & 0x40 != 0 {
+                result |= -1i64 << shift;
+            }
+            return Ok(result);
+        }
+    }
+    Err(LebError::Overflow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_u32(v: u32) {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, v);
+        let mut pos = 0;
+        assert_eq!(read_u32(&buf, &mut pos), Ok(v));
+        assert_eq!(pos, buf.len());
+    }
+
+    fn roundtrip_i64(v: i64) {
+        let mut buf = Vec::new();
+        write_i64(&mut buf, v);
+        let mut pos = 0;
+        assert_eq!(read_i64(&buf, &mut pos), Ok(v));
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn u32_edge_cases() {
+        for v in [0, 1, 127, 128, 16383, 16384, u32::MAX] {
+            roundtrip_u32(v);
+        }
+    }
+
+    #[test]
+    fn i64_edge_cases() {
+        for v in [0, 1, -1, 63, 64, -64, -65, i64::MAX, i64::MIN, 624485, -123456] {
+            roundtrip_i64(v);
+        }
+    }
+
+    #[test]
+    fn i32_roundtrip() {
+        for v in [0i32, -1, i32::MIN, i32::MAX, 42, -300] {
+            let mut buf = Vec::new();
+            write_i32(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_i32(&buf, &mut pos), Ok(v));
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut pos = 0;
+        assert_eq!(read_u32(&[0x80], &mut pos), Err(LebError::UnexpectedEof));
+    }
+
+    #[test]
+    fn overlong_u32_errors() {
+        // Six continuation bytes is too many for u32.
+        let mut pos = 0;
+        assert_eq!(
+            read_u32(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x01], &mut pos),
+            Err(LebError::Overflow)
+        );
+    }
+
+    #[test]
+    fn known_encoding() {
+        // 624485 = 0xE5 0x8E 0x26 per the LEB128 wikipedia example.
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 624485);
+        assert_eq!(buf, vec![0xe5, 0x8e, 0x26]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_u32_roundtrip(v: u32) {
+            roundtrip_u32(v);
+        }
+
+        #[test]
+        fn prop_i64_roundtrip(v: i64) {
+            roundtrip_i64(v);
+        }
+
+        #[test]
+        fn prop_u64_roundtrip(v: u64) {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            proptest::prop_assert_eq!(read_u64(&buf, &mut pos), Ok(v));
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Core WebAssembly type definitions.
+
+/// A WebAssembly value type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValType {
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// 32-bit IEEE float.
+    F32,
+    /// 64-bit IEEE float.
+    F64,
+}
+
+impl ValType {
+    /// The binary encoding of this type.
+    #[must_use]
+    pub fn to_byte(self) -> u8 {
+        match self {
+            ValType::I32 => 0x7f,
+            ValType::I64 => 0x7e,
+            ValType::F32 => 0x7d,
+            ValType::F64 => 0x7c,
+        }
+    }
+
+    /// Parses the binary encoding.
+    #[must_use]
+    pub fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0x7f => Some(ValType::I32),
+            0x7e => Some(ValType::I64),
+            0x7d => Some(ValType::F32),
+            0x7c => Some(ValType::F64),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ValType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ValType::I32 => "i32",
+            ValType::I64 => "i64",
+            ValType::F32 => "f32",
+            ValType::F64 => "f64",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A function signature.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct FuncType {
+    /// Parameter types.
+    pub params: Vec<ValType>,
+    /// Result types.
+    pub results: Vec<ValType>,
+}
+
+impl FuncType {
+    /// Builds a signature from slices.
+    #[must_use]
+    pub fn new(params: &[ValType], results: &[ValType]) -> Self {
+        FuncType {
+            params: params.to_vec(),
+            results: results.to_vec(),
+        }
+    }
+}
+
+/// Size limits for memories and tables (in pages / elements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Minimum size.
+    pub min: u32,
+    /// Optional maximum size.
+    pub max: Option<u32>,
+}
+
+/// A global variable's type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalType {
+    /// The value type stored in the global.
+    pub val_type: ValType,
+    /// Whether the global may be written after instantiation.
+    pub mutable: bool,
+}
+
+/// The type of a structured control instruction (block/loop/if).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockType {
+    /// No parameters, no results.
+    Empty,
+    /// No parameters, a single result.
+    Value(ValType),
+    /// An index into the type section (multi-value form; decoded but the
+    /// validator restricts it to what the rest of the toolchain emits).
+    Func(u32),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valtype_byte_roundtrip() {
+        for t in [ValType::I32, ValType::I64, ValType::F32, ValType::F64] {
+            assert_eq!(ValType::from_byte(t.to_byte()), Some(t));
+        }
+        assert_eq!(ValType::from_byte(0x00), None);
+    }
+
+    #[test]
+    fn functype_equality() {
+        let a = FuncType::new(&[ValType::I32], &[ValType::I64]);
+        let b = FuncType::new(&[ValType::I32], &[ValType::I64]);
+        assert_eq!(a, b);
+        let c = FuncType::new(&[ValType::I32], &[]);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,953 @@
+//! Module validation: the specification's type-checking algorithm.
+//!
+//! WaTZ inherits Wasm's safety argument — software fault isolation and
+//! control-flow integrity — from validation, so this is a complete
+//! implementation of the algorithm from the spec appendix (operand stack of
+//! possibly-unknown types plus a control stack of frames), not a heuristic.
+
+use crate::instr::Instr;
+use crate::module::{ExportKind, Module};
+use crate::types::{BlockType, FuncType, ValType};
+
+/// Validation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// Index out of bounds for the given index space.
+    OutOfBounds {
+        /// Which index space.
+        space: &'static str,
+        /// The offending index.
+        index: u32,
+    },
+    /// Operand stack type mismatch.
+    TypeMismatch {
+        /// What was expected.
+        expected: String,
+        /// What was found.
+        found: String,
+    },
+    /// Operand stack underflow (popping past the current frame).
+    StackUnderflow,
+    /// Mismatched or missing `end`/`else`.
+    MalformedControl,
+    /// Values left on the stack at the end of a block.
+    UnbalancedStack,
+    /// A mutability rule was violated (e.g. `global.set` on an immutable).
+    ImmutableGlobal(u32),
+    /// More than one memory/table, or bad limits.
+    BadDefinition(&'static str),
+    /// Duplicate export name.
+    DuplicateExport(String),
+    /// The start function has a non-empty signature.
+    BadStart,
+    /// A constant initializer had the wrong type.
+    BadInit,
+    /// Alignment exponent larger than the access width.
+    BadAlignment,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::OutOfBounds { space, index } => {
+                write!(f, "{space} index {index} out of bounds")
+            }
+            ValidationError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            ValidationError::StackUnderflow => write!(f, "operand stack underflow"),
+            ValidationError::MalformedControl => write!(f, "malformed control structure"),
+            ValidationError::UnbalancedStack => write!(f, "unbalanced operand stack"),
+            ValidationError::ImmutableGlobal(i) => write!(f, "global {i} is immutable"),
+            ValidationError::BadDefinition(what) => write!(f, "bad definition: {what}"),
+            ValidationError::DuplicateExport(name) => write!(f, "duplicate export '{name}'"),
+            ValidationError::BadStart => write!(f, "start function must have type [] -> []"),
+            ValidationError::BadInit => write!(f, "bad constant initializer"),
+            ValidationError::BadAlignment => write!(f, "alignment exceeds access width"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+type VResult = Result<(), ValidationError>;
+
+/// Validates an entire module.
+///
+/// # Errors
+///
+/// Returns the first [`ValidationError`] found.
+pub fn validate(module: &Module) -> VResult {
+    // Types referenced by imports and functions.
+    for imp in &module.func_imports {
+        check_type_idx(module, imp.type_idx)?;
+    }
+    for f in &module.funcs {
+        check_type_idx(module, f.type_idx)?;
+    }
+
+    // Memories: at most one, sane limits.
+    if module.memories.len() > 1 {
+        return Err(ValidationError::BadDefinition("multiple memories"));
+    }
+    for m in &module.memories {
+        if let Some(max) = m.max {
+            if max < m.min {
+                return Err(ValidationError::BadDefinition("memory max < min"));
+            }
+        }
+    }
+    if module.tables.len() > 1 {
+        return Err(ValidationError::BadDefinition("multiple tables"));
+    }
+    for t in &module.tables {
+        if let Some(max) = t.max {
+            if max < t.min {
+                return Err(ValidationError::BadDefinition("table max < min"));
+            }
+        }
+    }
+
+    // Globals: constant initializer of matching type.
+    for g in &module.globals {
+        let init_ty = match g.init {
+            Instr::I32Const(_) => ValType::I32,
+            Instr::I64Const(_) => ValType::I64,
+            Instr::F32Const(_) => ValType::F32,
+            Instr::F64Const(_) => ValType::F64,
+            _ => return Err(ValidationError::BadInit),
+        };
+        if init_ty != g.ty.val_type {
+            return Err(ValidationError::BadInit);
+        }
+    }
+
+    // Exports: indices in bounds, unique names.
+    let mut names = std::collections::HashSet::new();
+    for e in &module.exports {
+        if !names.insert(e.name.as_str()) {
+            return Err(ValidationError::DuplicateExport(e.name.clone()));
+        }
+        let (space, bound) = match e.kind {
+            ExportKind::Func => ("function", module.func_count()),
+            ExportKind::Table => ("table", module.tables.len()),
+            ExportKind::Memory => ("memory", module.memories.len()),
+            ExportKind::Global => ("global", module.globals.len()),
+        };
+        if e.index as usize >= bound {
+            return Err(ValidationError::OutOfBounds {
+                space,
+                index: e.index,
+            });
+        }
+    }
+
+    // Start function: exists, [] -> [].
+    if let Some(start) = module.start {
+        let ty_idx = module
+            .func_type_idx(start)
+            .ok_or(ValidationError::OutOfBounds {
+                space: "function",
+                index: start,
+            })?;
+        let ty = &module.types[ty_idx as usize];
+        if !ty.params.is_empty() || !ty.results.is_empty() {
+            return Err(ValidationError::BadStart);
+        }
+    }
+
+    // Element segments.
+    for e in &module.elems {
+        if e.table as usize >= module.tables.len() {
+            return Err(ValidationError::OutOfBounds {
+                space: "table",
+                index: e.table,
+            });
+        }
+        if !matches!(e.offset, Instr::I32Const(_)) {
+            return Err(ValidationError::BadInit);
+        }
+        for func in &e.funcs {
+            if *func as usize >= module.func_count() {
+                return Err(ValidationError::OutOfBounds {
+                    space: "function",
+                    index: *func,
+                });
+            }
+        }
+    }
+
+    // Data segments.
+    for d in &module.data {
+        if d.memory as usize >= module.memories.len() {
+            return Err(ValidationError::OutOfBounds {
+                space: "memory",
+                index: d.memory,
+            });
+        }
+        if !matches!(d.offset, Instr::I32Const(_)) {
+            return Err(ValidationError::BadInit);
+        }
+    }
+
+    // Function bodies.
+    for f in &module.funcs {
+        let ty = &module.types[f.type_idx as usize];
+        let mut checker = FuncChecker::new(module, ty, &f.locals);
+        checker.check(&f.code)?;
+    }
+
+    Ok(())
+}
+
+fn check_type_idx(module: &Module, idx: u32) -> VResult {
+    if idx as usize >= module.types.len() {
+        return Err(ValidationError::OutOfBounds {
+            space: "type",
+            index: idx,
+        });
+    }
+    Ok(())
+}
+
+/// An operand type on the checker stack: a concrete type or unknown
+/// (produced by stack-polymorphic instructions after `unreachable`).
+type OpType = Option<ValType>;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameKind {
+    Func,
+    Block,
+    Loop,
+    If,
+    Else,
+}
+
+#[derive(Debug)]
+struct CtrlFrame {
+    kind: FrameKind,
+    start_types: Vec<ValType>,
+    end_types: Vec<ValType>,
+    height: usize,
+    unreachable: bool,
+}
+
+struct FuncChecker<'m> {
+    module: &'m Module,
+    locals: Vec<ValType>,
+    vals: Vec<OpType>,
+    ctrls: Vec<CtrlFrame>,
+}
+
+impl<'m> FuncChecker<'m> {
+    fn new(module: &'m Module, ty: &FuncType, extra_locals: &[ValType]) -> Self {
+        let mut locals = ty.params.clone();
+        locals.extend_from_slice(extra_locals);
+        let mut checker = FuncChecker {
+            module,
+            locals,
+            vals: Vec::new(),
+            ctrls: Vec::new(),
+        };
+        checker.ctrls.push(CtrlFrame {
+            kind: FrameKind::Func,
+            start_types: Vec::new(),
+            end_types: ty.results.clone(),
+            height: 0,
+            unreachable: false,
+        });
+        checker
+    }
+
+    fn block_types(&self, bt: BlockType) -> Result<(Vec<ValType>, Vec<ValType>), ValidationError> {
+        match bt {
+            BlockType::Empty => Ok((Vec::new(), Vec::new())),
+            BlockType::Value(t) => Ok((Vec::new(), vec![t])),
+            BlockType::Func(idx) => {
+                let ty = self
+                    .module
+                    .types
+                    .get(idx as usize)
+                    .ok_or(ValidationError::OutOfBounds {
+                        space: "type",
+                        index: idx,
+                    })?;
+                Ok((ty.params.clone(), ty.results.clone()))
+            }
+        }
+    }
+
+    fn push(&mut self, t: ValType) {
+        self.vals.push(Some(t));
+    }
+
+    fn push_unknown(&mut self) {
+        self.vals.push(None);
+    }
+
+    fn pop_any(&mut self) -> Result<OpType, ValidationError> {
+        let frame = self.ctrls.last().ok_or(ValidationError::MalformedControl)?;
+        if self.vals.len() == frame.height {
+            if frame.unreachable {
+                return Ok(None);
+            }
+            return Err(ValidationError::StackUnderflow);
+        }
+        Ok(self.vals.pop().expect("checked non-empty"))
+    }
+
+    fn pop(&mut self, expect: ValType) -> VResult {
+        match self.pop_any()? {
+            None => Ok(()),
+            Some(t) if t == expect => Ok(()),
+            Some(t) => Err(ValidationError::TypeMismatch {
+                expected: expect.to_string(),
+                found: t.to_string(),
+            }),
+        }
+    }
+
+    fn pop_many(&mut self, types: &[ValType]) -> VResult {
+        for t in types.iter().rev() {
+            self.pop(*t)?;
+        }
+        Ok(())
+    }
+
+    fn push_many(&mut self, types: &[ValType]) {
+        for t in types {
+            self.push(*t);
+        }
+    }
+
+    fn push_frame(&mut self, kind: FrameKind, start: Vec<ValType>, end: Vec<ValType>) {
+        let height = self.vals.len();
+        self.push_many(&start.clone());
+        self.ctrls.push(CtrlFrame {
+            kind,
+            start_types: start,
+            end_types: end,
+            height,
+            unreachable: false,
+        });
+    }
+
+    fn pop_frame(&mut self) -> Result<CtrlFrame, ValidationError> {
+        let frame_end = self
+            .ctrls
+            .last()
+            .ok_or(ValidationError::MalformedControl)?
+            .end_types
+            .clone();
+        self.pop_many(&frame_end)?;
+        let frame = self.ctrls.pop().expect("checked non-empty");
+        if self.vals.len() != frame.height {
+            return Err(ValidationError::UnbalancedStack);
+        }
+        Ok(frame)
+    }
+
+    fn mark_unreachable(&mut self) -> VResult {
+        let frame = self
+            .ctrls
+            .last_mut()
+            .ok_or(ValidationError::MalformedControl)?;
+        self.vals.truncate(frame.height);
+        frame.unreachable = true;
+        Ok(())
+    }
+
+    fn label_types(&self, depth: u32) -> Result<Vec<ValType>, ValidationError> {
+        let idx = self
+            .ctrls
+            .len()
+            .checked_sub(1 + depth as usize)
+            .ok_or(ValidationError::OutOfBounds {
+                space: "label",
+                index: depth,
+            })?;
+        let frame = &self.ctrls[idx];
+        Ok(if frame.kind == FrameKind::Loop {
+            frame.start_types.clone()
+        } else {
+            frame.end_types.clone()
+        })
+    }
+
+    fn local(&self, idx: u32) -> Result<ValType, ValidationError> {
+        self.locals
+            .get(idx as usize)
+            .copied()
+            .ok_or(ValidationError::OutOfBounds {
+                space: "local",
+                index: idx,
+            })
+    }
+
+    fn global(&self, idx: u32) -> Result<(ValType, bool), ValidationError> {
+        self.module
+            .globals
+            .get(idx as usize)
+            .map(|g| (g.ty.val_type, g.ty.mutable))
+            .ok_or(ValidationError::OutOfBounds {
+                space: "global",
+                index: idx,
+            })
+    }
+
+    fn require_memory(&self) -> VResult {
+        if self.module.memories.is_empty() {
+            return Err(ValidationError::BadDefinition("no memory defined"));
+        }
+        Ok(())
+    }
+
+    fn check_load(&mut self, t: ValType, width_log2: u32, align: u32) -> VResult {
+        self.require_memory()?;
+        if align > width_log2 {
+            return Err(ValidationError::BadAlignment);
+        }
+        self.pop(ValType::I32)?;
+        self.push(t);
+        Ok(())
+    }
+
+    fn check_store(&mut self, t: ValType, width_log2: u32, align: u32) -> VResult {
+        self.require_memory()?;
+        if align > width_log2 {
+            return Err(ValidationError::BadAlignment);
+        }
+        self.pop(t)?;
+        self.pop(ValType::I32)?;
+        Ok(())
+    }
+
+    fn unop(&mut self, t: ValType) -> VResult {
+        self.pop(t)?;
+        self.push(t);
+        Ok(())
+    }
+
+    fn binop(&mut self, t: ValType) -> VResult {
+        self.pop(t)?;
+        self.pop(t)?;
+        self.push(t);
+        Ok(())
+    }
+
+    fn relop(&mut self, t: ValType) -> VResult {
+        self.pop(t)?;
+        self.pop(t)?;
+        self.push(ValType::I32);
+        Ok(())
+    }
+
+    fn cvt(&mut self, from: ValType, to: ValType) -> VResult {
+        self.pop(from)?;
+        self.push(to);
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn check(&mut self, code: &[Instr]) -> VResult {
+        use Instr::*;
+        use ValType::{F32, F64, I32, I64};
+        for instr in code {
+            match instr {
+                Unreachable => self.mark_unreachable()?,
+                Nop => {}
+                Block(bt) => {
+                    let (start, end) = self.block_types(*bt)?;
+                    self.pop_many(&start)?;
+                    self.push_frame(FrameKind::Block, start, end);
+                }
+                Loop(bt) => {
+                    let (start, end) = self.block_types(*bt)?;
+                    self.pop_many(&start)?;
+                    self.push_frame(FrameKind::Loop, start, end);
+                }
+                If(bt) => {
+                    self.pop(I32)?;
+                    let (start, end) = self.block_types(*bt)?;
+                    self.pop_many(&start)?;
+                    self.push_frame(FrameKind::If, start, end);
+                }
+                Else => {
+                    let frame = self.pop_frame()?;
+                    if frame.kind != FrameKind::If {
+                        return Err(ValidationError::MalformedControl);
+                    }
+                    self.push_frame(FrameKind::Else, frame.start_types, frame.end_types);
+                }
+                End => {
+                    let frame = self.pop_frame()?;
+                    // An `if` without `else` must have matching in/out types.
+                    if frame.kind == FrameKind::If && frame.start_types != frame.end_types {
+                        return Err(ValidationError::MalformedControl);
+                    }
+                    self.push_many(&frame.end_types);
+                    if self.ctrls.is_empty() {
+                        // That was the function's final End; nothing may follow.
+                        continue;
+                    }
+                }
+                Br(depth) => {
+                    let types = self.label_types(*depth)?;
+                    self.pop_many(&types)?;
+                    self.mark_unreachable()?;
+                }
+                BrIf(depth) => {
+                    self.pop(I32)?;
+                    let types = self.label_types(*depth)?;
+                    self.pop_many(&types)?;
+                    self.push_many(&types);
+                }
+                BrTable { targets, default } => {
+                    self.pop(I32)?;
+                    let default_types = self.label_types(*default)?;
+                    for t in targets {
+                        let types = self.label_types(*t)?;
+                        if types.len() != default_types.len() {
+                            return Err(ValidationError::MalformedControl);
+                        }
+                    }
+                    self.pop_many(&default_types)?;
+                    self.mark_unreachable()?;
+                }
+                Return => {
+                    let types = self.ctrls[0].end_types.clone();
+                    self.pop_many(&types)?;
+                    self.mark_unreachable()?;
+                }
+                Call(func_idx) => {
+                    let ty_idx = self.module.func_type_idx(*func_idx).ok_or(
+                        ValidationError::OutOfBounds {
+                            space: "function",
+                            index: *func_idx,
+                        },
+                    )?;
+                    let ty = self.module.types[ty_idx as usize].clone();
+                    self.pop_many(&ty.params)?;
+                    self.push_many(&ty.results);
+                }
+                CallIndirect { type_idx, table } => {
+                    if *table as usize >= self.module.tables.len() {
+                        return Err(ValidationError::OutOfBounds {
+                            space: "table",
+                            index: *table,
+                        });
+                    }
+                    check_type_idx(self.module, *type_idx)?;
+                    let ty = self.module.types[*type_idx as usize].clone();
+                    self.pop(I32)?;
+                    self.pop_many(&ty.params)?;
+                    self.push_many(&ty.results);
+                }
+                Drop => {
+                    self.pop_any()?;
+                }
+                Select => {
+                    self.pop(I32)?;
+                    let a = self.pop_any()?;
+                    let b = self.pop_any()?;
+                    match (a, b) {
+                        (Some(x), Some(y)) if x != y => {
+                            return Err(ValidationError::TypeMismatch {
+                                expected: x.to_string(),
+                                found: y.to_string(),
+                            })
+                        }
+                        (Some(x), _) => self.push(x),
+                        (None, Some(y)) => self.push(y),
+                        (None, None) => self.push_unknown(),
+                    }
+                }
+                LocalGet(i) => {
+                    let t = self.local(*i)?;
+                    self.push(t);
+                }
+                LocalSet(i) => {
+                    let t = self.local(*i)?;
+                    self.pop(t)?;
+                }
+                LocalTee(i) => {
+                    let t = self.local(*i)?;
+                    self.pop(t)?;
+                    self.push(t);
+                }
+                GlobalGet(i) => {
+                    let (t, _) = self.global(*i)?;
+                    self.push(t);
+                }
+                GlobalSet(i) => {
+                    let (t, mutable) = self.global(*i)?;
+                    if !mutable {
+                        return Err(ValidationError::ImmutableGlobal(*i));
+                    }
+                    self.pop(t)?;
+                }
+                I32Load(m) => self.check_load(I32, 2, m.align)?,
+                I64Load(m) => self.check_load(I64, 3, m.align)?,
+                F32Load(m) => self.check_load(F32, 2, m.align)?,
+                F64Load(m) => self.check_load(F64, 3, m.align)?,
+                I32Load8S(m) | I32Load8U(m) => self.check_load(I32, 0, m.align)?,
+                I32Load16S(m) | I32Load16U(m) => self.check_load(I32, 1, m.align)?,
+                I64Load8S(m) | I64Load8U(m) => self.check_load(I64, 0, m.align)?,
+                I64Load16S(m) | I64Load16U(m) => self.check_load(I64, 1, m.align)?,
+                I64Load32S(m) | I64Load32U(m) => self.check_load(I64, 2, m.align)?,
+                I32Store(m) => self.check_store(I32, 2, m.align)?,
+                I64Store(m) => self.check_store(I64, 3, m.align)?,
+                F32Store(m) => self.check_store(F32, 2, m.align)?,
+                F64Store(m) => self.check_store(F64, 3, m.align)?,
+                I32Store8(m) => self.check_store(I32, 0, m.align)?,
+                I32Store16(m) => self.check_store(I32, 1, m.align)?,
+                I64Store8(m) => self.check_store(I64, 0, m.align)?,
+                I64Store16(m) => self.check_store(I64, 1, m.align)?,
+                I64Store32(m) => self.check_store(I64, 2, m.align)?,
+                MemorySize => {
+                    self.require_memory()?;
+                    self.push(I32);
+                }
+                MemoryGrow => {
+                    self.require_memory()?;
+                    self.pop(I32)?;
+                    self.push(I32);
+                }
+                MemoryCopy | MemoryFill => {
+                    self.require_memory()?;
+                    self.pop(I32)?;
+                    self.pop(I32)?;
+                    self.pop(I32)?;
+                }
+                I32Const(_) => self.push(I32),
+                I64Const(_) => self.push(I64),
+                F32Const(_) => self.push(F32),
+                F64Const(_) => self.push(F64),
+                I32Eqz => self.cvt(I32, I32)?,
+                I64Eqz => self.cvt(I64, I32)?,
+                I32Eq | I32Ne | I32LtS | I32LtU | I32GtS | I32GtU | I32LeS | I32LeU | I32GeS
+                | I32GeU => self.relop(I32)?,
+                I64Eq | I64Ne | I64LtS | I64LtU | I64GtS | I64GtU | I64LeS | I64LeU | I64GeS
+                | I64GeU => self.relop(I64)?,
+                F32Eq | F32Ne | F32Lt | F32Gt | F32Le | F32Ge => self.relop(F32)?,
+                F64Eq | F64Ne | F64Lt | F64Gt | F64Le | F64Ge => self.relop(F64)?,
+                I32Clz | I32Ctz | I32Popcnt | I32Extend8S | I32Extend16S => self.unop(I32)?,
+                I64Clz | I64Ctz | I64Popcnt | I64Extend8S | I64Extend16S | I64Extend32S => {
+                    self.unop(I64)?
+                }
+                I32Add | I32Sub | I32Mul | I32DivS | I32DivU | I32RemS | I32RemU | I32And
+                | I32Or | I32Xor | I32Shl | I32ShrS | I32ShrU | I32Rotl | I32Rotr => {
+                    self.binop(I32)?
+                }
+                I64Add | I64Sub | I64Mul | I64DivS | I64DivU | I64RemS | I64RemU | I64And
+                | I64Or | I64Xor | I64Shl | I64ShrS | I64ShrU | I64Rotl | I64Rotr => {
+                    self.binop(I64)?
+                }
+                F32Abs | F32Neg | F32Ceil | F32Floor | F32Trunc | F32Nearest | F32Sqrt => {
+                    self.unop(F32)?
+                }
+                F64Abs | F64Neg | F64Ceil | F64Floor | F64Trunc | F64Nearest | F64Sqrt => {
+                    self.unop(F64)?
+                }
+                F32Add | F32Sub | F32Mul | F32Div | F32Min | F32Max | F32Copysign => {
+                    self.binop(F32)?
+                }
+                F64Add | F64Sub | F64Mul | F64Div | F64Min | F64Max | F64Copysign => {
+                    self.binop(F64)?
+                }
+                I32WrapI64 => self.cvt(I64, I32)?,
+                I32TruncF32S | I32TruncF32U => self.cvt(F32, I32)?,
+                I32TruncF64S | I32TruncF64U => self.cvt(F64, I32)?,
+                I64ExtendI32S | I64ExtendI32U => self.cvt(I32, I64)?,
+                I64TruncF32S | I64TruncF32U => self.cvt(F32, I64)?,
+                I64TruncF64S | I64TruncF64U => self.cvt(F64, I64)?,
+                F32ConvertI32S | F32ConvertI32U => self.cvt(I32, F32)?,
+                F32ConvertI64S | F32ConvertI64U => self.cvt(I64, F32)?,
+                F32DemoteF64 => self.cvt(F64, F32)?,
+                F64ConvertI32S | F64ConvertI32U => self.cvt(I32, F64)?,
+                F64ConvertI64S | F64ConvertI64U => self.cvt(I64, F64)?,
+                F64PromoteF32 => self.cvt(F32, F64)?,
+                I32ReinterpretF32 => self.cvt(F32, I32)?,
+                I64ReinterpretF64 => self.cvt(F64, I64)?,
+                F32ReinterpretI32 => self.cvt(I32, F32)?,
+                F64ReinterpretI64 => self.cvt(I64, F64)?,
+            }
+        }
+        if !self.ctrls.is_empty() {
+            return Err(ValidationError::MalformedControl);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::types::BlockType;
+
+    fn check(build: impl FnOnce(&mut ModuleBuilder)) -> VResult {
+        let mut b = ModuleBuilder::new();
+        build(&mut b);
+        validate(b.module())
+    }
+
+    #[test]
+    fn valid_add_function() {
+        check(|b| {
+            let ty = b.add_type(&[ValType::I32, ValType::I32], &[ValType::I32]);
+            let f = b.add_func(
+                ty,
+                &[],
+                vec![
+                    Instr::LocalGet(0),
+                    Instr::LocalGet(1),
+                    Instr::I32Add,
+                    Instr::End,
+                ],
+            );
+            b.export_func("add", f);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn type_mismatch_caught() {
+        let err = check(|b| {
+            let ty = b.add_type(&[ValType::I32], &[ValType::I32]);
+            b.add_func(
+                ty,
+                &[],
+                vec![Instr::LocalGet(0), Instr::F64Sqrt, Instr::End],
+            );
+        })
+        .unwrap_err();
+        assert!(matches!(err, ValidationError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn stack_underflow_caught() {
+        let err = check(|b| {
+            let ty = b.add_type(&[], &[]);
+            b.add_func(ty, &[], vec![Instr::I32Add, Instr::End]);
+        })
+        .unwrap_err();
+        assert_eq!(err, ValidationError::StackUnderflow);
+    }
+
+    #[test]
+    fn leftover_values_caught() {
+        let err = check(|b| {
+            let ty = b.add_type(&[], &[]);
+            b.add_func(ty, &[], vec![Instr::I32Const(1), Instr::End]);
+        })
+        .unwrap_err();
+        assert_eq!(err, ValidationError::UnbalancedStack);
+    }
+
+    #[test]
+    fn missing_result_caught() {
+        let err = check(|b| {
+            let ty = b.add_type(&[], &[ValType::I32]);
+            b.add_func(ty, &[], vec![Instr::End]);
+        })
+        .unwrap_err();
+        assert_eq!(err, ValidationError::StackUnderflow);
+    }
+
+    #[test]
+    fn unreachable_is_stack_polymorphic() {
+        check(|b| {
+            let ty = b.add_type(&[], &[ValType::I32]);
+            b.add_func(ty, &[], vec![Instr::Unreachable, Instr::End]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn br_to_outer_label() {
+        check(|b| {
+            let ty = b.add_type(&[], &[]);
+            b.add_func(
+                ty,
+                &[],
+                vec![
+                    Instr::Block(BlockType::Empty),
+                    Instr::Br(0),
+                    Instr::End,
+                    Instr::End,
+                ],
+            );
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn br_depth_out_of_bounds() {
+        let err = check(|b| {
+            let ty = b.add_type(&[], &[]);
+            b.add_func(ty, &[], vec![Instr::Br(5), Instr::End]);
+        })
+        .unwrap_err();
+        assert!(matches!(err, ValidationError::OutOfBounds { space: "label", .. }));
+    }
+
+    #[test]
+    fn if_without_else_needs_matching_types() {
+        let err = check(|b| {
+            let ty = b.add_type(&[], &[ValType::I32]);
+            b.add_func(
+                ty,
+                &[],
+                vec![
+                    Instr::I32Const(1),
+                    Instr::If(BlockType::Value(ValType::I32)),
+                    Instr::I32Const(2),
+                    Instr::End,
+                    Instr::End,
+                ],
+            );
+        })
+        .unwrap_err();
+        assert_eq!(err, ValidationError::MalformedControl);
+    }
+
+    #[test]
+    fn immutable_global_set_rejected() {
+        let err = check(|b| {
+            let ty = b.add_type(&[], &[]);
+            b.add_global(ValType::I32, false, Instr::I32Const(0));
+            b.add_func(
+                ty,
+                &[],
+                vec![Instr::I32Const(1), Instr::GlobalSet(0), Instr::End],
+            );
+        })
+        .unwrap_err();
+        assert_eq!(err, ValidationError::ImmutableGlobal(0));
+    }
+
+    #[test]
+    fn memory_ops_require_memory() {
+        let err = check(|b| {
+            let ty = b.add_type(&[], &[ValType::I32]);
+            b.add_func(
+                ty,
+                &[],
+                vec![
+                    Instr::I32Const(0),
+                    Instr::I32Load(crate::instr::MemArg::align(2)),
+                    Instr::End,
+                ],
+            );
+        })
+        .unwrap_err();
+        assert_eq!(err, ValidationError::BadDefinition("no memory defined"));
+    }
+
+    #[test]
+    fn over_aligned_access_rejected() {
+        let err = check(|b| {
+            let ty = b.add_type(&[], &[ValType::I32]);
+            b.add_memory(1, None);
+            b.add_func(
+                ty,
+                &[],
+                vec![
+                    Instr::I32Const(0),
+                    Instr::I32Load(crate::instr::MemArg::align(3)),
+                    Instr::End,
+                ],
+            );
+        })
+        .unwrap_err();
+        assert_eq!(err, ValidationError::BadAlignment);
+    }
+
+    #[test]
+    fn call_type_checked() {
+        let err = check(|b| {
+            let ty_ii = b.add_type(&[ValType::I64], &[]);
+            let ty_v = b.add_type(&[], &[]);
+            let callee = b.add_func(ty_ii, &[], vec![Instr::End]);
+            b.add_func(
+                ty_v,
+                &[],
+                vec![Instr::I32Const(0), Instr::Call(callee), Instr::End],
+            );
+        })
+        .unwrap_err();
+        assert!(matches!(err, ValidationError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn duplicate_export_rejected() {
+        let err = check(|b| {
+            let ty = b.add_type(&[], &[]);
+            let f = b.add_func(ty, &[], vec![Instr::End]);
+            b.export_func("x", f);
+            b.export_func("x", f);
+        })
+        .unwrap_err();
+        assert_eq!(err, ValidationError::DuplicateExport("x".into()));
+    }
+
+    #[test]
+    fn start_must_be_nullary() {
+        let err = check(|b| {
+            let ty = b.add_type(&[ValType::I32], &[]);
+            let f = b.add_func(ty, &[], vec![Instr::End]);
+            b.set_start(f);
+        })
+        .unwrap_err();
+        assert_eq!(err, ValidationError::BadStart);
+    }
+
+    #[test]
+    fn br_table_checked() {
+        check(|b| {
+            let ty = b.add_type(&[ValType::I32], &[]);
+            b.add_func(
+                ty,
+                &[],
+                vec![
+                    Instr::Block(BlockType::Empty),
+                    Instr::Block(BlockType::Empty),
+                    Instr::LocalGet(0),
+                    Instr::BrTable {
+                        targets: vec![0, 1],
+                        default: 1,
+                    },
+                    Instr::End,
+                    Instr::End,
+                    Instr::End,
+                ],
+            );
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn loop_label_takes_params() {
+        check(|b| {
+            let ty = b.add_type(&[], &[]);
+            b.add_func(
+                ty,
+                &[ValType::I32],
+                vec![
+                    Instr::Loop(BlockType::Empty),
+                    Instr::LocalGet(0),
+                    Instr::I32Const(1),
+                    Instr::I32Add,
+                    Instr::LocalTee(0),
+                    Instr::I32Const(10),
+                    Instr::I32LtS,
+                    Instr::BrIf(0),
+                    Instr::End,
+                    Instr::End,
+                ],
+            );
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,216 @@
+//! The MiniC port of the Genann training benchmark (Fig 8).
+//!
+//! A 4-4-3 feed-forward network trained by online backpropagation on the
+//! Iris-like dataset, mirroring `genann-rs` (same topology, sigmoid
+//! activations, same learning loop). The dataset arrives as flat arrays
+//! written into guest memory by the embedder (in the paper's end-to-end
+//! flow it arrives through the attested msg3 channel).
+//!
+//! Exports:
+//! * `buf_alloc(n_samples) -> ptr` — allocates the feature/label buffers
+//!   and returns the feature pointer (labels follow at `ptr + n*4*8`);
+//! * `train(n_samples, epochs) -> double` — trains and returns the final
+//!   mean squared error.
+
+/// The guest source. Needs the `libm` prelude for `exp`.
+#[must_use]
+pub fn source() -> String {
+    format!("{}\n{}", minic::LIBM_PRELUDE, GENANN_BODY)
+}
+
+const GENANN_BODY: &str = r#"
+// 4-4-3 network: (4+1)*4 + (4+1)*3 = 35 weights.
+double* weights = 0;
+double* acts = 0;     // 4 inputs + 4 hidden + 3 outputs = 11
+double* deltas = 0;   // 4 hidden + 3 outputs = 7
+double* features = 0; // n * 4
+int* labels = 0;      // n
+int n_samples = 0;
+
+long wseed = 0;
+double wrand() {
+    // xorshift64* in [-0.5, 0.5], matching genann-rs.
+    // MiniC's >> is arithmetic; mask to the low bits to reproduce the
+    // logical shifts of the Rust reference exactly.
+    wseed = wseed ^ ((wseed >> 12) & 4503599627370495);       // 2^52 - 1
+    wseed = wseed ^ (wseed << 25);
+    wseed = wseed ^ ((wseed >> 27) & 137438953471);           // 2^37 - 1
+    long r = wseed * 2685821657736338717;
+    long u = (r >> 11) & 9007199254740991;                    // 2^53 - 1
+    return (double)u / 9007199254740992.0 - 0.5;
+}
+
+int buf_alloc(int n) {
+    n_samples = n;
+    features = (double*)alloc(n * 4 * 8);
+    labels = (int*)alloc(n * 4);
+    weights = (double*)alloc(35 * 8);
+    acts = (double*)alloc(11 * 8);
+    deltas = (double*)alloc(7 * 8);
+    return (int)features;
+}
+
+int labels_ptr() { return (int)labels; }
+
+void init_weights() {
+    wseed = 2654435769;
+    int i;
+    for (i = 0; i < 35; i = i + 1) { weights[i] = wrand(); }
+}
+
+void forward(int s) {
+    int i; int o;
+    for (i = 0; i < 4; i = i + 1) { acts[i] = features[s * 4 + i]; }
+    // Hidden layer: weights 0..19 (5 per neuron, bias first).
+    for (o = 0; o < 4; o = o + 1) {
+        double sum = weights[o * 5] * (0.0 - 1.0);
+        for (i = 0; i < 4; i = i + 1) { sum = sum + weights[o * 5 + 1 + i] * acts[i]; }
+        acts[4 + o] = sigmoid(sum);
+    }
+    // Output layer: weights 20..34.
+    for (o = 0; o < 3; o = o + 1) {
+        double sum = weights[20 + o * 5] * (0.0 - 1.0);
+        for (i = 0; i < 4; i = i + 1) { sum = sum + weights[20 + o * 5 + 1 + i] * acts[4 + i]; }
+        acts[8 + o] = sigmoid(sum);
+    }
+}
+
+void backprop(int s, double rate) {
+    int i; int o;
+    forward(s);
+    int label = labels[s];
+    // Output deltas.
+    for (o = 0; o < 3; o = o + 1) {
+        double t = o == label ? 1.0 : 0.0;
+        double a = acts[8 + o];
+        deltas[4 + o] = a * (1.0 - a) * (t - a);
+    }
+    // Hidden deltas.
+    for (i = 0; i < 4; i = i + 1) {
+        double err = 0.0;
+        for (o = 0; o < 3; o = o + 1) {
+            err = err + weights[20 + o * 5 + 1 + i] * deltas[4 + o];
+        }
+        double a = acts[4 + i];
+        deltas[i] = a * (1.0 - a) * err;
+    }
+    // Update output weights.
+    for (o = 0; o < 3; o = o + 1) {
+        weights[20 + o * 5] = weights[20 + o * 5] + rate * deltas[4 + o] * (0.0 - 1.0);
+        for (i = 0; i < 4; i = i + 1) {
+            weights[20 + o * 5 + 1 + i] = weights[20 + o * 5 + 1 + i]
+                + rate * deltas[4 + o] * acts[4 + i];
+        }
+    }
+    // Update hidden weights.
+    for (o = 0; o < 4; o = o + 1) {
+        weights[o * 5] = weights[o * 5] + rate * deltas[o] * (0.0 - 1.0);
+        for (i = 0; i < 4; i = i + 1) {
+            weights[o * 5 + 1 + i] = weights[o * 5 + 1 + i] + rate * deltas[o] * acts[i];
+        }
+    }
+}
+
+double mse() {
+    double sum = 0.0;
+    int s; int o;
+    for (s = 0; s < n_samples; s = s + 1) {
+        forward(s);
+        for (o = 0; o < 3; o = o + 1) {
+            double t = o == labels[s] ? 1.0 : 0.0;
+            double d = acts[8 + o] - t;
+            sum = sum + d * d;
+        }
+    }
+    return sum / (double)(n_samples * 3);
+}
+
+double train(int n, int epochs) {
+    init_weights();
+    int e; int s;
+    for (e = 0; e < epochs; e = e + 1) {
+        for (s = 0; s < n; s = s + 1) {
+            backprop(s, 0.5);
+        }
+    }
+    return mse();
+}
+
+int accuracy_x1000() {
+    int correct = 0;
+    int s; int o;
+    for (s = 0; s < n_samples; s = s + 1) {
+        forward(s);
+        int best = 0;
+        for (o = 1; o < 3; o = o + 1) {
+            if (acts[8 + o] > acts[8 + best]) { best = o; }
+        }
+        if (best == labels[s]) { correct = correct + 1; }
+    }
+    return correct * 1000 / n_samples;
+}
+"#;
+
+/// Flattens samples into the guest's expected layout: features as f64 LE
+/// bytes, labels as i32 LE bytes.
+#[must_use]
+pub fn flatten(samples: &[genann_rs::iris::Sample]) -> (Vec<u8>, Vec<u8>) {
+    let mut features = Vec::with_capacity(samples.len() * 32);
+    let mut labels = Vec::with_capacity(samples.len() * 4);
+    for s in samples {
+        for f in &s.features {
+            features.extend_from_slice(&f.to_le_bytes());
+        }
+        labels.extend_from_slice(&(s.class as i32).to_le_bytes());
+    }
+    (features, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use watz_wasm::exec::{ExecMode, Instance, NoHost, Value};
+
+    #[test]
+    fn guest_learns_iris() {
+        let wasm = minic::compile(&source()).expect("compile");
+        let module = watz_wasm::load(&wasm).expect("load");
+        let mut inst = Instance::instantiate(&module, ExecMode::Aot, &mut NoHost).unwrap();
+
+        let samples = genann_rs::iris::dataset();
+        let n = samples.len() as i32;
+        let out = inst
+            .invoke(&mut NoHost, "buf_alloc", &[Value::I32(n)])
+            .unwrap();
+        let feat_ptr = out[0].as_u32();
+        let label_ptr = inst.invoke(&mut NoHost, "labels_ptr", &[]).unwrap()[0].as_u32();
+
+        let (features, labels) = flatten(&samples);
+        inst.memory_mut().write_bytes(feat_ptr, &features).unwrap();
+        inst.memory_mut().write_bytes(label_ptr, &labels).unwrap();
+
+        let out = inst
+            .invoke(&mut NoHost, "train", &[Value::I32(n), Value::I32(300)])
+            .unwrap();
+        let mse = match out[0] {
+            Value::F64(v) => v,
+            ref other => panic!("unexpected {other:?}"),
+        };
+        assert!(mse < 0.12, "guest MSE after training: {mse}");
+
+        let out = inst.invoke(&mut NoHost, "accuracy_x1000", &[]).unwrap();
+        let acc = match out[0] {
+            Value::I32(v) => v,
+            ref other => panic!("unexpected {other:?}"),
+        };
+        assert!(acc > 900, "guest accuracy: {}%", acc as f64 / 10.0);
+    }
+
+    #[test]
+    fn flatten_layout() {
+        let samples = genann_rs::iris::dataset_with(2);
+        let (f, l) = flatten(&samples);
+        assert_eq!(f.len(), samples.len() * 4 * 8);
+        assert_eq!(l.len(), samples.len() * 4);
+    }
+}

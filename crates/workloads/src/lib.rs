@@ -1,0 +1,41 @@
+//! Evaluation workloads for the WaTZ reproduction.
+//!
+//! * [`polybench`] — all 30 PolyBench/C kernels (Fig 5), each implemented
+//!   twice: native Rust (the baseline) and MiniC (compiled to Wasm by the
+//!   `minic` crate, executed by `watz-wasm`). Each kernel returns a floating
+//!   checksum so the two implementations can be differentially tested.
+//! * [`speedtest`] — the Speedtest1-style database experiment suite
+//!   (Fig 6), defined once as SQL scripts: the native side runs them on
+//!   `microdb`, the Wasm side on the `minisql` MiniC guest.
+//! * [`genann_guest`] — the MiniC port of the Genann training benchmark
+//!   (Fig 8), fed with the replicated Iris-like dataset.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod genann_guest;
+pub mod polybench;
+pub mod speedtest;
+
+use watz_wasm::exec::{ExecMode, Instance, NoHost, Value};
+
+/// Compiles a MiniC source and runs `kernel(n)` in the given mode,
+/// returning the f64 checksum. Convenience used by tests and benches.
+///
+/// # Panics
+///
+/// Panics on compile/load/run failure (these are programmer errors in the
+/// embedded kernel sources).
+#[must_use]
+pub fn run_minic_kernel(src: &str, n: i32, mode: ExecMode) -> f64 {
+    let wasm = minic::compile(src).expect("kernel must compile");
+    let module = watz_wasm::load(&wasm).expect("kernel must load");
+    let mut inst = Instance::instantiate(&module, mode, &mut NoHost).expect("instantiate");
+    let out = inst
+        .invoke(&mut NoHost, "kernel", &[Value::I32(n)])
+        .expect("kernel run");
+    match out[0] {
+        Value::F64(v) => v,
+        ref other => panic!("kernel returned {other:?}"),
+    }
+}

@@ -1,0 +1,36 @@
+//! # WaTZ-rs
+//!
+//! A from-scratch reproduction of *"WaTZ: A Trusted WebAssembly Runtime
+//! Environment with Remote Attestation for TrustZone"* (ICDCS 2022).
+//!
+//! This facade crate re-exports the workspace so examples and downstream
+//! users can depend on a single crate. See the individual crates for the
+//! subsystems:
+//!
+//! * [`runtime`] — the WaTZ runtime (primary contribution);
+//! * [`hal`] — TrustZone hardware model (worlds, SMC, root of trust, boot);
+//! * [`optee`] — the OP-TEE-like trusted OS;
+//! * [`crypto`] — SHA-256 / AES-GCM / AES-CMAC / P-256 / Fortuna;
+//! * [`wasm`] — the WebAssembly engine;
+//! * [`compiler`] — MiniC, the C-like guest toolchain;
+//! * [`wasi`] — WASI + WASI-RA host interface;
+//! * [`attestation`] — evidence + the four-message RA protocol;
+//! * [`db`] — microdb, the SQL engine used by the Fig 6 experiment;
+//! * [`ann`] — the Genann-style neural network (Fig 8);
+//! * [`bench_workloads`] — PolyBench, Speedtest and Genann guests;
+//! * [`verifier_model`] — the bounded Dolev-Yao protocol analysis.
+
+#![forbid(unsafe_code)]
+
+pub use genann_rs as ann;
+pub use microdb as db;
+pub use minic as compiler;
+pub use optee_sim as optee;
+pub use scyther_lite as verifier_model;
+pub use tz_hal as hal;
+pub use watz_attestation as attestation;
+pub use watz_crypto as crypto;
+pub use watz_runtime as runtime;
+pub use watz_wasi as wasi;
+pub use watz_wasm as wasm;
+pub use workloads as bench_workloads;
