@@ -42,7 +42,10 @@ fn bench_crypto(c: &mut Criterion) {
         let key = SigningKey::generate(&mut rng);
         let digest = Sha256::digest(b"message");
         let sig = key.sign_deterministic(&digest);
-        b.iter(|| key.verifying_key().verify(std::hint::black_box(&digest), &sig));
+        b.iter(|| {
+            key.verifying_key()
+                .verify(std::hint::black_box(&digest), &sig)
+        });
     });
 
     g.bench_function("ecdhe_keygen", |b| {

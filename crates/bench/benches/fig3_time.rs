@@ -10,7 +10,10 @@ fn main() {
     let n = reps(1000);
     let rt = WatzRuntime::new_device_with(b"fig3", PlatformConfig::with_paper_latencies()).unwrap();
 
-    header("Fig 3a: time retrieval latency", "native TA ~10us, WaTZ ~13us");
+    header(
+        "Fig 3a: time retrieval latency",
+        "native TA ~10us, WaTZ ~13us",
+    );
     // Native TA: secure-world clock query.
     let native = median_time(n, || {
         let _ = optee_sim::time::secure_clock_ns(rt.platform());
@@ -23,9 +26,16 @@ fn main() {
         app.invoke("f", &[]).unwrap();
     });
     println!("  {:<22} {}", "Native TA", fmt(native));
-    println!("  {:<22} {}  (includes one TA command invocation)", "WaTZ (Wasm via WASI)", fmt(watz));
+    println!(
+        "  {:<22} {}  (includes one TA command invocation)",
+        "WaTZ (Wasm via WASI)",
+        fmt(watz)
+    );
 
-    header("Fig 3b: world transition latency", "enter 86us / leave 20us");
+    header(
+        "Fig 3b: world transition latency",
+        "enter 86us / leave 20us",
+    );
     let both = median_time(n, || {
         rt.platform().enter_secure(|| {});
     });
@@ -41,5 +51,9 @@ fn main() {
     for _ in 0..n {
         rt.platform().enter_secure(|| {});
     }
-    println!("  {:<22} {}", "Mean over batch", fmt(t.elapsed() / n as u32));
+    println!(
+        "  {:<22} {}",
+        "Mean over batch",
+        fmt(t.elapsed() / n as u32)
+    );
 }

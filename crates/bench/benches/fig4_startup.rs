@@ -33,10 +33,21 @@ fn synthetic_app(target_mb: usize) -> Vec<u8> {
 }
 
 fn main() {
-    header("Fig 4: startup breakdown vs application size", "load phase dominates (~73%)");
+    header(
+        "Fig 4: startup breakdown vs application size",
+        "load phase dominates (~73%)",
+    );
     println!(
         "  {:<6} {:>10} {:>12} {:>12} {:>10} {:>10} {:>12} {:>12} {:>10}",
-        "size", "bytes", "transition", "mem alloc", "hashing", "init", "loading", "instantiate", "exec"
+        "size",
+        "bytes",
+        "transition",
+        "mem alloc",
+        "hashing",
+        "init",
+        "loading",
+        "instantiate",
+        "exec"
     );
     let rt = WatzRuntime::new_device_with(b"fig4", PlatformConfig::with_paper_latencies()).unwrap();
     for mb in 1..=9 {
@@ -55,7 +66,10 @@ fn main() {
         app.invoke("main", &[]).unwrap();
         let b = app.startup_breakdown();
         let pct = |d: std::time::Duration| {
-            format!("{:>6.1}%", 100.0 * d.as_secs_f64() / b.total().as_secs_f64())
+            format!(
+                "{:>6.1}%",
+                100.0 * d.as_secs_f64() / b.total().as_secs_f64()
+            )
         };
         println!(
             "  {:<6} {:>10} {:>12} {:>12} {:>10} {:>10} {:>12} {:>12} {:>10}   total {}",

@@ -10,7 +10,10 @@ use watz_wasm::exec::{ExecMode, Instance, NoHost, Value};
 use workloads::polybench;
 
 fn main() {
-    header("Fig 5: PolyBench/C normalized run time", "Wasm ~1.34x native; TEE ~ REE");
+    header(
+        "Fig 5: PolyBench/C normalized run time",
+        "Wasm ~1.34x native; TEE ~ REE",
+    );
     let n = scale(24);
     let r = reps(3);
     let rt = WatzRuntime::new_device(b"fig5").unwrap();
@@ -41,7 +44,8 @@ fn main() {
         let t = Instant::now();
         for _ in 0..r {
             std::hint::black_box(
-                inst.invoke(&mut NoHost, "kernel", &[Value::I32(n as i32)]).unwrap(),
+                inst.invoke(&mut NoHost, "kernel", &[Value::I32(n as i32)])
+                    .unwrap(),
             );
         }
         let wasm_ree = t.elapsed();

@@ -5,17 +5,23 @@
 use std::time::Instant;
 use watz_bench::{header, scale};
 use watz_runtime::{run_native_ta, AppConfig, WatzRuntime};
-use watz_wasm::exec::{Value};
+use watz_wasm::exec::Value;
 use workloads::speedtest::{self, Kind};
 
 fn main() {
-    header("Fig 6: Speedtest1 normalized run time", "writes slower than reads; TEE ~ REE for Wasm");
+    header(
+        "Fig 6: Speedtest1 normalized run time",
+        "writes slower than reads; TEE ~ REE for Wasm",
+    );
     let n = scale(150); // the paper scales to 60% for memory reasons
     let rt = WatzRuntime::new_device(b"fig6").unwrap();
 
     let guest_wasm = minic::compile_with_options(
         speedtest::MINISQL_GUEST,
-        &minic::Options { min_pages: 256, max_pages: None },
+        &minic::Options {
+            min_pages: 256,
+            max_pages: None,
+        },
     )
     .unwrap();
 
@@ -51,7 +57,12 @@ fn main() {
             &mut watz_wasm::exec::NoHost,
         )
         .unwrap();
-        inst.invoke(&mut watz_wasm::exec::NoHost, "setup", &[Value::I32(n as i32)]).unwrap();
+        inst.invoke(
+            &mut watz_wasm::exec::NoHost,
+            "setup",
+            &[Value::I32(n as i32)],
+        )
+        .unwrap();
         let t = Instant::now();
         std::hint::black_box(
             inst.invoke(
@@ -65,12 +76,22 @@ fn main() {
 
         // Wasm TEE (WaTZ).
         let mut app = rt
-            .load(&guest_wasm, &AppConfig { heap_bytes: 25 << 20, mode: watz_wasm::ExecMode::Aot })
+            .load(
+                &guest_wasm,
+                &AppConfig {
+                    heap_bytes: 25 << 20,
+                    mode: watz_wasm::ExecMode::Aot,
+                },
+            )
             .unwrap();
         app.invoke("setup", &[Value::I32(n as i32)]).unwrap();
         let t = Instant::now();
         std::hint::black_box(
-            app.invoke("run_exp", &[Value::I32(exp.id as i32), Value::I32(n as i32)]).unwrap(),
+            app.invoke(
+                "run_exp",
+                &[Value::I32(exp.id as i32), Value::I32(n as i32)],
+            )
+            .unwrap(),
         );
         let wasm_tee = t.elapsed();
 

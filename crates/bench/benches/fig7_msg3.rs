@@ -5,7 +5,10 @@ use watz_bench::{fmt, header, median_time, reps};
 use watz_crypto::gcm::AesGcm128;
 
 fn main() {
-    header("Fig 7: msg3 encrypt/decrypt vs secret blob size", "linear, 3-17 ms on A53");
+    header(
+        "Fig 7: msg3 encrypt/decrypt vs secret blob size",
+        "linear, 3-17 ms on A53",
+    );
     let n = reps(9);
     let cipher = AesGcm128::new(&[7u8; 16]);
     println!("  {:>8} {:>12} {:>12}", "size", "encrypt", "decrypt");

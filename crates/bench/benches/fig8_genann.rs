@@ -8,13 +8,19 @@ use watz_wasm::exec::{ExecMode, Instance, NoHost, Value};
 use workloads::genann_guest;
 
 fn main() {
-    header("Fig 8: Genann training time vs dataset size", "linear; WaTZ ~= WAMR");
+    header(
+        "Fig 8: Genann training time vs dataset size",
+        "linear; WaTZ ~= WAMR",
+    );
     let epochs = scale(20) as i32;
     let rt = WatzRuntime::new_device(b"fig8").unwrap();
     let src = genann_guest::source();
     let wasm = minic::compile_with_options(
         &src,
-        &minic::Options { min_pages: 128, max_pages: None },
+        &minic::Options {
+            min_pages: 128,
+            max_pages: None,
+        },
     )
     .unwrap();
 
@@ -42,24 +48,35 @@ fn main() {
         // Wasm in the normal world (WAMR role).
         let module = watz_wasm::load(&wasm).unwrap();
         let mut inst = Instance::instantiate(&module, ExecMode::Aot, &mut NoHost).unwrap();
-        let fp = inst.invoke(&mut NoHost, "buf_alloc", &[Value::I32(n)]).unwrap()[0].as_u32();
+        let fp = inst
+            .invoke(&mut NoHost, "buf_alloc", &[Value::I32(n)])
+            .unwrap()[0]
+            .as_u32();
         let lp = inst.invoke(&mut NoHost, "labels_ptr", &[]).unwrap()[0].as_u32();
         inst.memory_mut().write_bytes(fp, &features).unwrap();
         inst.memory_mut().write_bytes(lp, &labels).unwrap();
         let t = Instant::now();
-        inst.invoke(&mut NoHost, "train", &[Value::I32(n), Value::I32(epochs)]).unwrap();
+        inst.invoke(&mut NoHost, "train", &[Value::I32(n), Value::I32(epochs)])
+            .unwrap();
         let wamr = t.elapsed();
 
         // Wasm in the secure world (WaTZ).
         let mut app = rt
-            .load(&wasm, &AppConfig { heap_bytes: 17 << 20, mode: ExecMode::Aot })
+            .load(
+                &wasm,
+                &AppConfig {
+                    heap_bytes: 17 << 20,
+                    mode: ExecMode::Aot,
+                },
+            )
             .unwrap();
         let fp = app.invoke("buf_alloc", &[Value::I32(n)]).unwrap()[0].as_u32();
         let lp = app.invoke("labels_ptr", &[]).unwrap()[0].as_u32();
         app.write_memory(fp, &features).unwrap();
         app.write_memory(lp, &labels).unwrap();
         let t = Instant::now();
-        app.invoke("train", &[Value::I32(n), Value::I32(epochs)]).unwrap();
+        app.invoke("train", &[Value::I32(n), Value::I32(epochs)])
+            .unwrap();
         let watz = t.elapsed();
 
         println!(

@@ -28,7 +28,10 @@ const GUEST: &str = r#"
 "#;
 
 fn main() {
-    header("Table IV: WASI-RA end-to-end timings", "handshake dominates; receive includes verifier-side appraisal");
+    header(
+        "Table IV: WASI-RA end-to-end timings",
+        "handshake dominates; receive includes verifier-side appraisal",
+    );
     for (label, secret_len) in [("0.1 MB", 100 * 1024usize), ("1 MB", 1024 * 1024)] {
         let rt = WatzRuntime::new_device(b"tab4").unwrap();
         let wasm = minic::compile(GUEST).unwrap();
@@ -48,9 +51,14 @@ fn main() {
         app.write_memory(key_addr, &pinned).unwrap();
 
         let t = Instant::now();
-        let ctx = app.invoke("do_handshake", &[Value::I32(i32::from(port))]).unwrap();
+        let ctx = app
+            .invoke("do_handshake", &[Value::I32(i32::from(port))])
+            .unwrap();
         let handshake = t.elapsed();
-        assert!(matches!(ctx[0], Value::I32(v) if v >= 0), "handshake failed: {ctx:?}");
+        assert!(
+            matches!(ctx[0], Value::I32(v) if v >= 0),
+            "handshake failed: {ctx:?}"
+        );
 
         let t = Instant::now();
         app.invoke("do_collect", &[]).unwrap();
@@ -61,7 +69,9 @@ fn main() {
         let send = t.elapsed();
 
         let t = Instant::now();
-        let got = app.invoke("do_receive", &[Value::I32(2 * 1024 * 1024)]).unwrap();
+        let got = app
+            .invoke("do_receive", &[Value::I32(2 * 1024 * 1024)])
+            .unwrap();
         let receive = t.elapsed();
         assert_eq!(got, vec![Value::I32(secret_len as i32)]);
 

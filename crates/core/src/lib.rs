@@ -209,8 +209,7 @@ impl WatzRuntime {
     ) -> Result<Self, WatzError> {
         config.device_seed = device_seed.to_vec();
         let platform = Platform::new(config);
-        tz_hal::boot::install_genuine_chain(&platform)
-            .map_err(|_| TeeError::NotBooted)?;
+        tz_hal::boot::install_genuine_chain(&platform).map_err(|_| TeeError::NotBooted)?;
         let os = TrustedOs::boot(platform)?;
         Ok(Self::new(os))
     }
@@ -262,58 +261,59 @@ impl WatzRuntime {
         let staging = t_staging.elapsed();
 
         let t_enter = Instant::now();
-        let result: Result<(WatzApp, StartupBreakdown), WatzError> =
-            platform.enter_secure(|| {
-                let mut breakdown = StartupBreakdown::default();
-                breakdown.transition = t_enter.elapsed();
+        let result: Result<(WatzApp, StartupBreakdown), WatzError> = platform.enter_secure(|| {
+            let mut breakdown = StartupBreakdown {
+                transition: t_enter.elapsed(),
+                ..StartupBreakdown::default()
+            };
 
-                // Phase: memory allocation — copy bytecode to secure memory,
-                // charge the TA heap (the paper observed ~2x the code size
-                // due to relocation structures), allocate executable pages.
-                let t = Instant::now();
-                let heap = self.os.create_ta_heap(config.heap_bytes)?;
-                heap.charge(wasm_bytes.len() * 2)?;
-                let exec_pages = self.os.alloc_executable(wasm_bytes.len())?;
-                let secure_copy: Vec<u8> = shared.with(<[u8]>::to_vec);
-                breakdown.memory_allocation = t.elapsed() + staging;
+            // Phase: memory allocation — copy bytecode to secure memory,
+            // charge the TA heap (the paper observed ~2x the code size
+            // due to relocation structures), allocate executable pages.
+            let t = Instant::now();
+            let heap = self.os.create_ta_heap(config.heap_bytes)?;
+            heap.charge(wasm_bytes.len() * 2)?;
+            let exec_pages = self.os.alloc_executable(wasm_bytes.len())?;
+            let secure_copy: Vec<u8> = shared.with(<[u8]>::to_vec);
+            breakdown.memory_allocation = t.elapsed() + staging;
 
-                // Phase: hashing — the measurement future evidence embeds.
-                let t = Instant::now();
-                let measurement = Sha256::digest(&secure_copy);
-                breakdown.hashing = t.elapsed();
+            // Phase: hashing — the measurement future evidence embeds.
+            let t = Instant::now();
+            let measurement = Sha256::digest(&secure_copy);
+            breakdown.hashing = t.elapsed();
 
-                // Phase: init — runtime environment + WASI host functions.
-                let t = Instant::now();
-                let env = WasiEnv::new(self.os.clone(), Arc::clone(&self.service), measurement);
-                breakdown.init = t.elapsed();
+            // Phase: init — runtime environment + WASI host functions.
+            let t = Instant::now();
+            let env = WasiEnv::new(self.os.clone(), Arc::clone(&self.service), measurement);
+            breakdown.init = t.elapsed();
 
-                // Phase: loading — parse + validate.
-                let t = Instant::now();
-                let module = watz_wasm::load(&secure_copy)?;
-                breakdown.loading = t.elapsed();
+            // Phase: loading — parse + validate.
+            let t = Instant::now();
+            let module = watz_wasm::load(&secure_copy)?;
+            breakdown.loading = t.elapsed();
 
-                // Charge the guest's linear memory against the TA heap.
-                let min_pages = module.memories.first().map_or(0, |m| m.min as usize);
-                heap.charge(min_pages * watz_wasm::PAGE_SIZE)?;
+            // Charge the guest's linear memory against the TA heap.
+            let min_pages = module.memories.first().map_or(0, |m| m.min as usize);
+            heap.charge(min_pages * watz_wasm::PAGE_SIZE)?;
 
-                // Phase: instantiate — AOT prep + segments + start function.
-                let t = Instant::now();
-                let mut env = env;
-                let instance = Instance::instantiate(&module, config.mode, &mut env)?;
-                breakdown.instantiate = t.elapsed();
+            // Phase: instantiate — AOT prep + segments + start function.
+            let t = Instant::now();
+            let mut env = env;
+            let instance = Instance::instantiate(&module, config.mode, &mut env)?;
+            breakdown.instantiate = t.elapsed();
 
-                let app = WatzApp {
-                    instance,
-                    env,
-                    measurement,
-                    breakdown: StartupBreakdown::default(),
-                    platform: platform.clone(),
-                    _heap: heap,
-                    _exec_pages: exec_pages,
-                    first_invoke_done: false,
-                };
-                Ok((app, breakdown))
-            });
+            let app = WatzApp {
+                instance,
+                env,
+                measurement,
+                breakdown: StartupBreakdown::default(),
+                platform: platform.clone(),
+                _heap: heap,
+                _exec_pages: exec_pages,
+                first_invoke_done: false,
+            };
+            Ok((app, breakdown))
+        });
 
         let (mut app, breakdown) = result?;
         app.breakdown = breakdown;

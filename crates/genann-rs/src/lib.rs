@@ -74,7 +74,10 @@ impl Genann {
     /// be zero for a perceptron).
     #[must_use]
     pub fn new(inputs: usize, hidden_layers: usize, hidden: usize, outputs: usize) -> Self {
-        assert!(inputs > 0 && outputs > 0, "network needs inputs and outputs");
+        assert!(
+            inputs > 0 && outputs > 0,
+            "network needs inputs and outputs"
+        );
         assert!(
             hidden_layers == 0 || hidden > 0,
             "hidden layers need neurons"
@@ -152,7 +155,7 @@ impl Genann {
             };
             for o in 0..out_count {
                 // Bias weight first, like Genann (input of -1).
-                let mut sum = self.weights[w] * -1.0;
+                let mut sum = -self.weights[w];
                 w += 1;
                 for i in 0..in_count {
                     sum += self.weights[w] * self.activations[in_start + i];
@@ -182,9 +185,9 @@ impl Genann {
         let total = self.activations.len();
 
         // Output deltas: o * (1 - o) * (t - o).
-        for o in 0..self.outputs {
+        for (o, &d) in desired.iter().enumerate().take(self.outputs) {
             let a = self.activations[total - self.outputs + o];
-            self.deltas[n_hidden_neurons + o] = a * (1.0 - a) * (desired[o] - a);
+            self.deltas[n_hidden_neurons + o] = a * (1.0 - a) * (d - a);
         }
 
         // Hidden deltas, back to front.
@@ -221,7 +224,7 @@ impl Genann {
             };
             for o in 0..out_count {
                 let delta = self.deltas[delta_start + o];
-                self.weights[w] += learning_rate * delta * -1.0; // bias
+                self.weights[w] += -(learning_rate * delta); // bias
                 w += 1;
                 for i in 0..in_count {
                     self.weights[w] += learning_rate * delta * self.activations[in_start + i];

@@ -68,7 +68,14 @@ pub(crate) fn execute(db: &mut Database, stmt: &Statement) -> Result<QueryResult
             predicate,
             order_by,
             limit,
-        } => select(db, items, table, predicate.as_ref(), order_by.as_ref(), *limit),
+        } => select(
+            db,
+            items,
+            table,
+            predicate.as_ref(),
+            order_by.as_ref(),
+            *limit,
+        ),
         Statement::Update {
             table,
             sets,

@@ -35,11 +35,9 @@ mod storage;
 
 pub use executor::QueryResult;
 pub use parser::{parse, Statement};
-pub use storage::{ColumnType, Value};
+pub use storage::{ColumnType, Table, Value};
 
 use std::collections::HashMap;
-
-use storage::Table;
 
 /// Errors from SQL execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -291,7 +289,8 @@ mod tests {
         let mut db = Database::new();
         db.execute("CREATE TABLE t(c TEXT)").unwrap();
         for name in ["banana", "apple", "cherry"] {
-            db.execute(&format!("INSERT INTO t VALUES ('{name}')")).unwrap();
+            db.execute(&format!("INSERT INTO t VALUES ('{name}')"))
+                .unwrap();
         }
         let r = db.execute("SELECT c FROM t ORDER BY c").unwrap();
         assert_eq!(

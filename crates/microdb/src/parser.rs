@@ -342,7 +342,9 @@ impl P {
     fn ident(&mut self) -> Result<String, DbError> {
         match self.next() {
             Some(Tok::Word(w)) => Ok(w),
-            other => Err(DbError::Syntax(format!("expected identifier, found {other:?}"))),
+            other => Err(DbError::Syntax(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -352,7 +354,9 @@ impl P {
             Some(Tok::Real(v)) => Ok(Value::Real(v)),
             Some(Tok::Str(s)) => Ok(Value::Text(s)),
             Some(Tok::Word(w)) if w.eq_ignore_ascii_case("null") => Ok(Value::Null),
-            other => Err(DbError::Syntax(format!("expected literal, found {other:?}"))),
+            other => Err(DbError::Syntax(format!(
+                "expected literal, found {other:?}"
+            ))),
         }
     }
 
@@ -399,7 +403,11 @@ impl P {
             Some(Tok::Le) => CmpOp::Le,
             Some(Tok::Ge) => CmpOp::Ge,
             Some(Tok::Ne) => CmpOp::Ne,
-            other => return Err(DbError::Syntax(format!("expected operator, found {other:?}"))),
+            other => {
+                return Err(DbError::Syntax(format!(
+                    "expected operator, found {other:?}"
+                )))
+            }
         };
         let value = self.literal()?;
         Ok(Predicate::Compare { column, op, value })
@@ -464,7 +472,9 @@ pub fn parse(sql: &str) -> Result<Statement, DbError> {
                 column,
             });
         }
-        return Err(DbError::Syntax("expected TABLE or INDEX after CREATE".into()));
+        return Err(DbError::Syntax(
+            "expected TABLE or INDEX after CREATE".into(),
+        ));
     }
 
     if p.keyword("DROP") {

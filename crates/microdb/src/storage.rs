@@ -146,7 +146,9 @@ impl Table {
     /// Resolves a column name to its position.
     #[must_use]
     pub fn column_index(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
     }
 
     /// Number of live (non-deleted) rows.
@@ -268,10 +270,7 @@ mod tests {
     fn value_comparison_cross_type() {
         assert_eq!(Value::Int(2).compare(&Value::Real(2.0)), Ordering::Equal);
         assert_eq!(Value::Int(2).compare(&Value::Real(2.5)), Ordering::Less);
-        assert_eq!(
-            Value::Null.compare(&Value::Int(i64::MIN)),
-            Ordering::Less
-        );
+        assert_eq!(Value::Null.compare(&Value::Int(i64::MIN)), Ordering::Less);
         assert_eq!(
             Value::Text("a".into()).compare(&Value::Int(999)),
             Ordering::Greater

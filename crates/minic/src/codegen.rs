@@ -6,9 +6,7 @@ use watz_wasm::builder::ModuleBuilder;
 use watz_wasm::instr::{Instr, MemArg};
 use watz_wasm::types::{BlockType, ValType};
 
-use crate::ast::{
-    BinOp, Expr, ExprKind, Function, LValue, Program, Stmt, Ty, UnOp,
-};
+use crate::ast::{BinOp, Expr, ExprKind, Function, LValue, Program, Stmt, Ty, UnOp};
 use crate::Options;
 
 /// Compilation failure with source location.
@@ -102,7 +100,7 @@ pub fn compile_program(program: &Program, options: &Options) -> CResult<Vec<u8>>
             data.extend_from_slice(s.as_bytes());
             data.push(0);
             // Keep 8-byte alignment for anything that follows.
-            while (data.len() % 8) != 0 {
+            while !data.len().is_multiple_of(8) {
                 data.push(0);
             }
             strings.insert(s.to_string(), addr);
@@ -135,8 +133,16 @@ pub fn compile_program(program: &Program, options: &Options) -> CResult<Vec<u8>>
 
     // ---- Function signatures (externs first: imports precede bodies). ----
     let mut sigs: HashMap<String, FuncSig> = HashMap::new();
-    let externs: Vec<&Function> = program.functions.iter().filter(|f| f.body.is_none()).collect();
-    let defined: Vec<&Function> = program.functions.iter().filter(|f| f.body.is_some()).collect();
+    let externs: Vec<&Function> = program
+        .functions
+        .iter()
+        .filter(|f| f.body.is_none())
+        .collect();
+    let defined: Vec<&Function> = program
+        .functions
+        .iter()
+        .filter(|f| f.body.is_some())
+        .collect();
 
     for f in &externs {
         if sigs.contains_key(&f.name) {
@@ -339,11 +345,8 @@ fn collect_strings(program: &Program, f: &mut impl FnMut(&str)) {
     fn walk_stmts(stmts: &[Stmt], f: &mut impl FnMut(&str)) {
         for s in stmts {
             match s {
-                Stmt::Decl { init, .. } => {
-                    if let Some(e) = init {
-                        walk_expr(e, f);
-                    }
-                }
+                Stmt::Decl { init: Some(e), .. } => walk_expr(e, f),
+                Stmt::Decl { init: None, .. } => {}
                 Stmt::Assign { target, value, .. } => {
                     match target {
                         LValue::Index(a, b) => {
@@ -522,7 +525,7 @@ impl<'a> FuncCtx<'a> {
             }
             Stmt::If { cond, then, els } => {
                 let cty = self.expr(cond)?;
-                self.to_bool(&cty, cond.line)?;
+                self.emit_truthy(&cty, cond.line)?;
                 self.open(Instr::If(BlockType::Empty));
                 self.scopes.push(HashMap::new());
                 self.stmts(then)?;
@@ -540,7 +543,7 @@ impl<'a> FuncCtx<'a> {
                 let break_label = self.open(Instr::Block(BlockType::Empty));
                 let loop_label = self.open(Instr::Loop(BlockType::Empty));
                 let cty = self.expr(cond)?;
-                self.to_bool(&cty, cond.line)?;
+                self.emit_truthy(&cty, cond.line)?;
                 self.code.push(Instr::I32Eqz);
                 self.code.push(Instr::BrIf(self.branch_to(break_label)));
                 self.loops.push(LoopCtx {
@@ -570,7 +573,7 @@ impl<'a> FuncCtx<'a> {
                 let loop_label = self.open(Instr::Loop(BlockType::Empty));
                 if let Some(cond) = cond {
                     let cty = self.expr(cond)?;
-                    self.to_bool(&cty, cond.line)?;
+                    self.emit_truthy(&cty, cond.line)?;
                     self.code.push(Instr::I32Eqz);
                     self.code.push(Instr::BrIf(self.branch_to(break_label)));
                 }
@@ -652,7 +655,7 @@ impl<'a> FuncCtx<'a> {
                     return err(line, format!("cannot index non-pointer type {bty}"));
                 };
                 let ity = self.expr(index)?;
-                self.to_i32_index(&ity, line)?;
+                self.emit_index_i32(&ity, line)?;
                 self.scale_index(&elem);
                 self.code.push(Instr::I32Add);
                 let vty = self.expr(value)?;
@@ -731,7 +734,7 @@ impl<'a> FuncCtx<'a> {
                     return err(e.line, format!("cannot index non-pointer type {bty}"));
                 };
                 let ity = self.expr(index)?;
-                self.to_i32_index(&ity, e.line)?;
+                self.emit_index_i32(&ity, e.line)?;
                 self.scale_index(&elem);
                 self.code.push(Instr::I32Add);
                 self.emit_load(&elem);
@@ -739,7 +742,7 @@ impl<'a> FuncCtx<'a> {
             }
             ExprKind::Ternary(cond, a, b) => {
                 let cty = self.expr(cond)?;
-                self.to_bool(&cty, cond.line)?;
+                self.emit_truthy(&cty, cond.line)?;
                 // Generate both arms into buffers to learn their types.
                 let (a_code, a_ty) = self.buffered(|ctx| ctx.expr(a))?;
                 let (b_code, b_ty) = self.buffered(|ctx| ctx.expr(b))?;
@@ -766,10 +769,7 @@ impl<'a> FuncCtx<'a> {
     }
 
     /// Runs `f` with a fresh code buffer, returning the generated code.
-    fn buffered<T>(
-        &mut self,
-        f: impl FnOnce(&mut Self) -> CResult<T>,
-    ) -> CResult<(Vec<Instr>, T)> {
+    fn buffered<T>(&mut self, f: impl FnOnce(&mut Self) -> CResult<T>) -> CResult<(Vec<Instr>, T)> {
         let saved = std::mem::take(&mut self.code);
         let result = f(self);
         let buffer = std::mem::replace(&mut self.code, saved);
@@ -801,7 +801,7 @@ impl<'a> FuncCtx<'a> {
                 other => err(line, format!("cannot negate {other}")),
             },
             UnOp::Not => {
-                self.to_bool(&ty, line)?;
+                self.emit_truthy(&ty, line)?;
                 self.code.push(Instr::I32Eqz);
                 Ok(Ty::Int)
             }
@@ -826,19 +826,19 @@ impl<'a> FuncCtx<'a> {
         // Short-circuit logic first: operands must not both be evaluated.
         if matches!(op, BinOp::LogicalAnd | BinOp::LogicalOr) {
             let aty = self.expr(a)?;
-            self.to_bool(&aty, line)?;
+            self.emit_truthy(&aty, line)?;
             let (b_code, bty) = self.buffered(|ctx| ctx.expr(b))?;
             self.open(Instr::If(BlockType::Value(ValType::I32)));
             if op == BinOp::LogicalAnd {
                 self.code.extend(b_code);
-                self.to_bool(&bty, line)?;
+                self.emit_truthy(&bty, line)?;
                 self.code.push(Instr::Else);
                 self.code.push(Instr::I32Const(0));
             } else {
                 self.code.push(Instr::I32Const(1));
                 self.code.push(Instr::Else);
                 self.code.extend(b_code);
-                self.to_bool(&bty, line)?;
+                self.emit_truthy(&bty, line)?;
             }
             self.close();
             return Ok(Ty::Int);
@@ -865,7 +865,7 @@ impl<'a> FuncCtx<'a> {
                         return err(line, "cannot add two pointers");
                     }
                     self.code.extend(b_code);
-                    self.to_i32_index(&bty, line)?;
+                    self.emit_index_i32(&bty, line)?;
                     self.scale_index(elem);
                     self.code.push(if op == BinOp::Add {
                         Instr::I32Add
@@ -901,7 +901,7 @@ impl<'a> FuncCtx<'a> {
             // n + p: only addition is meaningful.
             if op == BinOp::Add {
                 let Ty::Ptr(elem) = &bty else { unreachable!() };
-                self.to_i32_index(&aty, line)?;
+                self.emit_index_i32(&aty, line)?;
                 self.scale_index(elem);
                 self.code.extend(b_code);
                 self.code.push(Instr::I32Add);
@@ -919,7 +919,10 @@ impl<'a> FuncCtx<'a> {
             BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr | BinOp::Rem
         ) && common.is_float()
         {
-            return err(line, format!("operator requires integral operands, got {common}"));
+            return err(
+                line,
+                format!("operator requires integral operands, got {common}"),
+            );
         }
         self.convert(&aty, &common, line)?;
         self.code.extend(b_code);
@@ -966,14 +969,14 @@ impl<'a> FuncCtx<'a> {
             "lb" => {
                 self.expect_args(name, args, 1, line)?;
                 let ty = self.expr(&args[0])?;
-                self.to_i32_index(&ty, line)?;
+                self.emit_index_i32(&ty, line)?;
                 self.code.push(Instr::I32Load8U(MemArg::align(0)));
                 return Ok(Ty::Int);
             }
             "sb" => {
                 self.expect_args(name, args, 2, line)?;
                 let pty = self.expr(&args[0])?;
-                self.to_i32_index(&pty, line)?;
+                self.emit_index_i32(&pty, line)?;
                 let vty = self.expr(&args[1])?;
                 self.convert(&vty, &Ty::Int, line)?;
                 self.code.push(Instr::I32Store8(MemArg::align(0)));
@@ -983,7 +986,7 @@ impl<'a> FuncCtx<'a> {
                 self.expect_args(name, args, 3, line)?;
                 for a in args {
                     let ty = self.expr(a)?;
-                    self.to_i32_index(&ty, line)?;
+                    self.emit_index_i32(&ty, line)?;
                 }
                 self.code.push(Instr::MemoryCopy);
                 return Ok(Ty::Void);
@@ -992,7 +995,7 @@ impl<'a> FuncCtx<'a> {
                 self.expect_args(name, args, 3, line)?;
                 for a in args {
                     let ty = self.expr(a)?;
-                    self.to_i32_index(&ty, line)?;
+                    self.emit_index_i32(&ty, line)?;
                 }
                 self.code.push(Instr::MemoryFill);
                 return Ok(Ty::Void);
@@ -1074,7 +1077,7 @@ impl<'a> FuncCtx<'a> {
     }
 
     /// Leaves an i32 "is nonzero" flag for any numeric/pointer value.
-    fn to_bool(&mut self, ty: &Ty, line: u32) -> CResult<()> {
+    fn emit_truthy(&mut self, ty: &Ty, line: u32) -> CResult<()> {
         match ty {
             Ty::Int | Ty::Ptr(_) => {
                 self.code.push(Instr::I32Eqz);
@@ -1098,7 +1101,7 @@ impl<'a> FuncCtx<'a> {
     }
 
     /// Converts an index/count value to i32 (addresses are 32-bit).
-    fn to_i32_index(&mut self, ty: &Ty, line: u32) -> CResult<()> {
+    fn emit_index_i32(&mut self, ty: &Ty, line: u32) -> CResult<()> {
         match ty {
             Ty::Int | Ty::Ptr(_) => Ok(()),
             Ty::Long => {

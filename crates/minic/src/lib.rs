@@ -297,7 +297,11 @@ mod tests {
 
     #[test]
     fn sqrt_builtin() {
-        let out = run("double f(double x) { return sqrt(x); }", "f", &[Value::F64(2.25)]);
+        let out = run(
+            "double f(double x) { return sqrt(x); }",
+            "f",
+            &[Value::F64(2.25)],
+        );
         assert_eq!(out, vec![Value::F64(1.5)]);
     }
 
@@ -309,7 +313,11 @@ mod tests {
             &[Value::F64(3.7)],
         );
         assert_eq!(out, vec![Value::I32(7)]);
-        let out = run("long f(int x) { return (long)x * 1000000000; }", "f", &[Value::I32(5)]);
+        let out = run(
+            "long f(int x) { return (long)x * 1000000000; }",
+            "f",
+            &[Value::I32(5)],
+        );
         assert_eq!(out, vec![Value::I64(5_000_000_000)]);
     }
 
@@ -388,7 +396,10 @@ mod tests {
             match out[0] {
                 Value::F64(v) => {
                     let expect = f64::ln(x);
-                    assert!((v - expect).abs() < 1e-9, "log({x}) = {v}, expected {expect}");
+                    assert!(
+                        (v - expect).abs() < 1e-9,
+                        "log({x}) = {v}, expected {expect}"
+                    );
                 }
                 _ => panic!("expected f64"),
             }
@@ -397,7 +408,10 @@ mod tests {
 
     #[test]
     fn libm_sigmoid() {
-        let src = format!("{}\ndouble f(double x) {{ return sigmoid(x); }}", LIBM_PRELUDE);
+        let src = format!(
+            "{}\ndouble f(double x) {{ return sigmoid(x); }}",
+            LIBM_PRELUDE
+        );
         let out = run(&src, "f", &[Value::F64(0.0)]);
         assert_eq!(out, vec![Value::F64(0.5)]);
     }
@@ -445,7 +459,11 @@ mod tests {
 
     #[test]
     fn sizeof_builtin() {
-        let out = run("int f() { return sizeof(double) + sizeof(int*); }", "f", &[]);
+        let out = run(
+            "int f() { return sizeof(double) + sizeof(int*); }",
+            "f",
+            &[],
+        );
         assert_eq!(out, vec![Value::I32(12)]);
     }
 

@@ -147,17 +147,15 @@ impl Knowledge {
                             new_facts.push((**b).clone());
                         }
                     }
-                    Term::Sign(payload, _) => {
+                    Term::Sign(payload, _)
                         // Signatures are not confidential: payload leaks.
-                        if !self.facts.contains(payload) {
+                        if !self.facts.contains(payload) => {
                             new_facts.push((**payload).clone());
                         }
-                    }
-                    Term::SymEnc(payload, key) => {
-                        if self.derives(key) && !self.facts.contains(payload) {
+                    Term::SymEnc(payload, key)
+                        if self.derives(key) && !self.facts.contains(payload) => {
                             new_facts.push((**payload).clone());
                         }
-                    }
                     _ => {}
                 }
             }
@@ -215,10 +213,7 @@ fn watz_transcript(s: usize) -> Vec<Term> {
         // msg1 := Gv, V, SIGN_V(Gv, Ga), MAC_Km(...)
         Term::Exp(v.clone()),
         Term::atom("pubV"),
-        Term::sign(
-            Term::pair(Term::Exp(v.clone()), Term::Exp(a.clone())),
-            "V",
-        ),
+        Term::sign(Term::pair(Term::Exp(v.clone()), Term::Exp(a.clone())), "V"),
         Term::hash(Term::pair(km.clone(), Term::atom("content1"))),
         // msg2 := Ga, evidence, SIGN_A(evidence), MAC
         Term::Exp(a.clone()),
@@ -483,7 +478,10 @@ mod tests {
     fn more_sessions_do_not_break_secrecy() {
         for sessions in [1, 2, 5, 8] {
             let claims = analyse(&watz_model(), sessions);
-            assert!(claims.iter().all(|c| c.holds), "failed at {sessions} sessions");
+            assert!(
+                claims.iter().all(|c| c.holds),
+                "failed at {sessions} sessions"
+            );
         }
     }
 }

@@ -117,11 +117,10 @@ pub fn verify_chain(efuses: &EFuses, chain: &BootChain) -> Result<(), BootError>
 
     let mut verify_key_bytes = chain.oem_public_key;
     for (i, stage) in chain.stages.iter().enumerate() {
-        let key = VerifyingKey::from_bytes(&verify_key_bytes).map_err(|_| {
-            BootError::MalformedKey {
+        let key =
+            VerifyingKey::from_bytes(&verify_key_bytes).map_err(|_| BootError::MalformedKey {
                 stage: stage.name.clone(),
-            }
-        })?;
+            })?;
         let sig = Signature::from_bytes(&stage.signature).map_err(|_| BootError::BadSignature {
             stage: stage.name.clone(),
         })?;
@@ -131,9 +130,11 @@ pub fn verify_chain(efuses: &EFuses, chain: &BootChain) -> Result<(), BootError>
             });
         }
         if i + 1 < chain.stages.len() {
-            verify_key_bytes = stage.next_stage_key.ok_or_else(|| BootError::MissingStageKey {
-                stage: chain.stages[i + 1].name.clone(),
-            })?;
+            verify_key_bytes = stage
+                .next_stage_key
+                .ok_or_else(|| BootError::MissingStageKey {
+                    stage: chain.stages[i + 1].name.clone(),
+                })?;
         }
     }
     Ok(())
@@ -234,13 +235,17 @@ mod tests {
 
     fn provisioned_fuses(builder: &ChainBuilder) -> EFuses {
         let mut fuses = EFuses::new();
-        fuses.program_boot_pubkey_hash(builder.oem_key_hash()).unwrap();
+        fuses
+            .program_boot_pubkey_hash(builder.oem_key_hash())
+            .unwrap();
         fuses
     }
 
     fn three_stage_builder() -> ChainBuilder {
         let mut b = ChainBuilder::new(b"test-oem");
-        b.stage("u-boot", b"bl2").stage("atf", b"bl31").stage("op-tee", b"tee");
+        b.stage("u-boot", b"bl2")
+            .stage("atf", b"bl31")
+            .stage("op-tee", b"tee");
         b
     }
 

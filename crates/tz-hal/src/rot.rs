@@ -23,7 +23,10 @@ impl std::fmt::Display for RotError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RotError::SecureBootRequired => {
-                write!(f, "secure boot must complete before the secure MKVB is available")
+                write!(
+                    f,
+                    "secure boot must complete before the secure MKVB is available"
+                )
             }
         }
     }
@@ -53,7 +56,9 @@ impl Caam {
         let mut h = Sha256::new();
         h.update(b"watz-otpmk-fuse-v1");
         h.update(device_seed);
-        Caam { otpmk: h.finalize() }
+        Caam {
+            otpmk: h.finalize(),
+        }
     }
 
     /// Returns the per-world MKVB (hash of the OTPMK bound to the world).

@@ -101,9 +101,7 @@ impl Attester {
         pinned_verifier_key: &[u8; 64],
     ) -> Result<([u8; 32], StepTimings), RaError> {
         let mut t = StepTimings::default();
-        let State::AwaitMsg1 { session } =
-            std::mem::replace(&mut self.state, State::Done)
-        else {
+        let State::AwaitMsg1 { session } = std::mem::replace(&mut self.state, State::Done) else {
             return Err(RaError::BadState("handle_msg1"));
         };
 
@@ -130,8 +128,7 @@ impl Attester {
         // masquerading or replay attack.
         let sig_ok = timed!(t, asymmetric, {
             let verifier_key = VerifyingKey::from_bytes(&msg1.verifier_id)?;
-            let sig =
-                Signature::from_bytes(&msg1.signature).map_err(|_| RaError::BadSignature)?;
+            let sig = Signature::from_bytes(&msg1.signature).map_err(|_| RaError::BadSignature)?;
             let mut h = Sha256::new();
             h.update(&msg1.gv);
             h.update(&self.ga);
@@ -185,8 +182,7 @@ impl Attester {
         evidence: crate::evidence::Evidence,
     ) -> Result<(Msg2, StepTimings), RaError> {
         let mut t = StepTimings::default();
-        let State::Handshaken { keys, .. } = std::mem::replace(&mut self.state, State::Done)
-        else {
+        let State::Handshaken { keys, .. } = std::mem::replace(&mut self.state, State::Done) else {
             return Err(RaError::BadState("build_msg2"));
         };
         let msg2 = timed!(t, memory, {

@@ -33,7 +33,12 @@ impl Evidence {
     /// The digest covered by the evidence signature.
     #[must_use]
     pub fn signed_digest(&self) -> [u8; 32] {
-        signed_digest(&self.anchor, self.version, &self.claim, &self.attestation_pubkey)
+        signed_digest(
+            &self.anchor,
+            self.version,
+            &self.claim,
+            &self.attestation_pubkey,
+        )
     }
 
     /// Serializes to the fixed wire layout.

@@ -156,7 +156,10 @@ impl Verifier {
             let mut h = Sha256::new();
             h.update(&gv);
             h.update(&msg0.ga);
-            self.config.identity.sign_deterministic(&h.finalize()).to_bytes()
+            self.config
+                .identity
+                .sign_deterministic(&h.finalize())
+                .to_bytes()
         });
 
         let msg1 = timed!(t, memory, {
@@ -191,8 +194,7 @@ impl Verifier {
     /// Returns the specific [`RaError`] for the first failed check.
     pub fn handle_msg2(&mut self, msg2: &Msg2) -> Result<(Msg3, StepTimings), RaError> {
         let mut t = StepTimings::default();
-        let State::AwaitMsg2 { ga, gv, keys } =
-            std::mem::replace(&mut self.state, State::Done)
+        let State::AwaitMsg2 { ga, gv, keys } = std::mem::replace(&mut self.state, State::Done)
         else {
             return Err(RaError::BadState("handle_msg2"));
         };
@@ -415,9 +417,7 @@ mod tests {
         let mut vrng = Fortuna::from_seed(b"v");
         let (mut attester, msg0) = Attester::start(&mut arng);
         let (msg1, _) = verifier.handle_msg0(&msg0, &mut vrng).unwrap();
-        let (mut msg2, _) = attester
-            .attest(&msg1, &pk, &svc, &measurement())
-            .unwrap();
+        let (mut msg2, _) = attester.attest(&msg1, &pk, &svc, &measurement()).unwrap();
         msg2.ga[0] ^= 1;
         let err = verifier.handle_msg2(&msg2).unwrap_err();
         assert_eq!(err, RaError::BadMac);
@@ -495,9 +495,7 @@ mod tests {
         let mut vrng = Fortuna::from_seed(b"v");
         let (mut attester, msg0) = Attester::start(&mut arng);
         let (msg1, _) = verifier.handle_msg0(&msg0, &mut vrng).unwrap();
-        let (msg2, _) = attester
-            .attest(&msg1, &pk, &svc, &measurement())
-            .unwrap();
+        let (msg2, _) = attester.attest(&msg1, &pk, &svc, &measurement()).unwrap();
         let (mut msg3, _) = verifier.handle_msg2(&msg2).unwrap();
         msg3.ciphertext[0] ^= 1;
         let err = attester.handle_msg3(&msg3).unwrap_err();

@@ -1,0 +1,108 @@
+//! Round-trip of the four-message RA protocol **through the wire format**:
+//! every message is serialized with `to_bytes` and re-parsed with
+//! `from_bytes` before the peer sees it, proving the byte-level encoding
+//! carries a complete, successful handshake (Msg0 -> Msg1 -> Msg2 -> Msg3).
+
+use watz_attestation::attester::Attester;
+use watz_attestation::service::AttestationService;
+use watz_attestation::wire::{Msg0, Msg1, Msg2, Msg3};
+use watz_crypto::ecdsa::SigningKey;
+use watz_crypto::fortuna::Fortuna;
+use watz_crypto::sha256::Sha256;
+
+use optee_sim::TrustedOs;
+use tz_hal::{Platform, PlatformConfig};
+use watz_attestation::verifier::{Verifier, VerifierConfig};
+
+fn device(seed: &[u8]) -> (TrustedOs, AttestationService) {
+    let platform = Platform::new(PlatformConfig {
+        device_seed: seed.to_vec(),
+        ..PlatformConfig::default()
+    });
+    tz_hal::boot::install_genuine_chain(&platform).unwrap();
+    let os = TrustedOs::boot(platform).unwrap();
+    let svc = AttestationService::install(&os);
+    (os, svc)
+}
+
+#[test]
+fn four_message_protocol_survives_wire_encoding() {
+    let (_os, svc) = device(b"wire-device");
+    let measurement = Sha256::digest(b"wire-tested app");
+
+    let mut rng = Fortuna::from_seed(b"verifier identity");
+    let identity = SigningKey::generate(&mut rng);
+    let config = VerifierConfig::new(identity)
+        .endorse_device(svc.public_key())
+        .trust_measurement(measurement)
+        .with_secret(b"wire secret".to_vec());
+    let pinned = config.identity_public_key();
+    let mut verifier = Verifier::new(config);
+
+    let mut arng = Fortuna::from_seed(b"attester rng");
+    let mut vrng = Fortuna::from_seed(b"verifier rng");
+
+    // msg0: attester -> verifier, via bytes.
+    let (mut attester, msg0) = Attester::start(&mut arng);
+    let raw0 = msg0.to_bytes();
+    let msg0_rx = Msg0::from_bytes(&raw0).expect("msg0 parses");
+    assert_eq!(msg0_rx, msg0);
+
+    // msg1: verifier -> attester, via bytes.
+    let (msg1, _) = verifier.handle_msg0(&msg0_rx, &mut vrng).unwrap();
+    let raw1 = msg1.to_bytes();
+    let msg1_rx = Msg1::from_bytes(&raw1).expect("msg1 parses");
+    assert_eq!(msg1_rx, msg1);
+
+    // msg2: attester -> verifier, via bytes (includes the signed evidence).
+    let (msg2, _) = attester
+        .attest(&msg1_rx, &pinned, &svc, &measurement)
+        .unwrap();
+    let raw2 = msg2.to_bytes();
+    let msg2_rx = Msg2::from_bytes(&raw2).expect("msg2 parses");
+    assert_eq!(msg2_rx, msg2);
+
+    // msg3: verifier -> attester, via bytes; the secret survives.
+    let (msg3, _) = verifier.handle_msg2(&msg2_rx).unwrap();
+    let raw3 = msg3.to_bytes();
+    let msg3_rx = Msg3::from_bytes(&raw3).expect("msg3 parses");
+    assert_eq!(msg3_rx, msg3);
+
+    let (secret, _) = attester.handle_msg3(&msg3_rx).unwrap();
+    assert_eq!(secret, b"wire secret");
+    assert!(verifier.is_attested());
+}
+
+#[test]
+fn messages_reject_cross_parsing() {
+    // Each message's tag byte prevents it from parsing as any other type.
+    let (_os, svc) = device(b"cross-device");
+    let measurement = Sha256::digest(b"app");
+    let mut rng = Fortuna::from_seed(b"id");
+    let identity = SigningKey::generate(&mut rng);
+    let config = VerifierConfig::new(identity)
+        .endorse_device(svc.public_key())
+        .trust_measurement(measurement)
+        .with_secret(b"s".to_vec());
+    let pinned = config.identity_public_key();
+    let mut verifier = Verifier::new(config);
+    let mut arng = Fortuna::from_seed(b"a");
+    let mut vrng = Fortuna::from_seed(b"v");
+    let (mut attester, msg0) = Attester::start(&mut arng);
+    let (msg1, _) = verifier.handle_msg0(&msg0, &mut vrng).unwrap();
+    let (msg2, _) = attester.attest(&msg1, &pinned, &svc, &measurement).unwrap();
+    let (msg3, _) = verifier.handle_msg2(&msg2).unwrap();
+
+    for raw in [
+        msg0.to_bytes(),
+        msg1.to_bytes(),
+        msg2.to_bytes(),
+        msg3.to_bytes(),
+    ] {
+        let parses = u32::from(Msg0::from_bytes(&raw).is_ok())
+            + u32::from(Msg1::from_bytes(&raw).is_ok())
+            + u32::from(Msg2::from_bytes(&raw).is_ok())
+            + u32::from(Msg3::from_bytes(&raw).is_ok());
+        assert_eq!(parses, 1, "each encoding must parse as exactly one type");
+    }
+}

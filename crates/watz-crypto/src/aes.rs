@@ -311,7 +311,9 @@ mod tests {
         // Deterministic pseudo-random roundtrips across both key sizes.
         let mut seed = 0x1234_5678_9abc_def0u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 24) as u8
         };
         let key128: [u8; 16] = core::array::from_fn(|_| next());

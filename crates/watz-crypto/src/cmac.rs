@@ -31,7 +31,7 @@ impl AesCmac {
     #[must_use]
     pub fn mac(&self, msg: &[u8]) -> [u8; MAC_LEN] {
         let n_blocks = msg.len().div_ceil(16).max(1);
-        let complete_last = !msg.is_empty() && msg.len() % 16 == 0;
+        let complete_last = !msg.is_empty() && msg.len().is_multiple_of(16);
 
         let mut x = [0u8; 16];
         for i in 0..n_blocks - 1 {

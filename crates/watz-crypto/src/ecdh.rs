@@ -108,10 +108,7 @@ mod tests {
         let mut rng = Fortuna::from_seed(b"rng");
         let a = EphemeralKeyPair::generate(&mut rng);
         let garbage = [0x42u8; 64];
-        assert_eq!(
-            a.diffie_hellman(&garbage),
-            Err(CryptoError::InvalidPoint)
-        );
+        assert_eq!(a.diffie_hellman(&garbage), Err(CryptoError::InvalidPoint));
     }
 
     #[test]

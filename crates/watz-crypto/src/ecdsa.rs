@@ -295,7 +295,9 @@ mod tests {
     fn wrong_digest_rejected() {
         let key = test_key();
         let sig = key.sign_deterministic(&Sha256::digest(b"message one"));
-        assert!(!key.verifying_key().verify(&Sha256::digest(b"message two"), &sig));
+        assert!(!key
+            .verifying_key()
+            .verify(&Sha256::digest(b"message two"), &sig));
     }
 
     #[test]
@@ -381,9 +383,7 @@ mod tests {
     // RFC 6979 appendix A.2.5, P-256 + SHA-256, message "sample".
     #[test]
     fn rfc6979_p256_sha256_sample() {
-        let d = U256::from_hex(
-            "c9afa9d845ba75166b5c215767b1d6934e50c3db36e89b127b8a622b120f6721",
-        );
+        let d = U256::from_hex("c9afa9d845ba75166b5c215767b1d6934e50c3db36e89b127b8a622b120f6721");
         let key = SigningKey::from_scalar(d).unwrap();
         let digest = Sha256::digest(b"sample");
         let sig = key.sign_deterministic(&digest);

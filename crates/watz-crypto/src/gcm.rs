@@ -45,7 +45,12 @@ impl AesGcm128 {
     ///
     /// Returns the ciphertext and the 16-byte authentication tag.
     #[must_use]
-    pub fn encrypt(&self, iv: &[u8; IV_LEN], plaintext: &[u8], aad: &[u8]) -> (Vec<u8>, [u8; TAG_LEN]) {
+    pub fn encrypt(
+        &self,
+        iv: &[u8; IV_LEN],
+        plaintext: &[u8],
+        aad: &[u8],
+    ) -> (Vec<u8>, [u8; TAG_LEN]) {
         let j0 = self.j0(iv);
         let mut ct = plaintext.to_vec();
         self.ctr(&mut ct, inc32(j0));

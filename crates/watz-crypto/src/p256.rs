@@ -104,10 +104,10 @@ impl U256 {
     pub fn adc(&self, other: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = 0u64;
-        for i in 0..4 {
+        for (i, o) in out.iter_mut().enumerate() {
             let (s1, c1) = self.0[i].overflowing_add(other.0[i]);
             let (s2, c2) = s1.overflowing_add(carry);
-            out[i] = s2;
+            *o = s2;
             carry = u64::from(c1) + u64::from(c2);
         }
         (U256(out), carry != 0)
@@ -118,10 +118,10 @@ impl U256 {
     pub fn sbb(&self, other: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = 0u64;
-        for i in 0..4 {
+        for (i, o) in out.iter_mut().enumerate() {
             let (d1, b1) = self.0[i].overflowing_sub(other.0[i]);
             let (d2, b2) = d1.overflowing_sub(borrow);
-            out[i] = d2;
+            *o = d2;
             borrow = u64::from(b1) + u64::from(b2);
         }
         (U256(out), borrow != 0)
@@ -134,9 +134,8 @@ impl U256 {
         for i in 0..4 {
             let mut carry = 0u128;
             for j in 0..4 {
-                let cur = u128::from(t[i + j])
-                    + u128::from(self.0[i]) * u128::from(other.0[j])
-                    + carry;
+                let cur =
+                    u128::from(t[i + j]) + u128::from(self.0[i]) * u128::from(other.0[j]) + carry;
                 t[i + j] = cur as u64;
                 carry = cur >> 64;
             }

@@ -40,7 +40,7 @@ use optee_sim::{net::Connection, time, TrustedOs};
 use watz_attestation::attester::Attester;
 use watz_attestation::evidence::Evidence;
 use watz_attestation::service::AttestationService;
-use watz_attestation::wire::{Msg0, Msg1, Msg3};
+use watz_attestation::wire::{Msg1, Msg3};
 use watz_crypto::fortuna::Fortuna;
 use watz_wasm::exec::{HostEnv, Memory, Trap, Value};
 
@@ -382,9 +382,17 @@ impl HostEnv for WasiEnv {
             // ENOSYS errno is the polite equivalent.
             (
                 "wasi_snapshot_preview1",
-                "fd_close" | "fd_seek" | "fd_read" | "fd_fdstat_get" | "fd_prestat_get"
-                | "fd_prestat_dir_name" | "path_open" | "path_filestat_get" | "fd_sync"
-                | "sched_yield" | "poll_oneoff",
+                "fd_close"
+                | "fd_seek"
+                | "fd_read"
+                | "fd_fdstat_get"
+                | "fd_prestat_get"
+                | "fd_prestat_dir_name"
+                | "path_open"
+                | "path_filestat_get"
+                | "fd_sync"
+                | "sched_yield"
+                | "poll_oneoff",
             ) => Ok(vec![Value::I32(errno::NOSYS)]),
 
             // ---- env.* conveniences for MiniC guests ---------------------
@@ -412,9 +420,7 @@ impl HostEnv for WasiEnv {
                 self.print_str(memory, i(0))?;
                 Ok(vec![])
             }
-            ("env", "random_i64") => {
-                Ok(vec![Value::I64(self.rng.next_u64() as i64)])
-            }
+            ("env", "random_i64") => Ok(vec![Value::I64(self.rng.next_u64() as i64)]),
 
             // ---- WASI-RA --------------------------------------------------
             ("env", "ra_handshake") => {
@@ -547,10 +553,8 @@ mod tests {
     #[test]
     fn unknown_import_traps() {
         let mut e = env();
-        let wasm = minic::compile(
-            "extern int mystery(); int main() { return mystery(); }",
-        )
-        .unwrap();
+        let wasm =
+            minic::compile("extern int mystery(); int main() { return mystery(); }").unwrap();
         let module = watz_wasm::load(&wasm).unwrap();
         let mut inst = Instance::instantiate(&module, ExecMode::Aot, &mut e).unwrap();
         assert!(matches!(

@@ -85,10 +85,7 @@ impl<'a> Reader<'a> {
     }
 
     fn byte(&mut self) -> Result<u8, DecodeError> {
-        let b = *self
-            .input
-            .get(self.pos)
-            .ok_or(DecodeError::UnexpectedEof)?;
+        let b = *self.input.get(self.pos).ok_or(DecodeError::UnexpectedEof)?;
         self.pos += 1;
         Ok(b)
     }
@@ -101,10 +98,7 @@ impl<'a> Reader<'a> {
     }
 
     fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
-        let end = self
-            .pos
-            .checked_add(n)
-            .ok_or(DecodeError::UnexpectedEof)?;
+        let end = self.pos.checked_add(n).ok_or(DecodeError::UnexpectedEof)?;
         if end > self.input.len() {
             return Err(DecodeError::UnexpectedEof);
         }

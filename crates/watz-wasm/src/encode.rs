@@ -5,9 +5,9 @@
 //! startup benchmark. `decode(encode(m)) == m` is property-tested.
 
 use crate::instr::{Instr, MemArg};
+use crate::leb128::{write_i32, write_i64, write_u32};
 use crate::module::{ExportKind, Module};
 use crate::types::{BlockType, FuncType, Limits, ValType};
-use crate::leb128::{write_i32, write_i64, write_u32};
 
 /// Encodes a module into its binary representation.
 #[must_use]
@@ -576,7 +576,8 @@ mod tests {
     #[test]
     fn full_module_roundtrip() {
         let mut m = Module::default();
-        m.types.push(FuncType::new(&[ValType::I32], &[ValType::I64]));
+        m.types
+            .push(FuncType::new(&[ValType::I32], &[ValType::I64]));
         m.types.push(FuncType::new(&[], &[]));
         m.func_imports.push(FuncImport {
             module: "env".into(),
@@ -628,7 +629,8 @@ mod tests {
     #[test]
     fn instr_with_all_control_roundtrip() {
         let mut m = Module::default();
-        m.types.push(FuncType::new(&[ValType::I32], &[ValType::I32]));
+        m.types
+            .push(FuncType::new(&[ValType::I32], &[ValType::I32]));
         m.funcs.push(FuncBody {
             type_idx: 0,
             locals: vec![],

@@ -376,8 +376,14 @@ struct PreparedFunc {
 
 #[derive(Debug)]
 enum FuncDef {
-    Import { module: String, name: String, type_idx: u32 },
-    Local { body: usize },
+    Import {
+        module: String,
+        name: String,
+        type_idx: u32,
+    },
+    Local {
+        body: usize,
+    },
 }
 
 /// Runtime label on the control stack.
@@ -540,12 +546,12 @@ impl Instance {
             .get(name)
             .ok_or_else(|| Trap::Instantiation(format!("no export '{name}'")))?;
         if kind != ExportKind::Func {
-            return Err(Trap::Instantiation(format!("export '{name}' is not a function")));
+            return Err(Trap::Instantiation(format!(
+                "export '{name}' is not a function"
+            )));
         }
         let ty = self.func_type(idx).clone();
-        if ty.params.len() != args.len()
-            || ty.params.iter().zip(args).any(|(p, a)| *p != a.ty())
-        {
+        if ty.params.len() != args.len() || ty.params.iter().zip(args).any(|(p, a)| *p != a.ty()) {
             return Err(Trap::Instantiation(format!(
                 "argument mismatch for '{name}'"
             )));
@@ -935,10 +941,9 @@ impl Instance {
                     {
                         return Err(Trap::MemoryOutOfBounds);
                     }
-                    self.memory.data.copy_within(
-                        src as usize..(src + len) as usize,
-                        dst as usize,
-                    );
+                    self.memory
+                        .data
+                        .copy_within(src as usize..(src + len) as usize, dst as usize);
                 }
                 Instr::MemoryFill => {
                     let len = stack.pop().expect("validated").as_u32();
@@ -1041,9 +1046,11 @@ impl Instance {
                 Instr::I32Shl => binop!(as_i32, I32, |a: i32, b: i32| a.wrapping_shl(b as u32)),
                 Instr::I32ShrS => binop!(as_i32, I32, |a: i32, b: i32| a.wrapping_shr(b as u32)),
                 Instr::I32ShrU => {
-                    binop!(as_i32, I32, |a: i32, b: i32| ((a as u32)
-                        .wrapping_shr(b as u32))
-                        as i32)
+                    binop!(
+                        as_i32,
+                        I32,
+                        |a: i32, b: i32| ((a as u32).wrapping_shr(b as u32)) as i32
+                    )
                 }
                 Instr::I32Rotl => {
                     binop!(as_i32, I32, |a: i32, b: i32| a.rotate_left(b as u32 % 32))
@@ -1100,13 +1107,14 @@ impl Instance {
                 Instr::I64Shl => binop!(as_i64, I64, |a: i64, b: i64| a.wrapping_shl(b as u32)),
                 Instr::I64ShrS => binop!(as_i64, I64, |a: i64, b: i64| a.wrapping_shr(b as u32)),
                 Instr::I64ShrU => {
-                    binop!(as_i64, I64, |a: i64, b: i64| ((a as u64)
-                        .wrapping_shr(b as u32))
-                        as i64)
+                    binop!(
+                        as_i64,
+                        I64,
+                        |a: i64, b: i64| ((a as u64).wrapping_shr(b as u32)) as i64
+                    )
                 }
                 Instr::I64Rotl => {
-                    binop!(as_i64, I64, |a: i64, b: i64| a
-                        .rotate_left((b as u32) % 64))
+                    binop!(as_i64, I64, |a: i64, b: i64| a.rotate_left((b as u32) % 64))
                 }
                 Instr::I64Rotr => {
                     binop!(as_i64, I64, |a: i64, b: i64| a
@@ -1321,7 +1329,7 @@ fn trunc_f32_to_i32_s(a: f32) -> Result<i32, Trap> {
         return Err(Trap::BadConversion);
     }
     let t = a.trunc();
-    if t >= 2147483648.0 || t < -2147483648.0 {
+    if !(-2147483648.0..2147483648.0).contains(&t) {
         return Err(Trap::BadConversion);
     }
     Ok(t as i32)
@@ -1343,7 +1351,7 @@ fn trunc_f64_to_i32_s(a: f64) -> Result<i32, Trap> {
         return Err(Trap::BadConversion);
     }
     let t = a.trunc();
-    if t >= 2147483648.0 || t < -2147483648.0 {
+    if !(-2147483648.0..2147483648.0).contains(&t) {
         return Err(Trap::BadConversion);
     }
     Ok(t as i32)
@@ -1365,7 +1373,7 @@ fn trunc_f32_to_i64_s(a: f32) -> Result<i64, Trap> {
         return Err(Trap::BadConversion);
     }
     let t = a.trunc();
-    if t >= 9223372036854775808.0 || t < -9223372036854775808.0 {
+    if !(-9223372036854775808.0..9223372036854775808.0).contains(&t) {
         return Err(Trap::BadConversion);
     }
     Ok(t as i64)
@@ -1387,7 +1395,7 @@ fn trunc_f64_to_i64_s(a: f64) -> Result<i64, Trap> {
         return Err(Trap::BadConversion);
     }
     let t = a.trunc();
-    if t >= 9223372036854775808.0 || t < -9223372036854775808.0 {
+    if !(-9223372036854775808.0..9223372036854775808.0).contains(&t) {
         return Err(Trap::BadConversion);
     }
     Ok(t as i64)

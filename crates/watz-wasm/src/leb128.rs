@@ -82,7 +82,11 @@ fn read_u64_impl(input: &[u8], pos: &mut usize, max_bytes: usize) -> Result<u64,
         *pos += 1;
         let payload = u64::from(byte & 0x7f);
         // Detect bits that fall off the top.
-        if shift >= 64 || (shift > 0 && payload.checked_shl(shift).is_none_or(|v| v >> shift != payload))
+        if shift >= 64
+            || (shift > 0
+                && payload
+                    .checked_shl(shift)
+                    .is_none_or(|v| v >> shift != payload))
         {
             return Err(LebError::Overflow);
         }
@@ -167,7 +171,19 @@ mod tests {
 
     #[test]
     fn i64_edge_cases() {
-        for v in [0, 1, -1, 63, 64, -64, -65, i64::MAX, i64::MIN, 624485, -123456] {
+        for v in [
+            0,
+            1,
+            -1,
+            63,
+            64,
+            -64,
+            -65,
+            i64::MAX,
+            i64::MIN,
+            624485,
+            -123456,
+        ] {
             roundtrip_i64(v);
         }
     }
@@ -206,23 +222,51 @@ mod tests {
         assert_eq!(buf, vec![0xe5, 0x8e, 0x26]);
     }
 
-    proptest::proptest! {
-        #[test]
-        fn prop_u32_roundtrip(v: u32) {
+    // Deterministic stand-in for the former proptest block: edge cases plus
+    // an xorshift64 sample, so the build has no external test dependencies.
+    fn xorshift64(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn prop_u32_roundtrip() {
+        let mut s = 0x9e37_79b9_7f4a_7c15u64;
+        let edges = [0, 1, 0x7f, 0x80, 0x3fff, 0x4000, u32::MAX - 1, u32::MAX];
+        for v in edges
+            .into_iter()
+            .chain((0..4096).map(|_| xorshift64(&mut s) as u32))
+        {
             roundtrip_u32(v);
         }
+    }
 
-        #[test]
-        fn prop_i64_roundtrip(v: i64) {
+    #[test]
+    fn prop_i64_roundtrip() {
+        let mut s = 0x243f_6a88_85a3_08d3u64;
+        let edges = [0, 1, -1, 63, 64, -64, -65, i64::MIN, i64::MAX];
+        for v in edges
+            .into_iter()
+            .chain((0..4096).map(|_| xorshift64(&mut s) as i64))
+        {
             roundtrip_i64(v);
         }
+    }
 
-        #[test]
-        fn prop_u64_roundtrip(v: u64) {
+    #[test]
+    fn prop_u64_roundtrip() {
+        let mut s = 0x1319_8a2e_0370_7344u64;
+        let edges = [0, 1, 0x7f, 0x80, u64::MAX - 1, u64::MAX];
+        for v in edges
+            .into_iter()
+            .chain((0..4096).map(|_| xorshift64(&mut s)))
+        {
             let mut buf = Vec::new();
             write_u64(&mut buf, v);
             let mut pos = 0;
-            proptest::prop_assert_eq!(read_u64(&buf, &mut pos), Ok(v));
+            assert_eq!(read_u64(&buf, &mut pos), Ok(v));
         }
     }
 }

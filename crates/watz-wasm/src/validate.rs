@@ -264,14 +264,14 @@ impl<'m> FuncChecker<'m> {
             BlockType::Empty => Ok((Vec::new(), Vec::new())),
             BlockType::Value(t) => Ok((Vec::new(), vec![t])),
             BlockType::Func(idx) => {
-                let ty = self
-                    .module
-                    .types
-                    .get(idx as usize)
-                    .ok_or(ValidationError::OutOfBounds {
-                        space: "type",
-                        index: idx,
-                    })?;
+                let ty =
+                    self.module
+                        .types
+                        .get(idx as usize)
+                        .ok_or(ValidationError::OutOfBounds {
+                            space: "type",
+                            index: idx,
+                        })?;
                 Ok((ty.params.clone(), ty.results.clone()))
             }
         }
@@ -358,14 +358,12 @@ impl<'m> FuncChecker<'m> {
     }
 
     fn label_types(&self, depth: u32) -> Result<Vec<ValType>, ValidationError> {
-        let idx = self
-            .ctrls
-            .len()
-            .checked_sub(1 + depth as usize)
-            .ok_or(ValidationError::OutOfBounds {
+        let idx = self.ctrls.len().checked_sub(1 + depth as usize).ok_or(
+            ValidationError::OutOfBounds {
                 space: "label",
                 index: depth,
-            })?;
+            },
+        )?;
         let frame = &self.ctrls[idx];
         Ok(if frame.kind == FrameKind::Loop {
             frame.start_types.clone()
@@ -789,7 +787,10 @@ mod tests {
             b.add_func(ty, &[], vec![Instr::Br(5), Instr::End]);
         })
         .unwrap_err();
-        assert!(matches!(err, ValidationError::OutOfBounds { space: "label", .. }));
+        assert!(matches!(
+            err,
+            ValidationError::OutOfBounds { space: "label", .. }
+        ));
     }
 
     #[test]

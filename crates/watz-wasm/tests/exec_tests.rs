@@ -175,8 +175,14 @@ fn if_without_else() {
         );
         b.export_func("f", f);
     });
-    assert_eq!(run_both(&m, "f", &[Value::I32(1)]).unwrap(), vec![Value::I32(20)]);
-    assert_eq!(run_both(&m, "f", &[Value::I32(0)]).unwrap(), vec![Value::I32(10)]);
+    assert_eq!(
+        run_both(&m, "f", &[Value::I32(1)]).unwrap(),
+        vec![Value::I32(20)]
+    );
+    assert_eq!(
+        run_both(&m, "f", &[Value::I32(0)]).unwrap(),
+        vec![Value::I32(10)]
+    );
 }
 
 #[test]
@@ -217,9 +223,18 @@ fn br_table_dispatch() {
         );
         b.export_func("switch", f);
     });
-    assert_eq!(run_both(&m, "switch", &[Value::I32(0)]).unwrap(), vec![Value::I32(100)]);
-    assert_eq!(run_both(&m, "switch", &[Value::I32(1)]).unwrap(), vec![Value::I32(200)]);
-    assert_eq!(run_both(&m, "switch", &[Value::I32(9)]).unwrap(), vec![Value::I32(300)]);
+    assert_eq!(
+        run_both(&m, "switch", &[Value::I32(0)]).unwrap(),
+        vec![Value::I32(100)]
+    );
+    assert_eq!(
+        run_both(&m, "switch", &[Value::I32(1)]).unwrap(),
+        vec![Value::I32(200)]
+    );
+    assert_eq!(
+        run_both(&m, "switch", &[Value::I32(9)]).unwrap(),
+        vec![Value::I32(300)]
+    );
 }
 
 #[test]
@@ -445,8 +460,8 @@ fn call_indirect_dispatch() {
             ty_sel,
             &[],
             vec![
-                Instr::LocalGet(1),       // argument
-                Instr::LocalGet(0),       // table index
+                Instr::LocalGet(1), // argument
+                Instr::LocalGet(0), // table index
                 Instr::CallIndirect {
                     type_idx: ty_i2i,
                     table: 0,
@@ -522,11 +537,11 @@ fn memory_grow_and_size() {
             ty,
             &[],
             vec![
-                Instr::MemorySize,        // 1
+                Instr::MemorySize, // 1
                 Instr::I32Const(1),
-                Instr::MemoryGrow,        // returns old size 1
+                Instr::MemoryGrow, // returns old size 1
                 Instr::I32Const(5),
-                Instr::MemoryGrow,        // exceeds max -> -1
+                Instr::MemoryGrow, // exceeds max -> -1
                 Instr::End,
             ],
         );
@@ -645,7 +660,7 @@ impl HostEnv for Recorder {
                 memory.write_bytes(args[0].as_u32(), b"host was here")?;
                 Ok(vec![])
             }
-            _ => Err(Trap::Host(format!("unknown host fn {name}")))
+            _ => Err(Trap::Host(format!("unknown host fn {name}"))),
         }
     }
 }
@@ -747,8 +762,14 @@ fn nested_blocks_with_values() {
         );
         b.export_func("f", f);
     });
-    assert_eq!(run_both(&m, "f", &[Value::I32(1)]).unwrap(), vec![Value::I32(11)]);
-    assert_eq!(run_both(&m, "f", &[Value::I32(0)]).unwrap(), vec![Value::I32(122)]);
+    assert_eq!(
+        run_both(&m, "f", &[Value::I32(1)]).unwrap(),
+        vec![Value::I32(11)]
+    );
+    assert_eq!(
+        run_both(&m, "f", &[Value::I32(0)]).unwrap(),
+        vec![Value::I32(122)]
+    );
 }
 
 #[test]
@@ -888,7 +909,10 @@ fn early_return_from_nested_control() {
         );
         b.export_func("f", f);
     });
-    assert_eq!(run_both(&m, "f", &[Value::I32(1)]).unwrap(), vec![Value::I32(77)]);
+    assert_eq!(
+        run_both(&m, "f", &[Value::I32(1)]).unwrap(),
+        vec![Value::I32(77)]
+    );
 }
 
 #[test]
@@ -943,7 +967,12 @@ fn rotate_ops() {
         b.export_func("rotl", f);
     });
     assert_eq!(
-        run_both(&m, "rotl", &[Value::I32(0x8000_0001u32 as i32), Value::I32(1)]).unwrap(),
+        run_both(
+            &m,
+            "rotl",
+            &[Value::I32(0x8000_0001u32 as i32), Value::I32(1)]
+        )
+        .unwrap(),
         vec![Value::I32(3)]
     );
 }
@@ -978,5 +1007,8 @@ fn loop_with_result_via_block_param_style() {
         );
         b.export_func("f", f);
     });
-    assert_eq!(run_both(&m, "f", &[Value::I32(7)]).unwrap(), vec![Value::I32(8)]);
+    assert_eq!(
+        run_both(&m, "f", &[Value::I32(7)]).unwrap(),
+        vec![Value::I32(8)]
+    );
 }

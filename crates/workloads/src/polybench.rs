@@ -561,8 +561,7 @@ fn native_symm(n: usize) -> f64 {
                 c[k * n + j] += 1.5 * b[i * n + j] * a[i * n + k];
                 temp2 += b[k * n + j] * a[i * n + k];
             }
-            c[i * n + j] =
-                1.2 * c[i * n + j] + 1.5 * b[i * n + j] * a[i * n + i] + 1.5 * temp2;
+            c[i * n + j] = 1.2 * c[i * n + j] + 1.5 * b[i * n + j] * a[i * n + i] + 1.5 * temp2;
         }
     }
     checksum(&c)
@@ -626,13 +625,7 @@ double kernel(int n) {
 );
 
 fn native_trisolv(n: usize) -> f64 {
-    let l = init_2d(n, |i, j| {
-        if j <= i {
-            fa(i, j, n) + 1.0
-        } else {
-            0.0
-        }
-    });
+    let l = init_2d(n, |i, j| if j <= i { fa(i, j, n) + 1.0 } else { 0.0 });
     let b: Vec<f64> = (0..n).map(|i| fv(i, n)).collect();
     let mut x = vec![0.0; n];
     for i in 0..n {
@@ -668,13 +661,7 @@ double kernel(int n) {
 
 fn native_lu(n: usize) -> f64 {
     // Diagonally dominant init keeps the factorisation stable.
-    let mut a = init_2d(n, |i, j| {
-        if i == j {
-            n as f64
-        } else {
-            fa(i, j, n)
-        }
-    });
+    let mut a = init_2d(n, |i, j| if i == j { n as f64 } else { fa(i, j, n) });
     for i in 0..n {
         for j in 0..i {
             for k in 0..j {
@@ -713,13 +700,7 @@ double kernel(int n) {
 );
 
 fn native_ludcmp(n: usize) -> f64 {
-    let mut a = init_2d(n, |i, j| {
-        if i == j {
-            n as f64
-        } else {
-            fa(i, j, n)
-        }
-    });
+    let mut a = init_2d(n, |i, j| if i == j { n as f64 } else { fa(i, j, n) });
     let b: Vec<f64> = (0..n).map(|i| fv(i, n)).collect();
     let mut y = vec![0.0; n];
     let mut x = vec![0.0; n];
@@ -891,7 +872,7 @@ fn native_durbin(n: usize) -> f64 {
     let mut beta = 1.0;
     let mut alpha = -r[0];
     for k in 1..n {
-        beta = (1.0 - alpha * alpha) * beta;
+        beta *= 1.0 - alpha * alpha;
         let mut s = 0.0;
         for i in 0..k {
             s += r[k - i - 1] * y[i];
@@ -968,14 +949,20 @@ fn native_jacobi2d(n: usize) -> f64 {
         for i in 1..n - 1 {
             for j in 1..n - 1 {
                 b[i * n + j] = 0.2
-                    * (a[i * n + j] + a[i * n + j - 1] + a[i * n + j + 1] + a[(i + 1) * n + j]
+                    * (a[i * n + j]
+                        + a[i * n + j - 1]
+                        + a[i * n + j + 1]
+                        + a[(i + 1) * n + j]
                         + a[(i - 1) * n + j]);
             }
         }
         for i in 1..n - 1 {
             for j in 1..n - 1 {
                 a[i * n + j] = 0.2
-                    * (b[i * n + j] + b[i * n + j - 1] + b[i * n + j + 1] + b[(i + 1) * n + j]
+                    * (b[i * n + j]
+                        + b[i * n + j - 1]
+                        + b[i * n + j + 1]
+                        + b[(i + 1) * n + j]
                         + b[(i - 1) * n + j]);
             }
         }
@@ -1044,8 +1031,8 @@ fn native_fdtd2d(n: usize) -> f64 {
     let mut ey = init_2d(n, |i, j| fb(i, j, n));
     let mut hz = init_2d(n, |i, j| ((i + j + 2) % n) as f64 / n as f64);
     for t in 0..TSTEPS {
-        for j in 0..n {
-            ey[j] = t as f64;
+        for e in ey.iter_mut().take(n) {
+            *e = t as f64;
         }
         for i in 1..n {
             for j in 0..n {
@@ -1059,8 +1046,8 @@ fn native_fdtd2d(n: usize) -> f64 {
         }
         for i in 0..n - 1 {
             for j in 0..n - 1 {
-                hz[i * n + j] -= 0.7
-                    * (ex[i * n + j + 1] - ex[i * n + j] + ey[(i + 1) * n + j] - ey[i * n + j]);
+                hz[i * n + j] -=
+                    0.7 * (ex[i * n + j + 1] - ex[i * n + j] + ey[(i + 1) * n + j] - ey[i * n + j]);
             }
         }
     }
@@ -1155,8 +1142,7 @@ fn native_adi(n: usize) -> f64 {
     for _ in 0..TSTEPS {
         for i in 1..n - 1 {
             for j in 1..n - 1 {
-                v[i * n + j] =
-                    0.25 * (u[i * n + j - 1] + 2.0 * u[i * n + j] + u[i * n + j + 1]);
+                v[i * n + j] = 0.25 * (u[i * n + j - 1] + 2.0 * u[i * n + j] + u[i * n + j + 1]);
             }
         }
         for i in 1..n - 1 {
@@ -1410,7 +1396,7 @@ double kernel(int n) {
 
 fn native_nussinov(n: usize) -> f64 {
     // RNA base-pair DP over a synthetic sequence.
-    let seq: Vec<i64> = (0..n).map(|i| (i as i64 % 4)).collect();
+    let seq: Vec<i64> = (0..n).map(|i| i as i64 % 4).collect();
     let mut table = vec![0.0f64; n * n];
     let matches = |a: i64, b: i64| i64::from(a + b == 3);
     for i in (0..n).rev() {
@@ -1424,7 +1410,11 @@ fn native_nussinov(n: usize) -> f64 {
             }
             if i + 1 < n && j >= 1 {
                 let diag = table[(i + 1) * n + j - 1]
-                    + if i < j { matches(seq[i], seq[j]) as f64 } else { 0.0 };
+                    + if i < j {
+                        matches(seq[i], seq[j]) as f64
+                    } else {
+                        0.0
+                    };
                 best = best.max(diag);
             }
             for k in i + 1..j {
@@ -1523,36 +1513,156 @@ double kernel(int n) {
 #[allow(clippy::too_many_lines)]
 pub fn suite() -> Vec<Kernel> {
     vec![
-        Kernel { name: "2mm", minic: TWO_MM_MC, native: native_two_mm },
-        Kernel { name: "3mm", minic: THREE_MM_MC, native: native_three_mm },
-        Kernel { name: "adi", minic: ADI_MC, native: native_adi },
-        Kernel { name: "atax", minic: ATAX_MC, native: native_atax },
-        Kernel { name: "bicg", minic: BICG_MC, native: native_bicg },
-        Kernel { name: "cholesky", minic: CHOLESKY_MC, native: native_cholesky },
-        Kernel { name: "correlation", minic: CORRELATION_MC, native: native_correlation },
-        Kernel { name: "covariance", minic: COVARIANCE_MC, native: native_covariance },
-        Kernel { name: "deriche", minic: DERICHE_MC, native: native_deriche },
-        Kernel { name: "doitgen", minic: DOITGEN_MC, native: native_doitgen },
-        Kernel { name: "durbin", minic: DURBIN_MC, native: native_durbin },
-        Kernel { name: "fdtd-2d", minic: FDTD2D_MC, native: native_fdtd2d },
-        Kernel { name: "floyd-warshall", minic: FLOYD_MC, native: native_floyd_warshall },
-        Kernel { name: "gemm", minic: GEMM_MC, native: native_gemm },
-        Kernel { name: "gesummv", minic: GESUMMV_MC, native: native_gesummv },
-        Kernel { name: "gemver", minic: GEMVER_MC, native: native_gemver },
-        Kernel { name: "gramschmidt", minic: GRAMSCHMIDT_MC, native: native_gramschmidt },
-        Kernel { name: "heat-3d", minic: HEAT3D_MC, native: native_heat3d },
-        Kernel { name: "jacobi-1d", minic: JACOBI1D_MC, native: native_jacobi1d },
-        Kernel { name: "jacobi-2d", minic: JACOBI2D_MC, native: native_jacobi2d },
-        Kernel { name: "lu", minic: LU_MC, native: native_lu },
-        Kernel { name: "ludcmp", minic: LUDCMP_MC, native: native_ludcmp },
-        Kernel { name: "mvt", minic: MVT_MC, native: native_mvt },
-        Kernel { name: "nussinov", minic: NUSSINOV_MC, native: native_nussinov },
-        Kernel { name: "seidel-2d", minic: SEIDEL2D_MC, native: native_seidel2d },
-        Kernel { name: "symm", minic: SYMM_MC, native: native_symm },
-        Kernel { name: "syr2k", minic: SYR2K_MC, native: native_syr2k },
-        Kernel { name: "syrk", minic: SYRK_MC, native: native_syrk },
-        Kernel { name: "trisolv", minic: TRISOLV_MC, native: native_trisolv },
-        Kernel { name: "trmm", minic: TRMM_MC, native: native_trmm },
+        Kernel {
+            name: "2mm",
+            minic: TWO_MM_MC,
+            native: native_two_mm,
+        },
+        Kernel {
+            name: "3mm",
+            minic: THREE_MM_MC,
+            native: native_three_mm,
+        },
+        Kernel {
+            name: "adi",
+            minic: ADI_MC,
+            native: native_adi,
+        },
+        Kernel {
+            name: "atax",
+            minic: ATAX_MC,
+            native: native_atax,
+        },
+        Kernel {
+            name: "bicg",
+            minic: BICG_MC,
+            native: native_bicg,
+        },
+        Kernel {
+            name: "cholesky",
+            minic: CHOLESKY_MC,
+            native: native_cholesky,
+        },
+        Kernel {
+            name: "correlation",
+            minic: CORRELATION_MC,
+            native: native_correlation,
+        },
+        Kernel {
+            name: "covariance",
+            minic: COVARIANCE_MC,
+            native: native_covariance,
+        },
+        Kernel {
+            name: "deriche",
+            minic: DERICHE_MC,
+            native: native_deriche,
+        },
+        Kernel {
+            name: "doitgen",
+            minic: DOITGEN_MC,
+            native: native_doitgen,
+        },
+        Kernel {
+            name: "durbin",
+            minic: DURBIN_MC,
+            native: native_durbin,
+        },
+        Kernel {
+            name: "fdtd-2d",
+            minic: FDTD2D_MC,
+            native: native_fdtd2d,
+        },
+        Kernel {
+            name: "floyd-warshall",
+            minic: FLOYD_MC,
+            native: native_floyd_warshall,
+        },
+        Kernel {
+            name: "gemm",
+            minic: GEMM_MC,
+            native: native_gemm,
+        },
+        Kernel {
+            name: "gesummv",
+            minic: GESUMMV_MC,
+            native: native_gesummv,
+        },
+        Kernel {
+            name: "gemver",
+            minic: GEMVER_MC,
+            native: native_gemver,
+        },
+        Kernel {
+            name: "gramschmidt",
+            minic: GRAMSCHMIDT_MC,
+            native: native_gramschmidt,
+        },
+        Kernel {
+            name: "heat-3d",
+            minic: HEAT3D_MC,
+            native: native_heat3d,
+        },
+        Kernel {
+            name: "jacobi-1d",
+            minic: JACOBI1D_MC,
+            native: native_jacobi1d,
+        },
+        Kernel {
+            name: "jacobi-2d",
+            minic: JACOBI2D_MC,
+            native: native_jacobi2d,
+        },
+        Kernel {
+            name: "lu",
+            minic: LU_MC,
+            native: native_lu,
+        },
+        Kernel {
+            name: "ludcmp",
+            minic: LUDCMP_MC,
+            native: native_ludcmp,
+        },
+        Kernel {
+            name: "mvt",
+            minic: MVT_MC,
+            native: native_mvt,
+        },
+        Kernel {
+            name: "nussinov",
+            minic: NUSSINOV_MC,
+            native: native_nussinov,
+        },
+        Kernel {
+            name: "seidel-2d",
+            minic: SEIDEL2D_MC,
+            native: native_seidel2d,
+        },
+        Kernel {
+            name: "symm",
+            minic: SYMM_MC,
+            native: native_symm,
+        },
+        Kernel {
+            name: "syr2k",
+            minic: SYR2K_MC,
+            native: native_syr2k,
+        },
+        Kernel {
+            name: "syrk",
+            minic: SYRK_MC,
+            native: native_syrk,
+        },
+        Kernel {
+            name: "trisolv",
+            minic: TRISOLV_MC,
+            native: native_trisolv,
+        },
+        Kernel {
+            name: "trmm",
+            minic: TRMM_MC,
+            native: native_trmm,
+        },
     ]
 }
 
@@ -1584,8 +1694,7 @@ mod tests {
     #[test]
     fn all_minic_kernels_compile() {
         for k in suite() {
-            minic::compile(k.minic)
-                .unwrap_or_else(|e| panic!("{} failed to compile: {e}", k.name));
+            minic::compile(k.minic).unwrap_or_else(|e| panic!("{} failed to compile: {e}", k.name));
         }
     }
 

@@ -43,37 +43,161 @@ pub struct Experiment {
 pub fn experiments() -> Vec<Experiment> {
     use Kind::{Read, Schema, Write};
     vec![
-        Experiment { id: 100, kind: Write, description: "inserts into unindexed table" },
-        Experiment { id: 110, kind: Write, description: "inserts into indexed table" },
-        Experiment { id: 120, kind: Write, description: "ordered inserts into indexed table" },
-        Experiment { id: 130, kind: Read, description: "range counts over unindexed table" },
-        Experiment { id: 140, kind: Read, description: "range selects with text filter" },
-        Experiment { id: 142, kind: Read, description: "range selects with LIKE prefix" },
-        Experiment { id: 145, kind: Read, description: "range selects via index" },
-        Experiment { id: 150, kind: Schema, description: "create index over populated table" },
-        Experiment { id: 160, kind: Read, description: "point selects by key" },
-        Experiment { id: 161, kind: Read, description: "point selects by secondary index" },
-        Experiment { id: 170, kind: Read, description: "point selects by text prefix" },
-        Experiment { id: 180, kind: Write, description: "range updates, unindexed column" },
-        Experiment { id: 190, kind: Write, description: "range updates, indexed column" },
-        Experiment { id: 210, kind: Write, description: "text updates via index" },
-        Experiment { id: 230, kind: Write, description: "narrow range updates" },
-        Experiment { id: 240, kind: Write, description: "full-table update" },
-        Experiment { id: 250, kind: Read, description: "one large range aggregate" },
-        Experiment { id: 260, kind: Read, description: "order-by on indexed column with limit" },
-        Experiment { id: 270, kind: Read, description: "order-by on unindexed column with limit" },
-        Experiment { id: 280, kind: Read, description: "count + min/max aggregates" },
-        Experiment { id: 290, kind: Write, description: "delete range then refill" },
-        Experiment { id: 300, kind: Write, description: "bulk delete of half the table" },
-        Experiment { id: 310, kind: Read, description: "LIKE prefix count over whole table" },
-        Experiment { id: 320, kind: Read, description: "conditional sum over whole table" },
-        Experiment { id: 400, kind: Write, description: "scattered point updates via index" },
-        Experiment { id: 410, kind: Read, description: "scattered point selects via index" },
-        Experiment { id: 500, kind: Write, description: "bulk copy between tables" },
-        Experiment { id: 510, kind: Read, description: "alternating point selects on two tables" },
-        Experiment { id: 520, kind: Read, description: "full-table verification scans" },
-        Experiment { id: 980, kind: Schema, description: "build extra index (schema change)" },
-        Experiment { id: 990, kind: Schema, description: "drop, recreate and refill table" },
+        Experiment {
+            id: 100,
+            kind: Write,
+            description: "inserts into unindexed table",
+        },
+        Experiment {
+            id: 110,
+            kind: Write,
+            description: "inserts into indexed table",
+        },
+        Experiment {
+            id: 120,
+            kind: Write,
+            description: "ordered inserts into indexed table",
+        },
+        Experiment {
+            id: 130,
+            kind: Read,
+            description: "range counts over unindexed table",
+        },
+        Experiment {
+            id: 140,
+            kind: Read,
+            description: "range selects with text filter",
+        },
+        Experiment {
+            id: 142,
+            kind: Read,
+            description: "range selects with LIKE prefix",
+        },
+        Experiment {
+            id: 145,
+            kind: Read,
+            description: "range selects via index",
+        },
+        Experiment {
+            id: 150,
+            kind: Schema,
+            description: "create index over populated table",
+        },
+        Experiment {
+            id: 160,
+            kind: Read,
+            description: "point selects by key",
+        },
+        Experiment {
+            id: 161,
+            kind: Read,
+            description: "point selects by secondary index",
+        },
+        Experiment {
+            id: 170,
+            kind: Read,
+            description: "point selects by text prefix",
+        },
+        Experiment {
+            id: 180,
+            kind: Write,
+            description: "range updates, unindexed column",
+        },
+        Experiment {
+            id: 190,
+            kind: Write,
+            description: "range updates, indexed column",
+        },
+        Experiment {
+            id: 210,
+            kind: Write,
+            description: "text updates via index",
+        },
+        Experiment {
+            id: 230,
+            kind: Write,
+            description: "narrow range updates",
+        },
+        Experiment {
+            id: 240,
+            kind: Write,
+            description: "full-table update",
+        },
+        Experiment {
+            id: 250,
+            kind: Read,
+            description: "one large range aggregate",
+        },
+        Experiment {
+            id: 260,
+            kind: Read,
+            description: "order-by on indexed column with limit",
+        },
+        Experiment {
+            id: 270,
+            kind: Read,
+            description: "order-by on unindexed column with limit",
+        },
+        Experiment {
+            id: 280,
+            kind: Read,
+            description: "count + min/max aggregates",
+        },
+        Experiment {
+            id: 290,
+            kind: Write,
+            description: "delete range then refill",
+        },
+        Experiment {
+            id: 300,
+            kind: Write,
+            description: "bulk delete of half the table",
+        },
+        Experiment {
+            id: 310,
+            kind: Read,
+            description: "LIKE prefix count over whole table",
+        },
+        Experiment {
+            id: 320,
+            kind: Read,
+            description: "conditional sum over whole table",
+        },
+        Experiment {
+            id: 400,
+            kind: Write,
+            description: "scattered point updates via index",
+        },
+        Experiment {
+            id: 410,
+            kind: Read,
+            description: "scattered point selects via index",
+        },
+        Experiment {
+            id: 500,
+            kind: Write,
+            description: "bulk copy between tables",
+        },
+        Experiment {
+            id: 510,
+            kind: Read,
+            description: "alternating point selects on two tables",
+        },
+        Experiment {
+            id: 520,
+            kind: Read,
+            description: "full-table verification scans",
+        },
+        Experiment {
+            id: 980,
+            kind: Schema,
+            description: "build extra index (schema change)",
+        },
+        Experiment {
+            id: 990,
+            kind: Schema,
+            description: "drop, recreate and refill table",
+        },
     ]
 }
 
@@ -292,7 +416,9 @@ pub fn run_native(db: &mut Database, id: u32, n: usize) -> i64 {
             check = r.rows.len() as i64;
         }
         280 => {
-            let r = db.execute("SELECT COUNT(*), MIN(b), MAX(b) FROM t1").unwrap();
+            let r = db
+                .execute("SELECT COUNT(*), MIN(b), MAX(b) FROM t1")
+                .unwrap();
             check = count_of(&r);
         }
         290 => {
@@ -336,13 +462,18 @@ pub fn run_native(db: &mut Database, id: u32, n: usize) -> i64 {
             }
         }
         500 => {
-            let rows = db.execute(&format!("SELECT a, b FROM t1 WHERE a < {}", n_i / 4)).unwrap();
+            let rows = db
+                .execute(&format!("SELECT a, b FROM t1 WHERE a < {}", n_i / 4))
+                .unwrap();
             for row in &rows.rows {
                 let (microdb::Value::Int(a), microdb::Value::Int(b)) = (&row[0], &row[1]) else {
                     continue;
                 };
-                db.execute(&format!("INSERT INTO t2 VALUES ({}, {b}, 'copy')", a + 5 * n_i))
-                    .unwrap();
+                db.execute(&format!(
+                    "INSERT INTO t2 VALUES ({}, {b}, 'copy')",
+                    a + 5 * n_i
+                ))
+                .unwrap();
             }
             check = rows.rows.len() as i64;
         }
@@ -791,7 +922,11 @@ mod tests {
                 .expect("setup");
             assert_eq!(setup, vec![Value::I32(200)]);
             let out = inst
-                .invoke(&mut NoHost, "run_exp", &[Value::I32(exp.id as i32), Value::I32(100)])
+                .invoke(
+                    &mut NoHost,
+                    "run_exp",
+                    &[Value::I32(exp.id as i32), Value::I32(100)],
+                )
                 .unwrap_or_else(|e| panic!("experiment {} trapped: {e}", exp.id));
             match out[0] {
                 Value::I64(v) => assert!(v >= 0, "experiment {} returned {v}", exp.id),

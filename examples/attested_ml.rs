@@ -81,8 +81,10 @@ fn main() {
         }
     }
     println!("trained 4-4-3 network, MSE = {:.4}", {
-        let mut data: Vec<(Vec<f64>, Vec<f64>)> =
-            samples.iter().map(|s| (s.features.clone(), s.one_hot())).collect();
+        let mut data: Vec<(Vec<f64>, Vec<f64>)> = samples
+            .iter()
+            .map(|s| (s.features.clone(), s.one_hot()))
+            .collect();
         data.truncate(150);
         nn.mse(&data)
     });

@@ -10,7 +10,10 @@ fn main() {
     // 1. "Manufacture" a device: fuse an OTPMK, run the secure boot chain,
     //    boot the trusted OS and install the WaTZ runtime.
     let runtime = WatzRuntime::new_device(b"quickstart-device").expect("boot");
-    println!("device attestation key: {:02x?}...", &runtime.device_public_key()[..8]);
+    println!(
+        "device attestation key: {:02x?}...",
+        &runtime.device_public_key()[..8]
+    );
 
     // 2. Compile a guest. The paper compiles C with WASI-SDK; this
     //    reproduction ships MiniC, a small C-like language.

@@ -12,8 +12,10 @@ fn main() {
 
     // Native side: the SQL engine.
     let mut db = watz::db::Database::new();
-    db.execute("CREATE TABLE sensors(id INT, reading INT, site TEXT)").unwrap();
-    db.execute("CREATE INDEX by_reading ON sensors(reading)").unwrap();
+    db.execute("CREATE TABLE sensors(id INT, reading INT, site TEXT)")
+        .unwrap();
+    db.execute("CREATE INDEX by_reading ON sensors(reading)")
+        .unwrap();
     for i in 0..1000 {
         db.execute(&format!(
             "INSERT INTO sensors VALUES ({i}, {}, 'site {}')",
@@ -30,14 +32,26 @@ fn main() {
     // Wasm side: the minisql guest inside the TEE.
     let wasm = watz::compiler::compile_with_options(
         speedtest::MINISQL_GUEST,
-        &watz::compiler::Options { min_pages: 256, max_pages: None },
+        &watz::compiler::Options {
+            min_pages: 256,
+            max_pages: None,
+        },
     )
     .expect("compile minisql");
     let mut app = runtime
-        .load(&wasm, &AppConfig { heap_bytes: 25 << 20, mode: watz::wasm::ExecMode::Aot })
+        .load(
+            &wasm,
+            &AppConfig {
+                heap_bytes: 25 << 20,
+                mode: watz::wasm::ExecMode::Aot,
+            },
+        )
         .expect("load");
     app.invoke("setup", &[Value::I32(1000)]).unwrap();
-    println!("minisql guest measurement: {:02x?}...", &app.measurement()[..8]);
+    println!(
+        "minisql guest measurement: {:02x?}...",
+        &app.measurement()[..8]
+    );
 
     for exp in speedtest::experiments().iter().take(6) {
         let t = std::time::Instant::now();
@@ -46,7 +60,10 @@ fn main() {
             .unwrap();
         println!(
             "  experiment {:>3} ({:<40}) check={:?} in {:?}",
-            exp.id, exp.description, check[0], t.elapsed()
+            exp.id,
+            exp.description,
+            check[0],
+            t.elapsed()
         );
     }
 }

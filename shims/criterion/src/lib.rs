@@ -1,0 +1,188 @@
+//! In-tree stand-in for the `criterion` benchmarking crate.
+//!
+//! Provides the subset of the criterion API used by `crates/bench`
+//! (`Criterion`, benchmark groups, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros) with a simple
+//! median-of-samples timer so `cargo bench` runs without network access.
+//! Results are printed in a criterion-like `name  time: [median]` format.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub use std::hint::black_box;
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count,
+        }
+    }
+
+    /// Times `routine`, recording `sample_count` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: batch enough iterations that one sample is >= ~1ms,
+        // so very fast routines still time meaningfully.
+        let t = Instant::now();
+        black_box(routine());
+        let one = t.elapsed();
+        if one < Duration::from_millis(1) {
+            let nanos = one.as_nanos().max(1);
+            self.iters_per_sample = (1_000_000 / nanos).max(1) as u64;
+        }
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(t.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+
+    fn median(&mut self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.samples.sort();
+        Some(self.samples[self.samples.len() / 2])
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", d.as_secs_f64() * 1e3)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_one(id: &str, sample_count: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::new(sample_count);
+    f(&mut b);
+    match b.median() {
+        Some(median) => println!("{id:<40} time: [{}]", fmt_duration(median)),
+        None => println!("{id:<40} time: [no samples]"),
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher::new(5);
+        b.iter(|| black_box(2u64 + 2));
+        assert!(b.median().is_some());
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut ran = 0;
+        g.bench_function("f", |b| {
+            b.iter(|| 1);
+            ran += 1;
+        });
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! In-tree stand-in for the `crossbeam` crate.
+//!
+//! Only the bounded-channel subset used by `optee-sim`'s loopback network
+//! is provided, implemented over `std::sync::mpsc::sync_channel` (which has
+//! the same blocking-when-full semantics as `crossbeam::channel::bounded`).
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels (subset of `crossbeam::channel`).
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvTimeoutError, SendError, TryRecvError};
+
+    /// The sending half of a bounded channel. Cloneable.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while the channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`SendError`] if the receiving half has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// The receiving half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is dropped.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`mpsc::RecvError`] if the channel is disconnected.
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.0.recv()
+        }
+
+        /// Blocks for at most `timeout` waiting for a message.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvTimeoutError`] on timeout or disconnection.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Returns a pending message without blocking.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`TryRecvError`] if the channel is empty or disconnected.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Creates a bounded channel with capacity `cap`.
+    #[must_use]
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_round_trip() {
+        let (tx, rx) = channel::bounded(4);
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert!(rx.try_recv().is_err());
+        assert!(rx.recv_timeout(Duration::from_millis(5)).is_err());
+    }
+
+    #[test]
+    fn cloned_senders_share_channel() {
+        let (tx, rx) = channel::bounded(4);
+        let tx2 = tx.clone();
+        tx2.send(1u8).unwrap();
+        tx.send(2u8).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+}

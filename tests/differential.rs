@@ -1,0 +1,80 @@
+//! Differential testing of the two execution modes: for every PolyBench
+//! kernel in the suite, the AOT executor and the interpreter must agree
+//! bit-for-bit when run inside WaTZ, and traps must be reported
+//! identically in both modes.
+
+use watz::runtime::{AppConfig, WatzRuntime};
+use watz::wasm::exec::{ExecMode, Value};
+
+const N: i32 = 12;
+
+#[test]
+fn all_polybench_kernels_agree_across_exec_modes() {
+    let rt = WatzRuntime::new_device(b"differential").unwrap();
+    for kernel in watz::bench_workloads::polybench::suite() {
+        let wasm = watz::compiler::compile(kernel.minic)
+            .unwrap_or_else(|e| panic!("{} failed to compile: {e:?}", kernel.name));
+        let mut results = Vec::new();
+        for mode in [ExecMode::Aot, ExecMode::Interpreted] {
+            let mut app = rt
+                .load(
+                    &wasm,
+                    &AppConfig {
+                        heap_bytes: 12 << 20,
+                        mode,
+                    },
+                )
+                .unwrap_or_else(|e| panic!("{} failed to load ({mode:?}): {e}", kernel.name));
+            let out = app
+                .invoke("kernel", &[Value::I32(N)])
+                .unwrap_or_else(|e| panic!("{} trapped ({mode:?}): {e}", kernel.name));
+            results.push(out);
+        }
+        assert_eq!(
+            results[0], results[1],
+            "kernel {} diverges between AOT and interpreter",
+            kernel.name
+        );
+        // Both modes must also produce a finite checksum.
+        match results[0][0] {
+            Value::F64(v) => assert!(v.is_finite(), "kernel {} non-finite", kernel.name),
+            ref other => panic!("kernel {} returned {other:?}", kernel.name),
+        }
+    }
+}
+
+#[test]
+fn trap_parity_across_exec_modes() {
+    // A guest that traps (integer division by zero) must fail identically
+    // in both modes: same Err, same trap message.
+    let rt = WatzRuntime::new_device(b"trap-parity").unwrap();
+    let wasm = watz::compiler::compile("int div(int a, int b) { return a / b; }").unwrap();
+    let mut errors = Vec::new();
+    for mode in [ExecMode::Aot, ExecMode::Interpreted] {
+        let mut app = rt
+            .load(
+                &wasm,
+                &AppConfig {
+                    heap_bytes: 4 << 20,
+                    mode,
+                },
+            )
+            .unwrap();
+        // Sanity: the same guest succeeds on well-defined input...
+        assert_eq!(
+            app.invoke("div", &[Value::I32(6), Value::I32(3)]).unwrap(),
+            vec![Value::I32(2)]
+        );
+        // ...and traps on division by zero.
+        let err = app
+            .invoke("div", &[Value::I32(1), Value::I32(0)])
+            .expect_err("division by zero must trap");
+        errors.push(format!("{err}"));
+    }
+    assert_eq!(errors[0], errors[1], "trap reports differ between modes");
+    assert!(
+        errors[0].contains("division by zero"),
+        "unexpected trap: {}",
+        errors[0]
+    );
+}

@@ -28,7 +28,13 @@ fn both_exec_modes_agree_inside_watz() {
     let mut results = Vec::new();
     for mode in [ExecMode::Aot, ExecMode::Interpreted] {
         let mut app = rt
-            .load(&wasm, &AppConfig { heap_bytes: 12 << 20, mode })
+            .load(
+                &wasm,
+                &AppConfig {
+                    heap_bytes: 12 << 20,
+                    mode,
+                },
+            )
             .unwrap();
         results.push(app.invoke("kernel", &[Value::I32(12)]).unwrap());
     }
