@@ -1,0 +1,47 @@
+//! Fleet-scale attestation throughput: sessions/sec vs worker count.
+//!
+//! Goes beyond the paper (which appraises one attester at a time) toward
+//! the ROADMAP's fleet-scale north star: one `watz-fleet` service, N
+//! concurrent simulated devices, sweeping the verifier worker pool.
+//! Scale the fleet with `WATZ_BENCH_N` (devices) and the rounds per
+//! worker count with `WATZ_BENCH_REPS`.
+
+use std::time::Duration;
+
+use watz_bench::{header, reps, scale};
+use watz_fleet::sim::{FleetSim, FleetSimConfig};
+
+fn main() {
+    header(
+        "Fleet attestation: sessions/sec vs worker count",
+        "beyond-paper scaling experiment (watz-fleet, batched appraisal)",
+    );
+    let devices = scale(96);
+    let rounds = reps(3);
+    let sim = FleetSim::boot(FleetSimConfig {
+        shards: 1,
+        endorsed: devices,
+        rogue: 0,
+        stale: 0,
+        session_timeout: Duration::from_secs(10),
+        ..FleetSimConfig::default()
+    })
+    .expect("fleet boot");
+    println!("  {devices} devices, one shard, {rounds} rounds per point");
+
+    for workers in [1usize, 2, 4, 8] {
+        let mut reports: Vec<_> = (0..rounds.max(1))
+            .map(|_| sim.run_with_workers(workers))
+            .collect();
+        reports.sort_by(|a, b| a.throughput().total_cmp(&b.throughput()));
+        let median = &reports[reports.len() / 2];
+        println!(
+            "  workers {workers:>2}: {:>8.0} sessions/s   p50 {:>9.2?}  p95 {:>9.2?}  batches/appraisals {}/{}",
+            median.throughput(),
+            median.latency_percentile(50.0),
+            median.latency_percentile(95.0),
+            median.stats.appraisal_batches,
+            median.stats.appraised,
+        );
+    }
+}

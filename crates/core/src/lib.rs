@@ -54,7 +54,7 @@ use optee_sim::{ExecPages, TaHeap, TeeError, TrustedOs};
 use tz_hal::{Platform, PlatformConfig};
 use watz_attestation::service::AttestationService;
 use watz_attestation::verifier::{Verifier, VerifierConfig};
-use watz_attestation::wire::{Msg0, Msg2};
+use watz_attestation::wire::{Msg0, Msg2, APPRAISAL_FAILED};
 use watz_crypto::sha256::Sha256;
 use watz_wasi::WasiEnv;
 use watz_wasm::exec::{ExecMode, Instance, Trap, Value};
@@ -413,15 +413,31 @@ impl WatzApp {
     }
 }
 
-/// Marker sent by the verifier server when appraisal fails, so attesters
-/// fail fast instead of timing out.
-const APPRAISAL_FAILED: &[u8] = &[0xEE];
+/// Per-outcome session accounting for a [`VerifierServer`].
+///
+/// Every session the server answered with a verdict lands in exactly one
+/// bucket: `served` for a delivered `msg3`, `rejected` for the
+/// appraisal-failed marker — whether appraisal ran and failed or the
+/// message never parsed. (Sessions whose peer vanished mid-handshake are
+/// in neither.)
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Sessions that passed appraisal and received `msg3`.
+    pub served: u64,
+    /// Sessions answered with the appraisal-failed marker (malformed
+    /// message or failed appraisal).
+    pub rejected: u64,
+}
 
 /// A background verifier service: normal-world listener + secure-world
 /// appraisal (Fig 2's right-hand side).
+///
+/// One listener thread, one blocking session at a time — faithful to the
+/// paper's relying party. For fleet-scale concurrent appraisal, use the
+/// `watz-fleet` crate's worker-pool service instead.
 pub struct VerifierServer {
     shutdown: Arc<AtomicBool>,
-    handle: Option<JoinHandle<u64>>,
+    handle: Option<JoinHandle<ServerStats>>,
     port: u16,
     os: TrustedOs,
 }
@@ -450,9 +466,9 @@ impl VerifierServer {
         let mut rng = os.kernel_prng("verifier-session");
 
         let handle = std::thread::spawn(move || {
-            let mut served = 0u64;
+            let mut stats = ServerStats::default();
             while !stop.load(Ordering::SeqCst) {
-                let Ok(conn) = listener.accept_timeout(Duration::from_millis(25)) else {
+                let Ok(conn) = listener.accept_timeout(optee_sim::net::DEFAULT_ACCEPT_POLL) else {
                     continue;
                 };
                 let mut verifier = Verifier::new(config.clone());
@@ -460,11 +476,13 @@ impl VerifierServer {
                 let Ok(raw0) = conn.recv() else { continue };
                 let Ok(msg0) = Msg0::from_bytes(&raw0) else {
                     let _ = conn.send(APPRAISAL_FAILED);
+                    stats.rejected += 1;
                     continue;
                 };
                 let reply = platform.enter_secure(|| verifier.handle_msg0(&msg0, &mut rng));
                 let Ok((msg1, _)) = reply else {
                     let _ = conn.send(APPRAISAL_FAILED);
+                    stats.rejected += 1;
                     continue;
                 };
                 if conn.send(&msg1.to_bytes()).is_err() {
@@ -474,19 +492,21 @@ impl VerifierServer {
                 let Ok(raw2) = conn.recv() else { continue };
                 let Ok(msg2) = Msg2::from_bytes(&raw2) else {
                     let _ = conn.send(APPRAISAL_FAILED);
+                    stats.rejected += 1;
                     continue;
                 };
                 match platform.enter_secure(|| verifier.handle_msg2(&msg2)) {
                     Ok((msg3, _)) => {
                         let _ = conn.send(&msg3.to_bytes());
-                        served += 1;
+                        stats.served += 1;
                     }
                     Err(_) => {
                         let _ = conn.send(APPRAISAL_FAILED);
+                        stats.rejected += 1;
                     }
                 }
             }
-            served
+            stats
         });
 
         Ok(VerifierServer {
@@ -503,15 +523,16 @@ impl VerifierServer {
         self.port
     }
 
-    /// Stops the server and returns how many sessions it served
-    /// successfully.
-    pub fn shutdown(mut self) -> u64 {
+    /// Stops the server and returns the per-outcome session accounting
+    /// (served alongside rejected — failed sessions are no longer silently
+    /// dropped).
+    pub fn shutdown(mut self) -> ServerStats {
         self.shutdown.store(true, Ordering::SeqCst);
         self.os.network().unbind(self.port);
         self.handle
             .take()
-            .map(|h| h.join().unwrap_or(0))
-            .unwrap_or(0)
+            .map(|h| h.join().unwrap_or_default())
+            .unwrap_or_default()
     }
 }
 

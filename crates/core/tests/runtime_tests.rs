@@ -190,7 +190,8 @@ fn guest_attests_and_receives_secret() {
     let blob_addr = app.invoke("blob_ptr", &[]).unwrap()[0].as_u32();
     let blob = app.read_memory(blob_addr, secret.len() as u32).unwrap();
     assert_eq!(blob, secret);
-    assert_eq!(server.shutdown(), 1);
+    let stats = server.shutdown();
+    assert_eq!((stats.served, stats.rejected), (1, 0));
 }
 
 #[test]
@@ -210,7 +211,8 @@ fn unexpected_measurement_fails_attestation() {
 
     let out = app.invoke("attest", &[Value::I32(9401)]).unwrap();
     assert_eq!(out, vec![Value::I32(watz_wasi::err_codes::PROTOCOL)]);
-    assert_eq!(server.shutdown(), 0);
+    let stats = server.shutdown();
+    assert_eq!((stats.served, stats.rejected), (0, 1));
 }
 
 #[test]
@@ -230,7 +232,10 @@ fn wrong_pinned_key_aborts_client_side() {
 
     let out = app.invoke("attest", &[Value::I32(9402)]).unwrap();
     assert_eq!(out, vec![Value::I32(watz_wasi::err_codes::PROTOCOL)]);
-    assert_eq!(server.shutdown(), 0);
+    // The client aborts before sending msg2, so the server sees neither a
+    // served nor a rejected appraisal.
+    let stats = server.shutdown();
+    assert_eq!((stats.served, stats.rejected), (0, 0));
 }
 
 #[test]
@@ -257,7 +262,8 @@ fn unendorsed_device_rejected() {
 
     let out = app.invoke("attest", &[Value::I32(9403)]).unwrap();
     assert_eq!(out, vec![Value::I32(watz_wasi::err_codes::PROTOCOL)]);
-    assert_eq!(server.shutdown(), 0);
+    let stats = server.shutdown();
+    assert_eq!((stats.served, stats.rejected), (0, 1));
 }
 
 #[test]
@@ -292,4 +298,49 @@ fn sandboxed_apps_cannot_see_each_other() {
     // The same numeric address in the reader's memory holds zero.
     let out = app_r.invoke("peek", &[Value::I32(addr as i32)]).unwrap();
     assert_ne!(out, vec![Value::I32(1234567)]);
+}
+
+#[test]
+fn parallel_attesters_all_served_and_counted() {
+    // Eight protocol-level attesters hit the single-session VerifierServer
+    // concurrently. Sessions serialize at the listener, but every one must
+    // be served and the stats must add up.
+    use watz_attestation::attester::Attester;
+    use watz_attestation::wire::{Msg1, Msg3};
+
+    let rt = runtime();
+    let wasm = minic::compile(ATTEST_GUEST).unwrap();
+    let measurement = Sha256::digest(&wasm);
+    let (config, pinned) = verifier_config_for(&rt, measurement, b"shared secret");
+    let server = VerifierServer::spawn(rt.os(), config, 9410).unwrap();
+
+    const CLIENTS: usize = 8;
+    let served: Vec<bool> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                let rt = rt.clone();
+                scope.spawn(move || {
+                    let mut rng = watz_crypto::fortuna::Fortuna::from_seed(
+                        format!("parallel-client-{i}").as_bytes(),
+                    );
+                    let conn = rt.os().network().connect(9410).unwrap();
+                    let (mut attester, msg0) = Attester::start(&mut rng);
+                    conn.send(&msg0.to_bytes()).unwrap();
+                    let msg1 = Msg1::from_bytes(&conn.recv().unwrap()).unwrap();
+                    let (msg2, _) = attester
+                        .attest(&msg1, &pinned, rt.attestation_service(), &measurement)
+                        .unwrap();
+                    conn.send(&msg2.to_bytes()).unwrap();
+                    let msg3 = Msg3::from_bytes(&conn.recv().unwrap()).unwrap();
+                    let (secret, _) = attester.handle_msg3(&msg3).unwrap();
+                    secret == b"shared secret"
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert!(served.iter().all(|&ok| ok), "every attester must be served");
+    let stats = server.shutdown();
+    assert_eq!((stats.served, stats.rejected), (CLIENTS as u64, 0));
 }

@@ -4,15 +4,12 @@
 //! may count as a served session.
 
 use watz_attestation::attester::Attester;
+use watz_attestation::wire::APPRAISAL_FAILED as REJECTED;
 use watz_attestation::wire::{Msg0, Msg1, Msg2};
 use watz_crypto::ecdsa::SigningKey;
 use watz_crypto::fortuna::Fortuna;
 use watz_crypto::sha256::Sha256;
 use watz_runtime::{RaVerifierConfig, VerifierServer, WatzRuntime};
-
-/// The single-byte rejection sent by the server on failed appraisal
-/// (`APPRAISAL_FAILED` in `watz_runtime`).
-const REJECTED: &[u8] = &[0xEE];
 
 fn measurement() -> [u8; 32] {
     Sha256::digest(b"trusted app under test")
@@ -48,7 +45,9 @@ fn tampered_evidence_rejected_by_server() {
     msg2.evidence.claim[0] ^= 1;
     conn.send(&msg2.to_bytes()).unwrap();
     assert_eq!(conn.recv().unwrap(), REJECTED);
-    assert_eq!(server.shutdown(), 0, "tampered session must not count");
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 0, "tampered session must not count");
+    assert_eq!(stats.rejected, 1, "it must be counted as rejected");
 }
 
 #[test]
@@ -72,7 +71,8 @@ fn forged_evidence_signature_rejected_by_server() {
 
     conn.send(&msg2.to_bytes()).unwrap();
     assert_eq!(conn.recv().unwrap(), REJECTED);
-    assert_eq!(server.shutdown(), 0);
+    let stats = server.shutdown();
+    assert_eq!((stats.served, stats.rejected), (0, 1));
 }
 
 #[test]
@@ -94,7 +94,8 @@ fn wrong_device_seed_rejected_by_server() {
 
     conn.send(&msg2.to_bytes()).unwrap();
     assert_eq!(conn.recv().unwrap(), REJECTED);
-    assert_eq!(server.shutdown(), 0);
+    let stats = server.shutdown();
+    assert_eq!((stats.served, stats.rejected), (0, 1));
 }
 
 #[test]
@@ -128,7 +129,9 @@ fn stale_session_replay_rejected_by_server() {
     replay.send(&raw2).unwrap();
     assert_eq!(replay.recv().unwrap(), REJECTED);
 
-    assert_eq!(server.shutdown(), 1, "only the honest session counts");
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 1, "only the honest session counts as served");
+    assert_eq!(stats.rejected, 1, "the replay counts as rejected");
 }
 
 #[test]
@@ -160,5 +163,6 @@ fn garbage_bytes_rejected_by_server() {
     };
     conn2.send(&bogus2).unwrap();
     assert_eq!(conn2.recv().unwrap(), REJECTED);
-    assert_eq!(server.shutdown(), 0);
+    let stats = server.shutdown();
+    assert_eq!((stats.served, stats.rejected), (0, 2));
 }

@@ -101,7 +101,7 @@ pub struct TrustedOs {
 struct OsInner {
     platform: Platform,
     ta_authority: TaAuthority,
-    network: net::Network,
+    network: Arc<net::Network>,
     /// Seed for the kernel attestation service, derived from the secure
     /// MKVB. Private: user space (TAs) can never read it.
     kernel_attestation_seed: [u8; 32],
@@ -129,7 +129,7 @@ impl TrustedOs {
             inner: Arc::new(OsInner {
                 platform,
                 ta_authority: TaAuthority::new(b"op-tee vendor signing key"),
-                network: net::Network::new(),
+                network: Arc::new(net::Network::new()),
                 kernel_attestation_seed,
                 exec_pages_allocated: AtomicUsize::new(0),
             }),
@@ -220,6 +220,16 @@ impl TrustedOs {
     #[must_use]
     pub fn network(&self) -> &net::Network {
         &self.inner.network
+    }
+
+    /// The network as a shareable handle, without holding the whole OS.
+    ///
+    /// Multi-device simulations shard fleets across several `TrustedOs`
+    /// instances; device client threads only need the shard's network, and
+    /// this accessor lets them carry exactly that.
+    #[must_use]
+    pub fn shared_network(&self) -> Arc<net::Network> {
+        Arc::clone(&self.inner.network)
     }
 
     /// Runs `f` with the kernel attestation seed.

@@ -21,6 +21,12 @@ use crate::TeeError;
 /// Default receive timeout.
 pub const RECV_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// How long a polling server blocks in one `accept_timeout` call before
+/// re-checking its shutdown flag. Shared by [`watz_runtime`]'s
+/// `VerifierServer` and the `watz-fleet` acceptor so every server polls at
+/// the same cadence (callers may still override it per service).
+pub const DEFAULT_ACCEPT_POLL: Duration = Duration::from_millis(25);
+
 type Channel = (Sender<Vec<u8>>, Receiver<Vec<u8>>);
 
 /// The loopback network shared by every party on a device (and, in tests,
@@ -57,6 +63,21 @@ impl Network {
     /// Unbinds the listener on `port`.
     pub fn unbind(&self, port: u16) {
         self.listeners.lock().remove(&port);
+    }
+
+    /// True if a listener is currently bound on `port`.
+    #[must_use]
+    pub fn is_bound(&self, port: u16) -> bool {
+        self.listeners.lock().contains_key(&port)
+    }
+
+    /// The ports with bound listeners (sorted; diagnostics and shard
+    /// bookkeeping).
+    #[must_use]
+    pub fn bound_ports(&self) -> Vec<u16> {
+        let mut ports: Vec<u16> = self.listeners.lock().keys().copied().collect();
+        ports.sort_unstable();
+        ports
     }
 
     /// Connects to the listener on `port`.
@@ -162,6 +183,33 @@ impl Connection {
             .try_recv()
             .map_err(|_| TeeError::Net("no message ready".into()))
     }
+
+    /// Non-blocking receive that distinguishes an idle peer from a gone
+    /// one, so polling servers can evict dead connections immediately
+    /// instead of waiting out their session deadline.
+    ///
+    /// Buffered messages are still delivered before
+    /// [`TryRecv::Disconnected`] is reported.
+    pub fn try_recv_detailed(&self) -> TryRecv {
+        use crossbeam::channel::TryRecvError;
+        match self.rx.try_recv() {
+            Ok(data) => TryRecv::Message(data),
+            Err(TryRecvError::Empty) => TryRecv::Empty,
+            Err(TryRecvError::Disconnected) => TryRecv::Disconnected,
+        }
+    }
+}
+
+/// Outcome of [`Connection::try_recv_detailed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TryRecv {
+    /// A message was ready.
+    Message(Vec<u8>),
+    /// No message ready; the peer is still connected.
+    Empty,
+    /// The peer dropped its end (any buffered messages were already
+    /// delivered).
+    Disconnected,
 }
 
 #[cfg(test)]
@@ -224,5 +272,22 @@ mod tests {
         assert!(server.try_recv().is_err());
         client.send(b"x").unwrap();
         assert_eq!(server.try_recv().unwrap(), b"x");
+    }
+
+    #[test]
+    fn try_recv_detailed_distinguishes_idle_from_disconnected() {
+        let net = Network::new();
+        let listener = net.listen(7005).unwrap();
+        let client = net.connect(7005).unwrap();
+        let server = listener.accept().unwrap();
+        assert_eq!(server.try_recv_detailed(), TryRecv::Empty);
+        client.send(b"last words").unwrap();
+        drop(client);
+        // Buffered data drains before the hangup is reported.
+        assert_eq!(
+            server.try_recv_detailed(),
+            TryRecv::Message(b"last words".to_vec())
+        );
+        assert_eq!(server.try_recv_detailed(), TryRecv::Disconnected);
     }
 }

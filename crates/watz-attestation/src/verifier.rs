@@ -4,6 +4,8 @@
 //! allowed to issue evidence) and **reference values** (trusted code
 //! measurements), per the RATS terminology the paper follows (§II).
 
+use std::sync::Arc;
+
 use watz_crypto::cmac::AesCmac;
 use watz_crypto::ecdh::EphemeralKeyPair;
 use watz_crypto::ecdsa::SigningKey;
@@ -17,14 +19,23 @@ use crate::timed;
 use crate::wire::{Msg0, Msg1, Msg2, Msg3};
 use crate::{RaError, StepTimings};
 
+/// The shared, immutable appraisal state: endorsements, reference
+/// values and the provisioning payload. Kept behind an [`Arc`] so that
+/// cloning a [`VerifierConfig`] per session (fleet services spawn one
+/// `Verifier` per attester) stays O(1) regardless of fleet size.
+#[derive(Clone, Default)]
+struct AppraisalPolicy {
+    endorsed_devices: Vec<[u8; 64]>,
+    reference_measurements: Vec<[u8; 32]>,
+    secret_blob: Vec<u8>,
+}
+
 /// Static verifier configuration.
 #[derive(Clone)]
 pub struct VerifierConfig {
     identity: SigningKey,
-    endorsed_devices: Vec<[u8; 64]>,
-    reference_measurements: Vec<[u8; 32]>,
+    policy: Arc<AppraisalPolicy>,
     min_version: u32,
-    secret_blob: Vec<u8>,
 }
 
 impl std::fmt::Debug for VerifierConfig {
@@ -32,8 +43,8 @@ impl std::fmt::Debug for VerifierConfig {
         write!(
             f,
             "VerifierConfig {{ endorsed: {}, references: {}, min_version: {} }}",
-            self.endorsed_devices.len(),
-            self.reference_measurements.len(),
+            self.policy.endorsed_devices.len(),
+            self.policy.reference_measurements.len(),
             self.min_version
         )
     }
@@ -45,24 +56,24 @@ impl VerifierConfig {
     pub fn new(identity: SigningKey) -> Self {
         VerifierConfig {
             identity,
-            endorsed_devices: Vec::new(),
-            reference_measurements: Vec::new(),
+            policy: Arc::new(AppraisalPolicy::default()),
             min_version: 0,
-            secret_blob: Vec::new(),
         }
     }
 
     /// Registers a device's public attestation key as endorsed.
     #[must_use]
     pub fn endorse_device(mut self, key: [u8; 64]) -> Self {
-        self.endorsed_devices.push(key);
+        Arc::make_mut(&mut self.policy).endorsed_devices.push(key);
         self
     }
 
     /// Registers a trusted code measurement (reference value).
     #[must_use]
     pub fn trust_measurement(mut self, measurement: [u8; 32]) -> Self {
-        self.reference_measurements.push(measurement);
+        Arc::make_mut(&mut self.policy)
+            .reference_measurements
+            .push(measurement);
         self
     }
 
@@ -76,7 +87,7 @@ impl VerifierConfig {
     /// The confidential payload released on successful attestation.
     #[must_use]
     pub fn with_secret(mut self, blob: Vec<u8>) -> Self {
-        self.secret_blob = blob;
+        Arc::make_mut(&mut self.policy).secret_blob = blob;
         self
     }
 
@@ -222,6 +233,7 @@ impl Verifier {
         // Endorsement: is this a known device?
         if !self
             .config
+            .policy
             .endorsed_devices
             .iter()
             .any(|k| k == &msg2.evidence.attestation_pubkey)
@@ -235,6 +247,7 @@ impl Verifier {
         // Software trustworthiness: the claim must match a reference value.
         if !self
             .config
+            .policy
             .reference_measurements
             .iter()
             .any(|m| m == &msg2.evidence.claim)
@@ -251,7 +264,7 @@ impl Verifier {
         }
 
         self.state = State::Attested { keys };
-        let secret = self.config.secret_blob.clone();
+        let secret = self.config.policy.secret_blob.clone();
         let msg3 = self.build_msg3_with(&secret, &mut t)?;
         Ok((msg3, t))
     }

@@ -11,6 +11,12 @@ const TAG_MSG1: u8 = 0xa1;
 const TAG_MSG2: u8 = 0xa2;
 const TAG_MSG3: u8 = 0xa3;
 
+/// Single-byte marker a verifier service sends instead of `msg1`/`msg3`
+/// when a session fails (malformed message or failed appraisal), so
+/// attesters fail fast instead of timing out. Deliberately not a valid
+/// message tag.
+pub const APPRAISAL_FAILED: &[u8] = &[0xEE];
+
 /// `msg0`: the attester's ephemeral public session key `Ga`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Msg0 {

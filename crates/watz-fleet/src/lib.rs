@@ -1,0 +1,45 @@
+//! **watz-fleet**: attestation as a service, at fleet scale.
+//!
+//! The paper's relying party (Fig 2) appraises one attester at a time; the
+//! [`watz_runtime`] `VerifierServer` mirrors that faithfully — one listener
+//! thread, one blocking session per accepted connection. This crate scales
+//! the same four-message protocol to fleets:
+//!
+//! * [`service`] — a concurrent verifier service: a configurable worker
+//!   pool drains accepted connections from a shared queue, every
+//!   Msg0→Msg3 session runs as an explicit non-blocking state machine
+//!   (a slow or stalled attester never blocks the fleet), and queued
+//!   `msg2`s are appraised in **batches** so one secure-world entry
+//!   amortises across many sessions. Per-outcome statistics
+//!   (served / rejected / malformed / timed-out) are first-class.
+//! * [`sim`] — a sharded device registry and simulator: boot N simulated
+//!   devices across K shards (each shard its own `TrustedOs`/`Network`),
+//!   drive them through concurrent attestation sessions, and report
+//!   throughput and latency percentiles.
+//!
+//! # Example
+//!
+//! ```
+//! use watz_fleet::sim::{FleetSim, FleetSimConfig};
+//!
+//! let sim = FleetSim::boot(FleetSimConfig {
+//!     shards: 2,
+//!     endorsed: 6,
+//!     rogue: 1,
+//!     stale: 1,
+//!     ..FleetSimConfig::default()
+//! })
+//! .unwrap();
+//! let report = sim.run();
+//! assert_eq!(report.provisioned, 6);
+//! assert_eq!(report.rejected, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod service;
+pub mod sim;
+
+pub use service::{appraise_batch, FleetConfig, FleetStats, FleetVerifier};
+pub use sim::{DeviceKind, DeviceRecord, FleetReport, FleetSim, FleetSimConfig};

@@ -1,0 +1,510 @@
+//! The concurrent verifier service.
+//!
+//! Architecture: one **acceptor** thread pulls connections off the
+//! listener and pushes them into a shared queue; N **worker** threads
+//! drain the queue, each running its admitted sessions as explicit
+//! non-blocking state machines ([`Connection::try_recv`] only — a worker
+//! never blocks on a single peer). Sessions carry a deadline, so a
+//! stalled attester is evicted instead of wedging the pool.
+//!
+//! The expensive step is `msg2` appraisal, which must run in the secure
+//! world. Workers sweep all their sessions first and collect every
+//! `msg2` that arrived, then appraise the whole batch inside **one**
+//! [`Platform::enter_secure`] — amortising the world-switch cost across
+//! queued sessions exactly where the paper's single-session design pays
+//! it per attester.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use optee_sim::net::{Connection, TryRecv, DEFAULT_ACCEPT_POLL};
+use optee_sim::{TeeError, TrustedOs};
+use parking_lot::Mutex;
+use tz_hal::Platform;
+use watz_attestation::verifier::{Verifier, VerifierConfig};
+use watz_attestation::wire::{Msg0, Msg2, Msg3, APPRAISAL_FAILED};
+use watz_attestation::RaError;
+use watz_crypto::fortuna::Fortuna;
+
+/// Tuning knobs for a [`FleetVerifier`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker threads draining the shared connection queue.
+    pub workers: usize,
+    /// How long the acceptor blocks per accept poll before re-checking
+    /// the shutdown flag.
+    pub accept_poll: Duration,
+    /// Per-session deadline: a session that makes no progress for this
+    /// long is evicted and counted as timed out.
+    pub session_timeout: Duration,
+    /// In-flight session cap per worker (back-pressure: connections past
+    /// the cap wait in the queue).
+    pub max_sessions_per_worker: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            workers: 4,
+            accept_poll: DEFAULT_ACCEPT_POLL,
+            session_timeout: Duration::from_secs(2),
+            max_sessions_per_worker: 64,
+        }
+    }
+}
+
+/// Per-outcome statistics of a [`FleetVerifier`] (a snapshot).
+///
+/// Every admitted session ends in exactly one of the four outcome
+/// buckets, so `served + rejected + malformed + timed_out` equals the
+/// number of completed sessions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Connections accepted off the listener.
+    pub accepted: u64,
+    /// Sessions that passed appraisal and received `msg3`.
+    pub served: u64,
+    /// Sessions that reached appraisal and failed it (bad MAC, unknown
+    /// device, untrusted measurement, outdated version, ...).
+    pub rejected: u64,
+    /// Sessions dropped because a message failed to parse.
+    pub malformed: u64,
+    /// Sessions evicted at their deadline (stalled or disconnected
+    /// mid-handshake).
+    pub timed_out: u64,
+    /// Individual `msg2` appraisals performed.
+    pub appraised: u64,
+    /// Secure-world entries spent on those appraisals: one per batch, so
+    /// `appraisal_batches <= appraised`, with equality only when no two
+    /// `msg2`s were ever queued together.
+    pub appraisal_batches: u64,
+}
+
+impl FleetStats {
+    /// Sessions that ran to an outcome.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.served + self.rejected + self.malformed + self.timed_out
+    }
+
+    /// Merges another snapshot into this one (shard aggregation).
+    pub fn merge(&mut self, other: &FleetStats) {
+        self.accepted += other.accepted;
+        self.served += other.served;
+        self.rejected += other.rejected;
+        self.malformed += other.malformed;
+        self.timed_out += other.timed_out;
+        self.appraised += other.appraised;
+        self.appraisal_batches += other.appraisal_batches;
+    }
+}
+
+/// Shared atomic counters behind [`FleetStats`].
+#[derive(Debug, Default)]
+struct StatsInner {
+    accepted: AtomicU64,
+    served: AtomicU64,
+    rejected: AtomicU64,
+    malformed: AtomicU64,
+    timed_out: AtomicU64,
+    appraised: AtomicU64,
+    appraisal_batches: AtomicU64,
+}
+
+impl StatsInner {
+    fn snapshot(&self) -> FleetStats {
+        FleetStats {
+            accepted: self.accepted.load(Ordering::SeqCst),
+            served: self.served.load(Ordering::SeqCst),
+            rejected: self.rejected.load(Ordering::SeqCst),
+            malformed: self.malformed.load(Ordering::SeqCst),
+            timed_out: self.timed_out.load(Ordering::SeqCst),
+            appraised: self.appraised.load(Ordering::SeqCst),
+            appraisal_batches: self.appraisal_batches.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// Appraises a batch of `msg2`s inside a single secure-world entry.
+///
+/// This is the batched path [`FleetVerifier`] workers use; it is public
+/// so benches and tests can measure the amortisation directly (one
+/// [`Platform::enter_secure`] regardless of batch size).
+pub fn appraise_batch(
+    platform: &Platform,
+    batch: Vec<(&mut Verifier, &Msg2)>,
+) -> Vec<Result<Msg3, RaError>> {
+    platform.enter_secure(|| {
+        batch
+            .into_iter()
+            .map(|(verifier, msg2)| verifier.handle_msg2(msg2).map(|(msg3, _)| msg3))
+            .collect()
+    })
+}
+
+/// Where one session stands in the Msg0→Msg3 exchange.
+enum Phase {
+    /// Waiting for the attester's `msg0`.
+    AwaitMsg0,
+    /// `msg1` sent; waiting for the evidence-bearing `msg2`.
+    AwaitMsg2,
+}
+
+/// One in-flight attestation session owned by a worker.
+struct Session {
+    conn: Connection,
+    verifier: Verifier,
+    phase: Phase,
+    deadline: Instant,
+    /// Parsed `msg2` staged for the next appraisal batch.
+    pending_msg2: Option<Msg2>,
+    done: bool,
+}
+
+impl Session {
+    fn new(conn: Connection, verifier: Verifier, timeout: Duration) -> Self {
+        Session {
+            conn,
+            verifier,
+            phase: Phase::AwaitMsg0,
+            deadline: Instant::now() + timeout,
+            pending_msg2: None,
+            done: false,
+        }
+    }
+}
+
+/// Everything a worker thread needs, bundled to keep spawns tidy.
+struct WorkerCtx {
+    queue: Arc<Mutex<VecDeque<Connection>>>,
+    /// Set only once the acceptor has exited, so no connection can be
+    /// pushed after a worker's final queue-empty check.
+    drain: Arc<AtomicBool>,
+    stats: Arc<StatsInner>,
+    platform: Platform,
+    config: VerifierConfig,
+    session_timeout: Duration,
+    max_sessions: usize,
+    rng: Fortuna,
+}
+
+/// How long an idle worker sleeps before re-polling its sessions.
+const IDLE_POLL: Duration = Duration::from_micros(500);
+
+fn worker_loop(mut ctx: WorkerCtx) {
+    let mut sessions: Vec<Session> = Vec::new();
+    loop {
+        // Admit queued connections up to the in-flight cap. Deadlines
+        // start at admission, so a connection that waited in the queue is
+        // not unfairly aged. Pop under the lock, construct outside it:
+        // cloning the verifier config (endorsement list, secret) must not
+        // serialize the other workers.
+        let admitted: Vec<Connection> = {
+            let mut queue = ctx.queue.lock();
+            let room = ctx.max_sessions.saturating_sub(sessions.len());
+            let take = room.min(queue.len());
+            queue.drain(..take).collect()
+        };
+        for conn in admitted {
+            sessions.push(Session::new(
+                conn,
+                Verifier::new(ctx.config.clone()),
+                ctx.session_timeout,
+            ));
+        }
+
+        if sessions.is_empty() && ctx.drain.load(Ordering::SeqCst) {
+            // Drain semantics: the drain flag is raised only after the
+            // acceptor has exited, so a final queue-empty check here
+            // cannot race with a late accepted connection.
+            if ctx.queue.lock().is_empty() {
+                break;
+            }
+            continue;
+        }
+
+        let mut progressed = false;
+        let now = Instant::now();
+        let mut staged = 0usize;
+
+        // Sweep every session once; never block on any single peer.
+        for session in sessions.iter_mut() {
+            match session.conn.try_recv_detailed() {
+                TryRecv::Message(raw) => {
+                    progressed = true;
+                    session.deadline = now + ctx.session_timeout;
+                    match session.phase {
+                        // Outcome counters are bumped BEFORE the reply is
+                        // sent: the peer's recv() unblocks on the send, so
+                        // the reverse order would let an observer see a
+                        // completed session not yet in the stats.
+                        Phase::AwaitMsg0 => {
+                            let Ok(msg0) = Msg0::from_bytes(&raw) else {
+                                ctx.stats.malformed.fetch_add(1, Ordering::SeqCst);
+                                let _ = session.conn.send(APPRAISAL_FAILED);
+                                session.done = true;
+                                continue;
+                            };
+                            let reply = ctx
+                                .platform
+                                .enter_secure(|| session.verifier.handle_msg0(&msg0, &mut ctx.rng));
+                            match reply {
+                                Ok((msg1, _)) => {
+                                    if session.conn.send(&msg1.to_bytes()).is_err() {
+                                        ctx.stats.timed_out.fetch_add(1, Ordering::SeqCst);
+                                        session.done = true;
+                                    } else {
+                                        session.phase = Phase::AwaitMsg2;
+                                    }
+                                }
+                                Err(_) => {
+                                    ctx.stats.rejected.fetch_add(1, Ordering::SeqCst);
+                                    let _ = session.conn.send(APPRAISAL_FAILED);
+                                    session.done = true;
+                                }
+                            }
+                        }
+                        Phase::AwaitMsg2 => {
+                            let Ok(msg2) = Msg2::from_bytes(&raw) else {
+                                ctx.stats.malformed.fetch_add(1, Ordering::SeqCst);
+                                let _ = session.conn.send(APPRAISAL_FAILED);
+                                session.done = true;
+                                continue;
+                            };
+                            session.pending_msg2 = Some(msg2);
+                            staged += 1;
+                        }
+                    }
+                }
+                TryRecv::Empty => {
+                    // Idle peer: evict only at the deadline.
+                    if now >= session.deadline {
+                        ctx.stats.timed_out.fetch_add(1, Ordering::SeqCst);
+                        session.done = true;
+                        progressed = true;
+                    }
+                }
+                TryRecv::Disconnected => {
+                    // Dead peer: free the session slot immediately rather
+                    // than pinning it until the deadline.
+                    ctx.stats.timed_out.fetch_add(1, Ordering::SeqCst);
+                    session.done = true;
+                    progressed = true;
+                }
+            }
+        }
+
+        // Batched appraisal: all msg2s staged this sweep share one
+        // secure-world entry via `appraise_batch`. One pass pulls each
+        // staged msg2 out next to its own session's verifier, so nothing
+        // depends on index bookkeeping.
+        if staged > 0 {
+            let mut batch_sessions: Vec<(&mut Session, Msg2)> = sessions
+                .iter_mut()
+                .filter(|s| s.pending_msg2.is_some())
+                .map(|s| {
+                    let msg2 = s.pending_msg2.take().expect("staged msg2");
+                    (s, msg2)
+                })
+                .collect();
+            let outcomes = appraise_batch(
+                &ctx.platform,
+                batch_sessions
+                    .iter_mut()
+                    .map(|(s, msg2)| (&mut s.verifier, &*msg2))
+                    .collect(),
+            );
+            ctx.stats.appraisal_batches.fetch_add(1, Ordering::SeqCst);
+            ctx.stats
+                .appraised
+                .fetch_add(outcomes.len() as u64, Ordering::SeqCst);
+            for ((session, _), outcome) in batch_sessions.iter_mut().zip(outcomes) {
+                match outcome {
+                    Ok(msg3) => {
+                        ctx.stats.served.fetch_add(1, Ordering::SeqCst);
+                        let _ = session.conn.send(&msg3.to_bytes());
+                    }
+                    Err(_) => {
+                        ctx.stats.rejected.fetch_add(1, Ordering::SeqCst);
+                        let _ = session.conn.send(APPRAISAL_FAILED);
+                    }
+                }
+                session.done = true;
+            }
+        }
+
+        sessions.retain(|s| !s.done);
+        if !progressed {
+            std::thread::sleep(IDLE_POLL);
+        }
+    }
+}
+
+/// A fleet-scale verifier service: shared accept queue, worker pool,
+/// non-blocking sessions, batched appraisal, per-outcome stats.
+pub struct FleetVerifier {
+    stop: Arc<AtomicBool>,
+    drain: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<StatsInner>,
+    port: u16,
+    os: TrustedOs,
+}
+
+impl std::fmt::Debug for FleetVerifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FleetVerifier {{ port: {}, workers: {} }}",
+            self.port,
+            self.workers.len()
+        )
+    }
+}
+
+impl FleetVerifier {
+    /// Spawns the service on `port` of the OS's loopback network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::Net`] if the port is taken.
+    pub fn spawn(
+        os: &TrustedOs,
+        config: VerifierConfig,
+        fleet: FleetConfig,
+        port: u16,
+    ) -> Result<Self, TeeError> {
+        let listener = os.network().listen(port)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let drain = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(StatsInner::default());
+        let queue: Arc<Mutex<VecDeque<Connection>>> = Arc::new(Mutex::new(VecDeque::new()));
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            let queue = Arc::clone(&queue);
+            let accept_poll = fleet.accept_poll;
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    let Ok(conn) = listener.accept_timeout(accept_poll) else {
+                        continue;
+                    };
+                    stats.accepted.fetch_add(1, Ordering::SeqCst);
+                    queue.lock().push_back(conn);
+                }
+            })
+        };
+
+        let workers = (0..fleet.workers.max(1))
+            .map(|i| {
+                let ctx = WorkerCtx {
+                    queue: Arc::clone(&queue),
+                    drain: Arc::clone(&drain),
+                    stats: Arc::clone(&stats),
+                    platform: os.platform().clone(),
+                    config: config.clone(),
+                    session_timeout: fleet.session_timeout,
+                    max_sessions: fleet.max_sessions_per_worker.max(1),
+                    rng: os.kernel_prng(&format!("fleet-worker-{i}")),
+                };
+                std::thread::spawn(move || worker_loop(ctx))
+            })
+            .collect();
+
+        Ok(FleetVerifier {
+            stop,
+            drain,
+            acceptor: Some(acceptor),
+            workers,
+            stats,
+            port,
+            os: os.clone(),
+        })
+    }
+
+    /// The port the service listens on.
+    #[must_use]
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// A live snapshot of the per-outcome statistics.
+    #[must_use]
+    pub fn stats(&self) -> FleetStats {
+        self.stats.snapshot()
+    }
+
+    /// Stops accepting, drains in-flight and queued sessions (bounded by
+    /// the per-session deadline), and returns the final statistics.
+    pub fn shutdown(mut self) -> FleetStats {
+        self.stop_and_join();
+        self.stats.snapshot()
+    }
+
+    /// Two-phase teardown (idempotent): stop and join the acceptor first,
+    /// and only then raise the drain flag — workers must not exit while a
+    /// late-accepted connection could still be pushed onto the queue.
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.os.network().unbind(self.port);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        self.drain.store(true, Ordering::SeqCst);
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for FleetVerifier {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_merge_and_completed_add_up() {
+        let mut a = FleetStats {
+            accepted: 10,
+            served: 5,
+            rejected: 2,
+            malformed: 1,
+            timed_out: 2,
+            appraised: 7,
+            appraisal_batches: 3,
+        };
+        let b = FleetStats {
+            accepted: 4,
+            served: 3,
+            rejected: 1,
+            malformed: 0,
+            timed_out: 0,
+            appraised: 4,
+            appraisal_batches: 2,
+        };
+        a.merge(&b);
+        assert_eq!(a.accepted, 14);
+        assert_eq!(a.completed(), 14);
+        assert_eq!(a.appraised, 11);
+        assert_eq!(a.appraisal_batches, 5);
+    }
+
+    #[test]
+    fn default_config_uses_shared_accept_poll() {
+        let config = FleetConfig::default();
+        assert_eq!(config.accept_poll, DEFAULT_ACCEPT_POLL);
+        assert!(config.workers >= 1);
+        assert!(config.max_sessions_per_worker >= 1);
+        assert!(config.session_timeout > Duration::ZERO);
+    }
+}

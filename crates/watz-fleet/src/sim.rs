@@ -1,0 +1,501 @@
+//! The sharded device registry and multi-device simulator.
+//!
+//! A **shard** is one `TrustedOs` (and therefore one supplicant loopback
+//! `Network`) hosting a [`FleetVerifier`] plus the client traffic of the
+//! devices assigned to it. Sharding keeps listener queues, accept locks
+//! and network state disjoint, so shards scale independently — the
+//! ROADMAP's "millions of attesting devices" direction in miniature.
+//!
+//! Each simulated device is a real WaTZ device in the model's terms: its
+//! own fused seed, secure-boot chain and kernel attestation service, so
+//! endorsement/rejection flows through the genuine key material rather
+//! than flags. Three kinds are simulated:
+//!
+//! * [`DeviceKind::Endorsed`] — endorsed key, trusted measurement: served;
+//! * [`DeviceKind::Rogue`] — key absent from the endorsement list: rejected;
+//! * [`DeviceKind::Stale`] — endorsed but reporting an outdated WaTZ
+//!   version: rejected by the verifier's version gate (§VII rollback
+//!   mitigation).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use optee_sim::net::Network;
+use optee_sim::{TeeError, TrustedOs};
+use parking_lot::Mutex;
+use tz_hal::{Platform, PlatformConfig};
+use watz_attestation::attester::Attester;
+use watz_attestation::service::AttestationService;
+use watz_attestation::verifier::VerifierConfig;
+use watz_attestation::wire::{Msg1, Msg3, APPRAISAL_FAILED};
+use watz_crypto::ecdsa::SigningKey;
+use watz_crypto::fortuna::Fortuna;
+use watz_crypto::sha256::Sha256;
+
+use crate::service::{FleetConfig, FleetStats, FleetVerifier};
+
+/// What kind of attester a simulated device is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceKind {
+    /// Endorsed device running the reference bytecode: must be served.
+    Endorsed,
+    /// Device whose attestation key is not endorsed: must be rejected.
+    Rogue,
+    /// Endorsed device reporting an outdated WaTZ version: must be
+    /// rejected by the version gate.
+    Stale,
+}
+
+/// Registry entry for one simulated device.
+#[derive(Debug, Clone)]
+pub struct DeviceRecord {
+    /// Fleet-wide device index.
+    pub id: u32,
+    /// The shard this device attests against.
+    pub shard: usize,
+    /// Behavioural kind.
+    pub kind: DeviceKind,
+    /// The device's public attestation key (endorsement value).
+    pub public_key: [u8; 64],
+}
+
+/// Sizing of a simulated fleet.
+#[derive(Debug, Clone)]
+pub struct FleetSimConfig {
+    /// Number of shards (one `TrustedOs`/`Network`/verifier each).
+    pub shards: usize,
+    /// Endorsed devices across the whole fleet.
+    pub endorsed: usize,
+    /// Rogue (unendorsed) devices across the whole fleet.
+    pub rogue: usize,
+    /// Stale (outdated-version) devices across the whole fleet.
+    pub stale: usize,
+    /// Worker threads per shard verifier.
+    pub workers_per_shard: usize,
+    /// Per-session deadline at the verifiers.
+    pub session_timeout: Duration,
+    /// Port the shard-0 verifier binds; shard `k` uses `port + k` (each
+    /// shard has its own network, so this only aids log readability).
+    pub port: u16,
+}
+
+impl Default for FleetSimConfig {
+    fn default() -> Self {
+        FleetSimConfig {
+            shards: 4,
+            endorsed: 64,
+            rogue: 4,
+            stale: 4,
+            workers_per_shard: 4,
+            session_timeout: Duration::from_secs(2),
+            port: 7700,
+        }
+    }
+}
+
+/// One simulated device: its own platform, trusted OS and attestation
+/// service (real key material), attesting over its shard's network.
+struct SimDevice {
+    record: DeviceRecord,
+    service: AttestationService,
+    _os: TrustedOs,
+}
+
+/// One shard: a trusted OS whose network carries the shard's verifier
+/// and device traffic.
+struct Shard {
+    os: TrustedOs,
+}
+
+/// A booted simulated fleet, ready to run attestation rounds.
+pub struct FleetSim {
+    config: FleetSimConfig,
+    shards: Vec<Shard>,
+    devices: Vec<SimDevice>,
+    measurement: [u8; 32],
+    verifier_identity_seed: Vec<u8>,
+}
+
+impl std::fmt::Debug for FleetSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FleetSim {{ shards: {}, devices: {} }}",
+            self.shards.len(),
+            self.devices.len()
+        )
+    }
+}
+
+/// Outcome of one device's client-side session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ClientOutcome {
+    /// Secret received (bytes) after this long.
+    Provisioned(usize, Duration),
+    /// The verifier answered with the appraisal-failed marker.
+    Rejected(Duration),
+    /// Network error / timeout before an answer.
+    Failed,
+}
+
+/// Aggregated result of one simulated fleet round.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Devices that attested in this round.
+    pub devices: usize,
+    /// Shards the round ran across.
+    pub shards: usize,
+    /// Wall-clock duration of the round.
+    pub elapsed: Duration,
+    /// Devices provisioned with the secret (client-side successes).
+    pub provisioned: u64,
+    /// Devices rejected by appraisal (client-side rejections).
+    pub rejected: u64,
+    /// Devices that failed without a verdict (network errors, timeouts).
+    pub failed: u64,
+    /// Server-side per-outcome statistics, aggregated across shards.
+    pub stats: FleetStats,
+    /// Per-session client-observed latencies, sorted ascending.
+    latencies: Vec<Duration>,
+}
+
+impl FleetReport {
+    /// Completed sessions per second of wall-clock time.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        let done = (self.provisioned + self.rejected) as f64;
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            done / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Client-observed session latency at percentile `p` (0.0..=100.0).
+    #[must_use]
+    pub fn latency_percentile(&self, p: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let rank = (p / 100.0 * (self.latencies.len() - 1) as f64).round() as usize;
+        self.latencies[rank.min(self.latencies.len() - 1)]
+    }
+}
+
+impl std::fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "fleet round: {} devices across {} shards in {:.2?}",
+            self.devices, self.shards, self.elapsed
+        )?;
+        writeln!(
+            f,
+            "  client:  provisioned {}  rejected {}  failed {}",
+            self.provisioned, self.rejected, self.failed
+        )?;
+        writeln!(
+            f,
+            "  server:  served {}  rejected {}  malformed {}  timed-out {}",
+            self.stats.served, self.stats.rejected, self.stats.malformed, self.stats.timed_out
+        )?;
+        writeln!(
+            f,
+            "  batching: {} appraisals in {} secure-world entries",
+            self.stats.appraised, self.stats.appraisal_batches
+        )?;
+        write!(
+            f,
+            "  throughput {:.0} sessions/s, latency p50 {:.2?} p95 {:.2?} p99 {:.2?}",
+            self.throughput(),
+            self.latency_percentile(50.0),
+            self.latency_percentile(95.0),
+            self.latency_percentile(99.0)
+        )
+    }
+}
+
+/// Runs one attestation session as a fleet client against `net:port`.
+///
+/// Blocking (each device is its own thread in the simulator), driving
+/// the same Msg0→Msg3 exchange a WASI-RA guest performs.
+fn run_client(
+    net: &Network,
+    port: u16,
+    service: &AttestationService,
+    measurement: &[u8; 32],
+    pinned: &[u8; 64],
+    rng: &mut Fortuna,
+) -> ClientOutcome {
+    let start = Instant::now();
+    let Ok(conn) = net.connect(port) else {
+        return ClientOutcome::Failed;
+    };
+    let (mut attester, msg0) = Attester::start(rng);
+    if conn.send(&msg0.to_bytes()).is_err() {
+        return ClientOutcome::Failed;
+    }
+    let Ok(raw1) = conn.recv() else {
+        return ClientOutcome::Failed;
+    };
+    if raw1 == APPRAISAL_FAILED {
+        return ClientOutcome::Rejected(start.elapsed());
+    }
+    let Ok(msg1) = Msg1::from_bytes(&raw1) else {
+        return ClientOutcome::Failed;
+    };
+    let Ok((msg2, _)) = attester.attest(&msg1, pinned, service, measurement) else {
+        return ClientOutcome::Failed;
+    };
+    if conn.send(&msg2.to_bytes()).is_err() {
+        return ClientOutcome::Failed;
+    }
+    let Ok(raw3) = conn.recv() else {
+        return ClientOutcome::Failed;
+    };
+    if raw3 == APPRAISAL_FAILED {
+        return ClientOutcome::Rejected(start.elapsed());
+    }
+    let Ok(msg3) = Msg3::from_bytes(&raw3) else {
+        return ClientOutcome::Failed;
+    };
+    match attester.handle_msg3(&msg3) {
+        Ok((secret, _)) => ClientOutcome::Provisioned(secret.len(), start.elapsed()),
+        Err(_) => ClientOutcome::Failed,
+    }
+}
+
+impl FleetSim {
+    /// Boots the shards and manufactures the devices (round-robin across
+    /// shards), deriving every device's attestation key from its own
+    /// fused seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError`] if a shard or device fails secure boot, or if
+    /// the shard count does not fit in the port range above `config.port`.
+    pub fn boot(config: FleetSimConfig) -> Result<Self, TeeError> {
+        // Shard k binds port + k; reject configs whose port arithmetic
+        // would wrap (or panic in debug) in `run_with_workers`.
+        let highest_shard = config.shards.max(1) - 1;
+        if u16::try_from(highest_shard)
+            .ok()
+            .and_then(|k| config.port.checked_add(k))
+            .is_none()
+        {
+            return Err(TeeError::Net(format!(
+                "{} shards starting at port {} exceed the u16 port range",
+                config.shards.max(1),
+                config.port
+            )));
+        }
+        let shards: Vec<Shard> = (0..config.shards.max(1))
+            .map(|k| {
+                let platform = Platform::new(PlatformConfig {
+                    device_seed: format!("fleet-shard-{k}").into_bytes(),
+                    ..PlatformConfig::default()
+                });
+                tz_hal::boot::install_genuine_chain(&platform).map_err(|_| TeeError::NotBooted)?;
+                Ok(Shard {
+                    os: TrustedOs::boot(platform)?,
+                })
+            })
+            .collect::<Result<_, TeeError>>()?;
+
+        let kinds = std::iter::repeat_n(DeviceKind::Endorsed, config.endorsed)
+            .chain(std::iter::repeat_n(DeviceKind::Rogue, config.rogue))
+            .chain(std::iter::repeat_n(DeviceKind::Stale, config.stale));
+        let devices: Vec<SimDevice> = kinds
+            .enumerate()
+            .map(|(id, kind)| {
+                let platform = Platform::new(PlatformConfig {
+                    device_seed: format!("fleet-device-{id}").into_bytes(),
+                    ..PlatformConfig::default()
+                });
+                tz_hal::boot::install_genuine_chain(&platform).map_err(|_| TeeError::NotBooted)?;
+                let os = TrustedOs::boot(platform)?;
+                // Stale devices report a WaTZ version below the fleet's
+                // minimum (an un-updated runtime in the wild).
+                let service = match kind {
+                    DeviceKind::Stale => AttestationService::install_with_version(&os, 0),
+                    _ => AttestationService::install(&os),
+                };
+                Ok(SimDevice {
+                    record: DeviceRecord {
+                        id: id as u32,
+                        shard: id % shards.len(),
+                        kind,
+                        public_key: service.public_key(),
+                    },
+                    service,
+                    _os: os,
+                })
+            })
+            .collect::<Result<_, TeeError>>()?;
+
+        Ok(FleetSim {
+            config,
+            shards,
+            devices,
+            measurement: Sha256::digest(b"fleet reference application"),
+            verifier_identity_seed: b"fleet-owner identity".to_vec(),
+        })
+    }
+
+    /// The device registry (id, shard assignment, kind, endorsement key).
+    #[must_use]
+    pub fn registry(&self) -> Vec<DeviceRecord> {
+        self.devices.iter().map(|d| d.record.clone()).collect()
+    }
+
+    /// The reference measurement every device claims.
+    #[must_use]
+    pub fn measurement(&self) -> [u8; 32] {
+        self.measurement
+    }
+
+    /// Runs one round with the configured worker count per shard.
+    #[must_use]
+    pub fn run(&self) -> FleetReport {
+        self.run_with_workers(self.config.workers_per_shard)
+    }
+
+    /// Runs one round: spawns a [`FleetVerifier`] per shard, drives every
+    /// device through a concurrent attestation session, shuts the
+    /// verifiers down and aggregates the report.
+    ///
+    /// Rounds are repeatable — fresh verifiers and fresh ephemeral
+    /// session keys each time (benches sweep `workers` this way).
+    #[must_use]
+    pub fn run_with_workers(&self, workers: usize) -> FleetReport {
+        // Endorse endorsed AND stale devices: stale ones must fail the
+        // version gate, not the endorsement check (that would conflate
+        // them with rogues).
+        let mut rng = Fortuna::from_seed(&self.verifier_identity_seed);
+        let identity = SigningKey::generate(&mut rng);
+        let mut base = VerifierConfig::new(identity)
+            .trust_measurement(self.measurement)
+            .require_min_version(1)
+            .with_secret(b"fleet configuration secret".to_vec());
+        for device in &self.devices {
+            if device.record.kind != DeviceKind::Rogue {
+                base = base.endorse_device(device.record.public_key);
+            }
+        }
+        let pinned = base.identity_public_key();
+
+        let fleet_config = FleetConfig {
+            workers: workers.max(1),
+            session_timeout: self.config.session_timeout,
+            ..FleetConfig::default()
+        };
+        let verifiers: Vec<FleetVerifier> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(k, shard)| {
+                let port = self.config.port + k as u16;
+                FleetVerifier::spawn(&shard.os, base.clone(), fleet_config.clone(), port)
+                    .expect("shard port free")
+            })
+            .collect();
+
+        let outcomes: Arc<Mutex<Vec<ClientOutcome>>> =
+            Arc::new(Mutex::new(Vec::with_capacity(self.devices.len())));
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for device in &self.devices {
+                let net = self.shards[device.record.shard].os.shared_network();
+                let port = self.config.port + device.record.shard as u16;
+                let measurement = self.measurement;
+                let outcomes = Arc::clone(&outcomes);
+                scope.spawn(move || {
+                    let mut rng =
+                        Fortuna::from_seed(format!("client-{}", device.record.id).as_bytes());
+                    let outcome =
+                        run_client(&net, port, &device.service, &measurement, &pinned, &mut rng);
+                    outcomes.lock().push(outcome);
+                });
+            }
+        });
+        let elapsed = started.elapsed();
+
+        let mut stats = FleetStats::default();
+        for verifier in verifiers {
+            stats.merge(&verifier.shutdown());
+        }
+
+        let (mut provisioned, mut rejected, mut failed) = (0u64, 0u64, 0u64);
+        let mut latencies = Vec::new();
+        for outcome in outcomes.lock().iter() {
+            match outcome {
+                ClientOutcome::Provisioned(_, d) => {
+                    provisioned += 1;
+                    latencies.push(*d);
+                }
+                ClientOutcome::Rejected(d) => {
+                    rejected += 1;
+                    latencies.push(*d);
+                }
+                ClientOutcome::Failed => failed += 1,
+            }
+        }
+        latencies.sort_unstable();
+
+        FleetReport {
+            devices: self.devices.len(),
+            shards: self.shards.len(),
+            elapsed,
+            provisioned,
+            rejected,
+            failed,
+            stats,
+            latencies,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(latencies: Vec<Duration>, provisioned: u64, elapsed: Duration) -> FleetReport {
+        FleetReport {
+            devices: latencies.len(),
+            shards: 1,
+            elapsed,
+            provisioned,
+            rejected: 0,
+            failed: 0,
+            stats: FleetStats::default(),
+            latencies,
+        }
+    }
+
+    #[test]
+    fn latency_percentile_of_empty_report_is_zero() {
+        let r = report_with(vec![], 0, Duration::from_secs(1));
+        assert_eq!(r.latency_percentile(50.0), Duration::ZERO);
+        assert_eq!(r.throughput(), 0.0);
+    }
+
+    #[test]
+    fn latency_percentiles_pick_sorted_ranks() {
+        let lat: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        let r = report_with(lat, 100, Duration::from_secs(2));
+        assert_eq!(r.latency_percentile(0.0), Duration::from_millis(1));
+        assert_eq!(r.latency_percentile(100.0), Duration::from_millis(100));
+        let p50 = r.latency_percentile(50.0);
+        assert!(p50 >= Duration::from_millis(50) && p50 <= Duration::from_millis(51));
+        assert_eq!(r.throughput(), 50.0);
+    }
+
+    #[test]
+    fn default_sim_config_is_a_runnable_shape() {
+        let config = FleetSimConfig::default();
+        assert!(config.shards >= 1);
+        assert!(config.endorsed > 0);
+        assert!(config.workers_per_shard >= 1);
+    }
+}

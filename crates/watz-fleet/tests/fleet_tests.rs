@@ -1,0 +1,314 @@
+//! Concurrency tests for the fleet attestation service: many devices
+//! against one service, stalled attesters, batched appraisal, and
+//! per-outcome accounting.
+
+use std::time::Duration;
+
+use optee_sim::{TeeError, TrustedOs};
+use tz_hal::{Platform, PlatformConfig};
+use watz_attestation::attester::Attester;
+use watz_attestation::service::AttestationService;
+use watz_attestation::verifier::{Verifier, VerifierConfig};
+use watz_attestation::wire::{Msg1, Msg2, Msg3, APPRAISAL_FAILED};
+use watz_crypto::ecdsa::SigningKey;
+use watz_crypto::fortuna::Fortuna;
+use watz_crypto::sha256::Sha256;
+use watz_fleet::sim::{DeviceKind, FleetSim, FleetSimConfig};
+use watz_fleet::{appraise_batch, FleetConfig, FleetVerifier};
+
+fn booted_os(seed: &[u8]) -> TrustedOs {
+    let platform = Platform::new(PlatformConfig {
+        device_seed: seed.to_vec(),
+        ..PlatformConfig::default()
+    });
+    tz_hal::boot::install_genuine_chain(&platform).unwrap();
+    TrustedOs::boot(platform).unwrap()
+}
+
+fn measurement() -> [u8; 32] {
+    Sha256::digest(b"fleet test app")
+}
+
+fn verifier_config_for(services: &[&AttestationService]) -> (VerifierConfig, [u8; 64]) {
+    let mut rng = Fortuna::from_seed(b"fleet test verifier identity");
+    let identity = SigningKey::generate(&mut rng);
+    let mut config = VerifierConfig::new(identity)
+        .trust_measurement(measurement())
+        .with_secret(b"fleet secret".to_vec());
+    for svc in services {
+        config = config.endorse_device(svc.public_key());
+    }
+    let pinned = config.identity_public_key();
+    (config, pinned)
+}
+
+/// Drives one honest client session; returns the decrypted secret.
+fn honest_session(
+    os: &TrustedOs,
+    port: u16,
+    service: &AttestationService,
+    pinned: &[u8; 64],
+    rng: &mut Fortuna,
+) -> Vec<u8> {
+    let conn = os.network().connect(port).unwrap();
+    let (mut attester, msg0) = Attester::start(rng);
+    conn.send(&msg0.to_bytes()).unwrap();
+    let msg1 = Msg1::from_bytes(&conn.recv().unwrap()).unwrap();
+    let (msg2, _) = attester
+        .attest(&msg1, pinned, service, &measurement())
+        .unwrap();
+    conn.send(&msg2.to_bytes()).unwrap();
+    let msg3 = Msg3::from_bytes(&conn.recv().unwrap()).unwrap();
+    let (secret, _) = attester.handle_msg3(&msg3).unwrap();
+    secret
+}
+
+#[test]
+fn sixty_four_devices_attest_concurrently_against_one_service() {
+    // The acceptance-criteria test: >= 64 simulated devices, one shard
+    // (one service), correct per-outcome stats.
+    let sim = FleetSim::boot(FleetSimConfig {
+        shards: 1,
+        endorsed: 64,
+        rogue: 0,
+        stale: 0,
+        workers_per_shard: 4,
+        session_timeout: Duration::from_secs(10),
+        port: 7600,
+    })
+    .unwrap();
+    let report = sim.run();
+
+    assert_eq!(report.devices, 64);
+    assert_eq!(report.provisioned, 64, "every endorsed device is served");
+    assert_eq!(report.rejected, 0);
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.stats.accepted, 64);
+    assert_eq!(report.stats.served, 64);
+    assert_eq!(report.stats.rejected, 0);
+    assert_eq!(report.stats.malformed, 0);
+    assert_eq!(report.stats.timed_out, 0);
+    assert_eq!(report.stats.completed(), 64);
+    assert_eq!(report.stats.appraised, 64);
+    assert!(report.stats.appraisal_batches >= 1);
+    assert!(report.stats.appraisal_batches <= report.stats.appraised);
+    assert!(report.throughput() > 0.0);
+    assert!(report.latency_percentile(50.0) <= report.latency_percentile(99.0));
+}
+
+#[test]
+fn mixed_fleet_outcomes_add_up_across_shards() {
+    let sim = FleetSim::boot(FleetSimConfig {
+        shards: 4,
+        endorsed: 24,
+        rogue: 4,
+        stale: 4,
+        workers_per_shard: 2,
+        session_timeout: Duration::from_secs(10),
+        port: 7620,
+    })
+    .unwrap();
+
+    let registry = sim.registry();
+    assert_eq!(registry.len(), 32);
+    let shards_used: std::collections::HashSet<usize> = registry.iter().map(|d| d.shard).collect();
+    assert_eq!(shards_used.len(), 4, "devices spread over all shards");
+
+    let report = sim.run();
+    assert_eq!(report.shards, 4);
+    assert_eq!(report.provisioned, 24, "endorsed devices served");
+    assert_eq!(
+        report.rejected, 8,
+        "rogue devices fail endorsement, stale ones the version gate"
+    );
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.stats.served, 24);
+    assert_eq!(report.stats.rejected, 8);
+    assert_eq!(report.stats.completed(), 32);
+}
+
+#[test]
+fn stalled_mid_handshake_attester_does_not_block_other_sessions() {
+    // One worker, a generous deadline: if the stalled session blocked the
+    // worker, no honest session could complete before it times out.
+    let os = booted_os(b"fleet-stall-device");
+    let service = AttestationService::install(&os);
+    let (config, pinned) = verifier_config_for(&[&service]);
+    let fleet = FleetConfig {
+        workers: 1,
+        session_timeout: Duration::from_secs(30),
+        ..FleetConfig::default()
+    };
+    let verifier = FleetVerifier::spawn(&os, config, fleet, 7640).unwrap();
+
+    // Stall mid-handshake: send msg0, receive msg1, then go silent.
+    let stalled = os.network().connect(7640).unwrap();
+    let mut srng = Fortuna::from_seed(b"stalled client");
+    let (_stalled_attester, msg0) = Attester::start(&mut srng);
+    stalled.send(&msg0.to_bytes()).unwrap();
+    let raw1 = stalled.recv().unwrap();
+    assert!(Msg1::from_bytes(&raw1).is_ok());
+
+    // Eight honest clients must all be served while the stalled session
+    // is still in flight.
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let os = os.clone();
+                let service = &service;
+                scope.spawn(move || {
+                    let mut rng = Fortuna::from_seed(format!("honest-{i}").as_bytes());
+                    honest_session(&os, 7640, service, &pinned, &mut rng)
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), b"fleet secret");
+        }
+    });
+
+    let live = verifier.stats();
+    assert_eq!(live.served, 8, "honest sessions served while one stalls");
+    assert_eq!(live.timed_out, 0, "the stalled session is still pending");
+
+    // Unwedge the stalled session with garbage so shutdown's drain does
+    // not have to wait out the 30 s deadline — and malformed accounting
+    // gets exercised on the way.
+    stalled.send(b"garbage instead of msg2").unwrap();
+    assert_eq!(stalled.recv().unwrap(), APPRAISAL_FAILED);
+    let stats = verifier.shutdown();
+    assert_eq!(stats.served, 8);
+    assert_eq!(stats.malformed, 1);
+    assert_eq!(stats.completed(), 9);
+}
+
+#[test]
+fn stalled_attester_is_evicted_and_counted_as_timed_out() {
+    let os = booted_os(b"fleet-timeout-device");
+    let service = AttestationService::install(&os);
+    let (config, pinned) = verifier_config_for(&[&service]);
+    let fleet = FleetConfig {
+        workers: 2,
+        session_timeout: Duration::from_millis(250),
+        ..FleetConfig::default()
+    };
+    let verifier = FleetVerifier::spawn(&os, config, fleet, 7641).unwrap();
+
+    // Connects and never sends anything at all.
+    let stalled = os.network().connect(7641).unwrap();
+
+    let mut rng = Fortuna::from_seed(b"honest after stall");
+    let secret = honest_session(&os, 7641, &service, &pinned, &mut rng);
+    assert_eq!(secret, b"fleet secret");
+
+    // Shutdown drains: the stalled session is evicted at its deadline.
+    let stats = verifier.shutdown();
+    assert_eq!(stats.served, 1);
+    assert_eq!(stats.timed_out, 1);
+    assert_eq!(stats.completed(), 2);
+    drop(stalled);
+}
+
+#[test]
+fn batched_appraisal_uses_one_world_switch() {
+    // Eight mid-session verifiers, eight msg2s, one enter_secure.
+    let os = booted_os(b"fleet-batch-device");
+    let service = AttestationService::install(&os);
+    let (config, pinned) = verifier_config_for(&[&service]);
+
+    let mut sessions: Vec<(Verifier, Msg2)> = (0..8)
+        .map(|i| {
+            let mut arng = Fortuna::from_seed(format!("batch-attester-{i}").as_bytes());
+            let mut vrng = Fortuna::from_seed(format!("batch-verifier-{i}").as_bytes());
+            let (mut attester, msg0) = Attester::start(&mut arng);
+            let mut verifier = Verifier::new(config.clone());
+            let (msg1, _) = verifier.handle_msg0(&msg0, &mut vrng).unwrap();
+            let (msg2, _) = attester
+                .attest(&msg1, &pinned, &service, &measurement())
+                .unwrap();
+            (verifier, msg2)
+        })
+        .collect();
+
+    let platform = os.platform();
+    let enters_before = platform.transition_stats().enters();
+    let outcomes = appraise_batch(
+        platform,
+        sessions.iter_mut().map(|(v, m)| (v, &*m)).collect(),
+    );
+    let enters_after = platform.transition_stats().enters();
+
+    assert_eq!(outcomes.len(), 8);
+    assert!(outcomes.iter().all(Result::is_ok), "all appraisals succeed");
+    assert_eq!(
+        enters_after - enters_before,
+        1,
+        "the whole batch shares a single secure-world entry"
+    );
+}
+
+#[test]
+fn malformed_msg0_counted_and_rejected_fast() {
+    let os = booted_os(b"fleet-malformed-device");
+    let service = AttestationService::install(&os);
+    let (config, _pinned) = verifier_config_for(&[&service]);
+    let verifier = FleetVerifier::spawn(&os, config, FleetConfig::default(), 7642).unwrap();
+
+    let conn = os.network().connect(7642).unwrap();
+    conn.send(b"definitely not a msg0").unwrap();
+    assert_eq!(conn.recv().unwrap(), APPRAISAL_FAILED);
+
+    let stats = verifier.shutdown();
+    assert_eq!(stats.malformed, 1);
+    assert_eq!(stats.completed(), 1);
+}
+
+#[test]
+fn shard_networks_are_isolated_and_ports_freed_after_shutdown() {
+    let sim = FleetSim::boot(FleetSimConfig {
+        shards: 2,
+        endorsed: 4,
+        rogue: 0,
+        stale: 0,
+        workers_per_shard: 1,
+        session_timeout: Duration::from_secs(5),
+        port: 7660,
+    })
+    .unwrap();
+    let report = sim.run();
+    assert_eq!(report.provisioned, 4);
+
+    // Rounds are repeatable: the shard ports were unbound on shutdown and
+    // a second round rebinds them cleanly.
+    let report2 = sim.run_with_workers(2);
+    assert_eq!(report2.provisioned, 4);
+
+    // Between rounds every shard network is back to zero bound ports.
+    let os = booted_os(b"port-bookkeeping");
+    let service = AttestationService::install(&os);
+    let (config, _pinned) = verifier_config_for(&[&service]);
+    assert!(!os.network().is_bound(7665));
+    let verifier = FleetVerifier::spawn(&os, config, FleetConfig::default(), 7665).unwrap();
+    assert!(os.network().is_bound(7665));
+    assert_eq!(os.network().bound_ports(), vec![7665]);
+    let _ = verifier.shutdown();
+    assert!(!os.network().is_bound(7665));
+    assert!(os.network().bound_ports().is_empty());
+
+    // Device kinds land where the registry says.
+    for record in sim.registry() {
+        assert_eq!(record.kind, DeviceKind::Endorsed);
+        assert!(record.shard < 2);
+    }
+}
+
+#[test]
+fn port_overflowing_shard_count_rejected_at_boot() {
+    let err = FleetSim::boot(FleetSimConfig {
+        shards: 10,
+        port: 65530,
+        ..FleetSimConfig::default()
+    })
+    .unwrap_err();
+    assert!(matches!(err, TeeError::Net(_)));
+}

@@ -88,6 +88,6 @@ fn main() {
         data.truncate(150);
         nn.mse(&data)
     });
-    assert_eq!(server.shutdown(), 1);
+    assert_eq!(server.shutdown().served, 1);
     println!("verifier served 1 successful attestation");
 }

@@ -1,61 +1,52 @@
-//! A fleet of attested IoT devices: three devices, one relying party.
-//! Only endorsed devices running the reference bytecode receive the
-//! configuration secret; a rogue device is rejected.
+//! A fleet of attested IoT devices — at scale. Two hundred simulated
+//! devices across four shards attest concurrently against per-shard
+//! relying parties; only endorsed devices running the reference bytecode
+//! receive the configuration secret. Rogue devices (unendorsed keys) and
+//! stale devices (outdated WaTZ version) are rejected.
 //!
-//! Run with: `cargo run --example sensor_fleet`
+//! Run with: `cargo run --release --example sensor_fleet`
 
-use watz::crypto::{ecdsa::SigningKey, fortuna::Fortuna, sha256::Sha256};
-use watz::runtime::{AppConfig, RaVerifierConfig, VerifierServer, WatzRuntime};
-use watz::wasm::exec::Value;
+use std::time::Duration;
 
-const SENSOR_APP: &str = r#"
-    extern int ra_handshake(int port, int key_ptr);
-    extern int ra_collect_quote(int ctx);
-    extern int ra_send_quote(int ctx, int q);
-    extern int ra_receive_data(int ctx, int buf, int len);
-    int key_addr = 0;
-    int set_key_buf() { key_addr = (int)alloc(64); return key_addr; }
-    int provision(int port) {
-        int ctx = ra_handshake(port, key_addr);
-        if (ctx < 0) { return ctx; }
-        int q = ra_collect_quote(ctx);
-        ra_send_quote(ctx, q);
-        int buf = (int)alloc(4096);
-        return ra_receive_data(ctx, buf, 4096);
-    }
-"#;
+use watz::fleet::sim::{FleetSim, FleetSimConfig};
+use watz::fleet::DeviceKind;
 
 fn main() {
-    let wasm = watz::compiler::compile(SENSOR_APP).expect("compile");
-    let measurement = Sha256::digest(&wasm);
+    let config = FleetSimConfig {
+        shards: 4,
+        endorsed: 180,
+        rogue: 10,
+        stale: 10,
+        workers_per_shard: 4,
+        session_timeout: Duration::from_secs(5),
+        ..FleetSimConfig::default()
+    };
+    let total = config.endorsed + config.rogue + config.stale;
+    println!(
+        "booting {total} devices across {} shards ({} endorsed, {} rogue, {} stale)...",
+        config.shards, config.endorsed, config.rogue, config.stale
+    );
+    let sim = FleetSim::boot(config).expect("fleet boot");
 
-    // Three devices; only the first two are endorsed by the fleet owner.
-    let devices: Vec<WatzRuntime> = [b"sensor-01".as_slice(), b"sensor-02", b"rogue-99"]
-        .iter()
-        .map(|seed| WatzRuntime::new_device(seed).expect("boot"))
-        .collect();
+    let registry = sim.registry();
+    let per_kind = |kind| registry.iter().filter(|d| d.kind == kind).count();
+    println!(
+        "registry: {} devices ({} endorsed / {} rogue / {} stale), measurement {:02x}{:02x}..",
+        registry.len(),
+        per_kind(DeviceKind::Endorsed),
+        per_kind(DeviceKind::Rogue),
+        per_kind(DeviceKind::Stale),
+        sim.measurement()[0],
+        sim.measurement()[1],
+    );
 
-    let mut rng = Fortuna::from_seed(b"fleet-owner");
-    let identity = SigningKey::generate(&mut rng);
-    let base_config = RaVerifierConfig::new(identity)
-        .endorse_device(devices[0].device_public_key())
-        .endorse_device(devices[1].device_public_key())
-        .trust_measurement(measurement)
-        .with_secret(b"wifi-psk: hunter2".to_vec());
-    let pinned = base_config.identity_public_key();
+    let report = sim.run();
+    println!("{report}");
 
-    for (i, device) in devices.iter().enumerate() {
-        let server = VerifierServer::spawn(device.os(), base_config.clone(), 7200).expect("server");
-        let mut app = device.load(&wasm, &AppConfig::default()).expect("load");
-        let key_addr = app.invoke("set_key_buf", &[]).unwrap()[0].as_u32();
-        app.write_memory(key_addr, &pinned).unwrap();
-        let out = app.invoke("provision", &[Value::I32(7200)]).unwrap();
-        let served = server.shutdown();
-        match out[0] {
-            Value::I32(n) if n > 0 => {
-                println!("device {i}: provisioned ({n} bytes of config), sessions served {served}")
-            }
-            other => println!("device {i}: REJECTED ({other:?}), sessions served {served}"),
-        }
-    }
+    // The fleet-wide invariants this example demonstrates.
+    assert_eq!(report.provisioned, 180, "all endorsed devices provisioned");
+    assert_eq!(report.rejected, 20, "all rogue and stale devices rejected");
+    assert_eq!(report.failed, 0, "no session died without a verdict");
+    assert_eq!(report.stats.completed(), 200);
+    println!("fleet OK: 180 provisioned, 20 rejected, stats add up");
 }

@@ -15,6 +15,8 @@
 //! * [`compiler`] — MiniC, the C-like guest toolchain;
 //! * [`wasi`] — WASI + WASI-RA host interface;
 //! * [`attestation`] — evidence + the four-message RA protocol;
+//! * [`fleet`] — fleet-scale attestation: concurrent verifier service +
+//!   sharded multi-device simulator;
 //! * [`db`] — microdb, the SQL engine used by the Fig 6 experiment;
 //! * [`ann`] — the Genann-style neural network (Fig 8);
 //! * [`bench_workloads`] — PolyBench, Speedtest and Genann guests;
@@ -30,6 +32,7 @@ pub use scyther_lite as verifier_model;
 pub use tz_hal as hal;
 pub use watz_attestation as attestation;
 pub use watz_crypto as crypto;
+pub use watz_fleet as fleet;
 pub use watz_runtime as runtime;
 pub use watz_wasi as wasi;
 pub use watz_wasm as wasm;

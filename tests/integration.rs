@@ -126,5 +126,5 @@ fn full_stack_attestation_through_wasi_ra() {
         app.invoke("go", &[Value::I32(7300)]).unwrap(),
         vec![Value::I32(2)]
     );
-    assert_eq!(server.shutdown(), 1);
+    assert_eq!(server.shutdown().served, 1);
 }
