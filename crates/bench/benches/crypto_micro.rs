@@ -7,6 +7,7 @@ use watz_crypto::ecdh::EphemeralKeyPair;
 use watz_crypto::ecdsa::SigningKey;
 use watz_crypto::fortuna::Fortuna;
 use watz_crypto::gcm::AesGcm128;
+use watz_crypto::p256::{AffinePoint, U256};
 use watz_crypto::sha256::Sha256;
 
 fn bench_crypto(c: &mut Criterion) {
@@ -51,6 +52,18 @@ fn bench_crypto(c: &mut Criterion) {
     g.bench_function("ecdhe_keygen", |b| {
         let mut rng = Fortuna::from_seed(b"bench");
         b.iter(|| EphemeralKeyPair::generate(std::hint::black_box(&mut rng)));
+    });
+
+    // Generator scalar multiplication, both paths: the precomputed
+    // fixed-base table (used by keygen/sign/ECDHE) against the generic
+    // double-and-add it replaced.
+    let k = U256::from_hex("bce6faada7179e84f3b9cac2fc632551ffffffff00000000ffffffffffffffff");
+    g.bench_function("p256_mul_g_fixed_base", |b| {
+        b.iter(|| AffinePoint::mul_base(std::hint::black_box(&k)));
+    });
+    g.bench_function("p256_mul_g_double_and_add", |b| {
+        let g_point = AffinePoint::generator();
+        b.iter(|| g_point.mul_scalar(std::hint::black_box(&k)));
     });
 
     g.finish();

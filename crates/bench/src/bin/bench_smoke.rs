@@ -1,0 +1,86 @@
+//! `bench-smoke`: a seconds-scale hot-path regression gate for CI.
+//!
+//! Runs one PolyBench kernel through both execution engines and one
+//! generator scalar multiplication through both P-256 paths, then asserts
+//! the optimised paths actually win by a comfortable margin. A regression
+//! in the flat engine or the fixed-base table fails the build loudly,
+//! without waiting for the minutes-scale full bench suite.
+
+use std::time::{Duration, Instant};
+
+use watz_crypto::p256::{AffinePoint, U256};
+use watz_wasm::exec::{ExecMode, Instance, NoHost, Value};
+
+fn median(reps: usize, mut f: impl FnMut()) -> Duration {
+    let mut samples: Vec<Duration> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    // --- Wasm: one mid-size kernel, flat engine vs tree interpreter. ---
+    let kernel = workloads::polybench::by_name("gemm").expect("gemm in suite");
+    let wasm = minic::compile(kernel.minic).expect("kernel compiles");
+    let module = watz_wasm::load(&wasm).expect("kernel loads");
+    let n = 16i32;
+
+    let mut flat = Instance::instantiate(&module, ExecMode::Aot, &mut NoHost).unwrap();
+    let mut tree = Instance::instantiate(&module, ExecMode::Interpreted, &mut NoHost).unwrap();
+    let out_flat = flat
+        .invoke(&mut NoHost, "kernel", &[Value::I32(n)])
+        .unwrap();
+    let out_tree = tree
+        .invoke(&mut NoHost, "kernel", &[Value::I32(n)])
+        .unwrap();
+    assert_eq!(out_flat, out_tree, "engines disagree on gemm({n})");
+
+    let t_flat = median(5, || {
+        std::hint::black_box(
+            flat.invoke(&mut NoHost, "kernel", &[Value::I32(n)])
+                .unwrap(),
+        );
+    });
+    let t_tree = median(5, || {
+        std::hint::black_box(
+            tree.invoke(&mut NoHost, "kernel", &[Value::I32(n)])
+                .unwrap(),
+        );
+    });
+    let wasm_speedup = t_tree.as_secs_f64() / t_flat.as_secs_f64();
+    println!("gemm({n}): flat {t_flat:?}  tree {t_tree:?}  speedup {wasm_speedup:.2}x");
+
+    // --- Crypto: generator scalar mult, fixed-base table vs generic. ---
+    let k = U256::from_hex("bce6faada7179e84f3b9cac2fc632551ffffffff00000000ffffffffffffffff");
+    assert_eq!(
+        AffinePoint::mul_base(&k),
+        AffinePoint::generator().mul_scalar(&k),
+        "fixed-base table disagrees with double-and-add"
+    );
+    let t_fixed = median(5, || {
+        std::hint::black_box(AffinePoint::mul_base(&k));
+    });
+    let t_generic = median(5, || {
+        std::hint::black_box(AffinePoint::generator().mul_scalar(&k));
+    });
+    let p256_speedup = t_generic.as_secs_f64() / t_fixed.as_secs_f64();
+    println!("p256 k*G: fixed {t_fixed:?}  generic {t_generic:?}  speedup {p256_speedup:.2}x");
+
+    // Gates: generous margins below the measured ~2.7x / ~4x so CI noise
+    // does not flake, but a real regression (e.g. the flat engine falling
+    // back to scanning, or the table losing mixed addition) trips them.
+    assert!(
+        wasm_speedup > 1.3,
+        "flat engine no longer clearly beats the tree interpreter ({wasm_speedup:.2}x)"
+    );
+    assert!(
+        p256_speedup > 1.8,
+        "fixed-base table no longer clearly beats double-and-add ({p256_speedup:.2}x)"
+    );
+    println!("bench-smoke: OK");
+}

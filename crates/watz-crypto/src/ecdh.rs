@@ -31,7 +31,7 @@ impl EphemeralKeyPair {
             rng.fill_bytes(&mut buf);
             let secret = U256::from_be_bytes(&buf);
             if !secret.is_zero() && secret.lt(&n) {
-                let public = AffinePoint::generator().mul_scalar(&secret);
+                let public = AffinePoint::mul_base(&secret);
                 return EphemeralKeyPair { secret, public };
             }
         }

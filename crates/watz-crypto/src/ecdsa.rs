@@ -6,7 +6,7 @@
 
 use crate::fortuna::Fortuna;
 use crate::hmac::hmac_sha256;
-use crate::p256::{curve, AffinePoint, U256};
+use crate::p256::{self, curve, AffinePoint, U256};
 use crate::{CryptoError, Result};
 
 /// An ECDSA signature: the pair `(r, s)`, each 32 bytes.
@@ -90,7 +90,7 @@ impl SigningKey {
         if d.is_zero() || !d.lt(&n) {
             return Err(CryptoError::InvalidScalar);
         }
-        let q = AffinePoint::generator().mul_scalar(&d);
+        let q = AffinePoint::mul_base(&d);
         Ok(SigningKey {
             d,
             public: VerifyingKey { point: q },
@@ -130,7 +130,7 @@ impl SigningKey {
         let mut nonce_gen = Rfc6979::new(&self.d.to_be_bytes(), digest);
         loop {
             let k = nonce_gen.next_nonce();
-            let r_point = AffinePoint::generator().mul_scalar(&k);
+            let r_point = AffinePoint::mul_base(&k);
             let AffinePoint::Point { x, .. } = r_point else {
                 continue;
             };
@@ -202,9 +202,7 @@ impl VerifyingKey {
         let w = fn_.inv(&sig.s);
         let u1 = fn_.mul(&z, &w);
         let u2 = fn_.mul(&sig.r, &w);
-        let point = AffinePoint::generator()
-            .to_jacobian()
-            .mul_scalar(&u1)
+        let point = p256::mul_base_jacobian(&u1)
             .add(&self.point.to_jacobian().mul_scalar(&u2))
             .to_affine();
         match point {

@@ -41,5 +41,5 @@
 pub mod service;
 pub mod sim;
 
-pub use service::{appraise_batch, FleetConfig, FleetStats, FleetVerifier};
+pub use service::{appraise_batch, prepare_msg1_batch, FleetConfig, FleetStats, FleetVerifier};
 pub use sim::{DeviceKind, DeviceRecord, FleetReport, FleetSim, FleetSimConfig};

@@ -7,10 +7,11 @@
 //! never blocks on a single peer). Sessions carry a deadline, so a
 //! stalled attester is evicted instead of wedging the pool.
 //!
-//! The expensive step is `msg2` appraisal, which must run in the secure
-//! world. Workers sweep all their sessions first and collect every
-//! `msg2` that arrived, then appraise the whole batch inside **one**
-//! [`Platform::enter_secure`] — amortising the world-switch cost across
+//! Both secure-world steps are batched. Workers sweep all their sessions
+//! first, staging every `msg0` and `msg2` that arrived, then run each
+//! stage's whole batch inside **one** [`Platform::enter_secure`]
+//! ([`prepare_msg1_batch`] for the challenge derivation, [`appraise_batch`]
+//! for the evidence appraisal) — amortising the world-switch cost across
 //! queued sessions exactly where the paper's single-session design pays
 //! it per attester.
 
@@ -25,7 +26,7 @@ use optee_sim::{TeeError, TrustedOs};
 use parking_lot::Mutex;
 use tz_hal::Platform;
 use watz_attestation::verifier::{Verifier, VerifierConfig};
-use watz_attestation::wire::{Msg0, Msg2, Msg3, APPRAISAL_FAILED};
+use watz_attestation::wire::{Msg0, Msg1, Msg2, Msg3, APPRAISAL_FAILED};
 use watz_attestation::RaError;
 use watz_crypto::fortuna::Fortuna;
 
@@ -81,6 +82,9 @@ pub struct FleetStats {
     /// `appraisal_batches <= appraised`, with equality only when no two
     /// `msg2`s were ever queued together.
     pub appraisal_batches: u64,
+    /// Secure-world entries spent deriving `msg1` challenges: one per
+    /// batch of queued `msg0`s, mirroring `appraisal_batches`.
+    pub msg1_batches: u64,
 }
 
 impl FleetStats {
@@ -99,6 +103,7 @@ impl FleetStats {
         self.timed_out += other.timed_out;
         self.appraised += other.appraised;
         self.appraisal_batches += other.appraisal_batches;
+        self.msg1_batches += other.msg1_batches;
     }
 }
 
@@ -112,6 +117,7 @@ struct StatsInner {
     timed_out: AtomicU64,
     appraised: AtomicU64,
     appraisal_batches: AtomicU64,
+    msg1_batches: AtomicU64,
 }
 
 impl StatsInner {
@@ -124,6 +130,7 @@ impl StatsInner {
             timed_out: self.timed_out.load(Ordering::SeqCst),
             appraised: self.appraised.load(Ordering::SeqCst),
             appraisal_batches: self.appraisal_batches.load(Ordering::SeqCst),
+            msg1_batches: self.msg1_batches.load(Ordering::SeqCst),
         }
     }
 }
@@ -145,6 +152,22 @@ pub fn appraise_batch(
     })
 }
 
+/// Derives `msg1` challenges for a batch of `msg0`s inside a single
+/// secure-world entry — the `msg0` counterpart of [`appraise_batch`]
+/// (one [`Platform::enter_secure`] regardless of batch size).
+pub fn prepare_msg1_batch(
+    platform: &Platform,
+    batch: Vec<(&mut Verifier, &Msg0)>,
+    rng: &mut Fortuna,
+) -> Vec<Result<Msg1, RaError>> {
+    platform.enter_secure(|| {
+        batch
+            .into_iter()
+            .map(|(verifier, msg0)| verifier.handle_msg0(msg0, rng).map(|(msg1, _)| msg1))
+            .collect()
+    })
+}
+
 /// Where one session stands in the Msg0→Msg3 exchange.
 enum Phase {
     /// Waiting for the attester's `msg0`.
@@ -159,6 +182,8 @@ struct Session {
     verifier: Verifier,
     phase: Phase,
     deadline: Instant,
+    /// Parsed `msg0` staged for the next challenge-derivation batch.
+    pending_msg0: Option<Msg0>,
     /// Parsed `msg2` staged for the next appraisal batch.
     pending_msg2: Option<Msg2>,
     done: bool,
@@ -171,6 +196,7 @@ impl Session {
             verifier,
             phase: Phase::AwaitMsg0,
             deadline: Instant::now() + timeout,
+            pending_msg0: None,
             pending_msg2: None,
             done: false,
         }
@@ -193,6 +219,19 @@ struct WorkerCtx {
 
 /// How long an idle worker sleeps before re-polling its sessions.
 const IDLE_POLL: Duration = Duration::from_micros(500);
+
+/// Pulls every session's staged message (if any) out next to the session
+/// itself, so batch processing never depends on index bookkeeping. Shared
+/// by the msg0 and msg2 batch paths.
+fn take_staged<M>(
+    sessions: &mut [Session],
+    take: impl Fn(&mut Session) -> Option<M>,
+) -> Vec<(&mut Session, M)> {
+    sessions
+        .iter_mut()
+        .filter_map(|s| take(s).map(|m| (s, m)))
+        .collect()
+}
 
 fn worker_loop(mut ctx: WorkerCtx) {
     let mut sessions: Vec<Session> = Vec::new();
@@ -228,6 +267,7 @@ fn worker_loop(mut ctx: WorkerCtx) {
 
         let mut progressed = false;
         let now = Instant::now();
+        let mut staged_msg0 = 0usize;
         let mut staged = 0usize;
 
         // Sweep every session once; never block on any single peer.
@@ -248,24 +288,8 @@ fn worker_loop(mut ctx: WorkerCtx) {
                                 session.done = true;
                                 continue;
                             };
-                            let reply = ctx
-                                .platform
-                                .enter_secure(|| session.verifier.handle_msg0(&msg0, &mut ctx.rng));
-                            match reply {
-                                Ok((msg1, _)) => {
-                                    if session.conn.send(&msg1.to_bytes()).is_err() {
-                                        ctx.stats.timed_out.fetch_add(1, Ordering::SeqCst);
-                                        session.done = true;
-                                    } else {
-                                        session.phase = Phase::AwaitMsg2;
-                                    }
-                                }
-                                Err(_) => {
-                                    ctx.stats.rejected.fetch_add(1, Ordering::SeqCst);
-                                    let _ = session.conn.send(APPRAISAL_FAILED);
-                                    session.done = true;
-                                }
-                            }
+                            session.pending_msg0 = Some(msg0);
+                            staged_msg0 += 1;
                         }
                         Phase::AwaitMsg2 => {
                             let Ok(msg2) = Msg2::from_bytes(&raw) else {
@@ -297,19 +321,45 @@ fn worker_loop(mut ctx: WorkerCtx) {
             }
         }
 
+        // Batched challenge derivation: all msg0s staged this sweep share
+        // one secure-world entry via `prepare_msg1_batch`, exactly like
+        // msg2 appraisal below.
+        if staged_msg0 > 0 {
+            let mut batch_sessions = take_staged(&mut sessions, |s| s.pending_msg0.take());
+            let outcomes = prepare_msg1_batch(
+                &ctx.platform,
+                batch_sessions
+                    .iter_mut()
+                    .map(|(s, msg0)| (&mut s.verifier, &*msg0))
+                    .collect(),
+                &mut ctx.rng,
+            );
+            ctx.stats.msg1_batches.fetch_add(1, Ordering::SeqCst);
+            for ((session, _), outcome) in batch_sessions.iter_mut().zip(outcomes) {
+                match outcome {
+                    Ok(msg1) => {
+                        if session.conn.send(&msg1.to_bytes()).is_err() {
+                            ctx.stats.timed_out.fetch_add(1, Ordering::SeqCst);
+                            session.done = true;
+                        } else {
+                            session.phase = Phase::AwaitMsg2;
+                        }
+                    }
+                    Err(_) => {
+                        ctx.stats.rejected.fetch_add(1, Ordering::SeqCst);
+                        let _ = session.conn.send(APPRAISAL_FAILED);
+                        session.done = true;
+                    }
+                }
+            }
+        }
+
         // Batched appraisal: all msg2s staged this sweep share one
         // secure-world entry via `appraise_batch`. One pass pulls each
         // staged msg2 out next to its own session's verifier, so nothing
         // depends on index bookkeeping.
         if staged > 0 {
-            let mut batch_sessions: Vec<(&mut Session, Msg2)> = sessions
-                .iter_mut()
-                .filter(|s| s.pending_msg2.is_some())
-                .map(|s| {
-                    let msg2 = s.pending_msg2.take().expect("staged msg2");
-                    (s, msg2)
-                })
-                .collect();
+            let mut batch_sessions = take_staged(&mut sessions, |s| s.pending_msg2.take());
             let outcomes = appraise_batch(
                 &ctx.platform,
                 batch_sessions
@@ -482,6 +532,7 @@ mod tests {
             timed_out: 2,
             appraised: 7,
             appraisal_batches: 3,
+            msg1_batches: 4,
         };
         let b = FleetStats {
             accepted: 4,
@@ -491,12 +542,14 @@ mod tests {
             timed_out: 0,
             appraised: 4,
             appraisal_batches: 2,
+            msg1_batches: 1,
         };
         a.merge(&b);
         assert_eq!(a.accepted, 14);
         assert_eq!(a.completed(), 14);
         assert_eq!(a.appraised, 11);
         assert_eq!(a.appraisal_batches, 5);
+        assert_eq!(a.msg1_batches, 5);
     }
 
     #[test]

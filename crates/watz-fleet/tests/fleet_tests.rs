@@ -14,7 +14,7 @@ use watz_crypto::ecdsa::SigningKey;
 use watz_crypto::fortuna::Fortuna;
 use watz_crypto::sha256::Sha256;
 use watz_fleet::sim::{DeviceKind, FleetSim, FleetSimConfig};
-use watz_fleet::{appraise_batch, FleetConfig, FleetVerifier};
+use watz_fleet::{appraise_batch, prepare_msg1_batch, FleetConfig, FleetVerifier};
 
 fn booted_os(seed: &[u8]) -> TrustedOs {
     let platform = Platform::new(PlatformConfig {
@@ -244,6 +244,75 @@ fn batched_appraisal_uses_one_world_switch() {
         enters_after - enters_before,
         1,
         "the whole batch shares a single secure-world entry"
+    );
+}
+
+#[test]
+fn batched_msg0_handling_uses_one_world_switch() {
+    // Eight fresh sessions, eight msg0s, one enter_secure for all the
+    // msg1 challenge derivations — mirroring the msg2 appraisal batch.
+    let os = booted_os(b"fleet-msg0-batch-device");
+    let service = AttestationService::install(&os);
+    let (config, _pinned) = verifier_config_for(&[&service]);
+
+    let mut sessions: Vec<(Verifier, watz_attestation::wire::Msg0)> = (0..8)
+        .map(|i| {
+            let mut arng = Fortuna::from_seed(format!("msg0-batch-attester-{i}").as_bytes());
+            let (_attester, msg0) = Attester::start(&mut arng);
+            (Verifier::new(config.clone()), msg0)
+        })
+        .collect();
+
+    let platform = os.platform();
+    let mut vrng = os.kernel_prng("msg0-batch-test");
+    let enters_before = platform.transition_stats().enters();
+    let outcomes = prepare_msg1_batch(
+        platform,
+        sessions.iter_mut().map(|(v, m)| (v, &*m)).collect(),
+        &mut vrng,
+    );
+    let enters_after = platform.transition_stats().enters();
+
+    assert_eq!(outcomes.len(), 8);
+    assert!(outcomes.iter().all(Result::is_ok), "all msg1s derived");
+    assert_eq!(
+        enters_after - enters_before,
+        1,
+        "the whole msg0 batch shares a single secure-world entry"
+    );
+}
+
+#[test]
+fn fleet_service_batches_msg0s_end_to_end() {
+    // Through the full service: sessions complete and the msg1-batch
+    // world switches are both counted and bounded by the session count.
+    let os = booted_os(b"fleet-msg0-e2e-device");
+    let service = AttestationService::install(&os);
+    let (config, pinned) = verifier_config_for(&[&service]);
+    let verifier = FleetVerifier::spawn(&os, config, FleetConfig::default(), 7646).unwrap();
+
+    let n = 12;
+    let service = std::sync::Arc::new(service);
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            let os = os.clone();
+            let service = std::sync::Arc::clone(&service);
+            std::thread::spawn(move || {
+                let mut rng = Fortuna::from_seed(format!("msg0-e2e-{i}").as_bytes());
+                honest_session(&os, 7646, &service, &pinned, &mut rng)
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), b"fleet secret");
+    }
+
+    let stats = verifier.shutdown();
+    assert_eq!(stats.served, n as u64);
+    assert!(stats.msg1_batches >= 1, "msg0s go through batches");
+    assert!(
+        stats.msg1_batches <= stats.accepted,
+        "never more msg1 batches than sessions"
     );
 }
 

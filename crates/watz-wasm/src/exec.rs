@@ -1,23 +1,36 @@
-//! Execution: instantiation, the interpreter, and the AOT-prepared mode.
+//! Execution: instantiation, the tree-walking interpreter, and dispatch to
+//! the flat engine.
 //!
 //! WAMR (the runtime WaTZ embeds) offers interpreted, JIT and AOT execution;
 //! WaTZ uses AOT, reporting it "on average 28× faster than with
-//! interpretation" (§III). We reproduce the *mode structure* portably:
+//! interpretation" (§III). We reproduce the *mode structure* portably as a
+//! three-stage story:
 //!
-//! * [`ExecMode::Interpreted`] executes the structured instruction sequence
-//!   directly, discovering each block's `end`/`else` by scanning forward at
-//!   runtime — the classic naive interpreter behaviour.
-//! * [`ExecMode::Aot`] performs an ahead-of-time translation pass at load
-//!   time that resolves every branch target into side tables, so control
-//!   flow is O(1) at runtime.
+//! 1. **Tree-walking interpreter** ([`ExecMode::Interpreted`]): executes the
+//!    structured instruction sequence directly, re-discovering each block's
+//!    `end`/`else` by scanning forward at runtime, over an enum-tagged
+//!    [`Value`] stack — the classic naive interpreter, kept as the
+//!    differential oracle.
+//! 2. **Pre-resolved side tables** (the original `Aot` implementation, now
+//!    retired): same walker, but branch targets resolved once at load time.
+//!    It removed the scanning, not the tagging or the structured dispatch.
+//! 3. **Flattened engine** ([`ExecMode::Aot`], [`crate::flat`]): function
+//!    bodies are lowered at load time to a flat linear opcode array where
+//!    every branch is an absolute jump with its stack fix-up inlined, and
+//!    the operand stack is untagged 64-bit slots. This is the portable
+//!    analogue of WAMR's AOT step — translate once, run on a representation
+//!    built for execution rather than decoding.
 //!
-//! Both modes share one semantics implementation and are differentially
-//! tested against each other. Because our AOT stops at pre-resolution rather
-//! than native code generation, its speedup over interpretation is smaller
-//! than WAMR's 28× (see EXPERIMENTS.md).
+//! Both live modes share one semantics (identical results *and* identical
+//! traps) and are differentially tested against each other across the full
+//! PolyBench/speedtest/Genann suites plus randomized MiniC kernels. Because
+//! our flat engine stops short of native code generation, its speedup over
+//! interpretation is smaller than WAMR's 28× (see EXPERIMENTS.md for
+//! measured ratios).
 
 use std::collections::HashMap;
 
+use crate::flat;
 use crate::instr::Instr;
 use crate::module::{ExportKind, Module};
 use crate::types::{BlockType, FuncType, ValType};
@@ -169,7 +182,8 @@ impl std::error::Error for Trap {}
 pub enum ExecMode {
     /// Naive structured interpretation (branch targets found by scanning).
     Interpreted,
-    /// Ahead-of-time prepared execution (branch targets pre-resolved).
+    /// Ahead-of-time lowering to the flattened engine: absolute jumps,
+    /// inlined immediates, untagged operand slots (see [`crate::flat`]).
     Aot,
 }
 
@@ -294,53 +308,17 @@ impl Memory {
         Ok(ea as usize)
     }
 
-    fn load<const N: usize>(&self, base: i32, offset: u32) -> Result<[u8; N], Trap> {
+    pub(crate) fn load<const N: usize>(&self, base: i32, offset: u32) -> Result<[u8; N], Trap> {
         let a = self.addr(base, offset, N)?;
         let mut out = [0u8; N];
         out.copy_from_slice(&self.data[a..a + N]);
         Ok(out)
     }
 
-    fn store(&mut self, base: i32, offset: u32, bytes: &[u8]) -> Result<(), Trap> {
+    pub(crate) fn store(&mut self, base: i32, offset: u32, bytes: &[u8]) -> Result<(), Trap> {
         let a = self.addr(base, offset, bytes.len())?;
         self.data[a..a + bytes.len()].copy_from_slice(bytes);
         Ok(())
-    }
-}
-
-/// Per-function branch-target tables built by the AOT preparation pass.
-#[derive(Debug, Clone, Default)]
-struct BranchMap {
-    /// For each `Block`/`Loop`/`If` pc: the pc of its matching `End`.
-    end_of: Vec<u32>,
-    /// For each `If` pc: the pc of its `Else` (or the `End` if absent).
-    else_of: Vec<u32>,
-}
-
-const NO_TARGET: u32 = u32::MAX;
-
-impl BranchMap {
-    fn build(code: &[Instr]) -> Self {
-        let mut end_of = vec![NO_TARGET; code.len()];
-        let mut else_of = vec![NO_TARGET; code.len()];
-        let mut openers: Vec<usize> = Vec::new();
-        for (pc, instr) in code.iter().enumerate() {
-            match instr {
-                Instr::Block(_) | Instr::Loop(_) | Instr::If(_) => openers.push(pc),
-                Instr::Else => {
-                    if let Some(&opener) = openers.last() {
-                        else_of[opener] = pc as u32;
-                    }
-                }
-                Instr::End => {
-                    if let Some(opener) = openers.pop() {
-                        end_of[opener] = pc as u32;
-                    }
-                }
-                _ => {}
-            }
-        }
-        BranchMap { end_of, else_of }
     }
 }
 
@@ -371,7 +349,6 @@ struct PreparedFunc {
     type_idx: u32,
     locals: Vec<ValType>,
     code: Vec<Instr>,
-    branch_map: Option<BranchMap>,
 }
 
 #[derive(Debug)]
@@ -405,6 +382,8 @@ pub struct Instance {
     types: Vec<FuncType>,
     funcs: Vec<FuncDef>,
     bodies: Vec<PreparedFunc>,
+    /// Flat code, prepared at instantiation for [`ExecMode::Aot`].
+    flat: Option<flat::FlatModule>,
     memory: Memory,
     globals: Vec<Value>,
     table: Vec<Option<u32>>,
@@ -442,17 +421,26 @@ impl Instance {
         let mut bodies = Vec::with_capacity(module.funcs.len());
         for f in &module.funcs {
             funcs.push(FuncDef::Local { body: bodies.len() });
-            let branch_map = match mode {
-                ExecMode::Aot => Some(BranchMap::build(&f.code)),
-                ExecMode::Interpreted => None,
+            // Aot instances execute flat code only; keeping the structured
+            // bodies would double per-instance code memory for nothing
+            // (func_type() needs just the type index).
+            let (locals, code) = match mode {
+                ExecMode::Interpreted => (f.locals.clone(), f.code.clone()),
+                ExecMode::Aot => (Vec::new(), Vec::new()),
             };
             bodies.push(PreparedFunc {
                 type_idx: f.type_idx,
-                locals: f.locals.clone(),
-                code: f.code.clone(),
-                branch_map,
+                locals,
+                code,
             });
         }
+
+        // The AOT preparation step: lower every body to flat code once, at
+        // load time (replacing the old end/else side tables).
+        let flat = match mode {
+            ExecMode::Aot => Some(flat::FlatModule::compile(module)),
+            ExecMode::Interpreted => None,
+        };
 
         let globals = module
             .globals
@@ -484,6 +472,7 @@ impl Instance {
             types: module.types.clone(),
             funcs,
             bodies,
+            flat,
             memory,
             globals,
             table,
@@ -574,6 +563,20 @@ impl Instance {
         args: &[Value],
         _depth: usize,
     ) -> Result<Vec<Value>, Trap> {
+        // Aot instances run on the flat engine; the structured bodies below
+        // are only walked in Interpreted mode.
+        if let Some(flat) = &self.flat {
+            return flat::run(
+                flat,
+                &self.types,
+                &self.table,
+                &mut self.memory,
+                &mut self.globals,
+                host,
+                func_idx,
+                args,
+            );
+        }
         match &self.funcs[func_idx as usize] {
             FuncDef::Import { module, name, .. } => {
                 let (module, name) = (module.clone(), name.clone());
@@ -590,16 +593,10 @@ impl Instance {
         }
     }
 
-    /// Resolves the `(end, else)` targets of the opener at `pc`.
+    /// Resolves the `(end, else)` targets of the opener at `pc` by scanning
+    /// (the tree interpreter's naive runtime discovery).
     fn block_targets(&self, body_idx: usize, pc: usize) -> (usize, Option<usize>) {
-        let body = &self.bodies[body_idx];
-        if let Some(map) = &body.branch_map {
-            let end = map.end_of[pc] as usize;
-            let els = map.else_of[pc];
-            (end, (els != NO_TARGET).then_some(els as usize))
-        } else {
-            scan_block(&body.code, pc)
-        }
+        scan_block(&self.bodies[body_idx].code, pc)
     }
 
     fn block_arities(&self, bt: BlockType) -> (usize, usize) {
@@ -1260,7 +1257,7 @@ impl Instance {
     }
 }
 
-fn wasm_fmin32(a: f32, b: f32) -> f32 {
+pub(crate) fn wasm_fmin32(a: f32, b: f32) -> f32 {
     if a.is_nan() || b.is_nan() {
         f32::NAN
     } else if a == b {
@@ -1276,7 +1273,7 @@ fn wasm_fmin32(a: f32, b: f32) -> f32 {
     }
 }
 
-fn wasm_fmax32(a: f32, b: f32) -> f32 {
+pub(crate) fn wasm_fmax32(a: f32, b: f32) -> f32 {
     if a.is_nan() || b.is_nan() {
         f32::NAN
     } else if a == b {
@@ -1292,7 +1289,7 @@ fn wasm_fmax32(a: f32, b: f32) -> f32 {
     }
 }
 
-fn wasm_fmin64(a: f64, b: f64) -> f64 {
+pub(crate) fn wasm_fmin64(a: f64, b: f64) -> f64 {
     if a.is_nan() || b.is_nan() {
         f64::NAN
     } else if a == b {
@@ -1308,7 +1305,7 @@ fn wasm_fmin64(a: f64, b: f64) -> f64 {
     }
 }
 
-fn wasm_fmax64(a: f64, b: f64) -> f64 {
+pub(crate) fn wasm_fmax64(a: f64, b: f64) -> f64 {
     if a.is_nan() || b.is_nan() {
         f64::NAN
     } else if a == b {
@@ -1324,7 +1321,7 @@ fn wasm_fmax64(a: f64, b: f64) -> f64 {
     }
 }
 
-fn trunc_f32_to_i32_s(a: f32) -> Result<i32, Trap> {
+pub(crate) fn trunc_f32_to_i32_s(a: f32) -> Result<i32, Trap> {
     if a.is_nan() {
         return Err(Trap::BadConversion);
     }
@@ -1335,7 +1332,7 @@ fn trunc_f32_to_i32_s(a: f32) -> Result<i32, Trap> {
     Ok(t as i32)
 }
 
-fn trunc_f32_to_u32(a: f32) -> Result<u32, Trap> {
+pub(crate) fn trunc_f32_to_u32(a: f32) -> Result<u32, Trap> {
     if a.is_nan() {
         return Err(Trap::BadConversion);
     }
@@ -1346,7 +1343,7 @@ fn trunc_f32_to_u32(a: f32) -> Result<u32, Trap> {
     Ok(t as u32)
 }
 
-fn trunc_f64_to_i32_s(a: f64) -> Result<i32, Trap> {
+pub(crate) fn trunc_f64_to_i32_s(a: f64) -> Result<i32, Trap> {
     if a.is_nan() {
         return Err(Trap::BadConversion);
     }
@@ -1357,7 +1354,7 @@ fn trunc_f64_to_i32_s(a: f64) -> Result<i32, Trap> {
     Ok(t as i32)
 }
 
-fn trunc_f64_to_u32(a: f64) -> Result<u32, Trap> {
+pub(crate) fn trunc_f64_to_u32(a: f64) -> Result<u32, Trap> {
     if a.is_nan() {
         return Err(Trap::BadConversion);
     }
@@ -1368,7 +1365,7 @@ fn trunc_f64_to_u32(a: f64) -> Result<u32, Trap> {
     Ok(t as u32)
 }
 
-fn trunc_f32_to_i64_s(a: f32) -> Result<i64, Trap> {
+pub(crate) fn trunc_f32_to_i64_s(a: f32) -> Result<i64, Trap> {
     if a.is_nan() {
         return Err(Trap::BadConversion);
     }
@@ -1379,7 +1376,7 @@ fn trunc_f32_to_i64_s(a: f32) -> Result<i64, Trap> {
     Ok(t as i64)
 }
 
-fn trunc_f32_to_u64(a: f32) -> Result<u64, Trap> {
+pub(crate) fn trunc_f32_to_u64(a: f32) -> Result<u64, Trap> {
     if a.is_nan() {
         return Err(Trap::BadConversion);
     }
@@ -1390,7 +1387,7 @@ fn trunc_f32_to_u64(a: f32) -> Result<u64, Trap> {
     Ok(t as u64)
 }
 
-fn trunc_f64_to_i64_s(a: f64) -> Result<i64, Trap> {
+pub(crate) fn trunc_f64_to_i64_s(a: f64) -> Result<i64, Trap> {
     if a.is_nan() {
         return Err(Trap::BadConversion);
     }
@@ -1401,7 +1398,7 @@ fn trunc_f64_to_i64_s(a: f64) -> Result<i64, Trap> {
     Ok(t as i64)
 }
 
-fn trunc_f64_to_u64(a: f64) -> Result<u64, Trap> {
+pub(crate) fn trunc_f64_to_u64(a: f64) -> Result<u64, Trap> {
     if a.is_nan() {
         return Err(Trap::BadConversion);
     }

@@ -1,0 +1,1708 @@
+//! The flattened, pre-resolved execution engine behind [`ExecMode::Aot`].
+//!
+//! At load time every function body is lowered from its structured
+//! `Vec<Instr>` form into a flat linear array of `FlatOp`s:
+//!
+//! * `block`/`loop`/`if`/`else`/`end` disappear — every branch becomes an
+//!   absolute jump target computed once, during lowering (this subsumes the
+//!   old per-function `end`/`else` side tables);
+//! * branches that discard operand-stack values carry the `keep`/`height`
+//!   stack fix-up as immediates, so no label stack exists at run time;
+//! * immediates (memory offsets, constants, call targets) are inlined, and
+//!   constants of all four value types collapse into one raw-bits `Const`;
+//! * the operand stack is untagged 64-bit slots (`Slot`): validation
+//!   already guarantees types, so the enum tag the tree-walking interpreter
+//!   carries on every value is dead weight on the hot path. Locals live at
+//!   the base of the same stack, so a guest call is a frame-pointer bump,
+//!   not a `Vec<Value>` allocation.
+//!
+//! Semantics (including every trap) are identical to the structured
+//! tree-walking interpreter in [`crate::exec`], which serves as the
+//! differential oracle: the PolyBench/speedtest/Genann suites and the
+//! randomized MiniC property tests assert bit-identical results and
+//! identical traps across both engines.
+//!
+//! [`ExecMode::Aot`]: crate::exec::ExecMode
+
+use crate::exec::{
+    trunc_f32_to_i32_s, trunc_f32_to_i64_s, trunc_f32_to_u32, trunc_f32_to_u64, trunc_f64_to_i32_s,
+    trunc_f64_to_i64_s, trunc_f64_to_u32, trunc_f64_to_u64, wasm_fmax32, wasm_fmax64, wasm_fmin32,
+    wasm_fmin64, HostEnv, Memory, Trap, Value, MAX_CALL_DEPTH,
+};
+use crate::instr::Instr;
+use crate::module::{FuncBody, Module};
+use crate::types::{BlockType, FuncType, ValType};
+
+/// An untagged 64-bit operand-stack slot.
+///
+/// i32 values are stored zero-extended, i64 as-is, floats as their IEEE bit
+/// patterns. Validation guarantees each slot is only ever read at the type
+/// it was written with.
+pub(crate) type Slot = u64;
+
+#[inline]
+fn from_i32(v: i32) -> Slot {
+    u64::from(v as u32)
+}
+#[inline]
+fn from_i64(v: i64) -> Slot {
+    v as u64
+}
+#[inline]
+fn from_f32(v: f32) -> Slot {
+    u64::from(v.to_bits())
+}
+#[inline]
+fn from_f64(v: f64) -> Slot {
+    v.to_bits()
+}
+#[inline]
+fn as_i32(s: Slot) -> i32 {
+    s as u32 as i32
+}
+#[inline]
+fn as_u32(s: Slot) -> u32 {
+    s as u32
+}
+#[inline]
+fn as_i64(s: Slot) -> i64 {
+    s as i64
+}
+#[inline]
+fn as_u64(s: Slot) -> u64 {
+    s
+}
+#[inline]
+fn as_f32(s: Slot) -> f32 {
+    f32::from_bits(s as u32)
+}
+#[inline]
+fn as_f64(s: Slot) -> f64 {
+    f64::from_bits(s)
+}
+
+#[inline]
+pub(crate) fn slot_from_value(v: Value) -> Slot {
+    match v {
+        Value::I32(x) => from_i32(x),
+        Value::I64(x) => from_i64(x),
+        Value::F32(x) => from_f32(x),
+        Value::F64(x) => from_f64(x),
+    }
+}
+
+#[inline]
+pub(crate) fn value_from_slot(ty: ValType, s: Slot) -> Value {
+    match ty {
+        ValType::I32 => Value::I32(as_i32(s)),
+        ValType::I64 => Value::I64(as_i64(s)),
+        ValType::F32 => Value::F32(as_f32(s)),
+        ValType::F64 => Value::F64(as_f64(s)),
+    }
+}
+
+/// One `br_table` arm: absolute target plus the stack fix-up immediates.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BrEntry {
+    target: u32,
+    keep: u32,
+    height: u32,
+}
+
+/// A pre-resolved flat opcode.
+///
+/// Control flow is expressed purely as absolute jumps; `keep`/`height` on
+/// the `Br*` forms encode the operand-stack fix-up a structured branch
+/// performs (keep the top `keep` values, reset to operand height `height`).
+#[derive(Debug, Clone)]
+#[allow(missing_docs)] // Numeric variants mirror the spec's instruction names 1:1.
+pub(crate) enum FlatOp {
+    Unreachable,
+    /// Unconditional jump, no stack fix-up needed.
+    Jump {
+        target: u32,
+    },
+    /// Pops an i32, jumps if zero (lowered `if`).
+    JumpIfZero {
+        target: u32,
+    },
+    /// Pops an i32, jumps if non-zero (lowered `br_if` needing no fix-up).
+    JumpIfNonZero {
+        target: u32,
+    },
+    /// Unconditional branch with stack fix-up (lowered `br`).
+    Br {
+        target: u32,
+        keep: u32,
+        height: u32,
+    },
+    /// Conditional branch with stack fix-up (lowered `br_if`).
+    BrIf {
+        target: u32,
+        keep: u32,
+        height: u32,
+    },
+    /// Indexed branch; the last entry is the default arm.
+    BrTable {
+        entries: Box<[BrEntry]>,
+    },
+    Return,
+    /// Call of a function defined in this module.
+    CallLocal {
+        func: u32,
+    },
+    /// Call of an imported (host) function.
+    CallImport {
+        func: u32,
+    },
+    CallIndirect {
+        type_idx: u32,
+    },
+
+    Drop,
+    Select,
+
+    LocalGet(u32),
+    LocalSet(u32),
+    LocalTee(u32),
+    GlobalGet(u32),
+    GlobalSet(u32),
+
+    I32Load(u32),
+    I64Load(u32),
+    F32Load(u32),
+    F64Load(u32),
+    I32Load8S(u32),
+    I32Load8U(u32),
+    I32Load16S(u32),
+    I32Load16U(u32),
+    I64Load8S(u32),
+    I64Load8U(u32),
+    I64Load16S(u32),
+    I64Load16U(u32),
+    I64Load32S(u32),
+    I64Load32U(u32),
+
+    I32Store(u32),
+    I64Store(u32),
+    F32Store(u32),
+    F64Store(u32),
+    I32Store8(u32),
+    I32Store16(u32),
+    I64Store8(u32),
+    I64Store16(u32),
+    I64Store32(u32),
+
+    MemorySize,
+    MemoryGrow,
+    MemoryCopy,
+    MemoryFill,
+
+    /// All four constant forms, pre-encoded as a raw slot.
+    Const(u64),
+
+    I32Eqz,
+    I32Eq,
+    I32Ne,
+    I32LtS,
+    I32LtU,
+    I32GtS,
+    I32GtU,
+    I32LeS,
+    I32LeU,
+    I32GeS,
+    I32GeU,
+    I64Eqz,
+    I64Eq,
+    I64Ne,
+    I64LtS,
+    I64LtU,
+    I64GtS,
+    I64GtU,
+    I64LeS,
+    I64LeU,
+    I64GeS,
+    I64GeU,
+    F32Eq,
+    F32Ne,
+    F32Lt,
+    F32Gt,
+    F32Le,
+    F32Ge,
+    F64Eq,
+    F64Ne,
+    F64Lt,
+    F64Gt,
+    F64Le,
+    F64Ge,
+
+    I32Clz,
+    I32Ctz,
+    I32Popcnt,
+    I32Add,
+    I32Sub,
+    I32Mul,
+    I32DivS,
+    I32DivU,
+    I32RemS,
+    I32RemU,
+    I32And,
+    I32Or,
+    I32Xor,
+    I32Shl,
+    I32ShrS,
+    I32ShrU,
+    I32Rotl,
+    I32Rotr,
+
+    I64Clz,
+    I64Ctz,
+    I64Popcnt,
+    I64Add,
+    I64Sub,
+    I64Mul,
+    I64DivS,
+    I64DivU,
+    I64RemS,
+    I64RemU,
+    I64And,
+    I64Or,
+    I64Xor,
+    I64Shl,
+    I64ShrS,
+    I64ShrU,
+    I64Rotl,
+    I64Rotr,
+
+    F32Abs,
+    F32Neg,
+    F32Ceil,
+    F32Floor,
+    F32Trunc,
+    F32Nearest,
+    F32Sqrt,
+    F32Add,
+    F32Sub,
+    F32Mul,
+    F32Div,
+    F32Min,
+    F32Max,
+    F32Copysign,
+
+    F64Abs,
+    F64Neg,
+    F64Ceil,
+    F64Floor,
+    F64Trunc,
+    F64Nearest,
+    F64Sqrt,
+    F64Add,
+    F64Sub,
+    F64Mul,
+    F64Div,
+    F64Min,
+    F64Max,
+    F64Copysign,
+
+    I32WrapI64,
+    I32TruncF32S,
+    I32TruncF32U,
+    I32TruncF64S,
+    I32TruncF64U,
+    I64ExtendI32S,
+    I64ExtendI32U,
+    I64TruncF32S,
+    I64TruncF32U,
+    I64TruncF64S,
+    I64TruncF64U,
+    F32ConvertI32S,
+    F32ConvertI32U,
+    F32ConvertI64S,
+    F32ConvertI64U,
+    F32DemoteF64,
+    F64ConvertI32S,
+    F64ConvertI32U,
+    F64ConvertI64S,
+    F64ConvertI64U,
+    F64PromoteF32,
+    I32ReinterpretF32,
+    I64ReinterpretF64,
+    F32ReinterpretI32,
+    F64ReinterpretI64,
+    I32Extend8S,
+    I32Extend16S,
+    I64Extend8S,
+    I64Extend16S,
+    I64Extend32S,
+}
+
+/// An imported function, with its signature pre-split for slot/Value
+/// conversion at the host boundary.
+#[derive(Debug)]
+pub(crate) struct FlatImport {
+    module: String,
+    name: String,
+    params: Box<[ValType]>,
+}
+
+/// A lowered local function.
+#[derive(Debug)]
+pub(crate) struct FlatFunc {
+    n_params: u32,
+    /// Params + declared locals.
+    n_locals: u32,
+    n_results: u32,
+    result_types: Box<[ValType]>,
+    code: Box<[FlatOp]>,
+}
+
+/// One entry in the function index space.
+#[derive(Debug)]
+pub(crate) enum FlatFuncDef {
+    Import(FlatImport),
+    Local(FlatFunc),
+}
+
+/// A module lowered to flat code, ready for [`run`].
+#[derive(Debug)]
+pub(crate) struct FlatModule {
+    funcs: Vec<FlatFuncDef>,
+    func_type_idx: Box<[u32]>,
+    global_types: Box<[ValType]>,
+}
+
+impl FlatModule {
+    /// Lowers every function body of a **validated** module.
+    pub(crate) fn compile(module: &Module) -> FlatModule {
+        let mut funcs = Vec::with_capacity(module.func_count());
+        let mut func_type_idx = Vec::with_capacity(module.func_count());
+        for imp in &module.func_imports {
+            let ty = &module.types[imp.type_idx as usize];
+            funcs.push(FlatFuncDef::Import(FlatImport {
+                module: imp.module.clone(),
+                name: imp.name.clone(),
+                params: ty.params.clone().into_boxed_slice(),
+            }));
+            func_type_idx.push(imp.type_idx);
+        }
+        for body in &module.funcs {
+            funcs.push(FlatFuncDef::Local(lower(module, body)));
+            func_type_idx.push(body.type_idx);
+        }
+        let global_types = module
+            .globals
+            .iter()
+            .map(|g| g.ty.val_type)
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        FlatModule {
+            funcs,
+            func_type_idx: func_type_idx.into_boxed_slice(),
+            global_types,
+        }
+    }
+}
+
+/// A control frame tracked during lowering (compile time only).
+struct Ctrl {
+    is_loop: bool,
+    /// Operand height just below the label's params.
+    label_height: usize,
+    params: usize,
+    results: usize,
+    /// Values a branch to this label transfers (params for loops).
+    branch_arity: usize,
+    /// Branch target for loops (known immediately).
+    loop_target: u32,
+    /// Ops whose target is this frame's end: `(op index, br_table slot)`;
+    /// slot is `u32::MAX` for non-table ops.
+    patches: Vec<(u32, u32)>,
+    /// The `JumpIfZero` of an `if`, waiting for its else/end position.
+    else_patch: Option<u32>,
+    /// The remainder of this frame is statically unreachable.
+    unreachable: bool,
+}
+
+fn block_arities(module: &Module, bt: BlockType) -> (usize, usize) {
+    match bt {
+        BlockType::Empty => (0, 0),
+        BlockType::Value(_) => (0, 1),
+        BlockType::Func(idx) => {
+            let ty = &module.types[idx as usize];
+            (ty.params.len(), ty.results.len())
+        }
+    }
+}
+
+fn set_target(op: &mut FlatOp, slot: u32, target: u32) {
+    match op {
+        FlatOp::Jump { target: t }
+        | FlatOp::JumpIfZero { target: t }
+        | FlatOp::JumpIfNonZero { target: t }
+        | FlatOp::Br { target: t, .. }
+        | FlatOp::BrIf { target: t, .. } => *t = target,
+        FlatOp::BrTable { entries } => entries[slot as usize].target = target,
+        _ => unreachable!("patched op is a branch"),
+    }
+}
+
+/// Lowers one function body to flat code.
+#[allow(clippy::too_many_lines)]
+fn lower(module: &Module, body: &FuncBody) -> FlatFunc {
+    let ty = &module.types[body.type_idx as usize];
+    let n_params = ty.params.len();
+    let n_results = ty.results.len();
+    let n_imports = module.func_imports.len() as u32;
+
+    let mut ops: Vec<FlatOp> = Vec::with_capacity(body.code.len());
+    let mut ctrl: Vec<Ctrl> = vec![Ctrl {
+        is_loop: false,
+        label_height: 0,
+        params: 0,
+        results: n_results,
+        branch_arity: n_results,
+        loop_target: 0,
+        patches: Vec::new(),
+        else_patch: None,
+        unreachable: false,
+    }];
+    let mut height: usize = 0;
+    // Nesting depth of skipped (statically unreachable) blocks.
+    let mut skip: usize = 0;
+
+    // Emits the branch for a `br`/`br_if` to relative depth `d`; returns
+    // nothing, registers patches on the target frame as needed.
+    macro_rules! emit_branch {
+        ($d:expr, $conditional:expr) => {{
+            let idx = ctrl.len() - 1 - $d as usize;
+            let keep = ctrl[idx].branch_arity;
+            let lh = ctrl[idx].label_height;
+            let no_adjust = height - keep == lh;
+            let op = match (ctrl[idx].is_loop, $conditional, no_adjust) {
+                (true, false, true) => FlatOp::Jump {
+                    target: ctrl[idx].loop_target,
+                },
+                (true, true, true) => FlatOp::JumpIfNonZero {
+                    target: ctrl[idx].loop_target,
+                },
+                (true, false, false) => FlatOp::Br {
+                    target: ctrl[idx].loop_target,
+                    keep: keep as u32,
+                    height: lh as u32,
+                },
+                (true, true, false) => FlatOp::BrIf {
+                    target: ctrl[idx].loop_target,
+                    keep: keep as u32,
+                    height: lh as u32,
+                },
+                (false, false, true) => FlatOp::Jump { target: 0 },
+                (false, true, true) => FlatOp::JumpIfNonZero { target: 0 },
+                (false, false, false) => FlatOp::Br {
+                    target: 0,
+                    keep: keep as u32,
+                    height: lh as u32,
+                },
+                (false, true, false) => FlatOp::BrIf {
+                    target: 0,
+                    keep: keep as u32,
+                    height: lh as u32,
+                },
+            };
+            if !ctrl[idx].is_loop {
+                ctrl[idx].patches.push((ops.len() as u32, u32::MAX));
+            }
+            ops.push(op);
+        }};
+    }
+
+    // Closes the innermost control frame at an `End`. When the function
+    // frame itself closes, the terminating `Return` is emitted so branches
+    // to the function label land on it.
+    macro_rules! close_frame {
+        () => {{
+            let frame = ctrl.pop().expect("validated: balanced control");
+            let end_pos = ops.len() as u32;
+            if let Some(ep) = frame.else_patch {
+                // `if` without `else`: the false path jumps straight here
+                // (validation guarantees params == results in that case).
+                set_target(&mut ops[ep as usize], u32::MAX, end_pos);
+            }
+            for (op_idx, slot) in frame.patches {
+                set_target(&mut ops[op_idx as usize], slot, end_pos);
+            }
+            height = frame.label_height + frame.results;
+            if ctrl.is_empty() {
+                ops.push(FlatOp::Return);
+            }
+        }};
+    }
+
+    for instr in &body.code {
+        // Inside statically unreachable code nothing is emitted; only the
+        // block structure is tracked so the matching else/end is found.
+        if ctrl.last().is_some_and(|c| c.unreachable) {
+            match instr {
+                i if i.opens_block() => skip += 1,
+                Instr::Else if skip == 0 => {
+                    let frame = ctrl.last_mut().expect("validated");
+                    let ep = frame.else_patch.take().expect("unreachable then-branch");
+                    frame.unreachable = false;
+                    height = frame.label_height + frame.params;
+                    let pos = ops.len() as u32;
+                    set_target(&mut ops[ep as usize], u32::MAX, pos);
+                }
+                Instr::End => {
+                    if skip > 0 {
+                        skip -= 1;
+                    } else {
+                        close_frame!();
+                    }
+                }
+                _ => {}
+            }
+            continue;
+        }
+
+        match instr {
+            Instr::Nop => {}
+            Instr::Unreachable => {
+                ops.push(FlatOp::Unreachable);
+                ctrl.last_mut().expect("validated").unreachable = true;
+            }
+            Instr::Block(bt) => {
+                let (params, results) = block_arities(module, *bt);
+                ctrl.push(Ctrl {
+                    is_loop: false,
+                    label_height: height - params,
+                    params,
+                    results,
+                    branch_arity: results,
+                    loop_target: 0,
+                    patches: Vec::new(),
+                    else_patch: None,
+                    unreachable: false,
+                });
+            }
+            Instr::Loop(bt) => {
+                let (params, results) = block_arities(module, *bt);
+                ctrl.push(Ctrl {
+                    is_loop: true,
+                    label_height: height - params,
+                    params,
+                    results,
+                    branch_arity: params,
+                    loop_target: ops.len() as u32,
+                    patches: Vec::new(),
+                    else_patch: None,
+                    unreachable: false,
+                });
+            }
+            Instr::If(bt) => {
+                height -= 1; // condition
+                let (params, results) = block_arities(module, *bt);
+                let ep = ops.len() as u32;
+                ops.push(FlatOp::JumpIfZero { target: 0 });
+                ctrl.push(Ctrl {
+                    is_loop: false,
+                    label_height: height - params,
+                    params,
+                    results,
+                    branch_arity: results,
+                    loop_target: 0,
+                    patches: Vec::new(),
+                    else_patch: Some(ep),
+                    unreachable: false,
+                });
+            }
+            Instr::Else => {
+                // Reachable then-branch falls through: jump over the else.
+                let jmp = ops.len() as u32;
+                ops.push(FlatOp::Jump { target: 0 });
+                let frame = ctrl.last_mut().expect("validated");
+                frame.patches.push((jmp, u32::MAX));
+                let ep = frame.else_patch.take().expect("if has one else");
+                height = frame.label_height + frame.params;
+                let pos = ops.len() as u32;
+                set_target(&mut ops[ep as usize], u32::MAX, pos);
+            }
+            Instr::End => close_frame!(),
+            Instr::Br(d) => {
+                emit_branch!(*d, false);
+                ctrl.last_mut().expect("validated").unreachable = true;
+            }
+            Instr::BrIf(d) => {
+                height -= 1; // condition
+                emit_branch!(*d, true);
+            }
+            Instr::BrTable { targets, default } => {
+                height -= 1; // index
+                let op_idx = ops.len() as u32;
+                let mut entries = Vec::with_capacity(targets.len() + 1);
+                let mut pending: Vec<(usize, u32)> = Vec::new();
+                for (slot, d) in targets.iter().chain(std::iter::once(default)).enumerate() {
+                    let idx = ctrl.len() - 1 - *d as usize;
+                    let keep = ctrl[idx].branch_arity as u32;
+                    let h = ctrl[idx].label_height as u32;
+                    if ctrl[idx].is_loop {
+                        entries.push(BrEntry {
+                            target: ctrl[idx].loop_target,
+                            keep,
+                            height: h,
+                        });
+                    } else {
+                        entries.push(BrEntry {
+                            target: 0,
+                            keep,
+                            height: h,
+                        });
+                        pending.push((idx, slot as u32));
+                    }
+                }
+                for (frame_idx, slot) in pending {
+                    ctrl[frame_idx].patches.push((op_idx, slot));
+                }
+                ops.push(FlatOp::BrTable {
+                    entries: entries.into_boxed_slice(),
+                });
+                ctrl.last_mut().expect("validated").unreachable = true;
+            }
+            Instr::Return => {
+                ops.push(FlatOp::Return);
+                ctrl.last_mut().expect("validated").unreachable = true;
+            }
+            Instr::Call(f) => {
+                let ty_idx = module.func_type_idx(*f).expect("validated call");
+                let fty = &module.types[ty_idx as usize];
+                height = height - fty.params.len() + fty.results.len();
+                if *f < n_imports {
+                    ops.push(FlatOp::CallImport { func: *f });
+                } else {
+                    ops.push(FlatOp::CallLocal { func: *f });
+                }
+            }
+            Instr::CallIndirect { type_idx, .. } => {
+                let fty = &module.types[*type_idx as usize];
+                height = height - 1 - fty.params.len() + fty.results.len();
+                ops.push(FlatOp::CallIndirect {
+                    type_idx: *type_idx,
+                });
+            }
+            other => {
+                let (op, pops, pushes) = map_simple(other);
+                height = height - pops + pushes;
+                ops.push(op);
+            }
+        }
+    }
+
+    debug_assert!(ctrl.is_empty(), "validated code closes every frame");
+    FlatFunc {
+        n_params: n_params as u32,
+        n_locals: (n_params + body.locals.len()) as u32,
+        n_results: n_results as u32,
+        result_types: ty.results.clone().into_boxed_slice(),
+        code: ops.into_boxed_slice(),
+    }
+}
+
+/// Maps a non-control instruction to its flat opcode and stack effect
+/// `(pops, pushes)`.
+#[allow(clippy::too_many_lines)]
+fn map_simple(instr: &Instr) -> (FlatOp, usize, usize) {
+    use FlatOp as F;
+    use Instr as I;
+    match instr {
+        I::Drop => (F::Drop, 1, 0),
+        I::Select => (F::Select, 3, 1),
+        I::LocalGet(i) => (F::LocalGet(*i), 0, 1),
+        I::LocalSet(i) => (F::LocalSet(*i), 1, 0),
+        I::LocalTee(i) => (F::LocalTee(*i), 1, 1),
+        I::GlobalGet(i) => (F::GlobalGet(*i), 0, 1),
+        I::GlobalSet(i) => (F::GlobalSet(*i), 1, 0),
+
+        I::I32Load(m) => (F::I32Load(m.offset), 1, 1),
+        I::I64Load(m) => (F::I64Load(m.offset), 1, 1),
+        I::F32Load(m) => (F::F32Load(m.offset), 1, 1),
+        I::F64Load(m) => (F::F64Load(m.offset), 1, 1),
+        I::I32Load8S(m) => (F::I32Load8S(m.offset), 1, 1),
+        I::I32Load8U(m) => (F::I32Load8U(m.offset), 1, 1),
+        I::I32Load16S(m) => (F::I32Load16S(m.offset), 1, 1),
+        I::I32Load16U(m) => (F::I32Load16U(m.offset), 1, 1),
+        I::I64Load8S(m) => (F::I64Load8S(m.offset), 1, 1),
+        I::I64Load8U(m) => (F::I64Load8U(m.offset), 1, 1),
+        I::I64Load16S(m) => (F::I64Load16S(m.offset), 1, 1),
+        I::I64Load16U(m) => (F::I64Load16U(m.offset), 1, 1),
+        I::I64Load32S(m) => (F::I64Load32S(m.offset), 1, 1),
+        I::I64Load32U(m) => (F::I64Load32U(m.offset), 1, 1),
+
+        I::I32Store(m) => (F::I32Store(m.offset), 2, 0),
+        I::I64Store(m) => (F::I64Store(m.offset), 2, 0),
+        I::F32Store(m) => (F::F32Store(m.offset), 2, 0),
+        I::F64Store(m) => (F::F64Store(m.offset), 2, 0),
+        I::I32Store8(m) => (F::I32Store8(m.offset), 2, 0),
+        I::I32Store16(m) => (F::I32Store16(m.offset), 2, 0),
+        I::I64Store8(m) => (F::I64Store8(m.offset), 2, 0),
+        I::I64Store16(m) => (F::I64Store16(m.offset), 2, 0),
+        I::I64Store32(m) => (F::I64Store32(m.offset), 2, 0),
+
+        I::MemorySize => (F::MemorySize, 0, 1),
+        I::MemoryGrow => (F::MemoryGrow, 1, 1),
+        I::MemoryCopy => (F::MemoryCopy, 3, 0),
+        I::MemoryFill => (F::MemoryFill, 3, 0),
+
+        I::I32Const(v) => (F::Const(from_i32(*v)), 0, 1),
+        I::I64Const(v) => (F::Const(from_i64(*v)), 0, 1),
+        I::F32Const(v) => (F::Const(from_f32(*v)), 0, 1),
+        I::F64Const(v) => (F::Const(from_f64(*v)), 0, 1),
+
+        I::I32Eqz => (F::I32Eqz, 1, 1),
+        I::I32Eq => (F::I32Eq, 2, 1),
+        I::I32Ne => (F::I32Ne, 2, 1),
+        I::I32LtS => (F::I32LtS, 2, 1),
+        I::I32LtU => (F::I32LtU, 2, 1),
+        I::I32GtS => (F::I32GtS, 2, 1),
+        I::I32GtU => (F::I32GtU, 2, 1),
+        I::I32LeS => (F::I32LeS, 2, 1),
+        I::I32LeU => (F::I32LeU, 2, 1),
+        I::I32GeS => (F::I32GeS, 2, 1),
+        I::I32GeU => (F::I32GeU, 2, 1),
+        I::I64Eqz => (F::I64Eqz, 1, 1),
+        I::I64Eq => (F::I64Eq, 2, 1),
+        I::I64Ne => (F::I64Ne, 2, 1),
+        I::I64LtS => (F::I64LtS, 2, 1),
+        I::I64LtU => (F::I64LtU, 2, 1),
+        I::I64GtS => (F::I64GtS, 2, 1),
+        I::I64GtU => (F::I64GtU, 2, 1),
+        I::I64LeS => (F::I64LeS, 2, 1),
+        I::I64LeU => (F::I64LeU, 2, 1),
+        I::I64GeS => (F::I64GeS, 2, 1),
+        I::I64GeU => (F::I64GeU, 2, 1),
+        I::F32Eq => (F::F32Eq, 2, 1),
+        I::F32Ne => (F::F32Ne, 2, 1),
+        I::F32Lt => (F::F32Lt, 2, 1),
+        I::F32Gt => (F::F32Gt, 2, 1),
+        I::F32Le => (F::F32Le, 2, 1),
+        I::F32Ge => (F::F32Ge, 2, 1),
+        I::F64Eq => (F::F64Eq, 2, 1),
+        I::F64Ne => (F::F64Ne, 2, 1),
+        I::F64Lt => (F::F64Lt, 2, 1),
+        I::F64Gt => (F::F64Gt, 2, 1),
+        I::F64Le => (F::F64Le, 2, 1),
+        I::F64Ge => (F::F64Ge, 2, 1),
+
+        I::I32Clz => (F::I32Clz, 1, 1),
+        I::I32Ctz => (F::I32Ctz, 1, 1),
+        I::I32Popcnt => (F::I32Popcnt, 1, 1),
+        I::I32Add => (F::I32Add, 2, 1),
+        I::I32Sub => (F::I32Sub, 2, 1),
+        I::I32Mul => (F::I32Mul, 2, 1),
+        I::I32DivS => (F::I32DivS, 2, 1),
+        I::I32DivU => (F::I32DivU, 2, 1),
+        I::I32RemS => (F::I32RemS, 2, 1),
+        I::I32RemU => (F::I32RemU, 2, 1),
+        I::I32And => (F::I32And, 2, 1),
+        I::I32Or => (F::I32Or, 2, 1),
+        I::I32Xor => (F::I32Xor, 2, 1),
+        I::I32Shl => (F::I32Shl, 2, 1),
+        I::I32ShrS => (F::I32ShrS, 2, 1),
+        I::I32ShrU => (F::I32ShrU, 2, 1),
+        I::I32Rotl => (F::I32Rotl, 2, 1),
+        I::I32Rotr => (F::I32Rotr, 2, 1),
+
+        I::I64Clz => (F::I64Clz, 1, 1),
+        I::I64Ctz => (F::I64Ctz, 1, 1),
+        I::I64Popcnt => (F::I64Popcnt, 1, 1),
+        I::I64Add => (F::I64Add, 2, 1),
+        I::I64Sub => (F::I64Sub, 2, 1),
+        I::I64Mul => (F::I64Mul, 2, 1),
+        I::I64DivS => (F::I64DivS, 2, 1),
+        I::I64DivU => (F::I64DivU, 2, 1),
+        I::I64RemS => (F::I64RemS, 2, 1),
+        I::I64RemU => (F::I64RemU, 2, 1),
+        I::I64And => (F::I64And, 2, 1),
+        I::I64Or => (F::I64Or, 2, 1),
+        I::I64Xor => (F::I64Xor, 2, 1),
+        I::I64Shl => (F::I64Shl, 2, 1),
+        I::I64ShrS => (F::I64ShrS, 2, 1),
+        I::I64ShrU => (F::I64ShrU, 2, 1),
+        I::I64Rotl => (F::I64Rotl, 2, 1),
+        I::I64Rotr => (F::I64Rotr, 2, 1),
+
+        I::F32Abs => (F::F32Abs, 1, 1),
+        I::F32Neg => (F::F32Neg, 1, 1),
+        I::F32Ceil => (F::F32Ceil, 1, 1),
+        I::F32Floor => (F::F32Floor, 1, 1),
+        I::F32Trunc => (F::F32Trunc, 1, 1),
+        I::F32Nearest => (F::F32Nearest, 1, 1),
+        I::F32Sqrt => (F::F32Sqrt, 1, 1),
+        I::F32Add => (F::F32Add, 2, 1),
+        I::F32Sub => (F::F32Sub, 2, 1),
+        I::F32Mul => (F::F32Mul, 2, 1),
+        I::F32Div => (F::F32Div, 2, 1),
+        I::F32Min => (F::F32Min, 2, 1),
+        I::F32Max => (F::F32Max, 2, 1),
+        I::F32Copysign => (F::F32Copysign, 2, 1),
+
+        I::F64Abs => (F::F64Abs, 1, 1),
+        I::F64Neg => (F::F64Neg, 1, 1),
+        I::F64Ceil => (F::F64Ceil, 1, 1),
+        I::F64Floor => (F::F64Floor, 1, 1),
+        I::F64Trunc => (F::F64Trunc, 1, 1),
+        I::F64Nearest => (F::F64Nearest, 1, 1),
+        I::F64Sqrt => (F::F64Sqrt, 1, 1),
+        I::F64Add => (F::F64Add, 2, 1),
+        I::F64Sub => (F::F64Sub, 2, 1),
+        I::F64Mul => (F::F64Mul, 2, 1),
+        I::F64Div => (F::F64Div, 2, 1),
+        I::F64Min => (F::F64Min, 2, 1),
+        I::F64Max => (F::F64Max, 2, 1),
+        I::F64Copysign => (F::F64Copysign, 2, 1),
+
+        I::I32WrapI64 => (F::I32WrapI64, 1, 1),
+        I::I32TruncF32S => (F::I32TruncF32S, 1, 1),
+        I::I32TruncF32U => (F::I32TruncF32U, 1, 1),
+        I::I32TruncF64S => (F::I32TruncF64S, 1, 1),
+        I::I32TruncF64U => (F::I32TruncF64U, 1, 1),
+        I::I64ExtendI32S => (F::I64ExtendI32S, 1, 1),
+        I::I64ExtendI32U => (F::I64ExtendI32U, 1, 1),
+        I::I64TruncF32S => (F::I64TruncF32S, 1, 1),
+        I::I64TruncF32U => (F::I64TruncF32U, 1, 1),
+        I::I64TruncF64S => (F::I64TruncF64S, 1, 1),
+        I::I64TruncF64U => (F::I64TruncF64U, 1, 1),
+        I::F32ConvertI32S => (F::F32ConvertI32S, 1, 1),
+        I::F32ConvertI32U => (F::F32ConvertI32U, 1, 1),
+        I::F32ConvertI64S => (F::F32ConvertI64S, 1, 1),
+        I::F32ConvertI64U => (F::F32ConvertI64U, 1, 1),
+        I::F32DemoteF64 => (F::F32DemoteF64, 1, 1),
+        I::F64ConvertI32S => (F::F64ConvertI32S, 1, 1),
+        I::F64ConvertI32U => (F::F64ConvertI32U, 1, 1),
+        I::F64ConvertI64S => (F::F64ConvertI64S, 1, 1),
+        I::F64ConvertI64U => (F::F64ConvertI64U, 1, 1),
+        I::F64PromoteF32 => (F::F64PromoteF32, 1, 1),
+        I::I32ReinterpretF32 => (F::I32ReinterpretF32, 1, 1),
+        I::I64ReinterpretF64 => (F::I64ReinterpretF64, 1, 1),
+        I::F32ReinterpretI32 => (F::F32ReinterpretI32, 1, 1),
+        I::F64ReinterpretI64 => (F::F64ReinterpretI64, 1, 1),
+        I::I32Extend8S => (F::I32Extend8S, 1, 1),
+        I::I32Extend16S => (F::I32Extend16S, 1, 1),
+        I::I64Extend8S => (F::I64Extend8S, 1, 1),
+        I::I64Extend16S => (F::I64Extend16S, 1, 1),
+        I::I64Extend32S => (F::I64Extend32S, 1, 1),
+
+        _ => unreachable!("control instructions are lowered structurally"),
+    }
+}
+
+/// Saved caller state for a guest-level call inside the flat engine.
+struct Frame<'a> {
+    func: &'a FlatFunc,
+    pc: usize,
+    base: usize,
+}
+
+/// Invokes function `func_idx` on the flat engine.
+///
+/// # Errors
+///
+/// Returns exactly the traps the tree-walking interpreter would.
+#[allow(clippy::too_many_arguments)] // One borrow per disjoint Instance field.
+pub(crate) fn run(
+    flat: &FlatModule,
+    types: &[FuncType],
+    table: &[Option<u32>],
+    memory: &mut Memory,
+    globals: &mut [Value],
+    host: &mut dyn HostEnv,
+    func_idx: u32,
+    args: &[Value],
+) -> Result<Vec<Value>, Trap> {
+    let entry = match &flat.funcs[func_idx as usize] {
+        FlatFuncDef::Import(imp) => {
+            return host.call(&imp.module, &imp.name, memory, args);
+        }
+        FlatFuncDef::Local(f) => f,
+    };
+
+    let mut stack: Vec<Slot> = Vec::with_capacity(64);
+    for v in args {
+        stack.push(slot_from_value(*v));
+    }
+    stack.resize(entry.n_locals as usize, 0);
+
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut cur: &FlatFunc = entry;
+    let mut base: usize = 0;
+    let mut pc: usize = 0;
+
+    macro_rules! pop {
+        () => {
+            stack.pop().expect("validated")
+        };
+    }
+    macro_rules! top {
+        () => {
+            stack.last_mut().expect("validated")
+        };
+    }
+    // In-place unary op: rewrites the top of stack.
+    macro_rules! unop {
+        ($as:ident, $from:ident, $f:expr) => {{
+            let t = top!();
+            *t = $from($f($as(*t)));
+        }};
+    }
+    // In-place binary op: pops b, rewrites a in place.
+    macro_rules! binop {
+        ($as:ident, $from:ident, $f:expr) => {{
+            let b = $as(pop!());
+            let t = top!();
+            *t = $from($f($as(*t), b));
+        }};
+    }
+    macro_rules! relop {
+        ($as:ident, $f:expr) => {{
+            let b = $as(pop!());
+            let t = top!();
+            *t = u64::from($f($as(*t), b));
+        }};
+    }
+    macro_rules! load {
+        ($off:expr, $n:expr, $conv:expr) => {{
+            let t = top!();
+            let addr = as_i32(*t);
+            let bytes: [u8; $n] = memory.load(addr, $off)?;
+            *t = $conv(bytes);
+        }};
+    }
+    macro_rules! store {
+        ($off:expr, $conv:expr) => {{
+            let v = pop!();
+            let addr = as_i32(pop!());
+            memory.store(addr, $off, &$conv(v))?;
+        }};
+    }
+    // Branch stack fix-up + jump: keep the top `keep` slots, reset the
+    // operand stack to height `height` above this frame's operand base.
+    macro_rules! do_br {
+        ($target:expr, $keep:expr, $height:expr) => {{
+            let dest = base + cur.n_locals as usize + $height as usize;
+            let keep = $keep as usize;
+            let src = stack.len() - keep;
+            if src != dest {
+                stack.copy_within(src.., dest);
+                stack.truncate(dest + keep);
+            }
+            pc = $target as usize;
+        }};
+    }
+    macro_rules! call_local {
+        ($callee:expr) => {{
+            let callee: &FlatFunc = $callee;
+            if frames.len() + 1 >= MAX_CALL_DEPTH {
+                return Err(Trap::CallStackExhausted);
+            }
+            let new_base = stack.len() - callee.n_params as usize;
+            stack.resize(new_base + callee.n_locals as usize, 0);
+            frames.push(Frame {
+                func: cur,
+                pc,
+                base,
+            });
+            cur = callee;
+            base = new_base;
+            pc = 0;
+        }};
+    }
+    macro_rules! call_import {
+        ($imp:expr) => {{
+            let imp: &FlatImport = $imp;
+            let split = stack.len() - imp.params.len();
+            let host_args: Vec<Value> = imp
+                .params
+                .iter()
+                .zip(&stack[split..])
+                .map(|(ty, s)| value_from_slot(*ty, *s))
+                .collect();
+            stack.truncate(split);
+            let results = host.call(&imp.module, &imp.name, memory, &host_args)?;
+            stack.extend(results.into_iter().map(slot_from_value));
+        }};
+    }
+
+    loop {
+        let op = &cur.code[pc];
+        pc += 1;
+        match op {
+            FlatOp::Unreachable => return Err(Trap::Unreachable),
+            FlatOp::Jump { target } => pc = *target as usize,
+            FlatOp::JumpIfZero { target } => {
+                if as_u32(pop!()) == 0 {
+                    pc = *target as usize;
+                }
+            }
+            FlatOp::JumpIfNonZero { target } => {
+                if as_u32(pop!()) != 0 {
+                    pc = *target as usize;
+                }
+            }
+            FlatOp::Br {
+                target,
+                keep,
+                height,
+            } => do_br!(*target, *keep, *height),
+            FlatOp::BrIf {
+                target,
+                keep,
+                height,
+            } => {
+                if as_u32(pop!()) != 0 {
+                    do_br!(*target, *keep, *height);
+                }
+            }
+            FlatOp::BrTable { entries } => {
+                let i = as_u32(pop!()) as usize;
+                let e = entries[i.min(entries.len() - 1)];
+                do_br!(e.target, e.keep, e.height);
+            }
+            FlatOp::Return => {
+                let n = cur.n_results as usize;
+                let rs = stack.len() - n;
+                if rs != base {
+                    stack.copy_within(rs.., base);
+                    stack.truncate(base + n);
+                }
+                match frames.pop() {
+                    Some(fr) => {
+                        cur = fr.func;
+                        pc = fr.pc;
+                        base = fr.base;
+                    }
+                    None => {
+                        return Ok(cur
+                            .result_types
+                            .iter()
+                            .zip(&stack[base..])
+                            .map(|(ty, s)| value_from_slot(*ty, *s))
+                            .collect());
+                    }
+                }
+            }
+            FlatOp::CallLocal { func } => {
+                let FlatFuncDef::Local(callee) = &flat.funcs[*func as usize] else {
+                    unreachable!("resolved at lowering")
+                };
+                call_local!(callee);
+            }
+            FlatOp::CallImport { func } => {
+                let FlatFuncDef::Import(imp) = &flat.funcs[*func as usize] else {
+                    unreachable!("resolved at lowering")
+                };
+                call_import!(imp);
+            }
+            FlatOp::CallIndirect { type_idx } => {
+                let i = as_u32(pop!()) as usize;
+                let slot = *table.get(i).ok_or(Trap::TableOutOfBounds)?;
+                let f = slot.ok_or(Trap::UndefinedTableElement)?;
+                let actual = &types[flat.func_type_idx[f as usize] as usize];
+                let expected = &types[*type_idx as usize];
+                if actual != expected {
+                    return Err(Trap::IndirectTypeMismatch);
+                }
+                match &flat.funcs[f as usize] {
+                    FlatFuncDef::Import(imp) => call_import!(imp),
+                    FlatFuncDef::Local(callee) => call_local!(callee),
+                }
+            }
+
+            FlatOp::Drop => {
+                pop!();
+            }
+            FlatOp::Select => {
+                let c = as_u32(pop!());
+                let b = pop!();
+                if c == 0 {
+                    *top!() = b;
+                }
+            }
+
+            FlatOp::LocalGet(i) => {
+                let v = stack[base + *i as usize];
+                stack.push(v);
+            }
+            FlatOp::LocalSet(i) => stack[base + *i as usize] = pop!(),
+            FlatOp::LocalTee(i) => {
+                let v = *stack.last().expect("validated");
+                stack[base + *i as usize] = v;
+            }
+            FlatOp::GlobalGet(i) => stack.push(slot_from_value(globals[*i as usize])),
+            FlatOp::GlobalSet(i) => {
+                globals[*i as usize] = value_from_slot(flat.global_types[*i as usize], pop!());
+            }
+
+            FlatOp::I32Load(off) => load!(*off, 4, |b| from_i32(i32::from_le_bytes(b))),
+            FlatOp::I64Load(off) => load!(*off, 8, |b| from_i64(i64::from_le_bytes(b))),
+            FlatOp::F32Load(off) => load!(*off, 4, |b| u64::from(u32::from_le_bytes(b))),
+            FlatOp::F64Load(off) => load!(*off, 8, u64::from_le_bytes),
+            FlatOp::I32Load8S(off) => {
+                load!(*off, 1, |b: [u8; 1]| from_i32(i32::from(b[0] as i8)))
+            }
+            FlatOp::I32Load8U(off) => load!(*off, 1, |b: [u8; 1]| u64::from(b[0])),
+            FlatOp::I32Load16S(off) => {
+                load!(*off, 2, |b| from_i32(i32::from(i16::from_le_bytes(b))))
+            }
+            FlatOp::I32Load16U(off) => load!(*off, 2, |b| u64::from(u16::from_le_bytes(b))),
+            FlatOp::I64Load8S(off) => {
+                load!(*off, 1, |b: [u8; 1]| from_i64(i64::from(b[0] as i8)))
+            }
+            FlatOp::I64Load8U(off) => load!(*off, 1, |b: [u8; 1]| u64::from(b[0])),
+            FlatOp::I64Load16S(off) => {
+                load!(*off, 2, |b| from_i64(i64::from(i16::from_le_bytes(b))))
+            }
+            FlatOp::I64Load16U(off) => load!(*off, 2, |b| u64::from(u16::from_le_bytes(b))),
+            FlatOp::I64Load32S(off) => {
+                load!(*off, 4, |b| from_i64(i64::from(i32::from_le_bytes(b))))
+            }
+            FlatOp::I64Load32U(off) => load!(*off, 4, |b| u64::from(u32::from_le_bytes(b))),
+
+            FlatOp::I32Store(off) => store!(*off, |v| (v as u32).to_le_bytes()),
+            FlatOp::I64Store(off) => store!(*off, |v: u64| v.to_le_bytes()),
+            FlatOp::F32Store(off) => store!(*off, |v| (v as u32).to_le_bytes()),
+            FlatOp::F64Store(off) => store!(*off, |v: u64| v.to_le_bytes()),
+            FlatOp::I32Store8(off) => store!(*off, |v| [(v & 0xff) as u8]),
+            FlatOp::I32Store16(off) => store!(*off, |v| (v as u16).to_le_bytes()),
+            FlatOp::I64Store8(off) => store!(*off, |v| [(v & 0xff) as u8]),
+            FlatOp::I64Store16(off) => store!(*off, |v| (v as u16).to_le_bytes()),
+            FlatOp::I64Store32(off) => store!(*off, |v| (v as u32).to_le_bytes()),
+
+            FlatOp::MemorySize => stack.push(from_i32(memory.size_pages() as i32)),
+            FlatOp::MemoryGrow => {
+                let t = top!();
+                let delta = as_u32(*t);
+                *t = from_i32(memory.grow(delta));
+            }
+            FlatOp::MemoryCopy => {
+                let len = as_u32(pop!());
+                let src = as_u32(pop!());
+                let dst = as_u32(pop!());
+                let mem_len = memory.data().len() as u64;
+                if u64::from(src) + u64::from(len) > mem_len
+                    || u64::from(dst) + u64::from(len) > mem_len
+                {
+                    return Err(Trap::MemoryOutOfBounds);
+                }
+                memory
+                    .data_mut()
+                    .copy_within(src as usize..(src + len) as usize, dst as usize);
+            }
+            FlatOp::MemoryFill => {
+                let len = as_u32(pop!());
+                let val = as_u32(pop!()) as u8;
+                let dst = as_u32(pop!());
+                if u64::from(dst) + u64::from(len) > memory.data().len() as u64 {
+                    return Err(Trap::MemoryOutOfBounds);
+                }
+                memory.data_mut()[dst as usize..(dst + len) as usize].fill(val);
+            }
+
+            FlatOp::Const(v) => stack.push(*v),
+
+            FlatOp::I32Eqz => {
+                let t = top!();
+                *t = u64::from(as_u32(*t) == 0);
+            }
+            FlatOp::I64Eqz => {
+                let t = top!();
+                *t = u64::from(*t == 0);
+            }
+            FlatOp::I32Eq => relop!(as_i32, |a, b| a == b),
+            FlatOp::I32Ne => relop!(as_i32, |a, b| a != b),
+            FlatOp::I32LtS => relop!(as_i32, |a, b| a < b),
+            FlatOp::I32LtU => relop!(as_u32, |a, b| a < b),
+            FlatOp::I32GtS => relop!(as_i32, |a, b| a > b),
+            FlatOp::I32GtU => relop!(as_u32, |a, b| a > b),
+            FlatOp::I32LeS => relop!(as_i32, |a, b| a <= b),
+            FlatOp::I32LeU => relop!(as_u32, |a, b| a <= b),
+            FlatOp::I32GeS => relop!(as_i32, |a, b| a >= b),
+            FlatOp::I32GeU => relop!(as_u32, |a, b| a >= b),
+            FlatOp::I64Eq => relop!(as_i64, |a, b| a == b),
+            FlatOp::I64Ne => relop!(as_i64, |a, b| a != b),
+            FlatOp::I64LtS => relop!(as_i64, |a, b| a < b),
+            FlatOp::I64LtU => relop!(as_u64, |a, b| a < b),
+            FlatOp::I64GtS => relop!(as_i64, |a, b| a > b),
+            FlatOp::I64GtU => relop!(as_u64, |a, b| a > b),
+            FlatOp::I64LeS => relop!(as_i64, |a, b| a <= b),
+            FlatOp::I64LeU => relop!(as_u64, |a, b| a <= b),
+            FlatOp::I64GeS => relop!(as_i64, |a, b| a >= b),
+            FlatOp::I64GeU => relop!(as_u64, |a, b| a >= b),
+            FlatOp::F32Eq => relop!(as_f32, |a, b| a == b),
+            FlatOp::F32Ne => relop!(as_f32, |a, b| a != b),
+            FlatOp::F32Lt => relop!(as_f32, |a, b| a < b),
+            FlatOp::F32Gt => relop!(as_f32, |a, b| a > b),
+            FlatOp::F32Le => relop!(as_f32, |a, b| a <= b),
+            FlatOp::F32Ge => relop!(as_f32, |a, b| a >= b),
+            FlatOp::F64Eq => relop!(as_f64, |a, b| a == b),
+            FlatOp::F64Ne => relop!(as_f64, |a, b| a != b),
+            FlatOp::F64Lt => relop!(as_f64, |a, b| a < b),
+            FlatOp::F64Gt => relop!(as_f64, |a, b| a > b),
+            FlatOp::F64Le => relop!(as_f64, |a, b| a <= b),
+            FlatOp::F64Ge => relop!(as_f64, |a, b| a >= b),
+
+            FlatOp::I32Clz => unop!(as_i32, from_i32, |a: i32| a.leading_zeros() as i32),
+            FlatOp::I32Ctz => unop!(as_i32, from_i32, |a: i32| a.trailing_zeros() as i32),
+            FlatOp::I32Popcnt => unop!(as_i32, from_i32, |a: i32| a.count_ones() as i32),
+            FlatOp::I32Add => binop!(as_i32, from_i32, i32::wrapping_add),
+            FlatOp::I32Sub => binop!(as_i32, from_i32, i32::wrapping_sub),
+            FlatOp::I32Mul => binop!(as_i32, from_i32, i32::wrapping_mul),
+            FlatOp::I32DivS => {
+                let b = as_i32(pop!());
+                let t = top!();
+                let a = as_i32(*t);
+                if b == 0 {
+                    return Err(Trap::DivisionByZero);
+                }
+                let (q, ov) = a.overflowing_div(b);
+                if ov {
+                    return Err(Trap::IntegerOverflow);
+                }
+                *t = from_i32(q);
+            }
+            FlatOp::I32DivU => {
+                let b = as_u32(pop!());
+                let t = top!();
+                if b == 0 {
+                    return Err(Trap::DivisionByZero);
+                }
+                *t = u64::from(as_u32(*t) / b);
+            }
+            FlatOp::I32RemS => {
+                let b = as_i32(pop!());
+                let t = top!();
+                if b == 0 {
+                    return Err(Trap::DivisionByZero);
+                }
+                *t = from_i32(as_i32(*t).wrapping_rem(b));
+            }
+            FlatOp::I32RemU => {
+                let b = as_u32(pop!());
+                let t = top!();
+                if b == 0 {
+                    return Err(Trap::DivisionByZero);
+                }
+                *t = u64::from(as_u32(*t) % b);
+            }
+            FlatOp::I32And => binop!(as_i32, from_i32, |a, b| a & b),
+            FlatOp::I32Or => binop!(as_i32, from_i32, |a, b| a | b),
+            FlatOp::I32Xor => binop!(as_i32, from_i32, |a, b| a ^ b),
+            FlatOp::I32Shl => binop!(as_i32, from_i32, |a: i32, b: i32| a.wrapping_shl(b as u32)),
+            FlatOp::I32ShrS => binop!(as_i32, from_i32, |a: i32, b: i32| a.wrapping_shr(b as u32)),
+            FlatOp::I32ShrU => binop!(as_u32, from_i32, |a: u32, b: u32| a.wrapping_shr(b) as i32),
+            FlatOp::I32Rotl => {
+                binop!(as_i32, from_i32, |a: i32, b: i32| a
+                    .rotate_left(b as u32 % 32))
+            }
+            FlatOp::I32Rotr => {
+                binop!(as_i32, from_i32, |a: i32, b: i32| a
+                    .rotate_right(b as u32 % 32))
+            }
+
+            FlatOp::I64Clz => unop!(as_i64, from_i64, |a: i64| i64::from(a.leading_zeros())),
+            FlatOp::I64Ctz => unop!(as_i64, from_i64, |a: i64| i64::from(a.trailing_zeros())),
+            FlatOp::I64Popcnt => unop!(as_i64, from_i64, |a: i64| i64::from(a.count_ones())),
+            FlatOp::I64Add => binop!(as_i64, from_i64, i64::wrapping_add),
+            FlatOp::I64Sub => binop!(as_i64, from_i64, i64::wrapping_sub),
+            FlatOp::I64Mul => binop!(as_i64, from_i64, i64::wrapping_mul),
+            FlatOp::I64DivS => {
+                let b = as_i64(pop!());
+                let t = top!();
+                let a = as_i64(*t);
+                if b == 0 {
+                    return Err(Trap::DivisionByZero);
+                }
+                let (q, ov) = a.overflowing_div(b);
+                if ov {
+                    return Err(Trap::IntegerOverflow);
+                }
+                *t = from_i64(q);
+            }
+            FlatOp::I64DivU => {
+                let b = pop!();
+                let t = top!();
+                if b == 0 {
+                    return Err(Trap::DivisionByZero);
+                }
+                *t /= b;
+            }
+            FlatOp::I64RemS => {
+                let b = as_i64(pop!());
+                let t = top!();
+                if b == 0 {
+                    return Err(Trap::DivisionByZero);
+                }
+                *t = from_i64(as_i64(*t).wrapping_rem(b));
+            }
+            FlatOp::I64RemU => {
+                let b = pop!();
+                let t = top!();
+                if b == 0 {
+                    return Err(Trap::DivisionByZero);
+                }
+                *t %= b;
+            }
+            FlatOp::I64And => binop!(as_i64, from_i64, |a, b| a & b),
+            FlatOp::I64Or => binop!(as_i64, from_i64, |a, b| a | b),
+            FlatOp::I64Xor => binop!(as_i64, from_i64, |a, b| a ^ b),
+            FlatOp::I64Shl => binop!(as_i64, from_i64, |a: i64, b: i64| a.wrapping_shl(b as u32)),
+            FlatOp::I64ShrS => binop!(as_i64, from_i64, |a: i64, b: i64| a.wrapping_shr(b as u32)),
+            FlatOp::I64ShrU => binop!(
+                as_u64,
+                from_i64,
+                |a: u64, b: u64| (a.wrapping_shr(b as u32)) as i64
+            ),
+            FlatOp::I64Rotl => binop!(as_i64, from_i64, |a: i64, b: i64| a
+                .rotate_left((b as u32) % 64)),
+            FlatOp::I64Rotr => binop!(as_i64, from_i64, |a: i64, b: i64| a
+                .rotate_right((b as u32) % 64)),
+
+            FlatOp::F32Abs => unop!(as_f32, from_f32, f32::abs),
+            FlatOp::F32Neg => unop!(as_f32, from_f32, |a: f32| -a),
+            FlatOp::F32Ceil => unop!(as_f32, from_f32, f32::ceil),
+            FlatOp::F32Floor => unop!(as_f32, from_f32, f32::floor),
+            FlatOp::F32Trunc => unop!(as_f32, from_f32, f32::trunc),
+            FlatOp::F32Nearest => unop!(as_f32, from_f32, f32::round_ties_even),
+            FlatOp::F32Sqrt => unop!(as_f32, from_f32, f32::sqrt),
+            FlatOp::F32Add => binop!(as_f32, from_f32, |a, b| a + b),
+            FlatOp::F32Sub => binop!(as_f32, from_f32, |a, b| a - b),
+            FlatOp::F32Mul => binop!(as_f32, from_f32, |a, b| a * b),
+            FlatOp::F32Div => binop!(as_f32, from_f32, |a, b| a / b),
+            FlatOp::F32Min => binop!(as_f32, from_f32, wasm_fmin32),
+            FlatOp::F32Max => binop!(as_f32, from_f32, wasm_fmax32),
+            FlatOp::F32Copysign => binop!(as_f32, from_f32, f32::copysign),
+
+            FlatOp::F64Abs => unop!(as_f64, from_f64, f64::abs),
+            FlatOp::F64Neg => unop!(as_f64, from_f64, |a: f64| -a),
+            FlatOp::F64Ceil => unop!(as_f64, from_f64, f64::ceil),
+            FlatOp::F64Floor => unop!(as_f64, from_f64, f64::floor),
+            FlatOp::F64Trunc => unop!(as_f64, from_f64, f64::trunc),
+            FlatOp::F64Nearest => unop!(as_f64, from_f64, f64::round_ties_even),
+            FlatOp::F64Sqrt => unop!(as_f64, from_f64, f64::sqrt),
+            FlatOp::F64Add => binop!(as_f64, from_f64, |a, b| a + b),
+            FlatOp::F64Sub => binop!(as_f64, from_f64, |a, b| a - b),
+            FlatOp::F64Mul => binop!(as_f64, from_f64, |a, b| a * b),
+            FlatOp::F64Div => binop!(as_f64, from_f64, |a, b| a / b),
+            FlatOp::F64Min => binop!(as_f64, from_f64, wasm_fmin64),
+            FlatOp::F64Max => binop!(as_f64, from_f64, wasm_fmax64),
+            FlatOp::F64Copysign => binop!(as_f64, from_f64, f64::copysign),
+
+            FlatOp::I32WrapI64 => {
+                let t = top!();
+                *t = from_i32(as_i64(*t) as i32);
+            }
+            FlatOp::I32TruncF32S => {
+                let t = top!();
+                *t = from_i32(trunc_f32_to_i32_s(as_f32(*t))?);
+            }
+            FlatOp::I32TruncF32U => {
+                let t = top!();
+                *t = u64::from(trunc_f32_to_u32(as_f32(*t))?);
+            }
+            FlatOp::I32TruncF64S => {
+                let t = top!();
+                *t = from_i32(trunc_f64_to_i32_s(as_f64(*t))?);
+            }
+            FlatOp::I32TruncF64U => {
+                let t = top!();
+                *t = u64::from(trunc_f64_to_u32(as_f64(*t))?);
+            }
+            FlatOp::I64ExtendI32S => {
+                let t = top!();
+                *t = from_i64(i64::from(as_i32(*t)));
+            }
+            FlatOp::I64ExtendI32U => {
+                let t = top!();
+                *t = u64::from(as_u32(*t));
+            }
+            FlatOp::I64TruncF32S => {
+                let t = top!();
+                *t = from_i64(trunc_f32_to_i64_s(as_f32(*t))?);
+            }
+            FlatOp::I64TruncF32U => {
+                let t = top!();
+                *t = trunc_f32_to_u64(as_f32(*t))?;
+            }
+            FlatOp::I64TruncF64S => {
+                let t = top!();
+                *t = from_i64(trunc_f64_to_i64_s(as_f64(*t))?);
+            }
+            FlatOp::I64TruncF64U => {
+                let t = top!();
+                *t = trunc_f64_to_u64(as_f64(*t))?;
+            }
+            FlatOp::F32ConvertI32S => unop!(as_i32, from_f32, |a: i32| a as f32),
+            FlatOp::F32ConvertI32U => unop!(as_u32, from_f32, |a: u32| a as f32),
+            FlatOp::F32ConvertI64S => unop!(as_i64, from_f32, |a: i64| a as f32),
+            FlatOp::F32ConvertI64U => unop!(as_u64, from_f32, |a: u64| a as f32),
+            FlatOp::F32DemoteF64 => unop!(as_f64, from_f32, |a: f64| a as f32),
+            FlatOp::F64ConvertI32S => unop!(as_i32, from_f64, f64::from),
+            FlatOp::F64ConvertI32U => unop!(as_u32, from_f64, f64::from),
+            FlatOp::F64ConvertI64S => unop!(as_i64, from_f64, |a: i64| a as f64),
+            FlatOp::F64ConvertI64U => unop!(as_u64, from_f64, |a: u64| a as f64),
+            FlatOp::F64PromoteF32 => unop!(as_f32, from_f64, f64::from),
+            // Reinterprets are no-ops on raw slots (i32/f32 both occupy the
+            // low 32 bits; i64/f64 the full slot).
+            FlatOp::I32ReinterpretF32
+            | FlatOp::I64ReinterpretF64
+            | FlatOp::F32ReinterpretI32
+            | FlatOp::F64ReinterpretI64 => {}
+            FlatOp::I32Extend8S => unop!(as_i32, from_i32, |a: i32| i32::from(a as i8)),
+            FlatOp::I32Extend16S => unop!(as_i32, from_i32, |a: i32| i32::from(a as i16)),
+            FlatOp::I64Extend8S => unop!(as_i64, from_i64, |a: i64| i64::from(a as i8)),
+            FlatOp::I64Extend16S => unop!(as_i64, from_i64, |a: i64| i64::from(a as i16)),
+            FlatOp::I64Extend32S => unop!(as_i64, from_i64, |a: i64| i64::from(a as i32)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::exec::{ExecMode, Instance, NoHost};
+    use crate::instr::Instr as I;
+    use crate::types::BlockType;
+
+    fn run_both(bytes: &[u8], name: &str, args: &[Value]) -> [Result<Vec<Value>, Trap>; 2] {
+        let module = crate::load(bytes).unwrap();
+        [ExecMode::Interpreted, ExecMode::Aot].map(|mode| {
+            let mut inst = Instance::instantiate(&module, mode, &mut NoHost).unwrap();
+            inst.invoke(&mut NoHost, name, args)
+        })
+    }
+
+    #[test]
+    fn nested_blocks_and_branches_agree() {
+        // A br 1 carrying a value out of a doubly-nested block.
+        let mut b = ModuleBuilder::new();
+        let ty = b.add_type(&[], &[ValType::I32]);
+        let f = b.add_func(
+            ty,
+            &[],
+            vec![
+                I::Block(BlockType::Value(ValType::I32)),
+                I::Block(BlockType::Value(ValType::I32)),
+                I::I32Const(1),
+                I::Br(1),
+                I::End,
+                I::End,
+                I::End,
+            ],
+        );
+        b.export_func("f", f);
+        let bytes = b.build();
+        let [interp, flat] = run_both(&bytes, "f", &[]);
+        assert_eq!(interp.unwrap(), vec![Value::I32(1)]);
+        assert_eq!(flat.unwrap(), vec![Value::I32(1)]);
+    }
+
+    #[test]
+    fn loop_with_br_if_counts() {
+        // Sums 0..n with a loop + br_if back-edge.
+        let mut b = ModuleBuilder::new();
+        let ty = b.add_type(&[ValType::I32], &[ValType::I32]);
+        let f = b.add_func(
+            ty,
+            &[ValType::I32, ValType::I32],
+            vec![
+                I::Loop(BlockType::Empty),
+                // sum += i
+                I::LocalGet(1),
+                I::LocalGet(2),
+                I::I32Add,
+                I::LocalSet(2),
+                // i += 1
+                I::LocalGet(1),
+                I::I32Const(1),
+                I::I32Add,
+                I::LocalSet(1),
+                // if i < n continue
+                I::LocalGet(1),
+                I::LocalGet(0),
+                I::I32LtS,
+                I::BrIf(0),
+                I::End,
+                I::LocalGet(2),
+                I::End,
+            ],
+        );
+        b.export_func("sum", f);
+        let bytes = b.build();
+        let [interp, flat] = run_both(&bytes, "sum", &[Value::I32(10)]);
+        assert_eq!(interp.unwrap(), vec![Value::I32(45)]);
+        assert_eq!(flat.unwrap(), vec![Value::I32(45)]);
+    }
+
+    #[test]
+    fn if_else_both_arms() {
+        let mut b = ModuleBuilder::new();
+        let ty = b.add_type(&[ValType::I32], &[ValType::I32]);
+        let f = b.add_func(
+            ty,
+            &[],
+            vec![
+                I::LocalGet(0),
+                I::If(BlockType::Value(ValType::I32)),
+                I::I32Const(100),
+                I::Else,
+                I::I32Const(-100),
+                I::End,
+                I::End,
+            ],
+        );
+        b.export_func("pick", f);
+        let bytes = b.build();
+        for (arg, want) in [(1, 100), (0, -100)] {
+            let [interp, flat] = run_both(&bytes, "pick", &[Value::I32(arg)]);
+            assert_eq!(interp.unwrap(), vec![Value::I32(want)]);
+            assert_eq!(flat.unwrap(), vec![Value::I32(want)]);
+        }
+    }
+
+    #[test]
+    fn br_table_selects_all_arms() {
+        // br_table over three nested blocks returning distinct constants.
+        let mut b = ModuleBuilder::new();
+        let ty = b.add_type(&[ValType::I32], &[ValType::I32]);
+        let f = b.add_func(
+            ty,
+            &[],
+            vec![
+                I::Block(BlockType::Empty),
+                I::Block(BlockType::Empty),
+                I::Block(BlockType::Empty),
+                I::LocalGet(0),
+                I::BrTable {
+                    targets: vec![0, 1],
+                    default: 2,
+                },
+                I::End,
+                I::I32Const(10),
+                I::Return,
+                I::End,
+                I::I32Const(20),
+                I::Return,
+                I::End,
+                I::I32Const(30),
+                I::End,
+            ],
+        );
+        b.export_func("route", f);
+        let bytes = b.build();
+        for (arg, want) in [(0, 10), (1, 20), (2, 30), (99, 30)] {
+            let [interp, flat] = run_both(&bytes, "route", &[Value::I32(arg)]);
+            assert_eq!(interp.unwrap(), vec![Value::I32(want)], "arg {arg}");
+            assert_eq!(flat.unwrap(), vec![Value::I32(want)], "arg {arg}");
+        }
+    }
+
+    #[test]
+    fn traps_match_tree_interpreter() {
+        let mut b = ModuleBuilder::new();
+        let ty = b.add_type(&[ValType::I32, ValType::I32], &[ValType::I32]);
+        let f = b.add_func(
+            ty,
+            &[],
+            vec![I::LocalGet(0), I::LocalGet(1), I::I32DivS, I::End],
+        );
+        b.export_func("div", f);
+        let bytes = b.build();
+        let [interp, flat] = run_both(&bytes, "div", &[Value::I32(1), Value::I32(0)]);
+        assert_eq!(interp.unwrap_err(), Trap::DivisionByZero);
+        assert_eq!(flat.unwrap_err(), Trap::DivisionByZero);
+        let [interp, flat] = run_both(&bytes, "div", &[Value::I32(i32::MIN), Value::I32(-1)]);
+        assert_eq!(interp.unwrap_err(), Trap::IntegerOverflow);
+        assert_eq!(flat.unwrap_err(), Trap::IntegerOverflow);
+    }
+
+    #[test]
+    fn recursion_depth_trap_matches() {
+        // infinite recursion traps with CallStackExhausted in both modes.
+        let mut b = ModuleBuilder::new();
+        let ty = b.add_type(&[], &[]);
+        let f = b.add_func(ty, &[], vec![I::Call(0), I::End]);
+        b.export_func("rec", f);
+        let bytes = b.build();
+        let [interp, flat] = run_both(&bytes, "rec", &[]);
+        assert_eq!(interp.unwrap_err(), Trap::CallStackExhausted);
+        assert_eq!(flat.unwrap_err(), Trap::CallStackExhausted);
+    }
+
+    #[test]
+    fn branch_discards_excess_operands() {
+        // A br out of a block with extra values on the stack must keep only
+        // the label arity; the flat engine encodes the fix-up statically.
+        let mut b = ModuleBuilder::new();
+        let ty = b.add_type(&[], &[ValType::I32]);
+        let f = b.add_func(
+            ty,
+            &[],
+            vec![
+                I::Block(BlockType::Value(ValType::I32)),
+                I::I32Const(7),
+                I::I32Const(8),
+                I::I32Const(42),
+                I::Br(0),
+                I::End,
+                I::End,
+            ],
+        );
+        b.export_func("f", f);
+        let bytes = b.build();
+        let [interp, flat] = run_both(&bytes, "f", &[]);
+        assert_eq!(interp.unwrap(), vec![Value::I32(42)]);
+        assert_eq!(flat.unwrap(), vec![Value::I32(42)]);
+    }
+
+    #[test]
+    fn unreachable_code_after_br_is_skipped() {
+        // Ops after a br in the same block never execute; the lowering
+        // skips them entirely (they would otherwise corrupt bookkeeping).
+        let mut b = ModuleBuilder::new();
+        let ty = b.add_type(&[], &[ValType::I32]);
+        let f = b.add_func(
+            ty,
+            &[],
+            vec![
+                I::Block(BlockType::Value(ValType::I32)),
+                I::I32Const(5),
+                I::Br(0),
+                I::I32Const(1),
+                I::I32Const(2),
+                I::I32Add,
+                I::End,
+                I::End,
+            ],
+        );
+        b.export_func("f", f);
+        let bytes = b.build();
+        let [interp, flat] = run_both(&bytes, "f", &[]);
+        assert_eq!(interp.unwrap(), vec![Value::I32(5)]);
+        assert_eq!(flat.unwrap(), vec![Value::I32(5)]);
+    }
+
+    #[test]
+    fn float_bits_roundtrip_through_slots() {
+        for v in [0.0f64, -0.0, 1.5, f64::INFINITY, f64::NEG_INFINITY] {
+            let s = slot_from_value(Value::F64(v));
+            assert_eq!(value_from_slot(ValType::F64, s), Value::F64(v));
+        }
+        let nan = f64::NAN;
+        let s = slot_from_value(Value::F64(nan));
+        match value_from_slot(ValType::F64, s) {
+            Value::F64(x) => assert_eq!(x.to_bits(), nan.to_bits()),
+            _ => panic!(),
+        }
+        for v in [0.0f32, -0.0, 3.25, f32::MIN_POSITIVE] {
+            let s = slot_from_value(Value::F32(v));
+            assert_eq!(value_from_slot(ValType::F32, s), Value::F32(v));
+        }
+    }
+}

@@ -12,10 +12,11 @@
 //! * an **executor** with two modes ([`exec`]):
 //!   [`ExecMode::Interpreted`] walks structured opcodes and discovers branch
 //!   targets by scanning, like a naive interpreter, while [`ExecMode::Aot`]
-//!   runs from a pre-translated form with every branch target resolved ahead
-//!   of time — the stand-in for WAMR's AOT mode (the real thing emits native
-//!   code; ours stays portable, so the AOT/interp gap is smaller than the
-//!   paper's 28x, as documented in EXPERIMENTS.md);
+//!   runs the flattened pre-resolved engine: bodies lowered at load time to
+//!   a linear opcode array with absolute jumps, inlined immediates and an
+//!   untagged 64-bit operand stack — the stand-in for WAMR's AOT mode (the
+//!   real thing emits native code; ours stays portable, so the AOT/interp
+//!   gap is smaller than the paper's 28x, as documented in EXPERIMENTS.md);
 //! * an **encoder** and a programmatic **builder** ([`encode`], [`builder`])
 //!   used by the MiniC compiler (the reproduction's stand-in for WASI-SDK)
 //!   and by tests.
@@ -51,6 +52,7 @@ pub mod builder;
 pub mod decode;
 pub mod encode;
 pub mod exec;
+pub mod flat;
 pub mod instr;
 pub mod leb128;
 pub mod module;

@@ -1,7 +1,8 @@
 //! Differential testing of the two execution modes: for every PolyBench
-//! kernel in the suite, the AOT executor and the interpreter must agree
-//! bit-for-bit when run inside WaTZ, and traps must be reported
-//! identically in both modes.
+//! kernel in the suite — and for a corpus of randomized MiniC kernels —
+//! the flat engine (`ExecMode::Aot`) and the tree-walking interpreter
+//! (`ExecMode::Interpreted`, the oracle) must agree bit-for-bit when run
+//! inside WaTZ, and traps must be reported identically in both modes.
 
 use watz::runtime::{AppConfig, WatzRuntime};
 use watz::wasm::exec::{ExecMode, Value};
@@ -77,4 +78,144 @@ fn trap_parity_across_exec_modes() {
         "unexpected trap: {}",
         errors[0]
     );
+}
+
+// ---------------------------------------------------------------------------
+// Randomized-kernel property test: a deterministic xorshift64 generator
+// emits MiniC programs (arithmetic, bitwise ops, shifts, comparisons,
+// if/else, bounded loops, including trap-prone division/remainder), each
+// compiled once and executed in both modes. The tree interpreter is the
+// oracle: the flat engine must produce identical results AND identical
+// traps for every program.
+// ---------------------------------------------------------------------------
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Emits a random integer expression over variables `v0..v{nv}` and the
+/// loop counters visible at `loop_depth`.
+fn gen_expr(rng: &mut XorShift, depth: usize, nv: usize, loop_depth: usize) -> String {
+    if depth == 0 || rng.below(4) == 0 {
+        return match rng.below(3) {
+            0 => format!("v{}", rng.below(nv as u64)),
+            1 if loop_depth > 0 => format!("l{}", rng.below(loop_depth as u64)),
+            _ => format!("{}", rng.below(64) as i64 - 16),
+        };
+    }
+    let ops = [
+        "+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", "<", "<=", ">", ">=", "==", "!=",
+    ];
+    let op = ops[rng.below(ops.len() as u64) as usize];
+    let lhs = gen_expr(rng, depth - 1, nv, loop_depth);
+    let rhs = gen_expr(rng, depth - 1, nv, loop_depth);
+    format!("({lhs} {op} {rhs})")
+}
+
+/// Emits a random statement (assignment, if/else, or a bounded for loop
+/// driven by a reserved counter the body never writes).
+fn gen_stmt(rng: &mut XorShift, depth: usize, nv: usize, loop_depth: usize, out: &mut String) {
+    match rng.below(if depth == 0 { 1 } else { 4 }) {
+        0 => {
+            let v = rng.below(nv as u64);
+            let d = 2 + rng.below(2) as usize;
+            let e = gen_expr(rng, d, nv, loop_depth);
+            out.push_str(&format!("v{v} = {e};\n"));
+        }
+        1 => {
+            let c = gen_expr(rng, 2, nv, loop_depth);
+            out.push_str(&format!("if ({c}) {{\n"));
+            gen_stmt(rng, depth - 1, nv, loop_depth, out);
+            if rng.below(2) == 0 {
+                out.push_str("} else {\n");
+                gen_stmt(rng, depth - 1, nv, loop_depth, out);
+            }
+            out.push_str("}\n");
+        }
+        _ if loop_depth < 2 => {
+            let bound = 1 + rng.below(6);
+            let l = loop_depth;
+            out.push_str(&format!(
+                "for (l{l} = 0; l{l} < {bound}; l{l} = l{l} + 1) {{\n"
+            ));
+            gen_stmt(rng, depth - 1, nv, loop_depth + 1, out);
+            gen_stmt(rng, depth - 1, nv, loop_depth + 1, out);
+            out.push_str("}\n");
+        }
+        _ => {
+            let v = rng.below(nv as u64);
+            let e = gen_expr(rng, 2, nv, loop_depth);
+            out.push_str(&format!("v{v} = v{v} + {e};\n"));
+        }
+    }
+}
+
+fn gen_kernel(rng: &mut XorShift) -> String {
+    let nv = 4;
+    let mut src = String::from("int kernel(int a, int b) {\n");
+    src.push_str("int v0 = a; int v1 = b;\n");
+    src.push_str(&format!(
+        "int v2 = {}; int v3 = {};\n",
+        rng.below(100) as i64 - 50,
+        rng.below(100)
+    ));
+    src.push_str("int l0 = 0; int l1 = 0;\n");
+    let n_stmts = 3 + rng.below(5);
+    for _ in 0..n_stmts {
+        gen_stmt(rng, 2, nv, 0, &mut src);
+    }
+    src.push_str("return ((v0 ^ v1) + (v2 * 31)) ^ v3;\n}\n");
+    src
+}
+
+#[test]
+fn randomized_minic_kernels_agree_across_exec_modes() {
+    let rt = WatzRuntime::new_device(b"differential-prop").unwrap();
+    let mut rng = XorShift(0x5eed_cafe_f00d_d00d);
+    let mut traps = 0usize;
+    const PROGRAMS: usize = 40;
+    for case in 0..PROGRAMS {
+        let src = gen_kernel(&mut rng);
+        let wasm = watz::compiler::compile(&src)
+            .unwrap_or_else(|e| panic!("case {case} failed to compile: {e:?}\n{src}"));
+        let arg_a = rng.next() as i32;
+        let arg_b = rng.next() as i32;
+        let args = [Value::I32(arg_a), Value::I32(arg_b)];
+        let mut outcomes = Vec::new();
+        for mode in [ExecMode::Interpreted, ExecMode::Aot] {
+            let mut app = rt
+                .load(
+                    &wasm,
+                    &AppConfig {
+                        heap_bytes: 4 << 20,
+                        mode,
+                    },
+                )
+                .unwrap_or_else(|e| panic!("case {case} failed to load ({mode:?}): {e}"));
+            // Results on success, trap text on failure: both must match.
+            outcomes.push(app.invoke("kernel", &args).map_err(|e| format!("{e}")));
+        }
+        if outcomes[0].is_err() {
+            traps += 1;
+        }
+        assert_eq!(
+            outcomes[0], outcomes[1],
+            "case {case} diverges between oracle and flat engine:\n{src}"
+        );
+    }
+    // The corpus must exercise both outcomes, or the trap-parity half of
+    // the property is vacuous.
+    assert!(traps > 0, "corpus produced no trapping programs");
+    assert!(traps < PROGRAMS, "corpus produced only trapping programs");
 }
