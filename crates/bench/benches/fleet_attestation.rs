@@ -9,7 +9,7 @@
 use std::time::Duration;
 
 use watz_bench::{header, reps, scale};
-use watz_fleet::sim::{FleetSim, FleetSimConfig};
+use watz_fleet::sim::{fmt_latency, FleetSim, FleetSimConfig};
 
 fn main() {
     header(
@@ -36,10 +36,11 @@ fn main() {
         reports.sort_by(|a, b| a.throughput().total_cmp(&b.throughput()));
         let median = &reports[reports.len() / 2];
         println!(
-            "  workers {workers:>2}: {:>8.0} sessions/s   p50 {:>9.2?}  p95 {:>9.2?}  batches/appraisals {}/{}",
+            "  workers {workers:>2}: {:>8.0} sessions/s   p50 {:>9}  p95 {:>9}  p99 {:>9}  batches/appraisals {}/{}",
             median.throughput(),
-            median.latency_percentile(50.0),
-            median.latency_percentile(95.0),
+            fmt_latency(median.latency_percentile(50.0)),
+            fmt_latency(median.latency_percentile(95.0)),
+            fmt_latency(median.latency_percentile(99.0)),
             median.stats.appraisal_batches,
             median.stats.appraised,
         );

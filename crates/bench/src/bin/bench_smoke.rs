@@ -1,10 +1,16 @@
 //! `bench-smoke`: a seconds-scale hot-path regression gate for CI.
 //!
-//! Runs one PolyBench kernel through both execution engines and one
+//! Runs one PolyBench kernel through both execution engines (and through
+//! the flat engine with superinstruction fusion on *and* off) and one
 //! generator scalar multiplication through both P-256 paths, then asserts
 //! the optimised paths actually win by a comfortable margin. A regression
-//! in the flat engine or the fixed-base table fails the build loudly,
-//! without waiting for the minutes-scale full bench suite.
+//! in the flat engine, the fusion pass or the fixed-base table fails the
+//! build loudly, without waiting for the minutes-scale full bench suite.
+//!
+//! Set `WATZ_SMOKE_SWEEP=1` to additionally sweep the whole PolyBench
+//! suite fused-vs-unfused and print the per-kernel ratios plus their
+//! geomean (used to record the fusion trajectory in
+//! `BENCH_fig5_polybench.json`).
 
 use std::time::{Duration, Instant};
 
@@ -23,29 +29,91 @@ fn median(reps: usize, mut f: impl FnMut()) -> Duration {
     samples[samples.len() / 2]
 }
 
+/// Instantiates `wasm` on the flat engine with fusion explicitly on/off.
+fn flat_instance(module: &watz_wasm::Module, fuse: bool) -> Instance {
+    Instance::instantiate_with_fusion(module, ExecMode::Aot, fuse, &mut NoHost)
+        .expect("kernel instantiates")
+}
+
+fn time_kernel(inst: &mut Instance, n: i32, reps: usize) -> Duration {
+    median(reps, || {
+        std::hint::black_box(
+            inst.invoke(&mut NoHost, "kernel", &[Value::I32(n)])
+                .unwrap(),
+        );
+    })
+}
+
+fn sweep_suite() {
+    // Match the fig5 problem size so the recorded fusion trajectory is
+    // comparable with `BENCH_fig5_polybench.json`.
+    let n = watz_bench::scale(24) as i32;
+    let r = watz_bench::reps(7);
+    println!("=== fused vs unfused flat engine, full PolyBench suite (n={n}) ===");
+    let mut log_sum = 0.0f64;
+    let mut count = 0usize;
+    for kernel in workloads::polybench::suite() {
+        let wasm = minic::compile(kernel.minic).expect("kernel compiles");
+        let module = watz_wasm::load(&wasm).expect("kernel loads");
+        let mut fused = flat_instance(&module, true);
+        let mut unfused = flat_instance(&module, false);
+        let out_fused = fused
+            .invoke(&mut NoHost, "kernel", &[Value::I32(n)])
+            .unwrap();
+        let out_unfused = unfused
+            .invoke(&mut NoHost, "kernel", &[Value::I32(n)])
+            .unwrap();
+        assert_eq!(
+            out_fused, out_unfused,
+            "fusion changes {} results",
+            kernel.name
+        );
+        let t_fused = time_kernel(&mut fused, n, r);
+        let t_unfused = time_kernel(&mut unfused, n, r);
+        let ratio = t_unfused.as_secs_f64() / t_fused.as_secs_f64();
+        log_sum += ratio.ln();
+        count += 1;
+        println!(
+            "  {:<18} unfused {:>10.2?}  fused {:>10.2?}  speedup {ratio:.2}x",
+            kernel.name, t_unfused, t_fused
+        );
+    }
+    let geomean = (log_sum / count as f64).exp();
+    println!("  geomean fusion speedup over {count} kernels: {geomean:.2}x");
+}
+
 fn main() {
-    // --- Wasm: one mid-size kernel, flat engine vs tree interpreter. ---
+    // --- Wasm: one mid-size kernel, flat engine vs tree interpreter, and
+    // fused vs unfused flat code. ---
     let kernel = workloads::polybench::by_name("gemm").expect("gemm in suite");
     let wasm = minic::compile(kernel.minic).expect("kernel compiles");
     let module = watz_wasm::load(&wasm).expect("kernel loads");
     let n = 16i32;
 
-    let mut flat = Instance::instantiate(&module, ExecMode::Aot, &mut NoHost).unwrap();
+    let mut flat = flat_instance(&module, true);
+    let mut unfused = flat_instance(&module, false);
     let mut tree = Instance::instantiate(&module, ExecMode::Interpreted, &mut NoHost).unwrap();
     let out_flat = flat
+        .invoke(&mut NoHost, "kernel", &[Value::I32(n)])
+        .unwrap();
+    let out_unfused = unfused
         .invoke(&mut NoHost, "kernel", &[Value::I32(n)])
         .unwrap();
     let out_tree = tree
         .invoke(&mut NoHost, "kernel", &[Value::I32(n)])
         .unwrap();
     assert_eq!(out_flat, out_tree, "engines disagree on gemm({n})");
+    assert_eq!(out_flat, out_unfused, "fusion changes gemm({n}) results");
+    let stats = flat.fusion_stats().expect("flat instance reports stats");
+    assert!(stats.total() > 0, "fusion emitted nothing for gemm");
+    assert_eq!(
+        unfused.fusion_stats().map(|s| s.total()),
+        Some(0),
+        "unfused instance must not fuse"
+    );
 
-    let t_flat = median(5, || {
-        std::hint::black_box(
-            flat.invoke(&mut NoHost, "kernel", &[Value::I32(n)])
-                .unwrap(),
-        );
-    });
+    let t_flat = time_kernel(&mut flat, n, 5);
+    let t_unfused = time_kernel(&mut unfused, n, 5);
     let t_tree = median(5, || {
         std::hint::black_box(
             tree.invoke(&mut NoHost, "kernel", &[Value::I32(n)])
@@ -53,7 +121,12 @@ fn main() {
         );
     });
     let wasm_speedup = t_tree.as_secs_f64() / t_flat.as_secs_f64();
+    let fuse_speedup = t_unfused.as_secs_f64() / t_flat.as_secs_f64();
     println!("gemm({n}): flat {t_flat:?}  tree {t_tree:?}  speedup {wasm_speedup:.2}x");
+    println!(
+        "gemm({n}): fused {t_flat:?}  unfused {t_unfused:?}  fusion speedup {fuse_speedup:.2}x  ({} superinstructions)",
+        stats.total()
+    );
 
     // --- Crypto: generator scalar mult, fixed-base table vs generic. ---
     let k = U256::from_hex("bce6faada7179e84f3b9cac2fc632551ffffffff00000000ffffffffffffffff");
@@ -71,16 +144,26 @@ fn main() {
     let p256_speedup = t_generic.as_secs_f64() / t_fixed.as_secs_f64();
     println!("p256 k*G: fixed {t_fixed:?}  generic {t_generic:?}  speedup {p256_speedup:.2}x");
 
-    // Gates: generous margins below the measured ~2.7x / ~4x so CI noise
-    // does not flake, but a real regression (e.g. the flat engine falling
-    // back to scanning, or the table losing mixed addition) trips them.
+    // Gates: generous margins below the measured ratios (~3.9x flat vs
+    // tree, ~1.4x fused vs unfused, ~4x fixed-base) so CI noise does not
+    // flake, but a real regression (the flat engine falling back to
+    // scanning, the fusion pass stopping to fire or slowing the dispatch
+    // loop, the table losing mixed addition) trips them.
     assert!(
         wasm_speedup > 1.3,
         "flat engine no longer clearly beats the tree interpreter ({wasm_speedup:.2}x)"
     );
     assert!(
+        fuse_speedup > 1.0,
+        "superinstruction fusion regressed the flat engine ({fuse_speedup:.2}x)"
+    );
+    assert!(
         p256_speedup > 1.8,
         "fixed-base table no longer clearly beats double-and-add ({p256_speedup:.2}x)"
     );
+
+    if std::env::var_os("WATZ_SMOKE_SWEEP").is_some() {
+        sweep_suite();
+    }
     println!("bench-smoke: OK");
 }

@@ -344,6 +344,13 @@ impl std::fmt::Debug for WatzApp {
 }
 
 impl WatzApp {
+    /// Superinstruction counts from the flat lowering (`None` when the
+    /// app runs interpreted; all-zero when fusion is disabled).
+    #[must_use]
+    pub fn fusion_stats(&self) -> Option<watz_wasm::FusionStats> {
+        self.instance.fusion_stats()
+    }
+
     /// The SHA-256 measurement of the loaded bytecode.
     #[must_use]
     pub fn measurement(&self) -> [u8; 32] {

@@ -173,13 +173,25 @@ impl FleetReport {
     }
 
     /// Client-observed session latency at percentile `p` (0.0..=100.0).
+    ///
+    /// Returns `None` when no session completed (e.g. every device timed
+    /// out) — an absent percentile, not a misleading zero.
     #[must_use]
-    pub fn latency_percentile(&self, p: f64) -> Duration {
+    pub fn latency_percentile(&self, p: f64) -> Option<Duration> {
         if self.latencies.is_empty() {
-            return Duration::ZERO;
+            return None;
         }
         let rank = (p / 100.0 * (self.latencies.len() - 1) as f64).round() as usize;
-        self.latencies[rank.min(self.latencies.len() - 1)]
+        Some(self.latencies[rank.min(self.latencies.len() - 1)])
+    }
+}
+
+/// Formats an optional latency percentile for reports: `-` when absent.
+#[must_use]
+pub fn fmt_latency(p: Option<Duration>) -> String {
+    match p {
+        Some(d) => format!("{d:.2?}"),
+        None => "-".to_string(),
     }
 }
 
@@ -207,11 +219,11 @@ impl std::fmt::Display for FleetReport {
         )?;
         write!(
             f,
-            "  throughput {:.0} sessions/s, latency p50 {:.2?} p95 {:.2?} p99 {:.2?}",
+            "  throughput {:.0} sessions/s, latency p50 {} p95 {} p99 {}",
             self.throughput(),
-            self.latency_percentile(50.0),
-            self.latency_percentile(95.0),
-            self.latency_percentile(99.0)
+            fmt_latency(self.latency_percentile(50.0)),
+            fmt_latency(self.latency_percentile(95.0)),
+            fmt_latency(self.latency_percentile(99.0))
         )
     }
 }
@@ -474,19 +486,30 @@ mod tests {
     }
 
     #[test]
-    fn latency_percentile_of_empty_report_is_zero() {
+    fn latency_percentile_of_empty_report_is_absent_not_zero() {
+        // A round where every session timed out has no latencies; the
+        // percentiles must be absent rather than a misleading 0 (ROADMAP
+        // open item).
         let r = report_with(vec![], 0, Duration::from_secs(1));
-        assert_eq!(r.latency_percentile(50.0), Duration::ZERO);
+        assert_eq!(r.latency_percentile(50.0), None);
+        assert_eq!(r.latency_percentile(99.0), None);
+        assert_eq!(fmt_latency(r.latency_percentile(50.0)), "-");
         assert_eq!(r.throughput(), 0.0);
+        // The Display form shows dashes, not zeros.
+        let text = format!("{r}");
+        assert!(text.contains("p50 - p95 - p99 -"), "{text}");
     }
 
     #[test]
     fn latency_percentiles_pick_sorted_ranks() {
         let lat: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
         let r = report_with(lat, 100, Duration::from_secs(2));
-        assert_eq!(r.latency_percentile(0.0), Duration::from_millis(1));
-        assert_eq!(r.latency_percentile(100.0), Duration::from_millis(100));
-        let p50 = r.latency_percentile(50.0);
+        assert_eq!(r.latency_percentile(0.0), Some(Duration::from_millis(1)));
+        assert_eq!(
+            r.latency_percentile(100.0),
+            Some(Duration::from_millis(100))
+        );
+        let p50 = r.latency_percentile(50.0).unwrap();
         assert!(p50 >= Duration::from_millis(50) && p50 <= Duration::from_millis(51));
         assert_eq!(r.throughput(), 50.0);
     }

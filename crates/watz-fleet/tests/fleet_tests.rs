@@ -94,6 +94,10 @@ fn sixty_four_devices_attest_concurrently_against_one_service() {
     assert!(report.stats.appraisal_batches <= report.stats.appraised);
     assert!(report.throughput() > 0.0);
     assert!(report.latency_percentile(50.0) <= report.latency_percentile(99.0));
+    assert!(
+        report.latency_percentile(50.0).is_some(),
+        "completed sessions must yield latency percentiles"
+    );
 }
 
 #[test]

@@ -4,7 +4,7 @@
 //! WAMR (the runtime WaTZ embeds) offers interpreted, JIT and AOT execution;
 //! WaTZ uses AOT, reporting it "on average 28× faster than with
 //! interpretation" (§III). We reproduce the *mode structure* portably as a
-//! three-stage story:
+//! four-stage story:
 //!
 //! 1. **Tree-walking interpreter** ([`ExecMode::Interpreted`]): executes the
 //!    structured instruction sequence directly, re-discovering each block's
@@ -20,13 +20,20 @@
 //!    the operand stack is untagged 64-bit slots. This is the portable
 //!    analogue of WAMR's AOT step — translate once, run on a representation
 //!    built for execution rather than decoding.
+//! 4. **Superinstruction fusion** (on by default for [`ExecMode::Aot`]): a
+//!    load-time peephole pass over the flat code rewrites common adjacent
+//!    windows — local/const operand feeds, sinks into locals or memory,
+//!    array-address tails, compare-and-branch sequences — into single fused
+//!    opcodes with direct frame-slot addressing (see [`crate::flat`]).
+//!    `WATZ_NO_FUSE=1` or [`Instance::instantiate_with_fusion`] pins the
+//!    unfused stage-3 engine for bisection.
 //!
 //! Both live modes share one semantics (identical results *and* identical
 //! traps) and are differentially tested against each other across the full
-//! PolyBench/speedtest/Genann suites plus randomized MiniC kernels. Because
-//! our flat engine stops short of native code generation, its speedup over
-//! interpretation is smaller than WAMR's 28× (see EXPERIMENTS.md for
-//! measured ratios).
+//! PolyBench/speedtest/Genann suites plus randomized MiniC kernels (with
+//! fusion both on and off). Because our flat engine stops short of native
+//! code generation, its speedup over interpretation is smaller than WAMR's
+//! 28× (see EXPERIMENTS.md for measured ratios).
 
 use std::collections::HashMap;
 
@@ -299,25 +306,30 @@ impl Memory {
         Ok(())
     }
 
-    fn addr(&self, base: i32, offset: u32, width: usize) -> Result<usize, Trap> {
-        let ea = u64::from(base as u32) + u64::from(offset);
-        let end = ea + width as u64;
-        if end > self.data.len() as u64 {
-            return Err(Trap::MemoryOutOfBounds);
-        }
-        Ok(ea as usize)
-    }
-
     pub(crate) fn load<const N: usize>(&self, base: i32, offset: u32) -> Result<[u8; N], Trap> {
-        let a = self.addr(base, offset, N)?;
-        let mut out = [0u8; N];
-        out.copy_from_slice(&self.data[a..a + N]);
-        Ok(out)
+        // Hot path: the effective address is computed in u64 (it cannot
+        // overflow there, and `usize` could wrap on 32-bit hosts), then a
+        // single slice lookup doubles as the bounds check — the
+        // `try_into` length check folds away since the range width is N.
+        let ea = u64::from(base as u32) + u64::from(offset);
+        let a = usize::try_from(ea).map_err(|_| Trap::MemoryOutOfBounds)?;
+        let end = a.checked_add(N).ok_or(Trap::MemoryOutOfBounds)?;
+        let bytes: &[u8; N] = self
+            .data
+            .get(a..end)
+            .and_then(|s| s.try_into().ok())
+            .ok_or(Trap::MemoryOutOfBounds)?;
+        Ok(*bytes)
     }
 
     pub(crate) fn store(&mut self, base: i32, offset: u32, bytes: &[u8]) -> Result<(), Trap> {
-        let a = self.addr(base, offset, bytes.len())?;
-        self.data[a..a + bytes.len()].copy_from_slice(bytes);
+        let ea = u64::from(base as u32) + u64::from(offset);
+        let a = usize::try_from(ea).map_err(|_| Trap::MemoryOutOfBounds)?;
+        let end = a.checked_add(bytes.len()).ok_or(Trap::MemoryOutOfBounds)?;
+        self.data
+            .get_mut(a..end)
+            .ok_or(Trap::MemoryOutOfBounds)?
+            .copy_from_slice(bytes);
         Ok(())
     }
 }
@@ -405,6 +417,26 @@ impl Instance {
         mode: ExecMode,
         host: &mut dyn HostEnv,
     ) -> Result<Self, Trap> {
+        Self::instantiate_with_fusion(module, mode, !flat::fusion_disabled_by_env(), host)
+    }
+
+    /// [`Instance::instantiate`] with explicit control over superinstruction
+    /// fusion in the flat engine (`fuse` is ignored in
+    /// [`ExecMode::Interpreted`]).
+    ///
+    /// `instantiate` follows the `WATZ_NO_FUSE` environment switch; this
+    /// entry point exists for fused-vs-unfused A/B comparison and
+    /// bisection.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Instance::instantiate`].
+    pub fn instantiate_with_fusion(
+        module: &Module,
+        mode: ExecMode,
+        fuse: bool,
+        host: &mut dyn HostEnv,
+    ) -> Result<Self, Trap> {
         let memory = module
             .memories
             .first()
@@ -436,9 +468,10 @@ impl Instance {
         }
 
         // The AOT preparation step: lower every body to flat code once, at
-        // load time (replacing the old end/else side tables).
+        // load time (replacing the old end/else side tables), then run the
+        // superinstruction fusion pass unless it is switched off.
         let flat = match mode {
-            ExecMode::Aot => Some(flat::FlatModule::compile(module)),
+            ExecMode::Aot => Some(flat::FlatModule::compile_with(module, fuse)?),
             ExecMode::Interpreted => None,
         };
 
@@ -505,6 +538,13 @@ impl Instance {
     #[must_use]
     pub fn mode(&self) -> ExecMode {
         self.mode
+    }
+
+    /// Superinstruction counts from the flat lowering (`None` for
+    /// interpreted instances; all-zero when fusion was disabled).
+    #[must_use]
+    pub fn fusion_stats(&self) -> Option<flat::FusionStats> {
+        self.flat.as_ref().map(flat::FlatModule::fusion_stats)
     }
 
     /// The instance's linear memory.

@@ -16,13 +16,55 @@
 //!   the base of the same stack, so a guest call is a frame-pointer bump,
 //!   not a `Vec<Value>` allocation.
 //!
+//! # Superinstruction fusion
+//!
+//! After lowering, a peephole pass rewrites common adjacent sequences into
+//! fused superinstructions that execute with direct frame-slot addressing
+//! and no intermediate operand-stack traffic, collapsing 2–4 dispatch-loop
+//! iterations into one:
+//!
+//! | pattern | fused form |
+//! |---|---|
+//! | `local.get a; local.get b; binop` | [`FlatOp::FusedBinopLL`] |
+//! | `local.get a; const k; binop` | [`FlatOp::FusedBinopLK`] |
+//! | `local.get a; local.get b; binop; local.set d` | [`FlatOp::FusedBinopLLSet`] |
+//! | `local.get a; const k; binop; local.set d` | [`FlatOp::FusedBinopLKSet`] |
+//! | `binop; local.set d` (operands on the stack) | [`FlatOp::FusedBinopSet`] |
+//! | `local.get s; local.set d` | [`FlatOp::LocalCopy`] |
+//! | `local.get a; load` | [`FlatOp::FusedLoadL`] |
+//! | `local.get v; store` (address on the stack) | [`FlatOp::FusedStoreL`] |
+//! | `i32.add; load` (address computed on the stack) | [`FlatOp::FusedAddLoad`] |
+//!
+//! `binop` is any two-operand numeric or relational operator
+//! ([`BinOpKind`]); trapping operators (`div`/`rem`) keep their exact trap
+//! semantics inside the fused forms. Matching is greedy
+//! (longest-window-first) and purely local.
+//!
+//! **Jump-remap invariant:** a fusion window never *starts past* or
+//! *covers* a jump target — every branch destination stays the first op of
+//! a window, so after compaction each old target maps 1:1 to a new index.
+//! All absolute jumps, `br_table` entries and their `keep`/`height`
+//! fix-ups are re-pointed through that map, and a load-time check
+//! ([`check_jump_targets`]) verifies every remapped target lands on a real
+//! instruction before the code is ever executed. Because fused windows are
+//! straight-line (no branch in or out mid-window), operand-stack heights
+//! at window boundaries are unchanged and the `keep`/`height` immediates
+//! remain valid.
+//!
+//! The pass can be disabled with the `WATZ_NO_FUSE` environment switch
+//! (any non-empty value other than `0`), or per-instance via
+//! [`Instance::instantiate_with_fusion`], keeping the unfused flat engine
+//! reachable for bisection. Per-kind emission counts are reported through
+//! [`FusionStats`].
+//!
 //! Semantics (including every trap) are identical to the structured
 //! tree-walking interpreter in [`crate::exec`], which serves as the
 //! differential oracle: the PolyBench/speedtest/Genann suites and the
 //! randomized MiniC property tests assert bit-identical results and
-//! identical traps across both engines.
+//! identical traps across both engines, fused and unfused.
 //!
 //! [`ExecMode::Aot`]: crate::exec::ExecMode
+//! [`Instance::instantiate_with_fusion`]: crate::exec::Instance::instantiate_with_fusion
 
 use crate::exec::{
     trunc_f32_to_i32_s, trunc_f32_to_i64_s, trunc_f32_to_u32, trunc_f32_to_u64, trunc_f64_to_i32_s,
@@ -98,6 +140,353 @@ pub(crate) fn value_from_slot(ty: ValType, s: Slot) -> Value {
         ValType::I64 => Value::I64(as_i64(s)),
         ValType::F32 => Value::F32(as_f32(s)),
         ValType::F64 => Value::F64(as_f64(s)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared trapping-operator semantics. These helpers are the single source
+// of truth for `div`/`rem` traps: the plain dispatch arms and every fused
+// superinstruction route through them, so the fused paths cannot drift
+// from the tree interpreter on `INT_MIN / -1`, `INT_MIN % -1` (== 0, no
+// trap) or division by zero.
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn i32_div_s(a: i32, b: i32) -> Result<i32, Trap> {
+    if b == 0 {
+        return Err(Trap::DivisionByZero);
+    }
+    match a.overflowing_div(b) {
+        (_, true) => Err(Trap::IntegerOverflow),
+        (q, false) => Ok(q),
+    }
+}
+
+#[inline]
+fn i32_div_u(a: u32, b: u32) -> Result<u32, Trap> {
+    if b == 0 {
+        return Err(Trap::DivisionByZero);
+    }
+    Ok(a / b)
+}
+
+#[inline]
+fn i32_rem_s(a: i32, b: i32) -> Result<i32, Trap> {
+    if b == 0 {
+        return Err(Trap::DivisionByZero);
+    }
+    Ok(a.wrapping_rem(b))
+}
+
+#[inline]
+fn i32_rem_u(a: u32, b: u32) -> Result<u32, Trap> {
+    if b == 0 {
+        return Err(Trap::DivisionByZero);
+    }
+    Ok(a % b)
+}
+
+#[inline]
+fn i64_div_s(a: i64, b: i64) -> Result<i64, Trap> {
+    if b == 0 {
+        return Err(Trap::DivisionByZero);
+    }
+    match a.overflowing_div(b) {
+        (_, true) => Err(Trap::IntegerOverflow),
+        (q, false) => Ok(q),
+    }
+}
+
+#[inline]
+fn i64_div_u(a: u64, b: u64) -> Result<u64, Trap> {
+    if b == 0 {
+        return Err(Trap::DivisionByZero);
+    }
+    Ok(a / b)
+}
+
+#[inline]
+fn i64_rem_s(a: i64, b: i64) -> Result<i64, Trap> {
+    if b == 0 {
+        return Err(Trap::DivisionByZero);
+    }
+    Ok(a.wrapping_rem(b))
+}
+
+#[inline]
+fn i64_rem_u(a: u64, b: u64) -> Result<u64, Trap> {
+    if b == 0 {
+        return Err(Trap::DivisionByZero);
+    }
+    Ok(a % b)
+}
+
+/// A fusable two-operand numeric or relational operator, shared by every
+/// fused superinstruction form. Variants mirror the spec's instruction
+/// names 1:1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub(crate) enum BinOpKind {
+    I32Add,
+    I32Sub,
+    I32Mul,
+    I32DivS,
+    I32DivU,
+    I32RemS,
+    I32RemU,
+    I32And,
+    I32Or,
+    I32Xor,
+    I32Shl,
+    I32ShrS,
+    I32ShrU,
+    I32Rotl,
+    I32Rotr,
+    I64Add,
+    I64Sub,
+    I64Mul,
+    I64DivS,
+    I64DivU,
+    I64RemS,
+    I64RemU,
+    I64And,
+    I64Or,
+    I64Xor,
+    I64Shl,
+    I64ShrS,
+    I64ShrU,
+    I64Rotl,
+    I64Rotr,
+    F32Add,
+    F32Sub,
+    F32Mul,
+    F32Div,
+    F32Min,
+    F32Max,
+    F32Copysign,
+    F64Add,
+    F64Sub,
+    F64Mul,
+    F64Div,
+    F64Min,
+    F64Max,
+    F64Copysign,
+    I32Eq,
+    I32Ne,
+    I32LtS,
+    I32LtU,
+    I32GtS,
+    I32GtU,
+    I32LeS,
+    I32LeU,
+    I32GeS,
+    I32GeU,
+    I64Eq,
+    I64Ne,
+    I64LtS,
+    I64LtU,
+    I64GtS,
+    I64GtU,
+    I64LeS,
+    I64LeU,
+    I64GeS,
+    I64GeU,
+    F32Eq,
+    F32Ne,
+    F32Lt,
+    F32Gt,
+    F32Le,
+    F32Ge,
+    F64Eq,
+    F64Ne,
+    F64Lt,
+    F64Gt,
+    F64Le,
+    F64Ge,
+}
+
+/// Applies a fusable binary operator to two raw slots.
+///
+/// # Errors
+///
+/// Exactly the traps the corresponding plain opcode raises (`div`/`rem`
+/// route through the shared helpers above).
+#[inline]
+#[allow(clippy::too_many_lines)]
+fn apply_binop(op: BinOpKind, a: Slot, b: Slot) -> Result<Slot, Trap> {
+    use BinOpKind as B;
+    Ok(match op {
+        B::I32Add => from_i32(as_i32(a).wrapping_add(as_i32(b))),
+        B::I32Sub => from_i32(as_i32(a).wrapping_sub(as_i32(b))),
+        B::I32Mul => from_i32(as_i32(a).wrapping_mul(as_i32(b))),
+        B::I32DivS => from_i32(i32_div_s(as_i32(a), as_i32(b))?),
+        B::I32DivU => u64::from(i32_div_u(as_u32(a), as_u32(b))?),
+        B::I32RemS => from_i32(i32_rem_s(as_i32(a), as_i32(b))?),
+        B::I32RemU => u64::from(i32_rem_u(as_u32(a), as_u32(b))?),
+        B::I32And => from_i32(as_i32(a) & as_i32(b)),
+        B::I32Or => from_i32(as_i32(a) | as_i32(b)),
+        B::I32Xor => from_i32(as_i32(a) ^ as_i32(b)),
+        B::I32Shl => from_i32(as_i32(a).wrapping_shl(as_u32(b))),
+        B::I32ShrS => from_i32(as_i32(a).wrapping_shr(as_u32(b))),
+        B::I32ShrU => from_i32(as_u32(a).wrapping_shr(as_u32(b)) as i32),
+        B::I32Rotl => from_i32(as_i32(a).rotate_left(as_u32(b) % 32)),
+        B::I32Rotr => from_i32(as_i32(a).rotate_right(as_u32(b) % 32)),
+        B::I64Add => from_i64(as_i64(a).wrapping_add(as_i64(b))),
+        B::I64Sub => from_i64(as_i64(a).wrapping_sub(as_i64(b))),
+        B::I64Mul => from_i64(as_i64(a).wrapping_mul(as_i64(b))),
+        B::I64DivS => from_i64(i64_div_s(as_i64(a), as_i64(b))?),
+        B::I64DivU => i64_div_u(as_u64(a), as_u64(b))?,
+        B::I64RemS => from_i64(i64_rem_s(as_i64(a), as_i64(b))?),
+        B::I64RemU => i64_rem_u(as_u64(a), as_u64(b))?,
+        B::I64And => from_i64(as_i64(a) & as_i64(b)),
+        B::I64Or => from_i64(as_i64(a) | as_i64(b)),
+        B::I64Xor => from_i64(as_i64(a) ^ as_i64(b)),
+        B::I64Shl => from_i64(as_i64(a).wrapping_shl(as_u64(b) as u32)),
+        B::I64ShrS => from_i64(as_i64(a).wrapping_shr(as_u64(b) as u32)),
+        B::I64ShrU => from_i64(as_u64(a).wrapping_shr(as_u64(b) as u32) as i64),
+        B::I64Rotl => from_i64(as_i64(a).rotate_left((as_u64(b) as u32) % 64)),
+        B::I64Rotr => from_i64(as_i64(a).rotate_right((as_u64(b) as u32) % 64)),
+        B::F32Add => from_f32(as_f32(a) + as_f32(b)),
+        B::F32Sub => from_f32(as_f32(a) - as_f32(b)),
+        B::F32Mul => from_f32(as_f32(a) * as_f32(b)),
+        B::F32Div => from_f32(as_f32(a) / as_f32(b)),
+        B::F32Min => from_f32(wasm_fmin32(as_f32(a), as_f32(b))),
+        B::F32Max => from_f32(wasm_fmax32(as_f32(a), as_f32(b))),
+        B::F32Copysign => from_f32(as_f32(a).copysign(as_f32(b))),
+        B::F64Add => from_f64(as_f64(a) + as_f64(b)),
+        B::F64Sub => from_f64(as_f64(a) - as_f64(b)),
+        B::F64Mul => from_f64(as_f64(a) * as_f64(b)),
+        B::F64Div => from_f64(as_f64(a) / as_f64(b)),
+        B::F64Min => from_f64(wasm_fmin64(as_f64(a), as_f64(b))),
+        B::F64Max => from_f64(wasm_fmax64(as_f64(a), as_f64(b))),
+        B::F64Copysign => from_f64(as_f64(a).copysign(as_f64(b))),
+        B::I32Eq => u64::from(as_i32(a) == as_i32(b)),
+        B::I32Ne => u64::from(as_i32(a) != as_i32(b)),
+        B::I32LtS => u64::from(as_i32(a) < as_i32(b)),
+        B::I32LtU => u64::from(as_u32(a) < as_u32(b)),
+        B::I32GtS => u64::from(as_i32(a) > as_i32(b)),
+        B::I32GtU => u64::from(as_u32(a) > as_u32(b)),
+        B::I32LeS => u64::from(as_i32(a) <= as_i32(b)),
+        B::I32LeU => u64::from(as_u32(a) <= as_u32(b)),
+        B::I32GeS => u64::from(as_i32(a) >= as_i32(b)),
+        B::I32GeU => u64::from(as_u32(a) >= as_u32(b)),
+        B::I64Eq => u64::from(as_i64(a) == as_i64(b)),
+        B::I64Ne => u64::from(as_i64(a) != as_i64(b)),
+        B::I64LtS => u64::from(as_i64(a) < as_i64(b)),
+        B::I64LtU => u64::from(as_u64(a) < as_u64(b)),
+        B::I64GtS => u64::from(as_i64(a) > as_i64(b)),
+        B::I64GtU => u64::from(as_u64(a) > as_u64(b)),
+        B::I64LeS => u64::from(as_i64(a) <= as_i64(b)),
+        B::I64LeU => u64::from(as_u64(a) <= as_u64(b)),
+        B::I64GeS => u64::from(as_i64(a) >= as_i64(b)),
+        B::I64GeU => u64::from(as_u64(a) >= as_u64(b)),
+        B::F32Eq => u64::from(as_f32(a) == as_f32(b)),
+        B::F32Ne => u64::from(as_f32(a) != as_f32(b)),
+        B::F32Lt => u64::from(as_f32(a) < as_f32(b)),
+        B::F32Gt => u64::from(as_f32(a) > as_f32(b)),
+        B::F32Le => u64::from(as_f32(a) <= as_f32(b)),
+        B::F32Ge => u64::from(as_f32(a) >= as_f32(b)),
+        B::F64Eq => u64::from(as_f64(a) == as_f64(b)),
+        B::F64Ne => u64::from(as_f64(a) != as_f64(b)),
+        B::F64Lt => u64::from(as_f64(a) < as_f64(b)),
+        B::F64Gt => u64::from(as_f64(a) > as_f64(b)),
+        B::F64Le => u64::from(as_f64(a) <= as_f64(b)),
+        B::F64Ge => u64::from(as_f64(a) >= as_f64(b)),
+    })
+}
+
+/// The width/extension shape of a fused load. Variants mirror the spec's
+/// load instruction names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub(crate) enum LoadKind {
+    I32,
+    I64,
+    F32,
+    F64,
+    I32L8S,
+    I32L8U,
+    I32L16S,
+    I32L16U,
+    I64L8S,
+    I64L8U,
+    I64L16S,
+    I64L16U,
+    I64L32S,
+    I64L32U,
+}
+
+/// The width shape of a fused store. Variants mirror the spec's store
+/// instruction names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub(crate) enum StoreKind {
+    I32,
+    I64,
+    F32,
+    F64,
+    I32S8,
+    I32S16,
+    I64S8,
+    I64S16,
+    I64S32,
+}
+
+/// Performs a fused load at `base + offset`.
+///
+/// # Errors
+///
+/// Traps with [`Trap::MemoryOutOfBounds`] exactly like the plain opcode.
+#[inline]
+fn do_load(kind: LoadKind, memory: &Memory, base: i32, offset: u32) -> Result<Slot, Trap> {
+    Ok(match kind {
+        LoadKind::I32 => from_i32(i32::from_le_bytes(memory.load(base, offset)?)),
+        LoadKind::I64 => from_i64(i64::from_le_bytes(memory.load(base, offset)?)),
+        LoadKind::F32 => u64::from(u32::from_le_bytes(memory.load(base, offset)?)),
+        LoadKind::F64 => u64::from_le_bytes(memory.load(base, offset)?),
+        LoadKind::I32L8S => {
+            let b: [u8; 1] = memory.load(base, offset)?;
+            from_i32(i32::from(b[0] as i8))
+        }
+        LoadKind::I32L8U | LoadKind::I64L8U => {
+            let b: [u8; 1] = memory.load(base, offset)?;
+            u64::from(b[0])
+        }
+        LoadKind::I32L16S => from_i32(i32::from(i16::from_le_bytes(memory.load(base, offset)?))),
+        LoadKind::I32L16U | LoadKind::I64L16U => {
+            u64::from(u16::from_le_bytes(memory.load(base, offset)?))
+        }
+        LoadKind::I64L8S => {
+            let b: [u8; 1] = memory.load(base, offset)?;
+            from_i64(i64::from(b[0] as i8))
+        }
+        LoadKind::I64L16S => from_i64(i64::from(i16::from_le_bytes(memory.load(base, offset)?))),
+        LoadKind::I64L32S => from_i64(i64::from(i32::from_le_bytes(memory.load(base, offset)?))),
+        LoadKind::I64L32U => u64::from(u32::from_le_bytes(memory.load(base, offset)?)),
+    })
+}
+
+/// Performs a fused store of raw slot `v` at `base + offset`.
+///
+/// # Errors
+///
+/// Traps with [`Trap::MemoryOutOfBounds`] exactly like the plain opcode.
+#[inline]
+fn do_store(
+    kind: StoreKind,
+    memory: &mut Memory,
+    base: i32,
+    offset: u32,
+    v: Slot,
+) -> Result<(), Trap> {
+    match kind {
+        StoreKind::I32 | StoreKind::F32 => memory.store(base, offset, &(v as u32).to_le_bytes()),
+        StoreKind::I64 | StoreKind::F64 => memory.store(base, offset, &v.to_le_bytes()),
+        StoreKind::I32S8 | StoreKind::I64S8 => memory.store(base, offset, &[(v & 0xff) as u8]),
+        StoreKind::I32S16 | StoreKind::I64S16 => {
+            memory.store(base, offset, &(v as u16).to_le_bytes())
+        }
+        StoreKind::I64S32 => memory.store(base, offset, &(v as u32).to_le_bytes()),
     }
 }
 
@@ -200,6 +589,195 @@ pub(crate) enum FlatOp {
 
     /// All four constant forms, pre-encoded as a raw slot.
     Const(u64),
+
+    /// Fused `local.get a; local.get b; binop`: pushes `op(local[a], local[b])`.
+    FusedBinopLL {
+        a: u32,
+        b: u32,
+        op: BinOpKind,
+    },
+    /// Fused `local.get a; const k; binop`: pushes `op(local[a], k)`.
+    FusedBinopLK {
+        a: u32,
+        k: u64,
+        op: BinOpKind,
+    },
+    /// Fused `local.get a; local.get b; binop; local.set dst`.
+    FusedBinopLLSet {
+        a: u32,
+        b: u32,
+        op: BinOpKind,
+        dst: u32,
+    },
+    /// Fused `local.get a; const k; binop; local.set dst`. The constant is
+    /// stored as a zero-extended `u32` to keep `FlatOp` at 16 bytes; the
+    /// fusion pass only emits this form when the slot fits.
+    FusedBinopLKSet {
+        a: u32,
+        k: u32,
+        op: BinOpKind,
+        dst: u32,
+    },
+    /// Fused `local.get b; binop` with the **left** operand already on the
+    /// stack: rewrites the top of stack to `op(top, local[b])` (the
+    /// `i*n + j` index shape).
+    FusedBinopSL {
+        b: u32,
+        op: BinOpKind,
+    },
+    /// [`FlatOp::FusedBinopSL`] followed by `local.set dst`.
+    FusedBinopSLSet {
+        b: u32,
+        op: BinOpKind,
+        dst: u32,
+    },
+    /// [`FlatOp::FusedBinopSL`] followed by a store (address beneath the
+    /// left operand on the stack).
+    FusedBinopSLStore {
+        b: u32,
+        op: BinOpKind,
+        offset: u32,
+        kind: StoreKind,
+    },
+    /// Fused `local.get a; local.get b; binop; store`: computes
+    /// `op(local[a], local[b])` and stores it at the address popped from
+    /// the stack.
+    FusedBinopLLStore {
+        a: u32,
+        b: u32,
+        op: BinOpKind,
+        offset: u32,
+        kind: StoreKind,
+    },
+    /// Fused `binop; local.set dst`: operands popped from the stack, the
+    /// result sunk straight into a frame slot.
+    FusedBinopSet {
+        op: BinOpKind,
+        dst: u32,
+    },
+    /// Fused `local.get src; local.set dst`: a frame-slot copy with no
+    /// operand-stack traffic.
+    LocalCopy {
+        src: u32,
+        dst: u32,
+    },
+    /// Fused `local.get addr; load`: loads from `local[addr] + offset`.
+    FusedLoadL {
+        addr: u32,
+        offset: u32,
+        kind: LoadKind,
+    },
+    /// Fused `local.get val; store`: stores `local[val]` at the address
+    /// popped from the stack (plus `offset`).
+    FusedStoreL {
+        val: u32,
+        offset: u32,
+        kind: StoreKind,
+    },
+    /// Fused `i32.add; load`: pops two i32 address parts, loads from their
+    /// wrapping sum plus `offset` (the dominant array-indexing shape).
+    FusedAddLoad {
+        offset: u32,
+        kind: LoadKind,
+    },
+    /// Fused `const k; binop`: pops one operand, pushes `op(a, k)` (the
+    /// index-scaling / increment shape where the left operand is already
+    /// on the stack).
+    FusedBinopKS {
+        k: u64,
+        op: BinOpKind,
+    },
+    /// Fused `const k; i32.mul; i32.add`: pops an index, rewrites the base
+    /// beneath it to `base + idx*k` — the element-scaling tail of every
+    /// array address (`k` kept as a fitting u32).
+    FusedScaleAdd {
+        k: u32,
+    },
+    /// [`FlatOp::FusedScaleAdd`] plus the trailing load: pops an index,
+    /// rewrites the base to `mem[base + idx*k + offset]`.
+    FusedScaleAddLoad {
+        k: u32,
+        offset: u32,
+        kind: LoadKind,
+    },
+    /// Fused `local.get z; i32.add; const k; i32.mul; i32.add`: pops a
+    /// partial index, rewrites the base beneath it to
+    /// `base + (partial + local[z])*k` — the 2-D row-column address tail.
+    FusedIdxLAdd {
+        z: u32,
+        k: u32,
+    },
+    /// [`FlatOp::FusedIdxLAdd`] plus the trailing load.
+    FusedIdxLAddLoad {
+        z: u32,
+        k: u32,
+        offset: u32,
+        kind: LoadKind,
+    },
+    /// Fused `binop; store`: computes `op(a, b)` from the stack and stores
+    /// it at the address popped beneath (plus `offset`).
+    FusedBinopStore {
+        op: BinOpKind,
+        offset: u32,
+        kind: StoreKind,
+    },
+    /// Fused `binop; jump-if-zero` (also absorbs `binop; i32.eqz;
+    /// jump-if-non-zero`): jumps when the result is zero.
+    FusedCmpBrZ {
+        op: BinOpKind,
+        target: u32,
+    },
+    /// Fused `binop; jump-if-non-zero` (also absorbs `binop; i32.eqz;
+    /// jump-if-zero`): jumps when the result is non-zero.
+    FusedCmpBrNZ {
+        op: BinOpKind,
+        target: u32,
+    },
+    /// [`FlatOp::FusedCmpBrZ`] with both operands from frame slots — the
+    /// `local.get i; local.get n; relop; i32.eqz; br_if` loop-exit shape,
+    /// five dispatches collapsed into one.
+    FusedCmpBrLLZ {
+        a: u32,
+        b: u32,
+        op: BinOpKind,
+        target: u32,
+    },
+    /// [`FlatOp::FusedCmpBrNZ`] with both operands from frame slots.
+    FusedCmpBrLLNZ {
+        a: u32,
+        b: u32,
+        op: BinOpKind,
+        target: u32,
+    },
+    /// [`FlatOp::FusedCmpBrZ`] with a frame slot and an inline constant
+    /// (zero-extended `u32`, like [`FlatOp::FusedBinopLKSet`]).
+    FusedCmpBrLKZ {
+        a: u32,
+        k: u32,
+        op: BinOpKind,
+        target: u32,
+    },
+    /// [`FlatOp::FusedCmpBrNZ`] with a frame slot and an inline constant.
+    FusedCmpBrLKNZ {
+        a: u32,
+        k: u32,
+        op: BinOpKind,
+        target: u32,
+    },
+    /// [`FlatOp::FusedCmpBrZ`] with the left operand on the stack and the
+    /// right from a frame slot.
+    FusedCmpBrSLZ {
+        b: u32,
+        op: BinOpKind,
+        target: u32,
+    },
+    /// [`FlatOp::FusedCmpBrNZ`] with the left operand on the stack and the
+    /// right from a frame slot.
+    FusedCmpBrSLNZ {
+        b: u32,
+        op: BinOpKind,
+        target: u32,
+    },
 
     I32Eqz,
     I32Eq,
@@ -336,6 +914,236 @@ pub(crate) enum FlatOp {
     I64Extend32S,
 }
 
+/// Per-kind counts of superinstructions emitted by the fusion pass over a
+/// whole module, reported by
+/// [`Instance::fusion_stats`](crate::exec::Instance::fusion_stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusionStats {
+    /// `local.get; local.get; binop` windows fused.
+    pub binop_ll: u64,
+    /// `local.get; const; binop` windows fused.
+    pub binop_lk: u64,
+    /// `local.get; local.get; binop; local.set` windows fused.
+    pub binop_ll_set: u64,
+    /// `local.get; const; binop; local.set` windows fused.
+    pub binop_lk_set: u64,
+    /// `binop; local.set` sinks fused (operands from the stack).
+    pub binop_set: u64,
+    /// `local.get; local.set` frame-slot copies fused.
+    pub local_copy: u64,
+    /// `local.get; load` windows fused.
+    pub load_l: u64,
+    /// `local.get; store` windows fused.
+    pub store_l: u64,
+    /// `i32.add; load` address-computation windows fused.
+    pub add_load: u64,
+    /// `const; binop` windows fused (left operand on the stack).
+    pub binop_ks: u64,
+    /// `local.get; binop` windows fused (left operand on the stack).
+    pub binop_sl: u64,
+    /// `local.get; binop; local.set` windows fused (left operand on the
+    /// stack).
+    pub binop_sl_set: u64,
+    /// `binop; store` sinks fused (any operand source).
+    pub binop_store: u64,
+    /// Array-address tails fused without a trailing load
+    /// (`const; i32.mul; i32.add`, with or without the row `local.get;
+    /// i32.add` prefix).
+    pub idx_addr: u64,
+    /// Array-address tails fused **with** the trailing load.
+    pub idx_load: u64,
+    /// Compare-and-branch windows fused (all operand sources, both
+    /// polarities, `i32.eqz` inversions absorbed).
+    pub cmp_br: u64,
+    /// Bare `i32.eqz; jump-if` pairs rewritten into the inverted jump.
+    pub eqz_br: u64,
+}
+
+impl FusionStats {
+    /// Total superinstructions emitted across all kinds.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts().iter().map(|(_, n)| n).sum()
+    }
+
+    /// Per-kind `(name, count)` pairs, for coverage assertions and logs.
+    #[must_use]
+    pub fn counts(&self) -> [(&'static str, u64); 17] {
+        [
+            ("binop_ll", self.binop_ll),
+            ("binop_lk", self.binop_lk),
+            ("binop_ll_set", self.binop_ll_set),
+            ("binop_lk_set", self.binop_lk_set),
+            ("binop_set", self.binop_set),
+            ("local_copy", self.local_copy),
+            ("load_l", self.load_l),
+            ("store_l", self.store_l),
+            ("add_load", self.add_load),
+            ("binop_ks", self.binop_ks),
+            ("binop_sl", self.binop_sl),
+            ("binop_sl_set", self.binop_sl_set),
+            ("binop_store", self.binop_store),
+            ("idx_addr", self.idx_addr),
+            ("idx_load", self.idx_load),
+            ("cmp_br", self.cmp_br),
+            ("eqz_br", self.eqz_br),
+        ]
+    }
+
+    /// Accumulates another module's counts into this one.
+    pub fn merge(&mut self, other: &FusionStats) {
+        self.binop_ll += other.binop_ll;
+        self.binop_lk += other.binop_lk;
+        self.binop_ll_set += other.binop_ll_set;
+        self.binop_lk_set += other.binop_lk_set;
+        self.binop_set += other.binop_set;
+        self.local_copy += other.local_copy;
+        self.load_l += other.load_l;
+        self.store_l += other.store_l;
+        self.add_load += other.add_load;
+        self.binop_ks += other.binop_ks;
+        self.binop_sl += other.binop_sl;
+        self.binop_sl_set += other.binop_sl_set;
+        self.binop_store += other.binop_store;
+        self.idx_addr += other.idx_addr;
+        self.idx_load += other.idx_load;
+        self.cmp_br += other.cmp_br;
+        self.eqz_br += other.eqz_br;
+    }
+}
+
+/// True when the `WATZ_NO_FUSE` environment switch (any non-empty value
+/// other than `0`) disables the fusion pass, keeping the unfused flat
+/// engine reachable for bisection.
+pub(crate) fn fusion_disabled_by_env() -> bool {
+    std::env::var_os("WATZ_NO_FUSE").is_some_and(|v| !v.is_empty() && v.to_str() != Some("0"))
+}
+
+/// Maps a plain flat opcode to its fusable binary-operator kind.
+#[allow(clippy::too_many_lines)]
+fn binop_kind(op: &FlatOp) -> Option<BinOpKind> {
+    use BinOpKind as B;
+    use FlatOp as F;
+    Some(match op {
+        F::I32Add => B::I32Add,
+        F::I32Sub => B::I32Sub,
+        F::I32Mul => B::I32Mul,
+        F::I32DivS => B::I32DivS,
+        F::I32DivU => B::I32DivU,
+        F::I32RemS => B::I32RemS,
+        F::I32RemU => B::I32RemU,
+        F::I32And => B::I32And,
+        F::I32Or => B::I32Or,
+        F::I32Xor => B::I32Xor,
+        F::I32Shl => B::I32Shl,
+        F::I32ShrS => B::I32ShrS,
+        F::I32ShrU => B::I32ShrU,
+        F::I32Rotl => B::I32Rotl,
+        F::I32Rotr => B::I32Rotr,
+        F::I64Add => B::I64Add,
+        F::I64Sub => B::I64Sub,
+        F::I64Mul => B::I64Mul,
+        F::I64DivS => B::I64DivS,
+        F::I64DivU => B::I64DivU,
+        F::I64RemS => B::I64RemS,
+        F::I64RemU => B::I64RemU,
+        F::I64And => B::I64And,
+        F::I64Or => B::I64Or,
+        F::I64Xor => B::I64Xor,
+        F::I64Shl => B::I64Shl,
+        F::I64ShrS => B::I64ShrS,
+        F::I64ShrU => B::I64ShrU,
+        F::I64Rotl => B::I64Rotl,
+        F::I64Rotr => B::I64Rotr,
+        F::F32Add => B::F32Add,
+        F::F32Sub => B::F32Sub,
+        F::F32Mul => B::F32Mul,
+        F::F32Div => B::F32Div,
+        F::F32Min => B::F32Min,
+        F::F32Max => B::F32Max,
+        F::F32Copysign => B::F32Copysign,
+        F::F64Add => B::F64Add,
+        F::F64Sub => B::F64Sub,
+        F::F64Mul => B::F64Mul,
+        F::F64Div => B::F64Div,
+        F::F64Min => B::F64Min,
+        F::F64Max => B::F64Max,
+        F::F64Copysign => B::F64Copysign,
+        F::I32Eq => B::I32Eq,
+        F::I32Ne => B::I32Ne,
+        F::I32LtS => B::I32LtS,
+        F::I32LtU => B::I32LtU,
+        F::I32GtS => B::I32GtS,
+        F::I32GtU => B::I32GtU,
+        F::I32LeS => B::I32LeS,
+        F::I32LeU => B::I32LeU,
+        F::I32GeS => B::I32GeS,
+        F::I32GeU => B::I32GeU,
+        F::I64Eq => B::I64Eq,
+        F::I64Ne => B::I64Ne,
+        F::I64LtS => B::I64LtS,
+        F::I64LtU => B::I64LtU,
+        F::I64GtS => B::I64GtS,
+        F::I64GtU => B::I64GtU,
+        F::I64LeS => B::I64LeS,
+        F::I64LeU => B::I64LeU,
+        F::I64GeS => B::I64GeS,
+        F::I64GeU => B::I64GeU,
+        F::F32Eq => B::F32Eq,
+        F::F32Ne => B::F32Ne,
+        F::F32Lt => B::F32Lt,
+        F::F32Gt => B::F32Gt,
+        F::F32Le => B::F32Le,
+        F::F32Ge => B::F32Ge,
+        F::F64Eq => B::F64Eq,
+        F::F64Ne => B::F64Ne,
+        F::F64Lt => B::F64Lt,
+        F::F64Gt => B::F64Gt,
+        F::F64Le => B::F64Le,
+        F::F64Ge => B::F64Ge,
+        _ => return None,
+    })
+}
+
+/// Maps a plain load opcode to its fused `(kind, offset)` pair.
+fn load_kind(op: &FlatOp) -> Option<(LoadKind, u32)> {
+    use FlatOp as F;
+    Some(match op {
+        F::I32Load(o) => (LoadKind::I32, *o),
+        F::I64Load(o) => (LoadKind::I64, *o),
+        F::F32Load(o) => (LoadKind::F32, *o),
+        F::F64Load(o) => (LoadKind::F64, *o),
+        F::I32Load8S(o) => (LoadKind::I32L8S, *o),
+        F::I32Load8U(o) => (LoadKind::I32L8U, *o),
+        F::I32Load16S(o) => (LoadKind::I32L16S, *o),
+        F::I32Load16U(o) => (LoadKind::I32L16U, *o),
+        F::I64Load8S(o) => (LoadKind::I64L8S, *o),
+        F::I64Load8U(o) => (LoadKind::I64L8U, *o),
+        F::I64Load16S(o) => (LoadKind::I64L16S, *o),
+        F::I64Load16U(o) => (LoadKind::I64L16U, *o),
+        F::I64Load32S(o) => (LoadKind::I64L32S, *o),
+        F::I64Load32U(o) => (LoadKind::I64L32U, *o),
+        _ => return None,
+    })
+}
+
+/// Maps a plain store opcode to its fused `(kind, offset)` pair.
+fn store_kind(op: &FlatOp) -> Option<(StoreKind, u32)> {
+    use FlatOp as F;
+    Some(match op {
+        F::I32Store(o) => (StoreKind::I32, *o),
+        F::I64Store(o) => (StoreKind::I64, *o),
+        F::F32Store(o) => (StoreKind::F32, *o),
+        F::F64Store(o) => (StoreKind::F64, *o),
+        F::I32Store8(o) => (StoreKind::I32S8, *o),
+        F::I32Store16(o) => (StoreKind::I32S16, *o),
+        F::I64Store8(o) => (StoreKind::I64S8, *o),
+        F::I64Store16(o) => (StoreKind::I64S16, *o),
+        F::I64Store32(o) => (StoreKind::I64S32, *o),
+        _ => return None,
+    })
+}
+
 /// An imported function, with its signature pre-split for slot/Value
 /// conversion at the host boundary.
 #[derive(Debug)]
@@ -369,15 +1177,26 @@ pub(crate) struct FlatModule {
     funcs: Vec<FlatFuncDef>,
     func_type_idx: Box<[u32]>,
     global_types: Box<[ValType]>,
+    fusion: FusionStats,
 }
 
 impl FlatModule {
-    /// Lowers every function body of a **validated** module.
-    pub(crate) fn compile(module: &Module) -> FlatModule {
+    /// Lowers every function body of a validated module; `fuse` controls
+    /// the superinstruction peephole pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::Instantiation`] when the module is malformed (a
+    /// truncated/unbalanced body, out-of-range indices) — lowering never
+    /// panics, even on input that skipped validation.
+    pub(crate) fn compile_with(module: &Module, fuse: bool) -> Result<FlatModule, Trap> {
         let mut funcs = Vec::with_capacity(module.func_count());
         let mut func_type_idx = Vec::with_capacity(module.func_count());
         for imp in &module.func_imports {
-            let ty = &module.types[imp.type_idx as usize];
+            let ty = module
+                .types
+                .get(imp.type_idx as usize)
+                .ok_or_else(|| bad("import type index out of range"))?;
             funcs.push(FlatFuncDef::Import(FlatImport {
                 module: imp.module.clone(),
                 name: imp.name.clone(),
@@ -385,8 +1204,9 @@ impl FlatModule {
             }));
             func_type_idx.push(imp.type_idx);
         }
+        let mut fusion = FusionStats::default();
         for body in &module.funcs {
-            funcs.push(FlatFuncDef::Local(lower(module, body)));
+            funcs.push(FlatFuncDef::Local(lower(module, body, fuse, &mut fusion)?));
             func_type_idx.push(body.type_idx);
         }
         let global_types = module
@@ -395,12 +1215,23 @@ impl FlatModule {
             .map(|g| g.ty.val_type)
             .collect::<Vec<_>>()
             .into_boxed_slice();
-        FlatModule {
+        Ok(FlatModule {
             funcs,
             func_type_idx: func_type_idx.into_boxed_slice(),
             global_types,
-        }
+            fusion,
+        })
     }
+
+    /// Superinstruction counts emitted while lowering this module.
+    pub(crate) fn fusion_stats(&self) -> FusionStats {
+        self.fusion
+    }
+}
+
+/// The error malformed (unvalidated) input raises during lowering.
+fn bad(msg: &str) -> Trap {
+    Trap::Instantiation(format!("flat lowering: {msg}"))
 }
 
 /// A control frame tracked during lowering (compile time only).
@@ -423,15 +1254,18 @@ struct Ctrl {
     unreachable: bool,
 }
 
-fn block_arities(module: &Module, bt: BlockType) -> (usize, usize) {
-    match bt {
+fn block_arities(module: &Module, bt: BlockType) -> Result<(usize, usize), Trap> {
+    Ok(match bt {
         BlockType::Empty => (0, 0),
         BlockType::Value(_) => (0, 1),
         BlockType::Func(idx) => {
-            let ty = &module.types[idx as usize];
+            let ty = module
+                .types
+                .get(idx as usize)
+                .ok_or_else(|| bad("block type index out of range"))?;
             (ty.params.len(), ty.results.len())
         }
-    }
+    })
 }
 
 fn set_target(op: &mut FlatOp, slot: u32, target: u32) {
@@ -446,10 +1280,25 @@ fn set_target(op: &mut FlatOp, slot: u32, target: u32) {
     }
 }
 
-/// Lowers one function body to flat code.
+/// Lowers one function body to flat code (then fuses it, when enabled).
+///
+/// # Errors
+///
+/// Returns [`Trap::Instantiation`] for malformed bodies — truncated code
+/// (unbalanced control), out-of-range type/function/branch indices, or
+/// operand-stack underflow. A module that passed [`crate::validate`] never
+/// hits these, but lowering must not panic the host either way.
 #[allow(clippy::too_many_lines)]
-fn lower(module: &Module, body: &FuncBody) -> FlatFunc {
-    let ty = &module.types[body.type_idx as usize];
+fn lower(
+    module: &Module,
+    body: &FuncBody,
+    fuse: bool,
+    fusion: &mut FusionStats,
+) -> Result<FlatFunc, Trap> {
+    let ty = module
+        .types
+        .get(body.type_idx as usize)
+        .ok_or_else(|| bad("function type index out of range"))?;
     let n_params = ty.params.len();
     let n_results = ty.results.len();
     let n_imports = module.func_imports.len() as u32;
@@ -474,9 +1323,14 @@ fn lower(module: &Module, body: &FuncBody) -> FlatFunc {
     // nothing, registers patches on the target frame as needed.
     macro_rules! emit_branch {
         ($d:expr, $conditional:expr) => {{
-            let idx = ctrl.len() - 1 - $d as usize;
+            let idx = (ctrl.len() - 1)
+                .checked_sub($d as usize)
+                .ok_or_else(|| bad("branch depth exceeds control stack"))?;
             let keep = ctrl[idx].branch_arity;
             let lh = ctrl[idx].label_height;
+            if height < keep + lh {
+                return Err(bad("operand stack underflow at branch"));
+            }
             let no_adjust = height - keep == lh;
             let op = match (ctrl[idx].is_loop, $conditional, no_adjust) {
                 (true, false, true) => FlatOp::Jump {
@@ -520,7 +1374,7 @@ fn lower(module: &Module, body: &FuncBody) -> FlatFunc {
     // to the function label land on it.
     macro_rules! close_frame {
         () => {{
-            let frame = ctrl.pop().expect("validated: balanced control");
+            let frame = ctrl.pop().ok_or_else(|| bad("unbalanced end"))?;
             let end_pos = ops.len() as u32;
             if let Some(ep) = frame.else_patch {
                 // `if` without `else`: the false path jumps straight here
@@ -538,14 +1392,22 @@ fn lower(module: &Module, body: &FuncBody) -> FlatFunc {
     }
 
     for instr in &body.code {
+        // Every frame closed but instructions remain: the body is not the
+        // single well-bracketed expression the format requires.
+        let Some(top) = ctrl.last() else {
+            return Err(bad("instructions after the function's final end"));
+        };
         // Inside statically unreachable code nothing is emitted; only the
         // block structure is tracked so the matching else/end is found.
-        if ctrl.last().is_some_and(|c| c.unreachable) {
+        if top.unreachable {
             match instr {
                 i if i.opens_block() => skip += 1,
                 Instr::Else if skip == 0 => {
-                    let frame = ctrl.last_mut().expect("validated");
-                    let ep = frame.else_patch.take().expect("unreachable then-branch");
+                    let frame = ctrl.last_mut().ok_or_else(|| bad("else outside a frame"))?;
+                    let ep = frame
+                        .else_patch
+                        .take()
+                        .ok_or_else(|| bad("else without matching if"))?;
                     frame.unreachable = false;
                     height = frame.label_height + frame.params;
                     let pos = ops.len() as u32;
@@ -563,17 +1425,28 @@ fn lower(module: &Module, body: &FuncBody) -> FlatFunc {
             continue;
         }
 
+        // Operand-stack underflow guard shared by the arms below.
+        macro_rules! sub_height {
+            ($n:expr) => {
+                height
+                    .checked_sub($n)
+                    .ok_or_else(|| bad("operand stack underflow"))?
+            };
+        }
+
         match instr {
             Instr::Nop => {}
             Instr::Unreachable => {
                 ops.push(FlatOp::Unreachable);
-                ctrl.last_mut().expect("validated").unreachable = true;
+                ctrl.last_mut()
+                    .ok_or_else(|| bad("empty control"))?
+                    .unreachable = true;
             }
             Instr::Block(bt) => {
-                let (params, results) = block_arities(module, *bt);
+                let (params, results) = block_arities(module, *bt)?;
                 ctrl.push(Ctrl {
                     is_loop: false,
-                    label_height: height - params,
+                    label_height: sub_height!(params),
                     params,
                     results,
                     branch_arity: results,
@@ -584,10 +1457,10 @@ fn lower(module: &Module, body: &FuncBody) -> FlatFunc {
                 });
             }
             Instr::Loop(bt) => {
-                let (params, results) = block_arities(module, *bt);
+                let (params, results) = block_arities(module, *bt)?;
                 ctrl.push(Ctrl {
                     is_loop: true,
-                    label_height: height - params,
+                    label_height: sub_height!(params),
                     params,
                     results,
                     branch_arity: params,
@@ -598,13 +1471,13 @@ fn lower(module: &Module, body: &FuncBody) -> FlatFunc {
                 });
             }
             Instr::If(bt) => {
-                height -= 1; // condition
-                let (params, results) = block_arities(module, *bt);
+                height = sub_height!(1); // condition
+                let (params, results) = block_arities(module, *bt)?;
                 let ep = ops.len() as u32;
                 ops.push(FlatOp::JumpIfZero { target: 0 });
                 ctrl.push(Ctrl {
                     is_loop: false,
-                    label_height: height - params,
+                    label_height: sub_height!(params),
                     params,
                     results,
                     branch_arity: results,
@@ -618,9 +1491,12 @@ fn lower(module: &Module, body: &FuncBody) -> FlatFunc {
                 // Reachable then-branch falls through: jump over the else.
                 let jmp = ops.len() as u32;
                 ops.push(FlatOp::Jump { target: 0 });
-                let frame = ctrl.last_mut().expect("validated");
+                let frame = ctrl.last_mut().ok_or_else(|| bad("else outside a frame"))?;
                 frame.patches.push((jmp, u32::MAX));
-                let ep = frame.else_patch.take().expect("if has one else");
+                let ep = frame
+                    .else_patch
+                    .take()
+                    .ok_or_else(|| bad("else without matching if"))?;
                 height = frame.label_height + frame.params;
                 let pos = ops.len() as u32;
                 set_target(&mut ops[ep as usize], u32::MAX, pos);
@@ -628,19 +1504,23 @@ fn lower(module: &Module, body: &FuncBody) -> FlatFunc {
             Instr::End => close_frame!(),
             Instr::Br(d) => {
                 emit_branch!(*d, false);
-                ctrl.last_mut().expect("validated").unreachable = true;
+                ctrl.last_mut()
+                    .ok_or_else(|| bad("empty control"))?
+                    .unreachable = true;
             }
             Instr::BrIf(d) => {
-                height -= 1; // condition
+                height = sub_height!(1); // condition
                 emit_branch!(*d, true);
             }
             Instr::BrTable { targets, default } => {
-                height -= 1; // index
+                height = sub_height!(1); // index
                 let op_idx = ops.len() as u32;
                 let mut entries = Vec::with_capacity(targets.len() + 1);
                 let mut pending: Vec<(usize, u32)> = Vec::new();
                 for (slot, d) in targets.iter().chain(std::iter::once(default)).enumerate() {
-                    let idx = ctrl.len() - 1 - *d as usize;
+                    let idx = (ctrl.len() - 1)
+                        .checked_sub(*d as usize)
+                        .ok_or_else(|| bad("br_table depth exceeds control stack"))?;
                     let keep = ctrl[idx].branch_arity as u32;
                     let h = ctrl[idx].label_height as u32;
                     if ctrl[idx].is_loop {
@@ -664,16 +1544,25 @@ fn lower(module: &Module, body: &FuncBody) -> FlatFunc {
                 ops.push(FlatOp::BrTable {
                     entries: entries.into_boxed_slice(),
                 });
-                ctrl.last_mut().expect("validated").unreachable = true;
+                ctrl.last_mut()
+                    .ok_or_else(|| bad("empty control"))?
+                    .unreachable = true;
             }
             Instr::Return => {
                 ops.push(FlatOp::Return);
-                ctrl.last_mut().expect("validated").unreachable = true;
+                ctrl.last_mut()
+                    .ok_or_else(|| bad("empty control"))?
+                    .unreachable = true;
             }
             Instr::Call(f) => {
-                let ty_idx = module.func_type_idx(*f).expect("validated call");
-                let fty = &module.types[ty_idx as usize];
-                height = height - fty.params.len() + fty.results.len();
+                let ty_idx = module
+                    .func_type_idx(*f)
+                    .ok_or_else(|| bad("call target out of range"))?;
+                let fty = module
+                    .types
+                    .get(ty_idx as usize)
+                    .ok_or_else(|| bad("call type index out of range"))?;
+                height = sub_height!(fty.params.len()) + fty.results.len();
                 if *f < n_imports {
                     ops.push(FlatOp::CallImport { func: *f });
                 } else {
@@ -681,37 +1570,504 @@ fn lower(module: &Module, body: &FuncBody) -> FlatFunc {
                 }
             }
             Instr::CallIndirect { type_idx, .. } => {
-                let fty = &module.types[*type_idx as usize];
-                height = height - 1 - fty.params.len() + fty.results.len();
+                let fty = module
+                    .types
+                    .get(*type_idx as usize)
+                    .ok_or_else(|| bad("call_indirect type index out of range"))?;
+                height = sub_height!(1 + fty.params.len()) + fty.results.len();
                 ops.push(FlatOp::CallIndirect {
                     type_idx: *type_idx,
                 });
             }
             other => {
-                let (op, pops, pushes) = map_simple(other);
-                height = height - pops + pushes;
+                let (op, pops, pushes) = map_simple(other)?;
+                height = sub_height!(pops) + pushes;
                 ops.push(op);
             }
         }
     }
 
-    debug_assert!(ctrl.is_empty(), "validated code closes every frame");
-    FlatFunc {
+    if !ctrl.is_empty() {
+        return Err(bad("truncated body: unbalanced control (missing end)"));
+    }
+    let code = if fuse { fuse_ops(ops, fusion)? } else { ops };
+    check_jump_targets(&code)?;
+    Ok(FlatFunc {
         n_params: n_params as u32,
         n_locals: (n_params + body.locals.len()) as u32,
         n_results: n_results as u32,
         result_types: ty.results.clone().into_boxed_slice(),
-        code: ops.into_boxed_slice(),
+        code: code.into_boxed_slice(),
+    })
+}
+
+/// The load-time flat-code validator: every absolute jump target (and
+/// every `br_table` entry) must land on a real instruction. Runs on both
+/// the fused and unfused paths before any code is executed, so a lowering
+/// or remap bug surfaces as an instantiation error, not a runtime panic.
+fn check_jump_targets(code: &[FlatOp]) -> Result<(), Trap> {
+    let n = code.len() as u32;
+    let check = |t: u32| {
+        if t < n {
+            Ok(())
+        } else {
+            Err(bad("jump target out of bounds"))
+        }
+    };
+    for op in code {
+        match op {
+            FlatOp::Jump { target }
+            | FlatOp::JumpIfZero { target }
+            | FlatOp::JumpIfNonZero { target }
+            | FlatOp::Br { target, .. }
+            | FlatOp::BrIf { target, .. }
+            | FlatOp::FusedCmpBrZ { target, .. }
+            | FlatOp::FusedCmpBrNZ { target, .. }
+            | FlatOp::FusedCmpBrLLZ { target, .. }
+            | FlatOp::FusedCmpBrLLNZ { target, .. }
+            | FlatOp::FusedCmpBrLKZ { target, .. }
+            | FlatOp::FusedCmpBrLKNZ { target, .. }
+            | FlatOp::FusedCmpBrSLZ { target, .. }
+            | FlatOp::FusedCmpBrSLNZ { target, .. } => check(*target)?,
+            FlatOp::BrTable { entries } => {
+                for e in entries.iter() {
+                    check(e.target)?;
+                }
+            }
+            _ => {}
+        }
     }
+    Ok(())
+}
+
+/// The peephole fusion pass: rewrites adjacent-op windows into fused
+/// superinstructions, then re-points every jump through the old→new index
+/// map.
+///
+/// A window may only swallow ops that are **not** jump targets — branch
+/// destinations always stay window starts, which is what makes the remap
+/// a plain index lookup (see the module docs for the invariant).
+fn fuse_ops(ops: Vec<FlatOp>, fusion: &mut FusionStats) -> Result<Vec<FlatOp>, Trap> {
+    let n = ops.len();
+    let mut is_target = vec![false; n + 1];
+    for op in &ops {
+        match op {
+            FlatOp::Jump { target }
+            | FlatOp::JumpIfZero { target }
+            | FlatOp::JumpIfNonZero { target }
+            | FlatOp::Br { target, .. }
+            | FlatOp::BrIf { target, .. } => {
+                *is_target
+                    .get_mut(*target as usize)
+                    .ok_or_else(|| bad("jump target out of bounds"))? = true;
+            }
+            FlatOp::BrTable { entries } => {
+                for e in entries.iter() {
+                    *is_target
+                        .get_mut(e.target as usize)
+                        .ok_or_else(|| bad("br_table target out of bounds"))? = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = Vec::with_capacity(n);
+    // old index -> new index; `u32::MAX` marks an op swallowed into the
+    // middle of a window (never a legal jump target).
+    let mut old2new = vec![u32::MAX; n + 1];
+    let mut i = 0;
+    while i < n {
+        old2new[i] = out.len() as u32;
+        i += fuse_at(&ops, &is_target, i, &mut out, fusion);
+    }
+    old2new[n] = out.len() as u32;
+
+    for op in &mut out {
+        let remap = |t: &mut u32| {
+            let nt = old2new[*t as usize];
+            if nt == u32::MAX {
+                return Err(bad("jump into the middle of a fused window"));
+            }
+            *t = nt;
+            Ok(())
+        };
+        match op {
+            FlatOp::Jump { target }
+            | FlatOp::JumpIfZero { target }
+            | FlatOp::JumpIfNonZero { target }
+            | FlatOp::Br { target, .. }
+            | FlatOp::BrIf { target, .. }
+            | FlatOp::FusedCmpBrZ { target, .. }
+            | FlatOp::FusedCmpBrNZ { target, .. }
+            | FlatOp::FusedCmpBrLLZ { target, .. }
+            | FlatOp::FusedCmpBrLLNZ { target, .. }
+            | FlatOp::FusedCmpBrLKZ { target, .. }
+            | FlatOp::FusedCmpBrLKNZ { target, .. }
+            | FlatOp::FusedCmpBrSLZ { target, .. }
+            | FlatOp::FusedCmpBrSLNZ { target, .. } => remap(target)?,
+            FlatOp::BrTable { entries } => {
+                for e in entries.iter_mut() {
+                    remap(&mut e.target)?;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+/// What follows a fusable binop inside a window, deciding the fused form.
+enum BinopFollow {
+    /// Nothing fusable: the binop result stays on the stack.
+    None,
+    /// `local.set dst` — sink the result into a frame slot.
+    Set(u32),
+    /// `store` — sink the result into memory (address beneath on the stack).
+    Store(StoreKind, u32),
+    /// Jump when the result is zero (`jump-if-zero`, or `i32.eqz;
+    /// jump-if-non-zero` absorbed).
+    BrZ(u32),
+    /// Jump when the result is non-zero.
+    BrNZ(u32),
+}
+
+/// Classifies the ops following a binop at `ops[j - 1]`; returns the
+/// follower and how many extra ops it swallows.
+///
+/// A chain of `i32.eqz` between the binop and a conditional jump is
+/// absorbed by flipping the jump's polarity per inversion: the chain's
+/// value is consumed only by the zero-test, so `v; eqzⁿ; jump-if-non-zero`
+/// is `jump when v == 0` for odd `n` and `jump when v != 0` for even `n`
+/// (MiniC's truthiness normalization emits exactly these chains).
+fn binop_follow(ops: &[FlatOp], free: impl Fn(usize) -> bool, j: usize) -> (BinopFollow, usize) {
+    if !free(j) {
+        return (BinopFollow::None, 0);
+    }
+    match &ops[j] {
+        FlatOp::LocalSet(dst) => (BinopFollow::Set(*dst), 1),
+        FlatOp::JumpIfZero { target } => (BinopFollow::BrZ(*target), 1),
+        FlatOp::JumpIfNonZero { target } => (BinopFollow::BrNZ(*target), 1),
+        FlatOp::I32Eqz => {
+            let mut n = 1usize;
+            while free(j + n) && matches!(ops[j + n], FlatOp::I32Eqz) {
+                n += 1;
+            }
+            if !free(j + n) {
+                return (BinopFollow::None, 0);
+            }
+            let odd = n % 2 == 1;
+            match &ops[j + n] {
+                FlatOp::JumpIfNonZero { target } if odd => (BinopFollow::BrZ(*target), n + 1),
+                FlatOp::JumpIfNonZero { target } => (BinopFollow::BrNZ(*target), n + 1),
+                FlatOp::JumpIfZero { target } if odd => (BinopFollow::BrNZ(*target), n + 1),
+                FlatOp::JumpIfZero { target } => (BinopFollow::BrZ(*target), n + 1),
+                _ => (BinopFollow::None, 0),
+            }
+        }
+        other => match store_kind(other) {
+            Some((kind, offset)) => (BinopFollow::Store(kind, offset), 1),
+            None => (BinopFollow::None, 0),
+        },
+    }
+}
+
+/// Tries to fuse a window starting at `ops[i]`; pushes exactly one op onto
+/// `out` and returns how many input ops it consumed. Greedy: the longest
+/// matching window wins.
+#[allow(clippy::too_many_lines)]
+fn fuse_at(
+    ops: &[FlatOp],
+    is_target: &[bool],
+    i: usize,
+    out: &mut Vec<FlatOp>,
+    s: &mut FusionStats,
+) -> usize {
+    // `ops[j]` may be swallowed into the current window only if no jump
+    // lands on it.
+    let free = |j: usize| j < ops.len() && !is_target[j];
+    match &ops[i] {
+        FlatOp::LocalGet(a) if free(i + 1) => {
+            let a = *a;
+            match &ops[i + 1] {
+                FlatOp::LocalGet(b) if free(i + 2) => {
+                    if let Some(op) = binop_kind(&ops[i + 2]) {
+                        let b = *b;
+                        let (follow, extra) = binop_follow(ops, free, i + 3);
+                        match follow {
+                            BinopFollow::Set(dst) => {
+                                s.binop_ll_set += 1;
+                                out.push(FlatOp::FusedBinopLLSet { a, b, op, dst });
+                                return 3 + extra;
+                            }
+                            BinopFollow::Store(kind, offset) => {
+                                s.binop_store += 1;
+                                out.push(FlatOp::FusedBinopLLStore {
+                                    a,
+                                    b,
+                                    op,
+                                    offset,
+                                    kind,
+                                });
+                                return 3 + extra;
+                            }
+                            BinopFollow::BrZ(target) => {
+                                s.cmp_br += 1;
+                                out.push(FlatOp::FusedCmpBrLLZ { a, b, op, target });
+                                return 3 + extra;
+                            }
+                            BinopFollow::BrNZ(target) => {
+                                s.cmp_br += 1;
+                                out.push(FlatOp::FusedCmpBrLLNZ { a, b, op, target });
+                                return 3 + extra;
+                            }
+                            BinopFollow::None => {
+                                s.binop_ll += 1;
+                                out.push(FlatOp::FusedBinopLL { a, b, op });
+                                return 3;
+                            }
+                        }
+                    }
+                }
+                FlatOp::Const(k) if free(i + 2) => {
+                    if let Some(op) = binop_kind(&ops[i + 2]) {
+                        let k = *k;
+                        // The sink/branch forms store the constant as a
+                        // zero-extended u32 (to keep `FlatOp` at 16
+                        // bytes); wider slots keep the plain LK form.
+                        if let Ok(k32) = u32::try_from(k) {
+                            let (follow, extra) = binop_follow(ops, free, i + 3);
+                            match follow {
+                                BinopFollow::Set(dst) => {
+                                    s.binop_lk_set += 1;
+                                    out.push(FlatOp::FusedBinopLKSet { a, k: k32, op, dst });
+                                    return 3 + extra;
+                                }
+                                BinopFollow::BrZ(target) => {
+                                    s.cmp_br += 1;
+                                    out.push(FlatOp::FusedCmpBrLKZ {
+                                        a,
+                                        k: k32,
+                                        op,
+                                        target,
+                                    });
+                                    return 3 + extra;
+                                }
+                                BinopFollow::BrNZ(target) => {
+                                    s.cmp_br += 1;
+                                    out.push(FlatOp::FusedCmpBrLKNZ {
+                                        a,
+                                        k: k32,
+                                        op,
+                                        target,
+                                    });
+                                    return 3 + extra;
+                                }
+                                BinopFollow::Store(..) | BinopFollow::None => {}
+                            }
+                        }
+                        s.binop_lk += 1;
+                        out.push(FlatOp::FusedBinopLK { a, k, op });
+                        return 3;
+                    }
+                }
+                FlatOp::LocalSet(dst) => {
+                    s.local_copy += 1;
+                    out.push(FlatOp::LocalCopy { src: a, dst: *dst });
+                    return 2;
+                }
+                next => {
+                    if let Some((kind, offset)) = load_kind(next) {
+                        s.load_l += 1;
+                        out.push(FlatOp::FusedLoadL {
+                            addr: a,
+                            offset,
+                            kind,
+                        });
+                        return 2;
+                    }
+                    if let Some((kind, offset)) = store_kind(next) {
+                        s.store_l += 1;
+                        out.push(FlatOp::FusedStoreL {
+                            val: a,
+                            offset,
+                            kind,
+                        });
+                        return 2;
+                    }
+                    // 2-D array-address tail: `local.get z; i32.add;
+                    // const k; i32.mul; i32.add [; load]`.
+                    if matches!(next, FlatOp::I32Add) && free(i + 2) && free(i + 3) && free(i + 4) {
+                        if let (FlatOp::Const(k), FlatOp::I32Mul, FlatOp::I32Add) =
+                            (&ops[i + 2], &ops[i + 3], &ops[i + 4])
+                        {
+                            if let Ok(k32) = u32::try_from(*k) {
+                                if free(i + 5) {
+                                    if let Some((kind, offset)) = load_kind(&ops[i + 5]) {
+                                        s.idx_load += 1;
+                                        out.push(FlatOp::FusedIdxLAddLoad {
+                                            z: a,
+                                            k: k32,
+                                            offset,
+                                            kind,
+                                        });
+                                        return 6;
+                                    }
+                                }
+                                s.idx_addr += 1;
+                                out.push(FlatOp::FusedIdxLAdd { z: a, k: k32 });
+                                return 5;
+                            }
+                        }
+                    }
+                    // `local.get b; binop` with the left operand already
+                    // on the stack: the SL family.
+                    if let Some(op) = binop_kind(next) {
+                        let (follow, extra) = binop_follow(ops, free, i + 2);
+                        match follow {
+                            BinopFollow::Set(dst) => {
+                                s.binop_sl_set += 1;
+                                out.push(FlatOp::FusedBinopSLSet { b: a, op, dst });
+                                return 2 + extra;
+                            }
+                            BinopFollow::Store(kind, offset) => {
+                                s.binop_store += 1;
+                                out.push(FlatOp::FusedBinopSLStore {
+                                    b: a,
+                                    op,
+                                    offset,
+                                    kind,
+                                });
+                                return 2 + extra;
+                            }
+                            BinopFollow::BrZ(target) => {
+                                s.cmp_br += 1;
+                                out.push(FlatOp::FusedCmpBrSLZ { b: a, op, target });
+                                return 2 + extra;
+                            }
+                            BinopFollow::BrNZ(target) => {
+                                s.cmp_br += 1;
+                                out.push(FlatOp::FusedCmpBrSLNZ { b: a, op, target });
+                                return 2 + extra;
+                            }
+                            BinopFollow::None => {
+                                s.binop_sl += 1;
+                                out.push(FlatOp::FusedBinopSL { b: a, op });
+                                return 2;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        FlatOp::Const(k) if free(i + 1) => {
+            // 1-D array-address tail: `const k; i32.mul; i32.add [; load]`.
+            if matches!(ops[i + 1], FlatOp::I32Mul) && free(i + 2) {
+                if let (FlatOp::I32Add, Ok(k32)) = (&ops[i + 2], u32::try_from(*k)) {
+                    if free(i + 3) {
+                        if let Some((kind, offset)) = load_kind(&ops[i + 3]) {
+                            s.idx_load += 1;
+                            out.push(FlatOp::FusedScaleAddLoad {
+                                k: k32,
+                                offset,
+                                kind,
+                            });
+                            return 4;
+                        }
+                    }
+                    s.idx_addr += 1;
+                    out.push(FlatOp::FusedScaleAdd { k: k32 });
+                    return 3;
+                }
+            }
+            if let Some(op) = binop_kind(&ops[i + 1]) {
+                s.binop_ks += 1;
+                out.push(FlatOp::FusedBinopKS { k: *k, op });
+                return 2;
+            }
+        }
+        FlatOp::I32Eqz if free(i + 1) => {
+            // Bare truthiness chain: fold `eqzⁿ; jump-if` into the jump
+            // with the polarity flipped per inversion.
+            let mut n = 1usize;
+            while free(i + n) && matches!(ops[i + n], FlatOp::I32Eqz) {
+                n += 1;
+            }
+            if free(i + n) {
+                let odd = n % 2 == 1;
+                let fold = match &ops[i + n] {
+                    FlatOp::JumpIfNonZero { target } if odd => {
+                        Some(FlatOp::JumpIfZero { target: *target })
+                    }
+                    FlatOp::JumpIfNonZero { target } => {
+                        Some(FlatOp::JumpIfNonZero { target: *target })
+                    }
+                    FlatOp::JumpIfZero { target } if odd => {
+                        Some(FlatOp::JumpIfNonZero { target: *target })
+                    }
+                    FlatOp::JumpIfZero { target } => Some(FlatOp::JumpIfZero { target: *target }),
+                    _ => None,
+                };
+                if let Some(op) = fold {
+                    s.eqz_br += 1;
+                    out.push(op);
+                    return n + 1;
+                }
+            }
+        }
+        lead => {
+            if let Some(op) = binop_kind(lead) {
+                let (follow, extra) = binop_follow(ops, free, i + 1);
+                match follow {
+                    BinopFollow::Set(dst) => {
+                        s.binop_set += 1;
+                        out.push(FlatOp::FusedBinopSet { op, dst });
+                        return 1 + extra;
+                    }
+                    BinopFollow::Store(kind, offset) => {
+                        s.binop_store += 1;
+                        out.push(FlatOp::FusedBinopStore { op, offset, kind });
+                        return 1 + extra;
+                    }
+                    BinopFollow::BrZ(target) => {
+                        s.cmp_br += 1;
+                        out.push(FlatOp::FusedCmpBrZ { op, target });
+                        return 1 + extra;
+                    }
+                    BinopFollow::BrNZ(target) => {
+                        s.cmp_br += 1;
+                        out.push(FlatOp::FusedCmpBrNZ { op, target });
+                        return 1 + extra;
+                    }
+                    BinopFollow::None => {
+                        if op == BinOpKind::I32Add && free(i + 1) {
+                            if let Some((lk, offset)) = load_kind(&ops[i + 1]) {
+                                s.add_load += 1;
+                                out.push(FlatOp::FusedAddLoad { offset, kind: lk });
+                                return 2;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out.push(ops[i].clone());
+    1
 }
 
 /// Maps a non-control instruction to its flat opcode and stack effect
 /// `(pops, pushes)`.
+///
+/// # Errors
+///
+/// Returns [`Trap::Instantiation`] for a control instruction in a simple
+/// position (malformed input; control flow is lowered structurally).
 #[allow(clippy::too_many_lines)]
-fn map_simple(instr: &Instr) -> (FlatOp, usize, usize) {
+fn map_simple(instr: &Instr) -> Result<(FlatOp, usize, usize), Trap> {
     use FlatOp as F;
     use Instr as I;
-    match instr {
+    Ok(match instr {
         I::Drop => (F::Drop, 1, 0),
         I::Select => (F::Select, 3, 1),
         I::LocalGet(i) => (F::LocalGet(*i), 0, 1),
@@ -889,8 +2245,8 @@ fn map_simple(instr: &Instr) -> (FlatOp, usize, usize) {
         I::I64Extend16S => (F::I64Extend16S, 1, 1),
         I::I64Extend32S => (F::I64Extend32S, 1, 1),
 
-        _ => unreachable!("control instructions are lowered structurally"),
-    }
+        _ => return Err(bad("control instruction in a simple position")),
+    })
 }
 
 /// Saved caller state for a guest-level call inside the flat engine.
@@ -1206,6 +2562,167 @@ pub(crate) fn run(
 
             FlatOp::Const(v) => stack.push(*v),
 
+            FlatOp::FusedBinopLL { a, b, op } => {
+                let x = stack[base + *a as usize];
+                let y = stack[base + *b as usize];
+                stack.push(apply_binop(*op, x, y)?);
+            }
+            FlatOp::FusedBinopLK { a, k, op } => {
+                let x = stack[base + *a as usize];
+                stack.push(apply_binop(*op, x, *k)?);
+            }
+            FlatOp::FusedBinopLLSet { a, b, op, dst } => {
+                let r = apply_binop(*op, stack[base + *a as usize], stack[base + *b as usize])?;
+                stack[base + *dst as usize] = r;
+            }
+            FlatOp::FusedBinopLKSet { a, k, op, dst } => {
+                let r = apply_binop(*op, stack[base + *a as usize], u64::from(*k))?;
+                stack[base + *dst as usize] = r;
+            }
+            FlatOp::FusedBinopSL { b, op } => {
+                let y = stack[base + *b as usize];
+                let t = top!();
+                *t = apply_binop(*op, *t, y)?;
+            }
+            FlatOp::FusedBinopSLSet { b, op, dst } => {
+                let x = pop!();
+                let r = apply_binop(*op, x, stack[base + *b as usize])?;
+                stack[base + *dst as usize] = r;
+            }
+            FlatOp::FusedBinopSLStore {
+                b,
+                op,
+                offset,
+                kind,
+            } => {
+                let x = pop!();
+                let v = apply_binop(*op, x, stack[base + *b as usize])?;
+                let addr = as_i32(pop!());
+                do_store(*kind, memory, addr, *offset, v)?;
+            }
+            FlatOp::FusedBinopLLStore {
+                a,
+                b,
+                op,
+                offset,
+                kind,
+            } => {
+                let v = apply_binop(*op, stack[base + *a as usize], stack[base + *b as usize])?;
+                let addr = as_i32(pop!());
+                do_store(*kind, memory, addr, *offset, v)?;
+            }
+            FlatOp::FusedBinopSet { op, dst } => {
+                let b = pop!();
+                let a = pop!();
+                stack[base + *dst as usize] = apply_binop(*op, a, b)?;
+            }
+            FlatOp::LocalCopy { src, dst } => {
+                stack[base + *dst as usize] = stack[base + *src as usize];
+            }
+            FlatOp::FusedLoadL { addr, offset, kind } => {
+                let a = as_i32(stack[base + *addr as usize]);
+                stack.push(do_load(*kind, memory, a, *offset)?);
+            }
+            FlatOp::FusedStoreL { val, offset, kind } => {
+                let a = as_i32(pop!());
+                do_store(*kind, memory, a, *offset, stack[base + *val as usize])?;
+            }
+            FlatOp::FusedAddLoad { offset, kind } => {
+                let b = pop!();
+                let t = top!();
+                let a = as_i32(*t).wrapping_add(as_i32(b));
+                *t = do_load(*kind, memory, a, *offset)?;
+            }
+            FlatOp::FusedBinopKS { k, op } => {
+                let t = top!();
+                *t = apply_binop(*op, *t, *k)?;
+            }
+            FlatOp::FusedScaleAdd { k } => {
+                let idx = as_i32(pop!());
+                let t = top!();
+                *t = from_i32(as_i32(*t).wrapping_add(idx.wrapping_mul(*k as i32)));
+            }
+            FlatOp::FusedScaleAddLoad { k, offset, kind } => {
+                let idx = as_i32(pop!());
+                let t = top!();
+                let addr = as_i32(*t).wrapping_add(idx.wrapping_mul(*k as i32));
+                *t = do_load(*kind, memory, addr, *offset)?;
+            }
+            FlatOp::FusedIdxLAdd { z, k } => {
+                let zv = as_i32(stack[base + *z as usize]);
+                let partial = as_i32(pop!());
+                let t = top!();
+                let idx = partial.wrapping_add(zv).wrapping_mul(*k as i32);
+                *t = from_i32(as_i32(*t).wrapping_add(idx));
+            }
+            FlatOp::FusedIdxLAddLoad { z, k, offset, kind } => {
+                let zv = as_i32(stack[base + *z as usize]);
+                let partial = as_i32(pop!());
+                let t = top!();
+                let idx = partial.wrapping_add(zv).wrapping_mul(*k as i32);
+                let addr = as_i32(*t).wrapping_add(idx);
+                *t = do_load(*kind, memory, addr, *offset)?;
+            }
+            FlatOp::FusedBinopStore { op, offset, kind } => {
+                let b = pop!();
+                let a = pop!();
+                let v = apply_binop(*op, a, b)?;
+                let addr = as_i32(pop!());
+                do_store(*kind, memory, addr, *offset, v)?;
+            }
+            FlatOp::FusedCmpBrZ { op, target } => {
+                let b = pop!();
+                let a = pop!();
+                if as_u32(apply_binop(*op, a, b)?) == 0 {
+                    pc = *target as usize;
+                }
+            }
+            FlatOp::FusedCmpBrNZ { op, target } => {
+                let b = pop!();
+                let a = pop!();
+                if as_u32(apply_binop(*op, a, b)?) != 0 {
+                    pc = *target as usize;
+                }
+            }
+            FlatOp::FusedCmpBrLLZ { a, b, op, target } => {
+                let x = stack[base + *a as usize];
+                let y = stack[base + *b as usize];
+                if as_u32(apply_binop(*op, x, y)?) == 0 {
+                    pc = *target as usize;
+                }
+            }
+            FlatOp::FusedCmpBrLLNZ { a, b, op, target } => {
+                let x = stack[base + *a as usize];
+                let y = stack[base + *b as usize];
+                if as_u32(apply_binop(*op, x, y)?) != 0 {
+                    pc = *target as usize;
+                }
+            }
+            FlatOp::FusedCmpBrLKZ { a, k, op, target } => {
+                let x = stack[base + *a as usize];
+                if as_u32(apply_binop(*op, x, u64::from(*k))?) == 0 {
+                    pc = *target as usize;
+                }
+            }
+            FlatOp::FusedCmpBrLKNZ { a, k, op, target } => {
+                let x = stack[base + *a as usize];
+                if as_u32(apply_binop(*op, x, u64::from(*k))?) != 0 {
+                    pc = *target as usize;
+                }
+            }
+            FlatOp::FusedCmpBrSLZ { b, op, target } => {
+                let x = pop!();
+                if as_u32(apply_binop(*op, x, stack[base + *b as usize])?) == 0 {
+                    pc = *target as usize;
+                }
+            }
+            FlatOp::FusedCmpBrSLNZ { b, op, target } => {
+                let x = pop!();
+                if as_u32(apply_binop(*op, x, stack[base + *b as usize])?) != 0 {
+                    pc = *target as usize;
+                }
+            }
+
             FlatOp::I32Eqz => {
                 let t = top!();
                 *t = u64::from(as_u32(*t) == 0);
@@ -1256,39 +2773,22 @@ pub(crate) fn run(
             FlatOp::I32DivS => {
                 let b = as_i32(pop!());
                 let t = top!();
-                let a = as_i32(*t);
-                if b == 0 {
-                    return Err(Trap::DivisionByZero);
-                }
-                let (q, ov) = a.overflowing_div(b);
-                if ov {
-                    return Err(Trap::IntegerOverflow);
-                }
-                *t = from_i32(q);
+                *t = from_i32(i32_div_s(as_i32(*t), b)?);
             }
             FlatOp::I32DivU => {
                 let b = as_u32(pop!());
                 let t = top!();
-                if b == 0 {
-                    return Err(Trap::DivisionByZero);
-                }
-                *t = u64::from(as_u32(*t) / b);
+                *t = u64::from(i32_div_u(as_u32(*t), b)?);
             }
             FlatOp::I32RemS => {
                 let b = as_i32(pop!());
                 let t = top!();
-                if b == 0 {
-                    return Err(Trap::DivisionByZero);
-                }
-                *t = from_i32(as_i32(*t).wrapping_rem(b));
+                *t = from_i32(i32_rem_s(as_i32(*t), b)?);
             }
             FlatOp::I32RemU => {
                 let b = as_u32(pop!());
                 let t = top!();
-                if b == 0 {
-                    return Err(Trap::DivisionByZero);
-                }
-                *t = u64::from(as_u32(*t) % b);
+                *t = u64::from(i32_rem_u(as_u32(*t), b)?);
             }
             FlatOp::I32And => binop!(as_i32, from_i32, |a, b| a & b),
             FlatOp::I32Or => binop!(as_i32, from_i32, |a, b| a | b),
@@ -1314,39 +2814,22 @@ pub(crate) fn run(
             FlatOp::I64DivS => {
                 let b = as_i64(pop!());
                 let t = top!();
-                let a = as_i64(*t);
-                if b == 0 {
-                    return Err(Trap::DivisionByZero);
-                }
-                let (q, ov) = a.overflowing_div(b);
-                if ov {
-                    return Err(Trap::IntegerOverflow);
-                }
-                *t = from_i64(q);
+                *t = from_i64(i64_div_s(as_i64(*t), b)?);
             }
             FlatOp::I64DivU => {
                 let b = pop!();
                 let t = top!();
-                if b == 0 {
-                    return Err(Trap::DivisionByZero);
-                }
-                *t /= b;
+                *t = i64_div_u(*t, b)?;
             }
             FlatOp::I64RemS => {
                 let b = as_i64(pop!());
                 let t = top!();
-                if b == 0 {
-                    return Err(Trap::DivisionByZero);
-                }
-                *t = from_i64(as_i64(*t).wrapping_rem(b));
+                *t = from_i64(i64_rem_s(as_i64(*t), b)?);
             }
             FlatOp::I64RemU => {
                 let b = pop!();
                 let t = top!();
-                if b == 0 {
-                    return Err(Trap::DivisionByZero);
-                }
-                *t %= b;
+                *t = i64_rem_u(*t, b)?;
             }
             FlatOp::I64And => binop!(as_i64, from_i64, |a, b| a & b),
             FlatOp::I64Or => binop!(as_i64, from_i64, |a, b| a | b),
@@ -1686,6 +3169,395 @@ mod tests {
         let [interp, flat] = run_both(&bytes, "f", &[]);
         assert_eq!(interp.unwrap(), vec![Value::I32(5)]);
         assert_eq!(flat.unwrap(), vec![Value::I32(5)]);
+    }
+
+    /// Runs an export on the oracle, the fused flat engine and the unfused
+    /// flat engine; all three must agree on results AND traps.
+    fn run_three(bytes: &[u8], name: &str, args: &[Value]) -> [Result<Vec<Value>, Trap>; 3] {
+        let module = crate::load(bytes).unwrap();
+        let mut out = Vec::new();
+        let mut interp =
+            Instance::instantiate(&module, ExecMode::Interpreted, &mut NoHost).unwrap();
+        out.push(interp.invoke(&mut NoHost, name, args));
+        for fuse in [true, false] {
+            let mut inst =
+                Instance::instantiate_with_fusion(&module, ExecMode::Aot, fuse, &mut NoHost)
+                    .unwrap();
+            out.push(inst.invoke(&mut NoHost, name, args));
+        }
+        out.try_into().unwrap()
+    }
+
+    fn assert_three_agree(bytes: &[u8], name: &str, args: &[Value], ctx: &str) {
+        let [oracle, fused, unfused] = run_three(bytes, name, args);
+        assert_eq!(oracle, fused, "{ctx}: fused engine diverges from oracle");
+        assert_eq!(
+            oracle, unfused,
+            "{ctx}: unfused engine diverges from oracle"
+        );
+    }
+
+    #[test]
+    fn flat_op_size_does_not_regress() {
+        // The whole code array is walked on every dispatch. The floor is
+        // set by `BrTable`'s fat `Box<[BrEntry]>` (16 bytes + tag = 24);
+        // fused variants must fit inside it — constants that do not fit a
+        // u32 stay in the plain `FusedBinopLK`/`Const` forms instead of
+        // growing the enum.
+        assert_eq!(std::mem::size_of::<FlatOp>(), 24);
+    }
+
+    #[test]
+    fn truncated_body_is_an_error_not_a_panic() {
+        // A body whose control is unbalanced (missing `End`) must surface
+        // as an instantiation error even though it skipped validation.
+        let module = Module {
+            types: vec![FuncType {
+                params: vec![],
+                results: vec![],
+            }],
+            func_imports: vec![],
+            funcs: vec![FuncBody {
+                type_idx: 0,
+                locals: vec![],
+                code: vec![I::Block(BlockType::Empty), I::Nop],
+            }],
+            tables: vec![],
+            memories: vec![],
+            globals: vec![],
+            exports: vec![],
+            start: None,
+            elems: vec![],
+            data: vec![],
+        };
+        let err = Instance::instantiate(&module, ExecMode::Aot, &mut NoHost).unwrap_err();
+        match err {
+            Trap::Instantiation(msg) => assert!(msg.contains("flat lowering"), "{msg}"),
+            other => panic!("expected Instantiation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_bodies_error_instead_of_panicking() {
+        let cases: Vec<(&str, Vec<I>)> = vec![
+            ("else without if", vec![I::Else, I::End]),
+            ("unbalanced end", vec![I::End, I::End]),
+            ("branch depth", vec![I::Br(7), I::End]),
+            ("stack underflow", vec![I::I32Add, I::End]),
+            (
+                "trailing code after final end",
+                vec![I::End, I::Nop, I::Nop],
+            ),
+            (
+                "control instr by simple mapping",
+                vec![I::I32Const(0), I::BrIf(9), I::End],
+            ),
+        ];
+        for (what, code) in cases {
+            let module = Module {
+                types: vec![FuncType {
+                    params: vec![],
+                    results: vec![],
+                }],
+                func_imports: vec![],
+                funcs: vec![FuncBody {
+                    type_idx: 0,
+                    locals: vec![],
+                    code,
+                }],
+                tables: vec![],
+                memories: vec![],
+                globals: vec![],
+                exports: vec![],
+                start: None,
+                elems: vec![],
+                data: vec![],
+            };
+            let err = Instance::instantiate(&module, ExecMode::Aot, &mut NoHost);
+            assert!(
+                matches!(err, Err(Trap::Instantiation(_))),
+                "{what}: expected Err(Instantiation), got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fusion_emits_expected_superinstructions() {
+        // sum-loop: cond fuses to a cmp-branch, the body to LL/LK sinks.
+        let mut b = ModuleBuilder::new();
+        let ty = b.add_type(&[ValType::I32], &[ValType::I32]);
+        let f = b.add_func(
+            ty,
+            &[ValType::I32, ValType::I32],
+            vec![
+                I::Block(BlockType::Empty),
+                I::Loop(BlockType::Empty),
+                I::LocalGet(1),
+                I::LocalGet(0),
+                I::I32LtS,
+                I::I32Eqz,
+                I::BrIf(1),
+                I::LocalGet(2),
+                I::LocalGet(1),
+                I::I32Add,
+                I::LocalSet(2),
+                I::LocalGet(1),
+                I::I32Const(1),
+                I::I32Add,
+                I::LocalSet(1),
+                I::Br(0),
+                I::End,
+                I::End,
+                I::LocalGet(2),
+                I::End,
+            ],
+        );
+        b.export_func("sum", f);
+        let module = crate::load(&b.build()).unwrap();
+        let flat = FlatModule::compile_with(&module, true).unwrap();
+        let stats = flat.fusion_stats();
+        assert_eq!(stats.cmp_br, 1, "loop exit must fuse: {stats:?}");
+        assert_eq!(stats.binop_ll_set, 1, "{stats:?}");
+        assert_eq!(stats.binop_lk_set, 1, "{stats:?}");
+        let unfused = FlatModule::compile_with(&module, false).unwrap();
+        assert_eq!(unfused.fusion_stats().total(), 0);
+        // And the fused loop still computes the same sum.
+        assert_three_agree(&b.build(), "sum", &[Value::I32(10)], "sum loop");
+        let [oracle, ..] = run_three(&b.build(), "sum", &[Value::I32(10)]);
+        assert_eq!(oracle.unwrap(), vec![Value::I32(45)]);
+    }
+
+    #[test]
+    fn eqz_chain_polarity_is_preserved() {
+        // `cond; eqz^n; br_if` for n = 0..4: each n flips the polarity;
+        // fused and unfused engines must agree on which arm runs.
+        for n_eqz in 0..4 {
+            let mut body = vec![
+                I::Block(BlockType::Empty),
+                I::Loop(BlockType::Empty),
+                I::LocalGet(1),
+                I::LocalGet(0),
+                I::I32GeS,
+            ];
+            for _ in 0..n_eqz {
+                body.push(I::I32Eqz);
+            }
+            // Exit when (i >= n) truthiness (xor the chain parity) holds.
+            body.push(I::BrIf(1));
+            body.extend([
+                I::LocalGet(1),
+                I::I32Const(1),
+                I::I32Add,
+                I::LocalSet(1),
+                I::Br(0),
+                I::End,
+                I::End,
+                I::LocalGet(1),
+                I::End,
+            ]);
+            let mut b = ModuleBuilder::new();
+            let ty = b.add_type(&[ValType::I32], &[ValType::I32]);
+            let f = b.add_func(ty, &[ValType::I32], body);
+            b.export_func("f", f);
+            let bytes = b.build();
+            // Even parities loop until i >= n (returning n); odd parities
+            // invert the test and exit on the first iteration (returning
+            // 0) — either way all three engines must agree.
+            assert_three_agree(&bytes, "f", &[Value::I32(3)], &format!("eqz chain {n_eqz}"));
+        }
+    }
+
+    #[test]
+    fn fused_div_traps_match_oracle() {
+        // `local.get; local.get; div` fuses to FusedBinopLL(Div): the
+        // INT_MIN/-1 overflow, the /0 trap and the INT_MIN%-1 == 0
+        // non-trap must be bit-identical to the oracle in both flat modes.
+        for (op, name) in [
+            (I::I32DivS, "div_s"),
+            (I::I32RemS, "rem_s"),
+            (I::I32DivU, "div_u"),
+            (I::I32RemU, "rem_u"),
+        ] {
+            let mut b = ModuleBuilder::new();
+            let ty = b.add_type(&[ValType::I32, ValType::I32], &[ValType::I32]);
+            let f = b.add_func(
+                ty,
+                &[],
+                vec![I::LocalGet(0), I::LocalGet(1), op.clone(), I::End],
+            );
+            b.export_func(name, f);
+            let bytes = b.build();
+            for (a, d) in [
+                (i32::MIN, -1),
+                (1, 0),
+                (i32::MIN, 0),
+                (7, -3),
+                (-7, 3),
+                (i32::MIN, 1),
+            ] {
+                assert_three_agree(
+                    &bytes,
+                    name,
+                    &[Value::I32(a), Value::I32(d)],
+                    &format!("{name}({a},{d})"),
+                );
+            }
+        }
+        // i64 equivalents through the fused path.
+        for (op, name) in [(I::I64DivS, "div_s64"), (I::I64RemS, "rem_s64")] {
+            let mut b = ModuleBuilder::new();
+            let ty = b.add_type(&[ValType::I64, ValType::I64], &[ValType::I64]);
+            let f = b.add_func(
+                ty,
+                &[],
+                vec![I::LocalGet(0), I::LocalGet(1), op.clone(), I::End],
+            );
+            b.export_func(name, f);
+            let bytes = b.build();
+            for (a, d) in [(i64::MIN, -1), (1, 0), (i64::MIN, 0), (9, -4)] {
+                assert_three_agree(
+                    &bytes,
+                    name,
+                    &[Value::I64(a), Value::I64(d)],
+                    &format!("{name}({a},{d})"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_lk_div_overflow_traps() {
+        // `local.get; const -1; i32.div_s; local.set` fuses to
+        // FusedBinopLKSet; INT_MIN / -1 must still trap with overflow.
+        let mut b = ModuleBuilder::new();
+        let ty = b.add_type(&[ValType::I32], &[ValType::I32]);
+        let f = b.add_func(
+            ty,
+            &[ValType::I32],
+            vec![
+                I::LocalGet(0),
+                I::I32Const(-1),
+                I::I32DivS,
+                I::LocalSet(1),
+                I::LocalGet(1),
+                I::End,
+            ],
+        );
+        b.export_func("divk", f);
+        let bytes = b.build();
+        let module = crate::load(&bytes).unwrap();
+        let flat = FlatModule::compile_with(&module, true).unwrap();
+        assert_eq!(flat.fusion_stats().binop_lk_set, 1, "LKSet must fuse");
+        for a in [i32::MIN, 42, -42] {
+            assert_three_agree(&bytes, "divk", &[Value::I32(a)], &format!("divk({a})"));
+        }
+        let [oracle, ..] = run_three(&bytes, "divk", &[Value::I32(i32::MIN)]);
+        assert_eq!(oracle.unwrap_err(), Trap::IntegerOverflow);
+    }
+
+    #[test]
+    fn br_table_out_of_range_clamps_to_default_in_all_engines() {
+        let mut b = ModuleBuilder::new();
+        let ty = b.add_type(&[ValType::I32], &[ValType::I32]);
+        let f = b.add_func(
+            ty,
+            &[],
+            vec![
+                I::Block(BlockType::Empty),
+                I::Block(BlockType::Empty),
+                I::LocalGet(0),
+                I::BrTable {
+                    targets: vec![0],
+                    default: 1,
+                },
+                I::End,
+                I::I32Const(10),
+                I::Return,
+                I::End,
+                I::I32Const(20),
+                I::End,
+            ],
+        );
+        b.export_func("route", f);
+        let bytes = b.build();
+        for arg in [0, 1, 2, i32::MAX, -1] {
+            assert_three_agree(
+                &bytes,
+                "route",
+                &[Value::I32(arg)],
+                &format!("route({arg})"),
+            );
+        }
+        // -1 reads as u32::MAX: firmly out of range, must take the default.
+        let [oracle, ..] = run_three(&bytes, "route", &[Value::I32(-1)]);
+        assert_eq!(oracle.unwrap(), vec![Value::I32(20)]);
+    }
+
+    #[test]
+    fn fused_load_store_oob_traps_match() {
+        // `local.get; load` / `local.get; store` fuse to the direct
+        // frame-slot addressing path; out-of-bounds must still trap with
+        // MemoryOutOfBounds in every engine, including offset overflow.
+        use crate::instr::MemArg;
+        let mut b = ModuleBuilder::new();
+        b.add_memory(1, Some(1));
+        let lty = b.add_type(&[ValType::I32], &[ValType::I32]);
+        let load = b.add_func(
+            lty,
+            &[],
+            vec![I::LocalGet(0), I::I32Load(MemArg::new(2, 8)), I::End],
+        );
+        b.export_func("load", load);
+        let sty = b.add_type(&[ValType::I32, ValType::I32], &[]);
+        let store = b.add_func(
+            sty,
+            &[],
+            vec![
+                I::LocalGet(0),
+                I::LocalGet(1),
+                I::I32Store(MemArg::new(2, 8)),
+                I::End,
+            ],
+        );
+        b.export_func("store", store);
+        let bytes = b.build();
+        let module = crate::load(&bytes).unwrap();
+        let flat = FlatModule::compile_with(&module, true).unwrap();
+        let stats = flat.fusion_stats();
+        assert!(stats.load_l + stats.add_load + stats.idx_load > 0 || stats.store_l > 0);
+        for addr in [0, 65520, 65529, 65536, -1, i32::MAX] {
+            assert_three_agree(&bytes, "load", &[Value::I32(addr)], &format!("load {addr}"));
+            assert_three_agree(
+                &bytes,
+                "store",
+                &[Value::I32(addr), Value::I32(7)],
+                &format!("store {addr}"),
+            );
+        }
+        let [oracle, ..] = run_three(&bytes, "load", &[Value::I32(65536)]);
+        assert_eq!(oracle.unwrap_err(), Trap::MemoryOutOfBounds);
+    }
+
+    #[test]
+    fn memory_grow_failure_returns_minus_one_in_all_engines() {
+        // Growing past the declared max must return -1 (not trap) and do
+        // so identically across engines.
+        let mut b = ModuleBuilder::new();
+        b.add_memory(1, Some(2));
+        let ty = b.add_type(&[ValType::I32], &[ValType::I32]);
+        let f = b.add_func(ty, &[], vec![I::LocalGet(0), I::MemoryGrow, I::End]);
+        b.export_func("grow", f);
+        let bytes = b.build();
+        for delta in [0, 1, 2, 1000, -1] {
+            assert_three_agree(
+                &bytes,
+                "grow",
+                &[Value::I32(delta)],
+                &format!("grow {delta}"),
+            );
+        }
+        let [oracle, ..] = run_three(&bytes, "grow", &[Value::I32(1000)]);
+        assert_eq!(oracle.unwrap(), vec![Value::I32(-1)]);
     }
 
     #[test]

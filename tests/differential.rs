@@ -179,6 +179,190 @@ fn gen_kernel(rng: &mut XorShift) -> String {
     src
 }
 
+// ---------------------------------------------------------------------------
+// Fusable-shape corpus: generators biased toward the exact adjacent-op
+// windows the superinstruction fusion pass rewrites — tight local
+// arithmetic loops, 1-D and 2-D array load/compute/store kernels, pointer
+// derefs and truthy while-loops. Every program runs on the oracle, the
+// fused flat engine and the unfused flat engine (results + traps must be
+// identical), and the aggregated `FusionStats` must show every fused
+// opcode kind emitted at least once across the corpus.
+// ---------------------------------------------------------------------------
+
+/// Emits one kernel covering every fusable window, with randomized
+/// constants, operators and filler statements for variety.
+fn gen_fusable_kernel(rng: &mut XorShift) -> String {
+    let ops = ["+", "-", "*", "&", "|", "^"];
+    let pick = |rng: &mut XorShift| ops[rng.below(ops.len() as u64) as usize];
+    let (o1, o2, o3, o4) = (pick(rng), pick(rng), pick(rng), pick(rng));
+    let k1 = rng.below(31) as i64 + 1;
+    let k2 = rng.below(15) as i64 + 1;
+    let bound = 8 + rng.below(9);
+    let mut src = format!(
+        "int kernel(int a, int b) {{\n\
+         int n = {bound};\n\
+         int* A = (int*)alloc(n * 4);\n\
+         int* B = (int*)alloc(n * 4);\n\
+         int v0 = a; int v1 = b;\n\
+         int v2 = {}; int v3 = {};\n\
+         int i = 0; int j = 0; int t = 0;\n",
+        rng.below(100) as i64 - 50,
+        rng.below(100) as i64 + 1,
+    );
+    // store_l (array store of a plain local) + binop_lk_set loop step +
+    // binop_store via an LL-valued store.
+    src.push_str("for (i = 0; i < n; i = i + 1) { A[i] = v0; B[i] = v1 + i; }\n");
+    // add_load (simple-index load), cmp_br (loop exits), sl shapes.
+    src.push_str(&format!(
+        "for (i = 0; i < n; i = i + 1) {{ A[i] = A[i] {o1} B[i]; v0 = v0 {o2} A[(i + j) & (n - 1)]; }}\n"
+    ));
+    // 2-D row-column addressing: idx_addr + idx_load on both sides.
+    src.push_str(&format!(
+        "for (i = 0; i < 4; i = i + 1) {{\n\
+         for (j = 0; j < 4; j = j + 1) {{\n\
+         A[(i * 4 + j) & (n - 1)] = A[(i * 4 + j) & (n - 1)] {o3} v1;\n\
+         }}\n}}\n"
+    ));
+    // load_l / store_l through a pointer deref.
+    src.push_str(&format!(
+        "int* p = A + (v3 & {k2});\nv2 = v2 {o4} *p;\n*p = v2;\n"
+    ));
+    // eqz_br (truthy while), binop_sl_set, local_copy, binop_set,
+    // binop_lk, binop_ks, binop_ll.
+    src.push_str("t = 5;\nwhile (t) { t = t - 1; v3 = (v0 * v1) + v3; }\n");
+    src.push_str("v1 = v0;\n");
+    src.push_str(&format!("v0 = (v0 + v1) - (v2 {o1} v3);\n"));
+    src.push_str(&format!("v2 = (v0 * {k1}) + v1;\n"));
+    src.push_str(&format!("v3 = (v1 {o2} v2) * {k2} + (v3 {o3} v0);\n"));
+    // Trap-prone division through the fused paths (may divide by zero or
+    // overflow depending on the random inputs — parity either way).
+    src.push_str(&format!("v0 = (v0 + A[v1 & {k2}]) / (v2 & 3);\n"));
+    src.push_str(&format!("v1 = v1 % ((v3 & {k1}) - 1);\n"));
+    // Random filler statements from the general generator (which uses the
+    // reserved loop counters l0/l1).
+    src.push_str("int l0 = 0; int l1 = 0;\n");
+    let n_stmts = 1 + rng.below(3);
+    for _ in 0..n_stmts {
+        gen_stmt(rng, 2, 4, 0, &mut src);
+    }
+    src.push_str("return ((v0 ^ v1) + (v2 * 31)) ^ v3;\n}\n");
+    src
+}
+
+#[test]
+fn fusable_corpus_covers_every_superinstruction_with_parity() {
+    use watz::wasm::exec::{Instance, NoHost};
+    let mut rng = XorShift(0xf05e_d00d_5eed_0001);
+    let mut total = watz::wasm::FusionStats::default();
+    let mut traps = 0usize;
+    const PROGRAMS: usize = 24;
+    for case in 0..PROGRAMS {
+        let src = gen_fusable_kernel(&mut rng);
+        let wasm = watz::compiler::compile(&src)
+            .unwrap_or_else(|e| panic!("case {case} failed to compile: {e:?}\n{src}"));
+        let module = watz::wasm::load(&wasm).unwrap();
+        let args = [Value::I32(rng.next() as i32), Value::I32(rng.next() as i32)];
+        let mut outcomes: Vec<Result<Vec<Value>, String>> = Vec::new();
+        let mut interp =
+            Instance::instantiate(&module, ExecMode::Interpreted, &mut NoHost).unwrap();
+        outcomes.push(
+            interp
+                .invoke(&mut NoHost, "kernel", &args)
+                .map_err(|e| e.to_string()),
+        );
+        for fuse in [true, false] {
+            let mut inst =
+                Instance::instantiate_with_fusion(&module, ExecMode::Aot, fuse, &mut NoHost)
+                    .unwrap();
+            let stats = inst.fusion_stats().expect("flat instance reports stats");
+            if fuse {
+                total.merge(&stats);
+            } else {
+                assert_eq!(stats.total(), 0, "case {case}: unfused instance fused");
+            }
+            outcomes.push(
+                inst.invoke(&mut NoHost, "kernel", &args)
+                    .map_err(|e| e.to_string()),
+            );
+        }
+        if outcomes[0].is_err() {
+            traps += 1;
+        }
+        assert_eq!(
+            outcomes[0], outcomes[1],
+            "case {case}: fused engine diverges from oracle:\n{src}"
+        );
+        assert_eq!(
+            outcomes[0], outcomes[2],
+            "case {case}: unfused engine diverges from oracle:\n{src}"
+        );
+    }
+    // The corpus must actually exercise the fusion pass: every fused
+    // opcode kind fires at least once, and not every program traps.
+    for (name, count) in total.counts() {
+        assert!(
+            count > 0,
+            "superinstruction '{name}' never emitted by the fusable corpus"
+        );
+    }
+    assert!(traps < PROGRAMS, "fusable corpus produced only traps");
+}
+
+#[test]
+fn trap_edges_agree_across_exec_modes() {
+    // MiniC-level pins for the edge semantics fusion could silently break:
+    // signed division overflow, division/remainder by zero, and the
+    // INT_MIN % -1 == 0 non-trap, each driven through compiled guests in
+    // both engines (the flat engine fuses these into superinstructions).
+    let rt = WatzRuntime::new_device(b"trap-edges").unwrap();
+    let sources = [
+        ("div", "int div(int a, int b) { return a / b; }"),
+        ("rem", "int rem(int a, int b) { return a % b; }"),
+    ];
+    let cases = [
+        (i32::MIN, -1),
+        (i32::MIN, 0),
+        (1, 0),
+        (i32::MIN, 1),
+        (7, -2),
+        (-7, 2),
+    ];
+    for (name, src) in sources {
+        let wasm = watz::compiler::compile(src).unwrap();
+        for (a, b) in cases {
+            let mut outcomes = Vec::new();
+            for mode in [ExecMode::Interpreted, ExecMode::Aot] {
+                let mut app = rt
+                    .load(
+                        &wasm,
+                        &AppConfig {
+                            heap_bytes: 4 << 20,
+                            mode,
+                        },
+                    )
+                    .unwrap();
+                outcomes.push(
+                    app.invoke(name, &[Value::I32(a), Value::I32(b)])
+                        .map_err(|e| e.to_string()),
+                );
+            }
+            assert_eq!(
+                outcomes[0], outcomes[1],
+                "{name}({a},{b}) diverges between engines"
+            );
+        }
+    }
+    // Pin the specific semantics, not just parity.
+    let wasm = watz::compiler::compile(sources[1].1).unwrap();
+    let mut app = rt.load(&wasm, &AppConfig::default()).unwrap();
+    assert_eq!(
+        app.invoke("rem", &[Value::I32(i32::MIN), Value::I32(-1)])
+            .unwrap(),
+        vec![Value::I32(0)],
+        "INT_MIN % -1 must be 0, not a trap"
+    );
+}
+
 #[test]
 fn randomized_minic_kernels_agree_across_exec_modes() {
     let rt = WatzRuntime::new_device(b"differential-prop").unwrap();
