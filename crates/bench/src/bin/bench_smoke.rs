@@ -1,16 +1,17 @@
 //! `bench-smoke`: a seconds-scale hot-path regression gate for CI.
 //!
-//! Runs one PolyBench kernel through both execution engines (and through
-//! the flat engine with superinstruction fusion on *and* off) and one
-//! generator scalar multiplication through both P-256 paths, then asserts
-//! the optimised paths actually win by a comfortable margin. A regression
-//! in the flat engine, the fusion pass or the fixed-base table fails the
-//! build loudly, without waiting for the minutes-scale full bench suite.
+//! Runs one PolyBench kernel through the execution-engine ladder — tree
+//! interpreter, unfused flat, fused flat, and the register engine — and
+//! one generator scalar multiplication through both P-256 paths, then
+//! asserts the optimised paths actually win by a comfortable margin. A
+//! regression in the flat engine, the fusion pass, the register pass or
+//! the fixed-base table fails the build loudly, without waiting for the
+//! minutes-scale full bench suite.
 //!
 //! Set `WATZ_SMOKE_SWEEP=1` to additionally sweep the whole PolyBench
-//! suite fused-vs-unfused and print the per-kernel ratios plus their
-//! geomean (used to record the fusion trajectory in
-//! `BENCH_fig5_polybench.json`).
+//! suite across unfused/fused/register engines and print the per-kernel
+//! ratios plus their geomeans (used to record the optimisation
+//! trajectory in `BENCH_fig5_polybench.json`).
 
 use std::time::{Duration, Instant};
 
@@ -29,9 +30,10 @@ fn median(reps: usize, mut f: impl FnMut()) -> Duration {
     samples[samples.len() / 2]
 }
 
-/// Instantiates `wasm` on the flat engine with fusion explicitly on/off.
-fn flat_instance(module: &watz_wasm::Module, fuse: bool) -> Instance {
-    Instance::instantiate_with_fusion(module, ExecMode::Aot, fuse, &mut NoHost)
+/// Instantiates on the flat engine with fusion and the register pass
+/// explicitly on/off.
+fn engine(module: &watz_wasm::Module, fuse: bool, reg: bool) -> Instance {
+    Instance::instantiate_with_engine(module, ExecMode::Aot, fuse, reg, &mut NoHost)
         .expect("kernel instantiates")
 }
 
@@ -45,65 +47,79 @@ fn time_kernel(inst: &mut Instance, n: i32, reps: usize) -> Duration {
 }
 
 fn sweep_suite() {
-    // Match the fig5 problem size so the recorded fusion trajectory is
-    // comparable with `BENCH_fig5_polybench.json`.
+    // Match the fig5 problem size so the recorded optimisation trajectory
+    // is comparable with `BENCH_fig5_polybench.json`.
     let n = watz_bench::scale(24) as i32;
     let r = watz_bench::reps(7);
-    println!("=== fused vs unfused flat engine, full PolyBench suite (n={n}) ===");
-    let mut log_sum = 0.0f64;
+    println!("=== unfused vs fused vs register flat engine, full PolyBench suite (n={n}) ===");
+    let mut log_fuse = 0.0f64;
+    let mut log_reg = 0.0f64;
     let mut count = 0usize;
     for kernel in workloads::polybench::suite() {
         let wasm = minic::compile(kernel.minic).expect("kernel compiles");
         let module = watz_wasm::load(&wasm).expect("kernel loads");
-        let mut fused = flat_instance(&module, true);
-        let mut unfused = flat_instance(&module, false);
-        let out_fused = fused
-            .invoke(&mut NoHost, "kernel", &[Value::I32(n)])
-            .unwrap();
-        let out_unfused = unfused
-            .invoke(&mut NoHost, "kernel", &[Value::I32(n)])
-            .unwrap();
+        let mut unfused = engine(&module, false, false);
+        let mut fused = engine(&module, true, false);
+        let mut reg = engine(&module, true, true);
+        let args = [Value::I32(n)];
+        let out_unfused = unfused.invoke(&mut NoHost, "kernel", &args).unwrap();
+        let out_fused = fused.invoke(&mut NoHost, "kernel", &args).unwrap();
+        let out_reg = reg.invoke(&mut NoHost, "kernel", &args).unwrap();
         assert_eq!(
             out_fused, out_unfused,
             "fusion changes {} results",
             kernel.name
         );
-        let t_fused = time_kernel(&mut fused, n, r);
+        assert_eq!(
+            out_reg, out_fused,
+            "register engine changes {} results",
+            kernel.name
+        );
+        assert!(
+            reg.reg_stats().is_some(),
+            "register pass fell back on {}",
+            kernel.name
+        );
         let t_unfused = time_kernel(&mut unfused, n, r);
-        let ratio = t_unfused.as_secs_f64() / t_fused.as_secs_f64();
-        log_sum += ratio.ln();
+        let t_fused = time_kernel(&mut fused, n, r);
+        let t_reg = time_kernel(&mut reg, n, r);
+        let fuse_ratio = t_unfused.as_secs_f64() / t_fused.as_secs_f64();
+        let reg_ratio = t_fused.as_secs_f64() / t_reg.as_secs_f64();
+        log_fuse += fuse_ratio.ln();
+        log_reg += reg_ratio.ln();
         count += 1;
         println!(
-            "  {:<18} unfused {:>10.2?}  fused {:>10.2?}  speedup {ratio:.2}x",
-            kernel.name, t_unfused, t_fused
+            "  {:<18} unfused {:>10.2?}  fused {:>10.2?}  reg {:>10.2?}  fuse {fuse_ratio:.2}x  reg {reg_ratio:.2}x",
+            kernel.name, t_unfused, t_fused, t_reg
         );
     }
-    let geomean = (log_sum / count as f64).exp();
-    println!("  geomean fusion speedup over {count} kernels: {geomean:.2}x");
+    let geo_fuse = (log_fuse / count as f64).exp();
+    let geo_reg = (log_reg / count as f64).exp();
+    println!("  geomean over {count} kernels: fusion {geo_fuse:.2}x, register {geo_reg:.2}x");
 }
 
 fn main() {
-    // --- Wasm: one mid-size kernel, flat engine vs tree interpreter, and
-    // fused vs unfused flat code. ---
+    // --- Wasm: one mid-size kernel across the whole engine ladder. ---
     let kernel = workloads::polybench::by_name("gemm").expect("gemm in suite");
     let wasm = minic::compile(kernel.minic).expect("kernel compiles");
     let module = watz_wasm::load(&wasm).expect("kernel loads");
     let n = 16i32;
 
-    let mut flat = flat_instance(&module, true);
-    let mut unfused = flat_instance(&module, false);
+    let mut reg = engine(&module, true, true);
+    let mut flat = engine(&module, true, false);
+    let mut unfused = engine(&module, false, false);
     let mut tree = Instance::instantiate(&module, ExecMode::Interpreted, &mut NoHost).unwrap();
-    let out_flat = flat
-        .invoke(&mut NoHost, "kernel", &[Value::I32(n)])
-        .unwrap();
-    let out_unfused = unfused
-        .invoke(&mut NoHost, "kernel", &[Value::I32(n)])
-        .unwrap();
-    let out_tree = tree
-        .invoke(&mut NoHost, "kernel", &[Value::I32(n)])
-        .unwrap();
+    let args = [Value::I32(n)];
+    let out_reg = reg.invoke(&mut NoHost, "kernel", &args).unwrap();
+    let out_flat = flat.invoke(&mut NoHost, "kernel", &args).unwrap();
+    let out_unfused = unfused.invoke(&mut NoHost, "kernel", &args).unwrap();
+    let out_tree = tree.invoke(&mut NoHost, "kernel", &args).unwrap();
     assert_eq!(out_flat, out_tree, "engines disagree on gemm({n})");
     assert_eq!(out_flat, out_unfused, "fusion changes gemm({n}) results");
+    assert_eq!(
+        out_reg, out_flat,
+        "register engine changes gemm({n}) results"
+    );
     let stats = flat.fusion_stats().expect("flat instance reports stats");
     assert!(stats.total() > 0, "fusion emitted nothing for gemm");
     assert_eq!(
@@ -111,7 +127,16 @@ fn main() {
         Some(0),
         "unfused instance must not fuse"
     );
+    let rstats = reg.reg_stats().expect("register instance reports stats");
+    for (name, count) in rstats.counts() {
+        assert!(count > 0, "register counter '{name}' is zero for gemm");
+    }
+    assert!(
+        flat.reg_stats().is_none(),
+        "stack-form instance must not report register stats"
+    );
 
+    let t_reg = time_kernel(&mut reg, n, 5);
     let t_flat = time_kernel(&mut flat, n, 5);
     let t_unfused = time_kernel(&mut unfused, n, 5);
     let t_tree = median(5, || {
@@ -122,10 +147,15 @@ fn main() {
     });
     let wasm_speedup = t_tree.as_secs_f64() / t_flat.as_secs_f64();
     let fuse_speedup = t_unfused.as_secs_f64() / t_flat.as_secs_f64();
+    let reg_speedup = t_flat.as_secs_f64() / t_reg.as_secs_f64();
     println!("gemm({n}): flat {t_flat:?}  tree {t_tree:?}  speedup {wasm_speedup:.2}x");
     println!(
         "gemm({n}): fused {t_flat:?}  unfused {t_unfused:?}  fusion speedup {fuse_speedup:.2}x  ({} superinstructions)",
         stats.total()
+    );
+    println!(
+        "gemm({n}): reg {t_reg:?}  fused {t_flat:?}  register speedup {reg_speedup:.2}x  ({} stack ops eliminated, {} gets forwarded)",
+        rstats.stack_ops_eliminated, rstats.gets_forwarded
     );
 
     // --- Crypto: generator scalar mult, fixed-base table vs generic. ---
@@ -145,10 +175,11 @@ fn main() {
     println!("p256 k*G: fixed {t_fixed:?}  generic {t_generic:?}  speedup {p256_speedup:.2}x");
 
     // Gates: generous margins below the measured ratios (~3.9x flat vs
-    // tree, ~1.4x fused vs unfused, ~4x fixed-base) so CI noise does not
-    // flake, but a real regression (the flat engine falling back to
-    // scanning, the fusion pass stopping to fire or slowing the dispatch
-    // loop, the table losing mixed addition) trips them.
+    // tree, ~1.4x fused vs unfused, ~1.4x register vs fused, ~4x
+    // fixed-base) so CI noise does not flake, but a real regression (the
+    // flat engine falling back to scanning, the fusion pass stopping to
+    // fire, the register pass falling back to the stack form or slowing
+    // the dispatch loop, the table losing mixed addition) trips them.
     assert!(
         wasm_speedup > 1.3,
         "flat engine no longer clearly beats the tree interpreter ({wasm_speedup:.2}x)"
@@ -156,6 +187,10 @@ fn main() {
     assert!(
         fuse_speedup > 1.0,
         "superinstruction fusion regressed the flat engine ({fuse_speedup:.2}x)"
+    );
+    assert!(
+        reg_speedup > 1.1,
+        "register allocation regressed the fused engine ({reg_speedup:.2}x)"
     );
     assert!(
         p256_speedup > 1.8,

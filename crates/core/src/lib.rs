@@ -351,6 +351,13 @@ impl WatzApp {
         self.instance.fusion_stats()
     }
 
+    /// Register-allocation counts from the flat lowering (`None` when the
+    /// app runs interpreted or the register pass is disabled).
+    #[must_use]
+    pub fn reg_stats(&self) -> Option<watz_wasm::RegStats> {
+        self.instance.reg_stats()
+    }
+
     /// The SHA-256 measurement of the loaded bytecode.
     #[must_use]
     pub fn measurement(&self) -> [u8; 32] {

@@ -55,8 +55,10 @@ pub struct DeviceRecord {
     pub shard: usize,
     /// Behavioural kind.
     pub kind: DeviceKind,
-    /// The device's public attestation key (endorsement value).
-    pub public_key: [u8; 64],
+    /// The device's public attestation key (endorsement value). `None`
+    /// until the device is manufactured — which happens lazily, on the
+    /// first session that schedules it, not at fleet boot.
+    pub public_key: Option<[u8; 64]>,
 }
 
 /// Sizing of a simulated fleet.
@@ -93,12 +95,62 @@ impl Default for FleetSimConfig {
     }
 }
 
-/// One simulated device: its own platform, trusted OS and attestation
+/// One manufactured device: its own platform, trusted OS and attestation
 /// service (real key material), attesting over its shard's network.
 struct SimDevice {
-    record: DeviceRecord,
     service: AttestationService,
     _os: TrustedOs,
+}
+
+/// A device slot in the registry: the cheap spec is fixed at boot, the
+/// expensive manufacturing (platform, secure-boot chain, trusted OS, key
+/// derivation) happens at most once — on the first session that schedules
+/// the device. Simulations can therefore size past boot-time memory: a
+/// device that never attests never exists beyond these few words.
+struct LazyDevice {
+    id: u32,
+    shard: usize,
+    kind: DeviceKind,
+    cell: std::sync::OnceLock<SimDevice>,
+}
+
+impl LazyDevice {
+    /// Manufactures the device on first use (fused seed, genuine boot
+    /// chain, attestation service install).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device fails secure boot. Device manufacturing is
+    /// deterministic in the simulator (derived from the device seed), so
+    /// unlike shard boot — which still returns a [`TeeError`] from
+    /// [`FleetSim::boot`] — a failure here means the model itself is
+    /// broken, not a configuration problem a caller could handle.
+    fn device(&self) -> &SimDevice {
+        self.cell.get_or_init(|| {
+            let platform = Platform::new(PlatformConfig {
+                device_seed: format!("fleet-device-{}", self.id).into_bytes(),
+                ..PlatformConfig::default()
+            });
+            tz_hal::boot::install_genuine_chain(&platform).expect("device secure boot");
+            let os = TrustedOs::boot(platform).expect("device trusted OS boot");
+            // Stale devices report a WaTZ version below the fleet's
+            // minimum (an un-updated runtime in the wild).
+            let service = match self.kind {
+                DeviceKind::Stale => AttestationService::install_with_version(&os, 0),
+                _ => AttestationService::install(&os),
+            };
+            SimDevice { service, _os: os }
+        })
+    }
+
+    fn record(&self) -> DeviceRecord {
+        DeviceRecord {
+            id: self.id,
+            shard: self.shard,
+            kind: self.kind,
+            public_key: self.cell.get().map(|d| d.service.public_key()),
+        }
+    }
 }
 
 /// One shard: a trusted OS whose network carries the shard's verifier
@@ -107,11 +159,13 @@ struct Shard {
     os: TrustedOs,
 }
 
-/// A booted simulated fleet, ready to run attestation rounds.
+/// A booted simulated fleet, ready to run attestation rounds. Shards boot
+/// eagerly (they host the verifiers); devices are registered as cheap
+/// specs and manufactured lazily on their first scheduled session.
 pub struct FleetSim {
     config: FleetSimConfig,
     shards: Vec<Shard>,
-    devices: Vec<SimDevice>,
+    devices: Vec<LazyDevice>,
     measurement: [u8; 32],
     verifier_identity_seed: Vec<u8>,
 }
@@ -279,14 +333,16 @@ fn run_client(
 }
 
 impl FleetSim {
-    /// Boots the shards and manufactures the devices (round-robin across
-    /// shards), deriving every device's attestation key from its own
-    /// fused seed.
+    /// Boots the shards and registers the devices (round-robin across
+    /// shards). Devices are *not* manufactured here: each one's platform,
+    /// secure-boot chain and attestation key materialise on the first
+    /// session that schedules it, so a fleet can be sized far beyond what
+    /// eager boot-time manufacturing would fit in memory.
     ///
     /// # Errors
     ///
-    /// Returns [`TeeError`] if a shard or device fails secure boot, or if
-    /// the shard count does not fit in the port range above `config.port`.
+    /// Returns [`TeeError`] if a shard fails secure boot, or if the shard
+    /// count does not fit in the port range above `config.port`.
     pub fn boot(config: FleetSimConfig) -> Result<Self, TeeError> {
         // Shard k binds port + k; reject configs whose port arithmetic
         // would wrap (or panic in debug) in `run_with_workers`.
@@ -318,33 +374,15 @@ impl FleetSim {
         let kinds = std::iter::repeat_n(DeviceKind::Endorsed, config.endorsed)
             .chain(std::iter::repeat_n(DeviceKind::Rogue, config.rogue))
             .chain(std::iter::repeat_n(DeviceKind::Stale, config.stale));
-        let devices: Vec<SimDevice> = kinds
+        let devices: Vec<LazyDevice> = kinds
             .enumerate()
-            .map(|(id, kind)| {
-                let platform = Platform::new(PlatformConfig {
-                    device_seed: format!("fleet-device-{id}").into_bytes(),
-                    ..PlatformConfig::default()
-                });
-                tz_hal::boot::install_genuine_chain(&platform).map_err(|_| TeeError::NotBooted)?;
-                let os = TrustedOs::boot(platform)?;
-                // Stale devices report a WaTZ version below the fleet's
-                // minimum (an un-updated runtime in the wild).
-                let service = match kind {
-                    DeviceKind::Stale => AttestationService::install_with_version(&os, 0),
-                    _ => AttestationService::install(&os),
-                };
-                Ok(SimDevice {
-                    record: DeviceRecord {
-                        id: id as u32,
-                        shard: id % shards.len(),
-                        kind,
-                        public_key: service.public_key(),
-                    },
-                    service,
-                    _os: os,
-                })
+            .map(|(id, kind)| LazyDevice {
+                id: id as u32,
+                shard: id % shards.len(),
+                kind,
+                cell: std::sync::OnceLock::new(),
             })
-            .collect::<Result<_, TeeError>>()?;
+            .collect();
 
         Ok(FleetSim {
             config,
@@ -355,10 +393,30 @@ impl FleetSim {
         })
     }
 
-    /// The device registry (id, shard assignment, kind, endorsement key).
+    /// The device registry (id, shard assignment, kind, and — for
+    /// manufactured devices — the endorsement key). Reading the registry
+    /// never manufactures anything.
     #[must_use]
     pub fn registry(&self) -> Vec<DeviceRecord> {
-        self.devices.iter().map(|d| d.record.clone()).collect()
+        self.devices.iter().map(LazyDevice::record).collect()
+    }
+
+    /// How many devices have been manufactured so far (lazily, on first
+    /// scheduled session).
+    #[must_use]
+    pub fn manufactured_count(&self) -> usize {
+        self.devices
+            .iter()
+            .filter(|d| d.cell.get().is_some())
+            .count()
+    }
+
+    /// Whether device `id` has been manufactured.
+    #[must_use]
+    pub fn is_manufactured(&self, id: u32) -> bool {
+        self.devices
+            .get(id as usize)
+            .is_some_and(|d| d.cell.get().is_some())
     }
 
     /// The reference measurement every device claims.
@@ -373,26 +431,56 @@ impl FleetSim {
         self.run_with_workers(self.config.workers_per_shard)
     }
 
-    /// Runs one round: spawns a [`FleetVerifier`] per shard, drives every
-    /// device through a concurrent attestation session, shuts the
-    /// verifiers down and aggregates the report.
+    /// Runs one round over the whole fleet with an explicit worker count.
     ///
     /// Rounds are repeatable — fresh verifiers and fresh ephemeral
     /// session keys each time (benches sweep `workers` this way).
     #[must_use]
     pub fn run_with_workers(&self, workers: usize) -> FleetReport {
-        // Endorse endorsed AND stale devices: stale ones must fail the
-        // version gate, not the endorsement check (that would conflate
-        // them with rogues).
+        let all: Vec<u32> = (0..self.devices.len() as u32).collect();
+        self.run_devices(&all, workers)
+    }
+
+    /// Runs one round for the scheduled device ids only: manufactures any
+    /// scheduled device that does not exist yet (first session = first
+    /// boot), spawns a [`FleetVerifier`] per shard, drives each scheduled
+    /// device through a concurrent attestation session, shuts the
+    /// verifiers down and aggregates the report. Unscheduled devices are
+    /// never manufactured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of range, or if a scheduled device fails
+    /// secure boot while being manufactured (deterministic in the
+    /// simulator — see [`LazyDevice::device`]).
+    #[must_use]
+    pub fn run_devices(&self, ids: &[u32], workers: usize) -> FleetReport {
+        let scheduled: Vec<&LazyDevice> = ids
+            .iter()
+            .map(|id| {
+                self.devices
+                    .get(*id as usize)
+                    .expect("scheduled device id in range")
+            })
+            .collect();
+        // Manufacture every scheduled device (rogues included) before the
+        // round clock starts, so a cold round times attestation, not
+        // device boot — this is the "keyed on first session" moment.
+        for device in &scheduled {
+            let _ = device.device();
+        }
+        // Endorse scheduled endorsed AND stale devices: stale ones must
+        // fail the version gate, not the endorsement check (that would
+        // conflate them with rogues).
         let mut rng = Fortuna::from_seed(&self.verifier_identity_seed);
         let identity = SigningKey::generate(&mut rng);
         let mut base = VerifierConfig::new(identity)
             .trust_measurement(self.measurement)
             .require_min_version(1)
             .with_secret(b"fleet configuration secret".to_vec());
-        for device in &self.devices {
-            if device.record.kind != DeviceKind::Rogue {
-                base = base.endorse_device(device.record.public_key);
+        for device in &scheduled {
+            if device.kind != DeviceKind::Rogue {
+                base = base.endorse_device(device.device().service.public_key());
             }
         }
         let pinned = base.identity_public_key();
@@ -414,19 +502,19 @@ impl FleetSim {
             .collect();
 
         let outcomes: Arc<Mutex<Vec<ClientOutcome>>> =
-            Arc::new(Mutex::new(Vec::with_capacity(self.devices.len())));
+            Arc::new(Mutex::new(Vec::with_capacity(scheduled.len())));
         let started = Instant::now();
         std::thread::scope(|scope| {
-            for device in &self.devices {
-                let net = self.shards[device.record.shard].os.shared_network();
-                let port = self.config.port + device.record.shard as u16;
+            for device in &scheduled {
+                let net = self.shards[device.shard].os.shared_network();
+                let port = self.config.port + device.shard as u16;
                 let measurement = self.measurement;
                 let outcomes = Arc::clone(&outcomes);
+                let service = &device.device().service;
+                let id = device.id;
                 scope.spawn(move || {
-                    let mut rng =
-                        Fortuna::from_seed(format!("client-{}", device.record.id).as_bytes());
-                    let outcome =
-                        run_client(&net, port, &device.service, &measurement, &pinned, &mut rng);
+                    let mut rng = Fortuna::from_seed(format!("client-{id}").as_bytes());
+                    let outcome = run_client(&net, port, service, &measurement, &pinned, &mut rng);
                     outcomes.lock().push(outcome);
                 });
             }
@@ -456,7 +544,7 @@ impl FleetSim {
         latencies.sort_unstable();
 
         FleetReport {
-            devices: self.devices.len(),
+            devices: scheduled.len(),
             shards: self.shards.len(),
             elapsed,
             provisioned,

@@ -376,6 +376,54 @@ fn shard_networks_are_isolated_and_ports_freed_after_shutdown() {
 }
 
 #[test]
+fn devices_manufacture_lazily_on_first_session() {
+    // Boot registers specs only; manufacturing (platform, boot chain,
+    // key derivation) happens on the first session that schedules a
+    // device — a never-scheduled device is never manufactured, so
+    // simulations can size past boot-time memory.
+    let sim = FleetSim::boot(FleetSimConfig {
+        shards: 1,
+        endorsed: 6,
+        rogue: 1,
+        stale: 1,
+        workers_per_shard: 2,
+        session_timeout: Duration::from_secs(10),
+        port: 7690,
+    })
+    .unwrap();
+    assert_eq!(sim.manufactured_count(), 0, "boot must not manufacture");
+    let registry = sim.registry();
+    assert_eq!(registry.len(), 8);
+    assert!(
+        registry.iter().all(|r| r.public_key.is_none()),
+        "registry reads must not manufacture either"
+    );
+
+    // A partial round: only devices 0..3 (all endorsed) attest.
+    let report = sim.run_devices(&[0, 1, 2], 2);
+    assert_eq!(report.devices, 3);
+    assert_eq!(report.provisioned, 3);
+    assert_eq!(report.failed, 0);
+    assert_eq!(sim.manufactured_count(), 3, "only scheduled devices exist");
+    assert!(sim.is_manufactured(0));
+    assert!(
+        !sim.is_manufactured(7),
+        "never-scheduled device must never be manufactured"
+    );
+    let registry = sim.registry();
+    assert!(registry[0].public_key.is_some(), "keyed on first session");
+    assert!(registry[7].public_key.is_none());
+
+    // A full round manufactures the rest exactly once and still lands
+    // every verdict where the kinds say.
+    let report = sim.run();
+    assert_eq!(report.devices, 8);
+    assert_eq!(report.provisioned, 6);
+    assert_eq!(report.rejected, 2, "rogue + stale rejected");
+    assert_eq!(sim.manufactured_count(), 8);
+}
+
+#[test]
 fn port_overflowing_shard_count_rejected_at_boot() {
     let err = FleetSim::boot(FleetSimConfig {
         shards: 10,

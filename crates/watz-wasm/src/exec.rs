@@ -4,7 +4,7 @@
 //! WAMR (the runtime WaTZ embeds) offers interpreted, JIT and AOT execution;
 //! WaTZ uses AOT, reporting it "on average 28× faster than with
 //! interpretation" (§III). We reproduce the *mode structure* portably as a
-//! four-stage story:
+//! five-stage story:
 //!
 //! 1. **Tree-walking interpreter** ([`ExecMode::Interpreted`]): executes the
 //!    structured instruction sequence directly, re-discovering each block's
@@ -25,15 +25,26 @@
 //!    windows — local/const operand feeds, sinks into locals or memory,
 //!    array-address tails, compare-and-branch sequences — into single fused
 //!    opcodes with direct frame-slot addressing (see [`crate::flat`]).
-//!    `WATZ_NO_FUSE=1` or [`Instance::instantiate_with_fusion`] pins the
-//!    unfused stage-3 engine for bisection.
+//!    `WATZ_NO_FUSE=1` or [`Instance::instantiate_with_fusion`] disables
+//!    just this pass (stage 5 still applies to the unfused code; combine
+//!    with `WATZ_NO_REG=1` — or use [`Instance::instantiate_with_engine`]
+//!    with both flags off — to pin the bare stage-3 engine).
+//! 5. **Register allocation** (on by default for [`ExecMode::Aot`],
+//!    [`crate::reg`]): an abstract-stack simulation rewrites the (fused)
+//!    flat code so every op carries explicit source/destination frame-slot
+//!    indices — `local.get`s forward into their consumers, intermediates
+//!    live at fixed slots, and the dispatch loop never pushes or pops an
+//!    operand stack (stack-polymorphic edges keep explicit move fix-ups).
+//!    `WATZ_NO_REG=1` or [`Instance::instantiate_with_engine`] pins the
+//!    stack-form stage-4 engine; counters are exposed as
+//!    [`crate::reg::RegStats`].
 //!
-//! Both live modes share one semantics (identical results *and* identical
+//! All live engines share one semantics (identical results *and* identical
 //! traps) and are differentially tested against each other across the full
-//! PolyBench/speedtest/Genann suites plus randomized MiniC kernels (with
-//! fusion both on and off). Because our flat engine stops short of native
-//! code generation, its speedup over interpretation is smaller than WAMR's
-//! 28× (see EXPERIMENTS.md for measured ratios).
+//! PolyBench/speedtest/Genann suites plus randomized MiniC kernels, in
+//! every fused/unfused × register/stack combination. Because our engines
+//! stop short of native code generation, the speedup over interpretation
+//! is smaller than WAMR's 28× (see EXPERIMENTS.md for measured ratios).
 
 use std::collections::HashMap;
 
@@ -254,15 +265,45 @@ impl Memory {
 
     /// Grows by `delta` pages; returns the previous size, or -1 on failure.
     pub fn grow(&mut self, delta: u32) -> i32 {
-        let old = self.size_pages();
+        let max_pages = self.max_pages;
+        Self::grow_raw(&mut self.data, max_pages, delta)
+    }
+
+    /// [`Memory::grow`] on raw contents: the dispatch loops cache the data
+    /// vec locally (see [`Memory::take_data`]) and grow it in place.
+    pub(crate) fn grow_raw(data: &mut Vec<u8>, max_pages: u32, delta: u32) -> i32 {
+        let old = (data.len() / PAGE_SIZE) as u32;
         let Some(new) = old.checked_add(delta) else {
             return -1;
         };
-        if new > self.max_pages {
+        if new > max_pages {
             return -1;
         }
-        self.data.resize(new as usize * PAGE_SIZE, 0);
+        data.resize(new as usize * PAGE_SIZE, 0);
         old as i32
+    }
+
+    /// The growth limit in pages.
+    pub(crate) fn max_pages(&self) -> u32 {
+        self.max_pages
+    }
+
+    /// Moves the contents out, leaving the memory empty. The execution
+    /// engines hold the contents locally for a whole dispatch loop (one
+    /// borrow per run instead of one per load/store) and hand them back —
+    /// via [`Memory::put_data`] — on exit (every `Ok`/`Trap` path) and
+    /// around host calls, the only points where the embedder can observe
+    /// the memory. A *panic* mid-dispatch (a violated internal invariant,
+    /// or a panicking host function) unwinds past the restore and leaves
+    /// the memory empty — instances are not reusable after a caught
+    /// panic, which was already the engine's contract.
+    pub(crate) fn take_data(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.data)
+    }
+
+    /// Restores contents taken by [`Memory::take_data`].
+    pub(crate) fn put_data(&mut self, data: Vec<u8>) {
+        self.data = data;
     }
 
     /// Raw view of the memory contents.
@@ -307,31 +348,74 @@ impl Memory {
     }
 
     pub(crate) fn load<const N: usize>(&self, base: i32, offset: u32) -> Result<[u8; N], Trap> {
-        // Hot path: the effective address is computed in u64 (it cannot
-        // overflow there, and `usize` could wrap on 32-bit hosts), then a
-        // single slice lookup doubles as the bounds check — the
-        // `try_into` length check folds away since the range width is N.
-        let ea = u64::from(base as u32) + u64::from(offset);
-        let a = usize::try_from(ea).map_err(|_| Trap::MemoryOutOfBounds)?;
-        let end = a.checked_add(N).ok_or(Trap::MemoryOutOfBounds)?;
-        let bytes: &[u8; N] = self
-            .data
-            .get(a..end)
-            .and_then(|s| s.try_into().ok())
-            .ok_or(Trap::MemoryOutOfBounds)?;
-        Ok(*bytes)
+        mem_load(&self.data, base, offset)
     }
 
     pub(crate) fn store(&mut self, base: i32, offset: u32, bytes: &[u8]) -> Result<(), Trap> {
-        let ea = u64::from(base as u32) + u64::from(offset);
-        let a = usize::try_from(ea).map_err(|_| Trap::MemoryOutOfBounds)?;
-        let end = a.checked_add(bytes.len()).ok_or(Trap::MemoryOutOfBounds)?;
-        self.data
-            .get_mut(a..end)
-            .ok_or(Trap::MemoryOutOfBounds)?
-            .copy_from_slice(bytes);
-        Ok(())
+        mem_store(&mut self.data, base, offset, bytes)
     }
+}
+
+/// Loads `N` bytes at `base + offset` from raw memory contents.
+///
+/// Hot path: the effective address is computed in u64 (it cannot overflow
+/// there, and `usize` could wrap on 32-bit hosts), then a single slice
+/// lookup doubles as the bounds check — the `try_into` length check folds
+/// away since the range width is N.
+///
+/// # Errors
+///
+/// Traps with [`Trap::MemoryOutOfBounds`] past the end of memory.
+#[inline]
+pub(crate) fn mem_load<const N: usize>(
+    mem: &[u8],
+    base: i32,
+    offset: u32,
+) -> Result<[u8; N], Trap> {
+    let ea = u64::from(base as u32) + u64::from(offset);
+    let a = usize::try_from(ea).map_err(|_| Trap::MemoryOutOfBounds)?;
+    let end = a.checked_add(N).ok_or(Trap::MemoryOutOfBounds)?;
+    let bytes: &[u8; N] = mem
+        .get(a..end)
+        .and_then(|s| s.try_into().ok())
+        .ok_or(Trap::MemoryOutOfBounds)?;
+    Ok(*bytes)
+}
+
+/// Guards the host-call boundary: a [`HostEnv`] returning a result count
+/// other than the import's declared arity would silently diverge the
+/// engines (stale slots in the register engine, corrupted operand-stack
+/// height in the stack engines), so every engine turns the mismatch into
+/// the same [`Trap::Host`] instead.
+pub(crate) fn check_host_results(
+    module: &str,
+    name: &str,
+    returned: usize,
+    declared: usize,
+) -> Result<(), Trap> {
+    if returned == declared {
+        Ok(())
+    } else {
+        Err(Trap::Host(format!(
+            "import {module}.{name} returned {returned} results, declared {declared}"
+        )))
+    }
+}
+
+/// Stores `bytes` at `base + offset` into raw memory contents.
+///
+/// # Errors
+///
+/// Traps with [`Trap::MemoryOutOfBounds`] past the end of memory.
+#[inline]
+pub(crate) fn mem_store(mem: &mut [u8], base: i32, offset: u32, bytes: &[u8]) -> Result<(), Trap> {
+    let ea = u64::from(base as u32) + u64::from(offset);
+    let a = usize::try_from(ea).map_err(|_| Trap::MemoryOutOfBounds)?;
+    let end = a.checked_add(bytes.len()).ok_or(Trap::MemoryOutOfBounds)?;
+    mem.get_mut(a..end)
+        .ok_or(Trap::MemoryOutOfBounds)?
+        .copy_from_slice(bytes);
+    Ok(())
 }
 
 /// Scans forward from an opener pc for its matching `End` (and `Else`).
@@ -417,12 +501,19 @@ impl Instance {
         mode: ExecMode,
         host: &mut dyn HostEnv,
     ) -> Result<Self, Trap> {
-        Self::instantiate_with_fusion(module, mode, !flat::fusion_disabled_by_env(), host)
+        Self::instantiate_with_engine(
+            module,
+            mode,
+            !flat::fusion_disabled_by_env(),
+            !crate::reg::reg_disabled_by_env(),
+            host,
+        )
     }
 
     /// [`Instance::instantiate`] with explicit control over superinstruction
     /// fusion in the flat engine (`fuse` is ignored in
-    /// [`ExecMode::Interpreted`]).
+    /// [`ExecMode::Interpreted`]). The register pass follows the
+    /// `WATZ_NO_REG` environment switch.
     ///
     /// `instantiate` follows the `WATZ_NO_FUSE` environment switch; this
     /// entry point exists for fused-vs-unfused A/B comparison and
@@ -435,6 +526,25 @@ impl Instance {
         module: &Module,
         mode: ExecMode,
         fuse: bool,
+        host: &mut dyn HostEnv,
+    ) -> Result<Self, Trap> {
+        Self::instantiate_with_engine(module, mode, fuse, !crate::reg::reg_disabled_by_env(), host)
+    }
+
+    /// [`Instance::instantiate`] with explicit control over both flat-engine
+    /// passes: superinstruction fusion (`fuse`) and register allocation
+    /// (`reg`). Both are ignored in [`ExecMode::Interpreted`]. This is the
+    /// full A/B matrix entry point — `WATZ_NO_FUSE`/`WATZ_NO_REG` reach the
+    /// same combinations without code changes.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Instance::instantiate`].
+    pub fn instantiate_with_engine(
+        module: &Module,
+        mode: ExecMode,
+        fuse: bool,
+        reg: bool,
         host: &mut dyn HostEnv,
     ) -> Result<Self, Trap> {
         let memory = module
@@ -469,9 +579,10 @@ impl Instance {
 
         // The AOT preparation step: lower every body to flat code once, at
         // load time (replacing the old end/else side tables), then run the
-        // superinstruction fusion pass unless it is switched off.
+        // superinstruction fusion pass and the register-allocation pass
+        // unless they are switched off.
         let flat = match mode {
-            ExecMode::Aot => Some(flat::FlatModule::compile_with(module, fuse)?),
+            ExecMode::Aot => Some(flat::FlatModule::compile_with(module, fuse, reg)?),
             ExecMode::Interpreted => None,
         };
 
@@ -547,6 +658,14 @@ impl Instance {
         self.flat.as_ref().map(flat::FlatModule::fusion_stats)
     }
 
+    /// Register-allocation counts from the flat lowering (`None` for
+    /// interpreted instances and when the register pass is disabled or
+    /// fell back to the stack-form engine).
+    #[must_use]
+    pub fn reg_stats(&self) -> Option<crate::reg::RegStats> {
+        self.flat.as_ref().and_then(flat::FlatModule::reg_stats)
+    }
+
     /// The instance's linear memory.
     #[must_use]
     pub fn memory(&self) -> &Memory {
@@ -603,24 +722,41 @@ impl Instance {
         args: &[Value],
         _depth: usize,
     ) -> Result<Vec<Value>, Trap> {
-        // Aot instances run on the flat engine; the structured bodies below
-        // are only walked in Interpreted mode.
+        // Aot instances run on the flat engine — register form when the
+        // register pass prepared one, stack form otherwise; the structured
+        // bodies below are only walked in Interpreted mode.
         if let Some(flat) = &self.flat {
-            return flat::run(
-                flat,
-                &self.types,
-                &self.table,
-                &mut self.memory,
-                &mut self.globals,
-                host,
-                func_idx,
-                args,
-            );
+            return if flat.reg.is_some() {
+                crate::reg::run(
+                    flat,
+                    &self.types,
+                    &self.table,
+                    &mut self.memory,
+                    &mut self.globals,
+                    host,
+                    func_idx,
+                    args,
+                )
+            } else {
+                flat::run(
+                    flat,
+                    &self.types,
+                    &self.table,
+                    &mut self.memory,
+                    &mut self.globals,
+                    host,
+                    func_idx,
+                    args,
+                )
+            };
         }
         match &self.funcs[func_idx as usize] {
             FuncDef::Import { module, name, .. } => {
                 let (module, name) = (module.clone(), name.clone());
-                host.call(&module, &name, &mut self.memory, args)
+                let declared = self.func_type(func_idx).results.len();
+                let results = host.call(&module, &name, &mut self.memory, args)?;
+                check_host_results(&module, &name, results.len(), declared)?;
+                Ok(results)
             }
             FuncDef::Local { body } => {
                 let body_idx = *body;
@@ -873,11 +1009,13 @@ impl Instance {
                 }
                 Instr::Return => leave_function!(),
                 Instr::Call(f) => {
-                    let n_params = self.func_type(f).params.len();
+                    let ty = self.func_type(f);
+                    let (n_params, n_results) = (ty.params.len(), ty.results.len());
                     if let FuncDef::Import { module, name, .. } = &self.funcs[f as usize] {
                         let (module, name) = (module.clone(), name.clone());
                         let args: Vec<Value> = stack.split_off(stack.len() - n_params);
                         let results = host.call(&module, &name, &mut self.memory, &args)?;
+                        check_host_results(&module, &name, results.len(), n_results)?;
                         stack.extend(results);
                     } else {
                         enter_function!(f, n_params);
@@ -891,11 +1029,12 @@ impl Instance {
                     if self.func_type(f) != expected {
                         return Err(Trap::IndirectTypeMismatch);
                     }
-                    let n_params = expected.params.len();
+                    let (n_params, n_results) = (expected.params.len(), expected.results.len());
                     if let FuncDef::Import { module, name, .. } = &self.funcs[f as usize] {
                         let (module, name) = (module.clone(), name.clone());
                         let args: Vec<Value> = stack.split_off(stack.len() - n_params);
                         let results = host.call(&module, &name, &mut self.memory, &args)?;
+                        check_host_results(&module, &name, results.len(), n_results)?;
                         stack.extend(results);
                     } else {
                         enter_function!(f, n_params);

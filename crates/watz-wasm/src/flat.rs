@@ -57,11 +57,31 @@
 //! reachable for bisection. Per-kind emission counts are reported through
 //! [`FusionStats`].
 //!
+//! # Register allocation on top
+//!
+//! The (fused) flat code is lowered one step further by [`crate::reg`]
+//! into register form, which eliminates the operand stack from hot
+//! dispatch entirely. The key invariant this module maintains for that
+//! pass is the **entry-height table**: [`lower`] records, for every flat
+//! op it emits, the operand-stack height at the op's entry (before its
+//! own pops) — heights are compile-time constants under validation, which
+//! is exactly what lets the register pass pin the value "at height `h`"
+//! to the fixed frame slot `n_locals + h`. Fusion carries the table
+//! through compaction (a window inherits its first op's entry height;
+//! windows are straight-line, so that is the fused op's entry height
+//! too). The register pass re-points every jump through its own old→new
+//! map and re-validates the result, mirroring [`check_jump_targets`]
+//! here. `WATZ_NO_REG=1` (or [`Instance::instantiate_with_engine`]) pins
+//! the stack-form engine in this module.
+//!
 //! Semantics (including every trap) are identical to the structured
 //! tree-walking interpreter in [`crate::exec`], which serves as the
 //! differential oracle: the PolyBench/speedtest/Genann suites and the
 //! randomized MiniC property tests assert bit-identical results and
-//! identical traps across both engines, fused and unfused.
+//! identical traps across all engines, in every fused/unfused ×
+//! register/stack combination.
+//!
+//! [`Instance::instantiate_with_engine`]: crate::exec::Instance::instantiate_with_engine
 //!
 //! [`ExecMode::Aot`]: crate::exec::ExecMode
 //! [`Instance::instantiate_with_fusion`]: crate::exec::Instance::instantiate_with_fusion
@@ -83,43 +103,43 @@ use crate::types::{BlockType, FuncType, ValType};
 pub(crate) type Slot = u64;
 
 #[inline]
-fn from_i32(v: i32) -> Slot {
+pub(crate) fn from_i32(v: i32) -> Slot {
     u64::from(v as u32)
 }
 #[inline]
-fn from_i64(v: i64) -> Slot {
+pub(crate) fn from_i64(v: i64) -> Slot {
     v as u64
 }
 #[inline]
-fn from_f32(v: f32) -> Slot {
+pub(crate) fn from_f32(v: f32) -> Slot {
     u64::from(v.to_bits())
 }
 #[inline]
-fn from_f64(v: f64) -> Slot {
+pub(crate) fn from_f64(v: f64) -> Slot {
     v.to_bits()
 }
 #[inline]
-fn as_i32(s: Slot) -> i32 {
+pub(crate) fn as_i32(s: Slot) -> i32 {
     s as u32 as i32
 }
 #[inline]
-fn as_u32(s: Slot) -> u32 {
+pub(crate) fn as_u32(s: Slot) -> u32 {
     s as u32
 }
 #[inline]
-fn as_i64(s: Slot) -> i64 {
+pub(crate) fn as_i64(s: Slot) -> i64 {
     s as i64
 }
 #[inline]
-fn as_u64(s: Slot) -> u64 {
+pub(crate) fn as_u64(s: Slot) -> u64 {
     s
 }
 #[inline]
-fn as_f32(s: Slot) -> f32 {
+pub(crate) fn as_f32(s: Slot) -> f32 {
     f32::from_bits(s as u32)
 }
 #[inline]
-fn as_f64(s: Slot) -> f64 {
+pub(crate) fn as_f64(s: Slot) -> f64 {
     f64::from_bits(s)
 }
 
@@ -313,7 +333,7 @@ pub(crate) enum BinOpKind {
 /// route through the shared helpers above).
 #[inline]
 #[allow(clippy::too_many_lines)]
-fn apply_binop(op: BinOpKind, a: Slot, b: Slot) -> Result<Slot, Trap> {
+pub(crate) fn apply_binop(op: BinOpKind, a: Slot, b: Slot) -> Result<Slot, Trap> {
     use BinOpKind as B;
     Ok(match op {
         B::I32Add => from_i32(as_i32(a).wrapping_add(as_i32(b))),
@@ -432,70 +452,72 @@ pub(crate) enum StoreKind {
     I64S32,
 }
 
-/// Performs a fused load at `base + offset`.
+/// Performs a fused load at `base + offset` on a raw memory slice (the
+/// dispatch loops cache the memory contents locally — see [`run`]).
 ///
 /// # Errors
 ///
 /// Traps with [`Trap::MemoryOutOfBounds`] exactly like the plain opcode.
 #[inline]
-fn do_load(kind: LoadKind, memory: &Memory, base: i32, offset: u32) -> Result<Slot, Trap> {
+pub(crate) fn do_load(kind: LoadKind, mem: &[u8], base: i32, offset: u32) -> Result<Slot, Trap> {
+    use crate::exec::mem_load as ld;
     Ok(match kind {
-        LoadKind::I32 => from_i32(i32::from_le_bytes(memory.load(base, offset)?)),
-        LoadKind::I64 => from_i64(i64::from_le_bytes(memory.load(base, offset)?)),
-        LoadKind::F32 => u64::from(u32::from_le_bytes(memory.load(base, offset)?)),
-        LoadKind::F64 => u64::from_le_bytes(memory.load(base, offset)?),
+        LoadKind::I32 => from_i32(i32::from_le_bytes(ld(mem, base, offset)?)),
+        LoadKind::I64 => from_i64(i64::from_le_bytes(ld(mem, base, offset)?)),
+        LoadKind::F32 => u64::from(u32::from_le_bytes(ld(mem, base, offset)?)),
+        LoadKind::F64 => u64::from_le_bytes(ld(mem, base, offset)?),
         LoadKind::I32L8S => {
-            let b: [u8; 1] = memory.load(base, offset)?;
+            let b: [u8; 1] = ld(mem, base, offset)?;
             from_i32(i32::from(b[0] as i8))
         }
         LoadKind::I32L8U | LoadKind::I64L8U => {
-            let b: [u8; 1] = memory.load(base, offset)?;
+            let b: [u8; 1] = ld(mem, base, offset)?;
             u64::from(b[0])
         }
-        LoadKind::I32L16S => from_i32(i32::from(i16::from_le_bytes(memory.load(base, offset)?))),
+        LoadKind::I32L16S => from_i32(i32::from(i16::from_le_bytes(ld(mem, base, offset)?))),
         LoadKind::I32L16U | LoadKind::I64L16U => {
-            u64::from(u16::from_le_bytes(memory.load(base, offset)?))
+            u64::from(u16::from_le_bytes(ld(mem, base, offset)?))
         }
         LoadKind::I64L8S => {
-            let b: [u8; 1] = memory.load(base, offset)?;
+            let b: [u8; 1] = ld(mem, base, offset)?;
             from_i64(i64::from(b[0] as i8))
         }
-        LoadKind::I64L16S => from_i64(i64::from(i16::from_le_bytes(memory.load(base, offset)?))),
-        LoadKind::I64L32S => from_i64(i64::from(i32::from_le_bytes(memory.load(base, offset)?))),
-        LoadKind::I64L32U => u64::from(u32::from_le_bytes(memory.load(base, offset)?)),
+        LoadKind::I64L16S => from_i64(i64::from(i16::from_le_bytes(ld(mem, base, offset)?))),
+        LoadKind::I64L32S => from_i64(i64::from(i32::from_le_bytes(ld(mem, base, offset)?))),
+        LoadKind::I64L32U => u64::from(u32::from_le_bytes(ld(mem, base, offset)?)),
     })
 }
 
-/// Performs a fused store of raw slot `v` at `base + offset`.
+/// Performs a fused store of raw slot `v` at `base + offset` on a raw
+/// memory slice.
 ///
 /// # Errors
 ///
 /// Traps with [`Trap::MemoryOutOfBounds`] exactly like the plain opcode.
 #[inline]
-fn do_store(
+pub(crate) fn do_store(
     kind: StoreKind,
-    memory: &mut Memory,
+    mem: &mut [u8],
     base: i32,
     offset: u32,
     v: Slot,
 ) -> Result<(), Trap> {
+    use crate::exec::mem_store as st;
     match kind {
-        StoreKind::I32 | StoreKind::F32 => memory.store(base, offset, &(v as u32).to_le_bytes()),
-        StoreKind::I64 | StoreKind::F64 => memory.store(base, offset, &v.to_le_bytes()),
-        StoreKind::I32S8 | StoreKind::I64S8 => memory.store(base, offset, &[(v & 0xff) as u8]),
-        StoreKind::I32S16 | StoreKind::I64S16 => {
-            memory.store(base, offset, &(v as u16).to_le_bytes())
-        }
-        StoreKind::I64S32 => memory.store(base, offset, &(v as u32).to_le_bytes()),
+        StoreKind::I32 | StoreKind::F32 => st(mem, base, offset, &(v as u32).to_le_bytes()),
+        StoreKind::I64 | StoreKind::F64 => st(mem, base, offset, &v.to_le_bytes()),
+        StoreKind::I32S8 | StoreKind::I64S8 => st(mem, base, offset, &[(v & 0xff) as u8]),
+        StoreKind::I32S16 | StoreKind::I64S16 => st(mem, base, offset, &(v as u16).to_le_bytes()),
+        StoreKind::I64S32 => st(mem, base, offset, &(v as u32).to_le_bytes()),
     }
 }
 
 /// One `br_table` arm: absolute target plus the stack fix-up immediates.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct BrEntry {
-    target: u32,
-    keep: u32,
-    height: u32,
+    pub(crate) target: u32,
+    pub(crate) keep: u32,
+    pub(crate) height: u32,
 }
 
 /// A pre-resolved flat opcode.
@@ -1021,7 +1043,7 @@ pub(crate) fn fusion_disabled_by_env() -> bool {
 
 /// Maps a plain flat opcode to its fusable binary-operator kind.
 #[allow(clippy::too_many_lines)]
-fn binop_kind(op: &FlatOp) -> Option<BinOpKind> {
+pub(crate) fn binop_kind(op: &FlatOp) -> Option<BinOpKind> {
     use BinOpKind as B;
     use FlatOp as F;
     Some(match op {
@@ -1106,7 +1128,7 @@ fn binop_kind(op: &FlatOp) -> Option<BinOpKind> {
 }
 
 /// Maps a plain load opcode to its fused `(kind, offset)` pair.
-fn load_kind(op: &FlatOp) -> Option<(LoadKind, u32)> {
+pub(crate) fn load_kind(op: &FlatOp) -> Option<(LoadKind, u32)> {
     use FlatOp as F;
     Some(match op {
         F::I32Load(o) => (LoadKind::I32, *o),
@@ -1128,7 +1150,7 @@ fn load_kind(op: &FlatOp) -> Option<(LoadKind, u32)> {
 }
 
 /// Maps a plain store opcode to its fused `(kind, offset)` pair.
-fn store_kind(op: &FlatOp) -> Option<(StoreKind, u32)> {
+pub(crate) fn store_kind(op: &FlatOp) -> Option<(StoreKind, u32)> {
     use FlatOp as F;
     Some(match op {
         F::I32Store(o) => (StoreKind::I32, *o),
@@ -1148,20 +1170,22 @@ fn store_kind(op: &FlatOp) -> Option<(StoreKind, u32)> {
 /// conversion at the host boundary.
 #[derive(Debug)]
 pub(crate) struct FlatImport {
-    module: String,
-    name: String,
-    params: Box<[ValType]>,
+    pub(crate) module: String,
+    pub(crate) name: String,
+    pub(crate) params: Box<[ValType]>,
+    /// Declared result count, enforced at the host boundary.
+    pub(crate) n_results: usize,
 }
 
 /// A lowered local function.
 #[derive(Debug)]
 pub(crate) struct FlatFunc {
-    n_params: u32,
+    pub(crate) n_params: u32,
     /// Params + declared locals.
-    n_locals: u32,
-    n_results: u32,
-    result_types: Box<[ValType]>,
-    code: Box<[FlatOp]>,
+    pub(crate) n_locals: u32,
+    pub(crate) n_results: u32,
+    pub(crate) result_types: Box<[ValType]>,
+    pub(crate) code: Box<[FlatOp]>,
 }
 
 /// One entry in the function index space.
@@ -1171,27 +1195,34 @@ pub(crate) enum FlatFuncDef {
     Local(FlatFunc),
 }
 
-/// A module lowered to flat code, ready for [`run`].
+/// A module lowered to flat code, ready for [`run`] (or, when the
+/// register pass ran, for [`crate::reg::run`]).
 #[derive(Debug)]
 pub(crate) struct FlatModule {
-    funcs: Vec<FlatFuncDef>,
-    func_type_idx: Box<[u32]>,
-    global_types: Box<[ValType]>,
+    pub(crate) funcs: Vec<FlatFuncDef>,
+    pub(crate) func_type_idx: Box<[u32]>,
+    pub(crate) global_types: Box<[ValType]>,
     fusion: FusionStats,
+    /// Register-form code (one per local function), present when the
+    /// register-allocation pass ran and succeeded for every function.
+    pub(crate) reg: Option<crate::reg::RegProgram>,
 }
 
 impl FlatModule {
     /// Lowers every function body of a validated module; `fuse` controls
-    /// the superinstruction peephole pass.
+    /// the superinstruction peephole pass and `reg` the register-allocation
+    /// pass on top of it.
     ///
     /// # Errors
     ///
     /// Returns [`Trap::Instantiation`] when the module is malformed (a
     /// truncated/unbalanced body, out-of-range indices) — lowering never
     /// panics, even on input that skipped validation.
-    pub(crate) fn compile_with(module: &Module, fuse: bool) -> Result<FlatModule, Trap> {
+    pub(crate) fn compile_with(module: &Module, fuse: bool, reg: bool) -> Result<FlatModule, Trap> {
         let mut funcs = Vec::with_capacity(module.func_count());
         let mut func_type_idx = Vec::with_capacity(module.func_count());
+        let mut reg_funcs: Vec<Option<crate::reg::RegFunc>> =
+            Vec::with_capacity(module.func_count());
         for imp in &module.func_imports {
             let ty = module
                 .types
@@ -1201,12 +1232,27 @@ impl FlatModule {
                 module: imp.module.clone(),
                 name: imp.name.clone(),
                 params: ty.params.clone().into_boxed_slice(),
+                n_results: ty.results.len(),
             }));
             func_type_idx.push(imp.type_idx);
+            reg_funcs.push(None);
         }
         let mut fusion = FusionStats::default();
+        let mut reg_stats = crate::reg::RegStats::default();
+        // The register pass is all-or-nothing per module (the two frame
+        // layouts cannot call each other): if any function cannot be
+        // register-lowered (e.g. a frame too large for the u16 slot
+        // encoding), the whole module stays on the stack-form engine.
+        let mut reg_ok = reg;
         for body in &module.funcs {
-            funcs.push(FlatFuncDef::Local(lower(module, body, fuse, &mut fusion)?));
+            let (func, heights) = lower(module, body, fuse, &mut fusion)?;
+            if reg_ok {
+                match crate::reg::lower_func(&func, &heights, module, &mut reg_stats) {
+                    Ok(rf) => reg_funcs.push(Some(rf)),
+                    Err(_) => reg_ok = false,
+                }
+            }
+            funcs.push(FlatFuncDef::Local(func));
             func_type_idx.push(body.type_idx);
         }
         let global_types = module
@@ -1215,11 +1261,20 @@ impl FlatModule {
             .map(|g| g.ty.val_type)
             .collect::<Vec<_>>()
             .into_boxed_slice();
+        let reg = if reg_ok {
+            Some(crate::reg::RegProgram {
+                funcs: reg_funcs.into_boxed_slice(),
+                stats: reg_stats,
+            })
+        } else {
+            None
+        };
         Ok(FlatModule {
             funcs,
             func_type_idx: func_type_idx.into_boxed_slice(),
             global_types,
             fusion,
+            reg,
         })
     }
 
@@ -1227,10 +1282,15 @@ impl FlatModule {
     pub(crate) fn fusion_stats(&self) -> FusionStats {
         self.fusion
     }
+
+    /// Register-allocation counts, when the register pass ran.
+    pub(crate) fn reg_stats(&self) -> Option<crate::reg::RegStats> {
+        self.reg.as_ref().map(|p| p.stats)
+    }
 }
 
 /// The error malformed (unvalidated) input raises during lowering.
-fn bad(msg: &str) -> Trap {
+pub(crate) fn bad(msg: &str) -> Trap {
     Trap::Instantiation(format!("flat lowering: {msg}"))
 }
 
@@ -1282,6 +1342,10 @@ fn set_target(op: &mut FlatOp, slot: u32, target: u32) {
 
 /// Lowers one function body to flat code (then fuses it, when enabled).
 ///
+/// Returns the lowered function plus the operand-stack **entry height** of
+/// every emitted op (the height before the op pops anything), which the
+/// register pass consumes to place each value in a fixed frame slot.
+///
 /// # Errors
 ///
 /// Returns [`Trap::Instantiation`] for malformed bodies — truncated code
@@ -1294,7 +1358,7 @@ fn lower(
     body: &FuncBody,
     fuse: bool,
     fusion: &mut FusionStats,
-) -> Result<FlatFunc, Trap> {
+) -> Result<(FlatFunc, Vec<u32>), Trap> {
     let ty = module
         .types
         .get(body.type_idx as usize)
@@ -1304,6 +1368,8 @@ fn lower(
     let n_imports = module.func_imports.len() as u32;
 
     let mut ops: Vec<FlatOp> = Vec::with_capacity(body.code.len());
+    // Operand-stack entry height of each op in `ops`, kept 1:1.
+    let mut heights: Vec<u32> = Vec::with_capacity(body.code.len());
     let mut ctrl: Vec<Ctrl> = vec![Ctrl {
         is_loop: false,
         label_height: 0,
@@ -1365,6 +1431,8 @@ fn lower(
             if !ctrl[idx].is_loop {
                 ctrl[idx].patches.push((ops.len() as u32, u32::MAX));
             }
+            // Entry height includes the already-popped condition.
+            heights.push((height + usize::from($conditional)) as u32);
             ops.push(op);
         }};
     }
@@ -1386,6 +1454,7 @@ fn lower(
             }
             height = frame.label_height + frame.results;
             if ctrl.is_empty() {
+                heights.push(height as u32);
                 ops.push(FlatOp::Return);
             }
         }};
@@ -1437,6 +1506,7 @@ fn lower(
         match instr {
             Instr::Nop => {}
             Instr::Unreachable => {
+                heights.push(height as u32);
                 ops.push(FlatOp::Unreachable);
                 ctrl.last_mut()
                     .ok_or_else(|| bad("empty control"))?
@@ -1474,6 +1544,7 @@ fn lower(
                 height = sub_height!(1); // condition
                 let (params, results) = block_arities(module, *bt)?;
                 let ep = ops.len() as u32;
+                heights.push((height + 1) as u32);
                 ops.push(FlatOp::JumpIfZero { target: 0 });
                 ctrl.push(Ctrl {
                     is_loop: false,
@@ -1490,6 +1561,7 @@ fn lower(
             Instr::Else => {
                 // Reachable then-branch falls through: jump over the else.
                 let jmp = ops.len() as u32;
+                heights.push(height as u32);
                 ops.push(FlatOp::Jump { target: 0 });
                 let frame = ctrl.last_mut().ok_or_else(|| bad("else outside a frame"))?;
                 frame.patches.push((jmp, u32::MAX));
@@ -1541,6 +1613,7 @@ fn lower(
                 for (frame_idx, slot) in pending {
                     ctrl[frame_idx].patches.push((op_idx, slot));
                 }
+                heights.push((height + 1) as u32); // entry includes the index
                 ops.push(FlatOp::BrTable {
                     entries: entries.into_boxed_slice(),
                 });
@@ -1549,6 +1622,7 @@ fn lower(
                     .unreachable = true;
             }
             Instr::Return => {
+                heights.push(height as u32);
                 ops.push(FlatOp::Return);
                 ctrl.last_mut()
                     .ok_or_else(|| bad("empty control"))?
@@ -1562,6 +1636,7 @@ fn lower(
                     .types
                     .get(ty_idx as usize)
                     .ok_or_else(|| bad("call type index out of range"))?;
+                heights.push(height as u32);
                 height = sub_height!(fty.params.len()) + fty.results.len();
                 if *f < n_imports {
                     ops.push(FlatOp::CallImport { func: *f });
@@ -1574,6 +1649,7 @@ fn lower(
                     .types
                     .get(*type_idx as usize)
                     .ok_or_else(|| bad("call_indirect type index out of range"))?;
+                heights.push(height as u32);
                 height = sub_height!(1 + fty.params.len()) + fty.results.len();
                 ops.push(FlatOp::CallIndirect {
                     type_idx: *type_idx,
@@ -1581,6 +1657,7 @@ fn lower(
             }
             other => {
                 let (op, pops, pushes) = map_simple(other)?;
+                heights.push(height as u32);
                 height = sub_height!(pops) + pushes;
                 ops.push(op);
             }
@@ -1590,15 +1667,23 @@ fn lower(
     if !ctrl.is_empty() {
         return Err(bad("truncated body: unbalanced control (missing end)"));
     }
-    let code = if fuse { fuse_ops(ops, fusion)? } else { ops };
+    debug_assert_eq!(ops.len(), heights.len());
+    let (code, heights) = if fuse {
+        fuse_ops(ops, heights, fusion)?
+    } else {
+        (ops, heights)
+    };
     check_jump_targets(&code)?;
-    Ok(FlatFunc {
-        n_params: n_params as u32,
-        n_locals: (n_params + body.locals.len()) as u32,
-        n_results: n_results as u32,
-        result_types: ty.results.clone().into_boxed_slice(),
-        code: code.into_boxed_slice(),
-    })
+    Ok((
+        FlatFunc {
+            n_params: n_params as u32,
+            n_locals: (n_params + body.locals.len()) as u32,
+            n_results: n_results as u32,
+            result_types: ty.results.clone().into_boxed_slice(),
+            code: code.into_boxed_slice(),
+        },
+        heights,
+    ))
 }
 
 /// The load-time flat-code validator: every absolute jump target (and
@@ -1642,12 +1727,18 @@ fn check_jump_targets(code: &[FlatOp]) -> Result<(), Trap> {
 
 /// The peephole fusion pass: rewrites adjacent-op windows into fused
 /// superinstructions, then re-points every jump through the old→new index
-/// map.
+/// map. Entry heights travel with the ops (a fused window inherits the
+/// height of its first op — windows are straight-line, so that is the
+/// fused op's entry height too).
 ///
 /// A window may only swallow ops that are **not** jump targets — branch
 /// destinations always stay window starts, which is what makes the remap
 /// a plain index lookup (see the module docs for the invariant).
-fn fuse_ops(ops: Vec<FlatOp>, fusion: &mut FusionStats) -> Result<Vec<FlatOp>, Trap> {
+fn fuse_ops(
+    ops: Vec<FlatOp>,
+    heights: Vec<u32>,
+    fusion: &mut FusionStats,
+) -> Result<(Vec<FlatOp>, Vec<u32>), Trap> {
     let n = ops.len();
     let mut is_target = vec![false; n + 1];
     for op in &ops {
@@ -1673,15 +1764,18 @@ fn fuse_ops(ops: Vec<FlatOp>, fusion: &mut FusionStats) -> Result<Vec<FlatOp>, T
     }
 
     let mut out = Vec::with_capacity(n);
+    let mut heights_out = Vec::with_capacity(n);
     // old index -> new index; `u32::MAX` marks an op swallowed into the
     // middle of a window (never a legal jump target).
     let mut old2new = vec![u32::MAX; n + 1];
     let mut i = 0;
     while i < n {
         old2new[i] = out.len() as u32;
+        heights_out.push(heights[i]);
         i += fuse_at(&ops, &is_target, i, &mut out, fusion);
     }
     old2new[n] = out.len() as u32;
+    debug_assert_eq!(out.len(), heights_out.len());
 
     for op in &mut out {
         let remap = |t: &mut u32| {
@@ -1714,7 +1808,7 @@ fn fuse_ops(ops: Vec<FlatOp>, fusion: &mut FusionStats) -> Result<Vec<FlatOp>, T
             _ => {}
         }
     }
-    Ok(out)
+    Ok((out, heights_out))
 }
 
 /// What follows a fusable binop inside a window, deciding the fused form.
@@ -2258,6 +2352,11 @@ struct Frame<'a> {
 
 /// Invokes function `func_idx` on the flat engine.
 ///
+/// The linear-memory contents are moved out of [`Memory`] for the whole
+/// dispatch loop (one borrow per run, not one per load/store) and moved
+/// back on exit; host calls and `memory.grow` — the only operations that
+/// can observe or change the mapping — restore it around the boundary.
+///
 /// # Errors
 ///
 /// Returns exactly the traps the tree-walking interpreter would.
@@ -2274,11 +2373,33 @@ pub(crate) fn run(
 ) -> Result<Vec<Value>, Trap> {
     let entry = match &flat.funcs[func_idx as usize] {
         FlatFuncDef::Import(imp) => {
-            return host.call(&imp.module, &imp.name, memory, args);
+            let results = host.call(&imp.module, &imp.name, memory, args)?;
+            crate::exec::check_host_results(&imp.module, &imp.name, results.len(), imp.n_results)?;
+            return Ok(results);
         }
         FlatFuncDef::Local(f) => f,
     };
+    let mut mem = memory.take_data();
+    let result = run_loop(
+        flat, types, table, &mut mem, memory, globals, host, entry, args,
+    );
+    memory.put_data(mem);
+    result
+}
 
+/// The flat engine's dispatch loop, operating on the cached memory vec.
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+fn run_loop(
+    flat: &FlatModule,
+    types: &[FuncType],
+    table: &[Option<u32>],
+    mem: &mut Vec<u8>,
+    memory: &mut Memory,
+    globals: &mut [Value],
+    host: &mut dyn HostEnv,
+    entry: &FlatFunc,
+    args: &[Value],
+) -> Result<Vec<Value>, Trap> {
     let mut stack: Vec<Slot> = Vec::with_capacity(64);
     for v in args {
         stack.push(slot_from_value(*v));
@@ -2326,7 +2447,7 @@ pub(crate) fn run(
         ($off:expr, $n:expr, $conv:expr) => {{
             let t = top!();
             let addr = as_i32(*t);
-            let bytes: [u8; $n] = memory.load(addr, $off)?;
+            let bytes: [u8; $n] = crate::exec::mem_load(mem, addr, $off)?;
             *t = $conv(bytes);
         }};
     }
@@ -2334,7 +2455,7 @@ pub(crate) fn run(
         ($off:expr, $conv:expr) => {{
             let v = pop!();
             let addr = as_i32(pop!());
-            memory.store(addr, $off, &$conv(v))?;
+            crate::exec::mem_store(mem, addr, $off, &$conv(v))?;
         }};
     }
     // Branch stack fix-up + jump: keep the top `keep` slots, reset the
@@ -2380,7 +2501,13 @@ pub(crate) fn run(
                 .map(|(ty, s)| value_from_slot(*ty, *s))
                 .collect();
             stack.truncate(split);
-            let results = host.call(&imp.module, &imp.name, memory, &host_args)?;
+            // The host sees (and may grow) the real memory: hand the
+            // cached contents back for the duration of the call.
+            memory.put_data(std::mem::take(mem));
+            let call_result = host.call(&imp.module, &imp.name, memory, &host_args);
+            *mem = memory.take_data();
+            let results = call_result?;
+            crate::exec::check_host_results(&imp.module, &imp.name, results.len(), imp.n_results)?;
             stack.extend(results.into_iter().map(slot_from_value));
         }};
     }
@@ -2530,34 +2657,32 @@ pub(crate) fn run(
             FlatOp::I64Store16(off) => store!(*off, |v| (v as u16).to_le_bytes()),
             FlatOp::I64Store32(off) => store!(*off, |v| (v as u32).to_le_bytes()),
 
-            FlatOp::MemorySize => stack.push(from_i32(memory.size_pages() as i32)),
+            FlatOp::MemorySize => stack.push(from_i32((mem.len() / crate::PAGE_SIZE) as i32)),
             FlatOp::MemoryGrow => {
                 let t = top!();
                 let delta = as_u32(*t);
-                *t = from_i32(memory.grow(delta));
+                *t = from_i32(Memory::grow_raw(mem, memory.max_pages(), delta));
             }
             FlatOp::MemoryCopy => {
                 let len = as_u32(pop!());
                 let src = as_u32(pop!());
                 let dst = as_u32(pop!());
-                let mem_len = memory.data().len() as u64;
+                let mem_len = mem.len() as u64;
                 if u64::from(src) + u64::from(len) > mem_len
                     || u64::from(dst) + u64::from(len) > mem_len
                 {
                     return Err(Trap::MemoryOutOfBounds);
                 }
-                memory
-                    .data_mut()
-                    .copy_within(src as usize..(src + len) as usize, dst as usize);
+                mem.copy_within(src as usize..(src + len) as usize, dst as usize);
             }
             FlatOp::MemoryFill => {
                 let len = as_u32(pop!());
                 let val = as_u32(pop!()) as u8;
                 let dst = as_u32(pop!());
-                if u64::from(dst) + u64::from(len) > memory.data().len() as u64 {
+                if u64::from(dst) + u64::from(len) > mem.len() as u64 {
                     return Err(Trap::MemoryOutOfBounds);
                 }
-                memory.data_mut()[dst as usize..(dst + len) as usize].fill(val);
+                mem[dst as usize..(dst + len) as usize].fill(val);
             }
 
             FlatOp::Const(v) => stack.push(*v),
@@ -2598,7 +2723,7 @@ pub(crate) fn run(
                 let x = pop!();
                 let v = apply_binop(*op, x, stack[base + *b as usize])?;
                 let addr = as_i32(pop!());
-                do_store(*kind, memory, addr, *offset, v)?;
+                do_store(*kind, mem, addr, *offset, v)?;
             }
             FlatOp::FusedBinopLLStore {
                 a,
@@ -2609,7 +2734,7 @@ pub(crate) fn run(
             } => {
                 let v = apply_binop(*op, stack[base + *a as usize], stack[base + *b as usize])?;
                 let addr = as_i32(pop!());
-                do_store(*kind, memory, addr, *offset, v)?;
+                do_store(*kind, mem, addr, *offset, v)?;
             }
             FlatOp::FusedBinopSet { op, dst } => {
                 let b = pop!();
@@ -2621,17 +2746,17 @@ pub(crate) fn run(
             }
             FlatOp::FusedLoadL { addr, offset, kind } => {
                 let a = as_i32(stack[base + *addr as usize]);
-                stack.push(do_load(*kind, memory, a, *offset)?);
+                stack.push(do_load(*kind, mem, a, *offset)?);
             }
             FlatOp::FusedStoreL { val, offset, kind } => {
                 let a = as_i32(pop!());
-                do_store(*kind, memory, a, *offset, stack[base + *val as usize])?;
+                do_store(*kind, mem, a, *offset, stack[base + *val as usize])?;
             }
             FlatOp::FusedAddLoad { offset, kind } => {
                 let b = pop!();
                 let t = top!();
                 let a = as_i32(*t).wrapping_add(as_i32(b));
-                *t = do_load(*kind, memory, a, *offset)?;
+                *t = do_load(*kind, mem, a, *offset)?;
             }
             FlatOp::FusedBinopKS { k, op } => {
                 let t = top!();
@@ -2646,7 +2771,7 @@ pub(crate) fn run(
                 let idx = as_i32(pop!());
                 let t = top!();
                 let addr = as_i32(*t).wrapping_add(idx.wrapping_mul(*k as i32));
-                *t = do_load(*kind, memory, addr, *offset)?;
+                *t = do_load(*kind, mem, addr, *offset)?;
             }
             FlatOp::FusedIdxLAdd { z, k } => {
                 let zv = as_i32(stack[base + *z as usize]);
@@ -2661,14 +2786,14 @@ pub(crate) fn run(
                 let t = top!();
                 let idx = partial.wrapping_add(zv).wrapping_mul(*k as i32);
                 let addr = as_i32(*t).wrapping_add(idx);
-                *t = do_load(*kind, memory, addr, *offset)?;
+                *t = do_load(*kind, mem, addr, *offset)?;
             }
             FlatOp::FusedBinopStore { op, offset, kind } => {
                 let b = pop!();
                 let a = pop!();
                 let v = apply_binop(*op, a, b)?;
                 let addr = as_i32(pop!());
-                do_store(*kind, memory, addr, *offset, v)?;
+                do_store(*kind, mem, addr, *offset, v)?;
             }
             FlatOp::FusedCmpBrZ { op, target } => {
                 let b = pop!();
@@ -3171,30 +3296,61 @@ mod tests {
         assert_eq!(flat.unwrap(), vec![Value::I32(5)]);
     }
 
-    /// Runs an export on the oracle, the fused flat engine and the unfused
-    /// flat engine; all three must agree on results AND traps.
-    fn run_three(bytes: &[u8], name: &str, args: &[Value]) -> [Result<Vec<Value>, Trap>; 3] {
+    /// The flat-engine A/B matrix: (label, fuse, reg) for every
+    /// fused/unfused × register/stack combination.
+    const ENGINE_MATRIX: [(&str, bool, bool); 4] = [
+        ("fused+register", true, true),
+        ("fused", true, false),
+        ("unfused+register", false, true),
+        ("unfused", false, false),
+    ];
+
+    /// Runs an export on the oracle and on the flat engine in every
+    /// fused/unfused × register/stack combination; all five must agree on
+    /// results AND traps. Register instances must not silently fall back
+    /// to the stack form.
+    fn run_matrix(
+        bytes: &[u8],
+        name: &str,
+        args: &[Value],
+    ) -> Vec<(&'static str, Result<Vec<Value>, Trap>)> {
         let module = crate::load(bytes).unwrap();
         let mut out = Vec::new();
         let mut interp =
             Instance::instantiate(&module, ExecMode::Interpreted, &mut NoHost).unwrap();
-        out.push(interp.invoke(&mut NoHost, name, args));
-        for fuse in [true, false] {
+        out.push(("oracle", interp.invoke(&mut NoHost, name, args)));
+        for (label, fuse, reg) in ENGINE_MATRIX {
             let mut inst =
-                Instance::instantiate_with_fusion(&module, ExecMode::Aot, fuse, &mut NoHost)
+                Instance::instantiate_with_engine(&module, ExecMode::Aot, fuse, reg, &mut NoHost)
                     .unwrap();
-            out.push(inst.invoke(&mut NoHost, name, args));
+            assert_eq!(
+                inst.reg_stats().is_some(),
+                reg,
+                "{label}: register pass availability mismatch"
+            );
+            out.push((label, inst.invoke(&mut NoHost, name, args)));
         }
-        out.try_into().unwrap()
+        out
     }
 
-    fn assert_three_agree(bytes: &[u8], name: &str, args: &[Value], ctx: &str) {
-        let [oracle, fused, unfused] = run_three(bytes, name, args);
-        assert_eq!(oracle, fused, "{ctx}: fused engine diverges from oracle");
-        assert_eq!(
-            oracle, unfused,
-            "{ctx}: unfused engine diverges from oracle"
-        );
+    fn assert_matrix_agrees(bytes: &[u8], name: &str, args: &[Value], ctx: &str) {
+        let outcomes = run_matrix(bytes, name, args);
+        let (_, oracle) = &outcomes[0];
+        for (label, outcome) in &outcomes[1..] {
+            assert_eq!(
+                oracle, outcome,
+                "{ctx}: {label} engine diverges from oracle"
+            );
+        }
+    }
+
+    /// The oracle's outcome for an export (for pinning exact semantics;
+    /// parity with the engine matrix is asserted separately).
+    fn oracle_outcome(bytes: &[u8], name: &str, args: &[Value]) -> Result<Vec<Value>, Trap> {
+        let module = crate::load(bytes).unwrap();
+        let mut interp =
+            Instance::instantiate(&module, ExecMode::Interpreted, &mut NoHost).unwrap();
+        interp.invoke(&mut NoHost, name, args)
     }
 
     #[test]
@@ -3314,16 +3470,16 @@ mod tests {
         );
         b.export_func("sum", f);
         let module = crate::load(&b.build()).unwrap();
-        let flat = FlatModule::compile_with(&module, true).unwrap();
+        let flat = FlatModule::compile_with(&module, true, false).unwrap();
         let stats = flat.fusion_stats();
         assert_eq!(stats.cmp_br, 1, "loop exit must fuse: {stats:?}");
         assert_eq!(stats.binop_ll_set, 1, "{stats:?}");
         assert_eq!(stats.binop_lk_set, 1, "{stats:?}");
-        let unfused = FlatModule::compile_with(&module, false).unwrap();
+        let unfused = FlatModule::compile_with(&module, false, false).unwrap();
         assert_eq!(unfused.fusion_stats().total(), 0);
         // And the fused loop still computes the same sum.
-        assert_three_agree(&b.build(), "sum", &[Value::I32(10)], "sum loop");
-        let [oracle, ..] = run_three(&b.build(), "sum", &[Value::I32(10)]);
+        assert_matrix_agrees(&b.build(), "sum", &[Value::I32(10)], "sum loop");
+        let oracle = oracle_outcome(&b.build(), "sum", &[Value::I32(10)]);
         assert_eq!(oracle.unwrap(), vec![Value::I32(45)]);
     }
 
@@ -3363,7 +3519,7 @@ mod tests {
             // Even parities loop until i >= n (returning n); odd parities
             // invert the test and exit on the first iteration (returning
             // 0) — either way all three engines must agree.
-            assert_three_agree(&bytes, "f", &[Value::I32(3)], &format!("eqz chain {n_eqz}"));
+            assert_matrix_agrees(&bytes, "f", &[Value::I32(3)], &format!("eqz chain {n_eqz}"));
         }
     }
 
@@ -3395,7 +3551,7 @@ mod tests {
                 (-7, 3),
                 (i32::MIN, 1),
             ] {
-                assert_three_agree(
+                assert_matrix_agrees(
                     &bytes,
                     name,
                     &[Value::I32(a), Value::I32(d)],
@@ -3415,7 +3571,7 @@ mod tests {
             b.export_func(name, f);
             let bytes = b.build();
             for (a, d) in [(i64::MIN, -1), (1, 0), (i64::MIN, 0), (9, -4)] {
-                assert_three_agree(
+                assert_matrix_agrees(
                     &bytes,
                     name,
                     &[Value::I64(a), Value::I64(d)],
@@ -3446,12 +3602,12 @@ mod tests {
         b.export_func("divk", f);
         let bytes = b.build();
         let module = crate::load(&bytes).unwrap();
-        let flat = FlatModule::compile_with(&module, true).unwrap();
+        let flat = FlatModule::compile_with(&module, true, false).unwrap();
         assert_eq!(flat.fusion_stats().binop_lk_set, 1, "LKSet must fuse");
         for a in [i32::MIN, 42, -42] {
-            assert_three_agree(&bytes, "divk", &[Value::I32(a)], &format!("divk({a})"));
+            assert_matrix_agrees(&bytes, "divk", &[Value::I32(a)], &format!("divk({a})"));
         }
-        let [oracle, ..] = run_three(&bytes, "divk", &[Value::I32(i32::MIN)]);
+        let oracle = oracle_outcome(&bytes, "divk", &[Value::I32(i32::MIN)]);
         assert_eq!(oracle.unwrap_err(), Trap::IntegerOverflow);
     }
 
@@ -3481,7 +3637,7 @@ mod tests {
         b.export_func("route", f);
         let bytes = b.build();
         for arg in [0, 1, 2, i32::MAX, -1] {
-            assert_three_agree(
+            assert_matrix_agrees(
                 &bytes,
                 "route",
                 &[Value::I32(arg)],
@@ -3489,7 +3645,7 @@ mod tests {
             );
         }
         // -1 reads as u32::MAX: firmly out of range, must take the default.
-        let [oracle, ..] = run_three(&bytes, "route", &[Value::I32(-1)]);
+        let oracle = oracle_outcome(&bytes, "route", &[Value::I32(-1)]);
         assert_eq!(oracle.unwrap(), vec![Value::I32(20)]);
     }
 
@@ -3522,19 +3678,19 @@ mod tests {
         b.export_func("store", store);
         let bytes = b.build();
         let module = crate::load(&bytes).unwrap();
-        let flat = FlatModule::compile_with(&module, true).unwrap();
+        let flat = FlatModule::compile_with(&module, true, false).unwrap();
         let stats = flat.fusion_stats();
         assert!(stats.load_l + stats.add_load + stats.idx_load > 0 || stats.store_l > 0);
         for addr in [0, 65520, 65529, 65536, -1, i32::MAX] {
-            assert_three_agree(&bytes, "load", &[Value::I32(addr)], &format!("load {addr}"));
-            assert_three_agree(
+            assert_matrix_agrees(&bytes, "load", &[Value::I32(addr)], &format!("load {addr}"));
+            assert_matrix_agrees(
                 &bytes,
                 "store",
                 &[Value::I32(addr), Value::I32(7)],
                 &format!("store {addr}"),
             );
         }
-        let [oracle, ..] = run_three(&bytes, "load", &[Value::I32(65536)]);
+        let oracle = oracle_outcome(&bytes, "load", &[Value::I32(65536)]);
         assert_eq!(oracle.unwrap_err(), Trap::MemoryOutOfBounds);
     }
 
@@ -3549,15 +3705,73 @@ mod tests {
         b.export_func("grow", f);
         let bytes = b.build();
         for delta in [0, 1, 2, 1000, -1] {
-            assert_three_agree(
+            assert_matrix_agrees(
                 &bytes,
                 "grow",
                 &[Value::I32(delta)],
                 &format!("grow {delta}"),
             );
         }
-        let [oracle, ..] = run_three(&bytes, "grow", &[Value::I32(1000)]);
+        let oracle = oracle_outcome(&bytes, "grow", &[Value::I32(1000)]);
         assert_eq!(oracle.unwrap(), vec![Value::I32(-1)]);
+    }
+
+    #[test]
+    fn host_result_arity_mismatch_traps_identically_in_every_engine() {
+        // A HostEnv that violates its declared result arity must raise
+        // the same Host trap in every engine, instead of silently reading
+        // stale slots (register form) or corrupting the operand stack
+        // (stack forms).
+        use crate::exec::HostEnv;
+        struct BadHost;
+        impl HostEnv for BadHost {
+            fn call(
+                &mut self,
+                _module: &str,
+                _name: &str,
+                _memory: &mut Memory,
+                _args: &[Value],
+            ) -> Result<Vec<Value>, Trap> {
+                Ok(Vec::new()) // declared () -> i32, returns nothing
+            }
+        }
+        let mut b = ModuleBuilder::new();
+        let ty = b.add_type(&[], &[ValType::I32]);
+        let imp = b.import_func("env", "f", ty);
+        let g = b.add_func(ty, &[], vec![I::Call(imp), I::End]);
+        b.export_func("g", g);
+        // The import itself is also exported: the direct-invoke path must
+        // enforce the same guard as guest-initiated calls.
+        b.export_func("f", imp);
+        let module = crate::load(&b.build()).unwrap();
+        for export in ["g", "f"] {
+            let mut outcomes = Vec::new();
+            let mut interp = Instance::instantiate(&module, ExecMode::Interpreted, &mut BadHost)
+                .expect("no start function, instantiation cannot call the host");
+            outcomes.push(("oracle", interp.invoke(&mut BadHost, export, &[])));
+            for (label, fuse, reg) in ENGINE_MATRIX {
+                let mut inst = Instance::instantiate_with_engine(
+                    &module,
+                    ExecMode::Aot,
+                    fuse,
+                    reg,
+                    &mut BadHost,
+                )
+                .unwrap();
+                outcomes.push((label, inst.invoke(&mut BadHost, export, &[])));
+            }
+            for (label, outcome) in outcomes {
+                match outcome {
+                    Err(Trap::Host(msg)) => {
+                        assert!(
+                            msg.contains("returned 0 results"),
+                            "{label}/{export}: {msg}"
+                        );
+                    }
+                    other => panic!("{label}/{export}: expected Host trap, got {other:?}"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -14,11 +14,14 @@
 //!   targets by scanning, like a naive interpreter, while [`ExecMode::Aot`]
 //!   runs the flattened pre-resolved engine: bodies lowered at load time to
 //!   a linear opcode array with absolute jumps, inlined immediates and an
-//!   untagged 64-bit operand stack, then peephole-fused into
-//!   superinstructions ([`flat`], [`FusionStats`]; disable with
-//!   `WATZ_NO_FUSE=1`) — the stand-in for WAMR's AOT mode (the real thing
-//!   emits native code; ours stays portable, so the AOT/interp gap is
-//!   smaller than the paper's 28x, as documented in EXPERIMENTS.md);
+//!   untagged 64-bit operand stack, peephole-fused into superinstructions
+//!   ([`flat`], [`FusionStats`]; disable with `WATZ_NO_FUSE=1`), then
+//!   register-allocated so every op addresses fixed frame slots and the
+//!   dispatch loop moves no operand stack at all ([`reg`], [`RegStats`];
+//!   disable with `WATZ_NO_REG=1`) — the stand-in for WAMR's AOT mode (the
+//!   real thing emits native code; ours stays portable, so the AOT/interp
+//!   gap is smaller than the paper's 28x, as documented in
+//!   EXPERIMENTS.md);
 //! * an **encoder** and a programmatic **builder** ([`encode`], [`builder`])
 //!   used by the MiniC compiler (the reproduction's stand-in for WASI-SDK)
 //!   and by tests.
@@ -58,6 +61,7 @@ pub mod flat;
 pub mod instr;
 pub mod leb128;
 pub mod module;
+pub mod reg;
 pub mod types;
 pub mod validate;
 
@@ -65,6 +69,7 @@ pub use decode::DecodeError;
 pub use exec::{ExecMode, HostEnv, Instance, NoHost, Trap, Value};
 pub use flat::FusionStats;
 pub use module::Module;
+pub use reg::RegStats;
 pub use validate::ValidationError;
 
 /// Size of a WebAssembly linear-memory page (64 KiB).

@@ -1,0 +1,2343 @@
+//! Register-form execution: the flat engine lowered one step further, so
+//! the hot dispatch loop never pushes or pops an operand stack.
+//!
+//! [`crate::flat`] already turned structured bodies into a linear opcode
+//! array, but its executor still shuffles a runtime operand stack:
+//! `local.get` pushes a copy, every operator pops its inputs and pushes its
+//! result, and the stack pointer moves on almost every dispatch. Validation
+//! makes all of that motion statically known — at any program point the
+//! operand-stack *height* is a compile-time constant, so the value "at
+//! height `h`" can live in the fixed frame slot `n_locals + h` instead.
+//!
+//! The register pass exploits exactly that: an **abstract-stack
+//! simulation** walks each (fused) flat body once at load time and rewrites
+//! every op to carry explicit source/destination frame-slot indices.
+//! Locals, intermediates and fused temporaries all live in one flat `u64`
+//! frame; a [`RegOp`] reads its operands from slots and writes its result
+//! to a slot, and the dispatch loop maintains nothing but a program counter
+//! and a frame base.
+//!
+//! Two further rewrites fall out of the simulation:
+//!
+//! * **Copy forwarding** — a `local.get` emits *no code at all*: the
+//!   abstract stack records that this operand lives in the local's slot,
+//!   and the consumer reads it from there directly. A later write to that
+//!   local while the forwarded value is still pending inserts a `Move` to
+//!   the value's canonical slot first (the classic interpreter-regalloc
+//!   hazard), which the simulation detects exactly.
+//! * **Stack-polymorphic edges keep explicit fix-ups** — branches that
+//!   transfer values (`br`/`br_if` with results, `br_table` arms) become
+//!   jumps carrying a static `src → dst × keep` block copy, calls require
+//!   their arguments contiguous at the callee's frame base (the simulation
+//!   flushes forwarded operands there), and `return` copies results to the
+//!   frame base.
+//!
+//! **Jump-remap re-validation:** lowering inserts fix-up `Move`s in front
+//! of fall-through jump-target ops, so every flat-code index is re-pointed
+//! through an old→new map (the same discipline as the fusion pass), and
+//! [`check_jump_targets`] verifies every remapped target lands on a real
+//! instruction before the code ever runs.
+//!
+//! The pass is all-or-nothing per module: if any function cannot be
+//! register-lowered (e.g. a frame too large for the `u16` slot encoding),
+//! the whole module stays on the stack-form flat engine — the two frame
+//! layouts cannot call each other. `WATZ_NO_REG=1` (any non-empty value
+//! other than `0`) pins the stack-form engine for bisection;
+//! [`RegStats`] reports what the pass did.
+//!
+//! Semantics (including every trap) are identical to the stack-form flat
+//! engine and the tree-walking oracle; the differential suites run all
+//! engines in every fused/unfused × register/stack combination.
+
+use crate::exec::{HostEnv, Memory, Trap, Value, MAX_CALL_DEPTH};
+use crate::flat::{
+    apply_binop, as_f32, as_f64, as_i32, as_i64, as_u32, as_u64, bad, binop_kind, do_load,
+    do_store, from_f32, from_f64, from_i32, from_i64, load_kind, slot_from_value, store_kind,
+    value_from_slot, BinOpKind, FlatFunc, FlatFuncDef, FlatModule, FlatOp, LoadKind, Slot,
+    StoreKind,
+};
+use crate::module::Module;
+use crate::types::{FuncType, ValType};
+
+/// True when the `WATZ_NO_REG` environment switch (any non-empty value
+/// other than `0`) disables the register pass, keeping the stack-form flat
+/// engine reachable for bisection.
+pub(crate) fn reg_disabled_by_env() -> bool {
+    std::env::var_os("WATZ_NO_REG").is_some_and(|v| !v.is_empty() && v.to_str() != Some("0"))
+}
+
+/// Counters from the register-allocation pass over a whole module,
+/// reported by [`Instance::reg_stats`](crate::exec::Instance::reg_stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegStats {
+    /// Functions lowered to register form.
+    pub funcs: u64,
+    /// Total frame slots allocated (locals + operand positions).
+    pub frame_slots: u64,
+    /// `local.get` ops forwarded into their consumers (no code emitted).
+    pub gets_forwarded: u64,
+    /// `Move` fix-ups inserted (local writes, forwarding hazards, edges).
+    pub moves_inserted: u64,
+    /// Runtime operand-stack pushes/pops replaced by static slot addressing.
+    pub stack_ops_eliminated: u64,
+}
+
+impl RegStats {
+    /// Per-counter `(name, count)` pairs, for coverage assertions and logs.
+    #[must_use]
+    pub fn counts(&self) -> [(&'static str, u64); 5] {
+        [
+            ("funcs", self.funcs),
+            ("frame_slots", self.frame_slots),
+            ("gets_forwarded", self.gets_forwarded),
+            ("moves_inserted", self.moves_inserted),
+            ("stack_ops_eliminated", self.stack_ops_eliminated),
+        ]
+    }
+
+    /// Accumulates another module's counters into this one.
+    pub fn merge(&mut self, other: &RegStats) {
+        self.funcs += other.funcs;
+        self.frame_slots += other.frame_slots;
+        self.gets_forwarded += other.gets_forwarded;
+        self.moves_inserted += other.moves_inserted;
+        self.stack_ops_eliminated += other.stack_ops_eliminated;
+    }
+}
+
+/// A fusable one-operand operator (everything the flat engine expresses as
+/// a rewrite of the stack top). Variants mirror the spec's instruction
+/// names; the four reinterpret casts are identities on raw slots and never
+/// reach the register code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub(crate) enum UnOpKind {
+    I32Eqz,
+    I64Eqz,
+    I32Clz,
+    I32Ctz,
+    I32Popcnt,
+    I64Clz,
+    I64Ctz,
+    I64Popcnt,
+    F32Abs,
+    F32Neg,
+    F32Ceil,
+    F32Floor,
+    F32Trunc,
+    F32Nearest,
+    F32Sqrt,
+    F64Abs,
+    F64Neg,
+    F64Ceil,
+    F64Floor,
+    F64Trunc,
+    F64Nearest,
+    F64Sqrt,
+    I32WrapI64,
+    I32TruncF32S,
+    I32TruncF32U,
+    I32TruncF64S,
+    I32TruncF64U,
+    I64ExtendI32S,
+    I64ExtendI32U,
+    I64TruncF32S,
+    I64TruncF32U,
+    I64TruncF64S,
+    I64TruncF64U,
+    F32ConvertI32S,
+    F32ConvertI32U,
+    F32ConvertI64S,
+    F32ConvertI64U,
+    F32DemoteF64,
+    F64ConvertI32S,
+    F64ConvertI32U,
+    F64ConvertI64S,
+    F64ConvertI64U,
+    F64PromoteF32,
+    I32Extend8S,
+    I32Extend16S,
+    I64Extend8S,
+    I64Extend16S,
+    I64Extend32S,
+}
+
+/// Applies a one-operand operator to a raw slot.
+///
+/// # Errors
+///
+/// Exactly the traps the corresponding plain opcode raises (the float→int
+/// truncations).
+#[inline]
+fn apply_unop(op: UnOpKind, s: Slot) -> Result<Slot, Trap> {
+    use crate::exec::{
+        trunc_f32_to_i32_s, trunc_f32_to_i64_s, trunc_f32_to_u32, trunc_f32_to_u64,
+        trunc_f64_to_i32_s, trunc_f64_to_i64_s, trunc_f64_to_u32, trunc_f64_to_u64,
+    };
+    use UnOpKind as U;
+    Ok(match op {
+        U::I32Eqz => u64::from(as_u32(s) == 0),
+        U::I64Eqz => u64::from(s == 0),
+        U::I32Clz => from_i32(as_i32(s).leading_zeros() as i32),
+        U::I32Ctz => from_i32(as_i32(s).trailing_zeros() as i32),
+        U::I32Popcnt => from_i32(as_i32(s).count_ones() as i32),
+        U::I64Clz => from_i64(i64::from(as_i64(s).leading_zeros())),
+        U::I64Ctz => from_i64(i64::from(as_i64(s).trailing_zeros())),
+        U::I64Popcnt => from_i64(i64::from(as_i64(s).count_ones())),
+        U::F32Abs => from_f32(as_f32(s).abs()),
+        U::F32Neg => from_f32(-as_f32(s)),
+        U::F32Ceil => from_f32(as_f32(s).ceil()),
+        U::F32Floor => from_f32(as_f32(s).floor()),
+        U::F32Trunc => from_f32(as_f32(s).trunc()),
+        U::F32Nearest => from_f32(as_f32(s).round_ties_even()),
+        U::F32Sqrt => from_f32(as_f32(s).sqrt()),
+        U::F64Abs => from_f64(as_f64(s).abs()),
+        U::F64Neg => from_f64(-as_f64(s)),
+        U::F64Ceil => from_f64(as_f64(s).ceil()),
+        U::F64Floor => from_f64(as_f64(s).floor()),
+        U::F64Trunc => from_f64(as_f64(s).trunc()),
+        U::F64Nearest => from_f64(as_f64(s).round_ties_even()),
+        U::F64Sqrt => from_f64(as_f64(s).sqrt()),
+        U::I32WrapI64 => from_i32(as_i64(s) as i32),
+        U::I32TruncF32S => from_i32(trunc_f32_to_i32_s(as_f32(s))?),
+        U::I32TruncF32U => u64::from(trunc_f32_to_u32(as_f32(s))?),
+        U::I32TruncF64S => from_i32(trunc_f64_to_i32_s(as_f64(s))?),
+        U::I32TruncF64U => u64::from(trunc_f64_to_u32(as_f64(s))?),
+        U::I64ExtendI32S => from_i64(i64::from(as_i32(s))),
+        U::I64ExtendI32U => u64::from(as_u32(s)),
+        U::I64TruncF32S => from_i64(trunc_f32_to_i64_s(as_f32(s))?),
+        U::I64TruncF32U => trunc_f32_to_u64(as_f32(s))?,
+        U::I64TruncF64S => from_i64(trunc_f64_to_i64_s(as_f64(s))?),
+        U::I64TruncF64U => trunc_f64_to_u64(as_f64(s))?,
+        U::F32ConvertI32S => from_f32(as_i32(s) as f32),
+        U::F32ConvertI32U => from_f32(as_u32(s) as f32),
+        U::F32ConvertI64S => from_f32(as_i64(s) as f32),
+        U::F32ConvertI64U => from_f32(as_u64(s) as f32),
+        U::F32DemoteF64 => from_f32(as_f64(s) as f32),
+        U::F64ConvertI32S => from_f64(f64::from(as_i32(s))),
+        U::F64ConvertI32U => from_f64(f64::from(as_u32(s))),
+        U::F64ConvertI64S => from_f64(as_i64(s) as f64),
+        U::F64ConvertI64U => from_f64(as_u64(s) as f64),
+        U::F64PromoteF32 => from_f64(f64::from(as_f32(s))),
+        U::I32Extend8S => from_i32(i32::from(as_i32(s) as i8)),
+        U::I32Extend16S => from_i32(i32::from(as_i32(s) as i16)),
+        U::I64Extend8S => from_i64(i64::from(as_i64(s) as i8)),
+        U::I64Extend16S => from_i64(i64::from(as_i64(s) as i16)),
+        U::I64Extend32S => from_i64(i64::from(as_i64(s) as i32)),
+    })
+}
+
+/// Maps a plain flat opcode to its one-operand operator kind.
+#[allow(clippy::too_many_lines)]
+fn unop_kind(op: &FlatOp) -> Option<UnOpKind> {
+    use FlatOp as F;
+    use UnOpKind as U;
+    Some(match op {
+        F::I32Eqz => U::I32Eqz,
+        F::I64Eqz => U::I64Eqz,
+        F::I32Clz => U::I32Clz,
+        F::I32Ctz => U::I32Ctz,
+        F::I32Popcnt => U::I32Popcnt,
+        F::I64Clz => U::I64Clz,
+        F::I64Ctz => U::I64Ctz,
+        F::I64Popcnt => U::I64Popcnt,
+        F::F32Abs => U::F32Abs,
+        F::F32Neg => U::F32Neg,
+        F::F32Ceil => U::F32Ceil,
+        F::F32Floor => U::F32Floor,
+        F::F32Trunc => U::F32Trunc,
+        F::F32Nearest => U::F32Nearest,
+        F::F32Sqrt => U::F32Sqrt,
+        F::F64Abs => U::F64Abs,
+        F::F64Neg => U::F64Neg,
+        F::F64Ceil => U::F64Ceil,
+        F::F64Floor => U::F64Floor,
+        F::F64Trunc => U::F64Trunc,
+        F::F64Nearest => U::F64Nearest,
+        F::F64Sqrt => U::F64Sqrt,
+        F::I32WrapI64 => U::I32WrapI64,
+        F::I32TruncF32S => U::I32TruncF32S,
+        F::I32TruncF32U => U::I32TruncF32U,
+        F::I32TruncF64S => U::I32TruncF64S,
+        F::I32TruncF64U => U::I32TruncF64U,
+        F::I64ExtendI32S => U::I64ExtendI32S,
+        F::I64ExtendI32U => U::I64ExtendI32U,
+        F::I64TruncF32S => U::I64TruncF32S,
+        F::I64TruncF32U => U::I64TruncF32U,
+        F::I64TruncF64S => U::I64TruncF64S,
+        F::I64TruncF64U => U::I64TruncF64U,
+        F::F32ConvertI32S => U::F32ConvertI32S,
+        F::F32ConvertI32U => U::F32ConvertI32U,
+        F::F32ConvertI64S => U::F32ConvertI64S,
+        F::F32ConvertI64U => U::F32ConvertI64U,
+        F::F32DemoteF64 => U::F32DemoteF64,
+        F::F64ConvertI32S => U::F64ConvertI32S,
+        F::F64ConvertI32U => U::F64ConvertI32U,
+        F::F64ConvertI64S => U::F64ConvertI64S,
+        F::F64ConvertI64U => U::F64ConvertI64U,
+        F::F64PromoteF32 => U::F64PromoteF32,
+        F::I32Extend8S => U::I32Extend8S,
+        F::I32Extend16S => U::I32Extend16S,
+        F::I64Extend8S => U::I64Extend8S,
+        F::I64Extend16S => U::I64Extend16S,
+        F::I64Extend32S => U::I64Extend32S,
+        _ => return None,
+    })
+}
+
+/// One `br_table` arm in register form: absolute target plus a static
+/// `keep`-slot block copy (`src → dst`) for the label's value transfer.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RegBrEntry {
+    target: u32,
+    src: u16,
+    dst: u16,
+    keep: u16,
+}
+
+/// A register-form opcode: every operand names a frame slot explicitly;
+/// no opcode moves an operand-stack pointer.
+///
+/// Slot indices are frame-relative (`0..n_locals` are params + locals, the
+/// rest operand positions); `dst` is always written last, after all reads.
+#[derive(Debug, Clone)]
+pub(crate) enum RegOp {
+    Unreachable,
+    /// Unconditional jump.
+    Jump {
+        target: u32,
+    },
+    /// Jumps when `frame[cond]`'s truthiness equals `jump_if`.
+    BrIf {
+        cond: u16,
+        jump_if: bool,
+        target: u32,
+    },
+    /// [`RegOp::Jump`] carrying a branch value transfer: copies `keep`
+    /// slots from `src` down to `dst`, then jumps.
+    BrMoves {
+        target: u32,
+        src: u16,
+        dst: u16,
+        keep: u16,
+    },
+    /// [`RegOp::BrIf`] carrying a branch value transfer (only performed
+    /// when the branch is taken — fall-through slots stay untouched).
+    BrIfMoves {
+        cond: u16,
+        jump_if: bool,
+        target: u32,
+        src: u16,
+        dst: u16,
+        keep: u16,
+    },
+    /// Indexed branch; the last entry is the default arm.
+    BrTable {
+        idx: u16,
+        entries: Box<[RegBrEntry]>,
+    },
+    /// Copies `n_results` slots from `src` to the frame base and returns.
+    Return {
+        src: u16,
+    },
+    /// Call of a function defined in this module; the callee's frame
+    /// starts at frame slot `base` (its arguments are already there).
+    CallLocal {
+        func: u32,
+        base: u16,
+    },
+    /// Call of an imported (host) function; arguments at `base`, results
+    /// written back there.
+    CallImport {
+        func: u32,
+        base: u16,
+    },
+    /// Indirect call: table index in `idx`, arguments at `base`.
+    CallIndirect {
+        type_idx: u32,
+        idx: u16,
+        base: u16,
+    },
+    /// `frame[dst] = frame[a] if frame[cond] != 0 else frame[b]`.
+    Select {
+        cond: u16,
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    /// `frame[dst] = frame[src]`.
+    Move {
+        src: u16,
+        dst: u16,
+    },
+    /// `frame[dst] = bits` (all four constant forms, pre-encoded).
+    Const {
+        bits: u64,
+        dst: u16,
+    },
+    GlobalGet {
+        idx: u32,
+        dst: u16,
+    },
+    GlobalSet {
+        idx: u32,
+        src: u16,
+    },
+    /// `frame[dst] = mem[frame[addr] + offset]`.
+    Load {
+        kind: LoadKind,
+        addr: u16,
+        offset: u32,
+        dst: u16,
+    },
+    /// `mem[frame[addr] + offset] = frame[val]`.
+    Store {
+        kind: StoreKind,
+        addr: u16,
+        val: u16,
+        offset: u32,
+    },
+    MemorySize {
+        dst: u16,
+    },
+    MemoryGrow {
+        src: u16,
+        dst: u16,
+    },
+    /// `memory.copy` with its three i32 operands at `args..args + 3`
+    /// (dst, src, len).
+    MemoryCopy {
+        args: u16,
+    },
+    /// `memory.fill` with its three i32 operands at `args..args + 3`
+    /// (dst, val, len).
+    MemoryFill {
+        args: u16,
+    },
+    /// `frame[dst] = op(frame[src])`.
+    Unop {
+        op: UnOpKind,
+        src: u16,
+        dst: u16,
+    },
+    /// `frame[dst] = op(frame[a], frame[b])`.
+    Binop {
+        op: BinOpKind,
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    /// `frame[dst] = op(frame[a], k)`.
+    BinopK {
+        op: BinOpKind,
+        a: u16,
+        k: u64,
+        dst: u16,
+    },
+
+    // -- Specialized forms of the generic ops above, selected at lowering
+    // time for the operators and access widths that dominate numeric
+    // kernels: they skip the second-level `BinOpKind`/`LoadKind` dispatch
+    // the generic arms pay. Semantics are bit-identical to the generic
+    // forms (same wrapping/IEEE behaviour, same traps — the specialized
+    // operators cannot trap).
+    /// `frame[dst] = frame[a] +ₙ frame[b]` (i32 wrapping).
+    AddI32 {
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    /// `frame[dst] = frame[a] -ₙ frame[b]` (i32 wrapping).
+    SubI32 {
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    /// `frame[dst] = frame[a] *ₙ frame[b]` (i32 wrapping).
+    MulI32 {
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    /// `frame[dst] = frame[a] +ₙ k` (i32 wrapping; the loop-counter step).
+    AddI32K {
+        a: u16,
+        k: u32,
+        dst: u16,
+    },
+    /// `frame[dst] = frame[a] + frame[b]` (f64).
+    AddF64 {
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    /// `frame[dst] = frame[a] - frame[b]` (f64).
+    SubF64 {
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    /// `frame[dst] = frame[a] * frame[b]` (f64).
+    MulF64 {
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    /// `frame[dst] = frame[a] / frame[b]` (f64).
+    DivF64 {
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    /// `frame[dst] = mem[frame[addr] + offset]` as i32.
+    LoadI32R {
+        addr: u16,
+        offset: u32,
+        dst: u16,
+    },
+    /// `frame[dst] = mem[frame[addr] + offset]` as f64 bits.
+    LoadF64R {
+        addr: u16,
+        offset: u32,
+        dst: u16,
+    },
+    /// `mem[frame[addr] + offset] = frame[val]` as i32.
+    StoreI32R {
+        addr: u16,
+        val: u16,
+        offset: u32,
+    },
+    /// `mem[frame[addr] + offset] = frame[val]` as f64 bits.
+    StoreF64R {
+        addr: u16,
+        val: u16,
+        offset: u32,
+    },
+    /// [`RegOp::ScaleAddLoad`] specialized to an i32 load.
+    ScaleAddLoadI32 {
+        base: u16,
+        idx: u16,
+        k: u32,
+        offset: u32,
+        dst: u16,
+    },
+    /// [`RegOp::ScaleAddLoad`] specialized to an f64 load.
+    ScaleAddLoadF64 {
+        base: u16,
+        idx: u16,
+        k: u32,
+        offset: u32,
+        dst: u16,
+    },
+    /// [`RegOp::IdxLAddLoad`] specialized to an i32 load.
+    IdxLAddLoadI32 {
+        base: u16,
+        part: u16,
+        z: u16,
+        k: u32,
+        offset: u32,
+        dst: u16,
+    },
+    /// [`RegOp::IdxLAddLoad`] specialized to an f64 load.
+    IdxLAddLoadF64 {
+        base: u16,
+        part: u16,
+        z: u16,
+        k: u32,
+        offset: u32,
+        dst: u16,
+    },
+    /// `mem[frame[addr] + offset] = frame[a] + frame[b]` (f64, full-width
+    /// store) — the `C[x] = C[x] + …` accumulation sink.
+    AddStoreF64 {
+        a: u16,
+        b: u16,
+        addr: u16,
+        offset: u32,
+    },
+    /// `mem[frame[addr] + offset] = frame[a] * frame[b]` (f64, full-width
+    /// store) — the `C[x] = C[x] * β` scaling sink.
+    MulStoreF64 {
+        a: u16,
+        b: u16,
+        addr: u16,
+        offset: u32,
+    },
+    /// Jumps when `!(frame[a] <ₛ frame[b])` (i32) — the dominant
+    /// loop-exit shape.
+    CmpBrLtSZ {
+        a: u16,
+        b: u16,
+        target: u32,
+    },
+    /// Jumps when `frame[a] <ₛ frame[b]` (i32).
+    CmpBrLtSNZ {
+        a: u16,
+        b: u16,
+        target: u32,
+    },
+    /// `op(frame[a], frame[b])` stored at `mem[frame[addr] + offset]`.
+    BinopStore {
+        op: BinOpKind,
+        a: u16,
+        b: u16,
+        addr: u16,
+        kind: StoreKind,
+        offset: u32,
+    },
+    /// Jumps when `op(frame[a], frame[b])`'s truthiness equals `jump_if`.
+    CmpBr {
+        op: BinOpKind,
+        a: u16,
+        b: u16,
+        jump_if: bool,
+        target: u32,
+    },
+    /// [`RegOp::CmpBr`] with an inline constant right operand.
+    CmpBrK {
+        op: BinOpKind,
+        a: u16,
+        k: u32,
+        jump_if: bool,
+        target: u32,
+    },
+    /// `frame[dst] = frame[base] + frame[idx]*k` (array-address tail; the
+    /// `i32.add; load` shape uses `k == 1`).
+    ScaleAdd {
+        base: u16,
+        idx: u16,
+        k: u32,
+        dst: u16,
+    },
+    /// [`RegOp::ScaleAdd`] plus the trailing load.
+    ScaleAddLoad {
+        base: u16,
+        idx: u16,
+        k: u32,
+        kind: LoadKind,
+        offset: u32,
+        dst: u16,
+    },
+    /// `frame[dst] = frame[base] + (frame[part] + frame[z])*k` (2-D
+    /// row-column address tail).
+    IdxLAdd {
+        base: u16,
+        part: u16,
+        z: u16,
+        k: u32,
+        dst: u16,
+    },
+    /// [`RegOp::IdxLAdd`] plus the trailing load.
+    IdxLAddLoad {
+        base: u16,
+        part: u16,
+        z: u16,
+        k: u32,
+        kind: LoadKind,
+        offset: u32,
+        dst: u16,
+    },
+}
+
+/// A function lowered to register form.
+#[derive(Debug)]
+pub(crate) struct RegFunc {
+    pub(crate) n_params: u32,
+    /// Params + declared locals (frame slots `0..n_locals`).
+    pub(crate) n_locals: u32,
+    pub(crate) n_results: u32,
+    /// Locals plus the maximum operand height: the whole frame.
+    pub(crate) frame_size: u32,
+    pub(crate) result_types: Box<[ValType]>,
+    pub(crate) code: Box<[RegOp]>,
+}
+
+/// A module's register-form code, carried by
+/// [`FlatModule`](crate::flat::FlatModule) when the pass ran.
+#[derive(Debug)]
+pub(crate) struct RegProgram {
+    /// Indexed like the flat function space; `None` for imports.
+    pub(crate) funcs: Box<[Option<RegFunc>]>,
+    pub(crate) stats: RegStats,
+}
+
+/// Picks the specialized form of a two-operand op when one exists (see
+/// the specialization block in [`RegOp`]).
+fn sel_binop(op: BinOpKind, a: u16, b: u16, dst: u16) -> RegOp {
+    use BinOpKind as B;
+    match op {
+        B::I32Add => RegOp::AddI32 { a, b, dst },
+        B::I32Sub => RegOp::SubI32 { a, b, dst },
+        B::I32Mul => RegOp::MulI32 { a, b, dst },
+        B::F64Add => RegOp::AddF64 { a, b, dst },
+        B::F64Sub => RegOp::SubF64 { a, b, dst },
+        B::F64Mul => RegOp::MulF64 { a, b, dst },
+        B::F64Div => RegOp::DivF64 { a, b, dst },
+        _ => RegOp::Binop { op, a, b, dst },
+    }
+}
+
+/// Picks the specialized form of an op-with-constant when one exists.
+fn sel_binop_k(op: BinOpKind, a: u16, k: u64, dst: u16) -> RegOp {
+    match op {
+        BinOpKind::I32Add => RegOp::AddI32K {
+            a,
+            k: k as u32,
+            dst,
+        },
+        _ => RegOp::BinopK { op, a, k, dst },
+    }
+}
+
+/// Picks the specialized load form. On raw slots an f32 load equals an
+/// i32 load (4 bytes, zero-extended) and an i64 load equals an f64 load
+/// (full slot), so two specialized forms cover the four full-width kinds.
+fn sel_load(kind: LoadKind, addr: u16, offset: u32, dst: u16) -> RegOp {
+    match kind {
+        LoadKind::I32 | LoadKind::F32 => RegOp::LoadI32R { addr, offset, dst },
+        LoadKind::I64 | LoadKind::F64 => RegOp::LoadF64R { addr, offset, dst },
+        _ => RegOp::Load {
+            kind,
+            addr,
+            offset,
+            dst,
+        },
+    }
+}
+
+/// Picks the specialized store form (same width-aliasing as [`sel_load`];
+/// `i64.store32` also writes exactly the low four bytes).
+fn sel_store(kind: StoreKind, addr: u16, val: u16, offset: u32) -> RegOp {
+    match kind {
+        StoreKind::I32 | StoreKind::F32 | StoreKind::I64S32 => {
+            RegOp::StoreI32R { addr, val, offset }
+        }
+        StoreKind::I64 | StoreKind::F64 => RegOp::StoreF64R { addr, val, offset },
+        _ => RegOp::Store {
+            kind,
+            addr,
+            val,
+            offset,
+        },
+    }
+}
+
+/// Picks the specialized scaled-index load form.
+fn sel_scale_add_load(base: u16, idx: u16, k: u32, kind: LoadKind, offset: u32, dst: u16) -> RegOp {
+    match kind {
+        LoadKind::I32 | LoadKind::F32 => RegOp::ScaleAddLoadI32 {
+            base,
+            idx,
+            k,
+            offset,
+            dst,
+        },
+        LoadKind::I64 | LoadKind::F64 => RegOp::ScaleAddLoadF64 {
+            base,
+            idx,
+            k,
+            offset,
+            dst,
+        },
+        _ => RegOp::ScaleAddLoad {
+            base,
+            idx,
+            k,
+            kind,
+            offset,
+            dst,
+        },
+    }
+}
+
+/// Picks the specialized 2-D scaled-index load form.
+#[allow(clippy::too_many_arguments)]
+fn sel_idx_l_add_load(
+    base: u16,
+    part: u16,
+    z: u16,
+    k: u32,
+    kind: LoadKind,
+    offset: u32,
+    dst: u16,
+) -> RegOp {
+    match kind {
+        LoadKind::I32 | LoadKind::F32 => RegOp::IdxLAddLoadI32 {
+            base,
+            part,
+            z,
+            k,
+            offset,
+            dst,
+        },
+        LoadKind::I64 | LoadKind::F64 => RegOp::IdxLAddLoadF64 {
+            base,
+            part,
+            z,
+            k,
+            offset,
+            dst,
+        },
+        _ => RegOp::IdxLAddLoad {
+            base,
+            part,
+            z,
+            k,
+            kind,
+            offset,
+            dst,
+        },
+    }
+}
+
+/// Picks the specialized compute-and-store form.
+fn sel_binop_store(
+    op: BinOpKind,
+    kind: StoreKind,
+    a: u16,
+    b: u16,
+    addr: u16,
+    offset: u32,
+) -> RegOp {
+    match (op, kind) {
+        (BinOpKind::F64Add, StoreKind::F64) => RegOp::AddStoreF64 { a, b, addr, offset },
+        (BinOpKind::F64Mul, StoreKind::F64) => RegOp::MulStoreF64 { a, b, addr, offset },
+        _ => RegOp::BinopStore {
+            op,
+            a,
+            b,
+            addr,
+            kind,
+            offset,
+        },
+    }
+}
+
+/// Picks the specialized compare-and-branch form (the `i < n` loop exit).
+fn sel_cmp_br(op: BinOpKind, a: u16, b: u16, jump_if: bool, target: u32) -> RegOp {
+    match (op, jump_if) {
+        (BinOpKind::I32LtS, false) => RegOp::CmpBrLtSZ { a, b, target },
+        (BinOpKind::I32LtS, true) => RegOp::CmpBrLtSNZ { a, b, target },
+        _ => RegOp::CmpBr {
+            op,
+            a,
+            b,
+            jump_if,
+            target,
+        },
+    }
+}
+
+/// Where a pending abstract-stack value currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Src {
+    /// At its canonical slot `n_locals + position`.
+    Canon,
+    /// Forwarded: still in the named (local) frame slot, no copy made.
+    Fwd(u16),
+}
+
+/// The per-function lowering state: the emitted code plus the abstract
+/// stack tracking where each pending operand value lives.
+struct Lowerer<'a> {
+    out: Vec<RegOp>,
+    vstack: Vec<Src>,
+    n_locals: usize,
+    max_height: usize,
+    stats: &'a mut RegStats,
+}
+
+fn slot16(idx: usize) -> Result<u16, Trap> {
+    u16::try_from(idx).map_err(|_| bad("register lowering: frame exceeds u16 slots"))
+}
+
+impl Lowerer<'_> {
+    fn canon(&self, pos: usize) -> Result<u16, Trap> {
+        slot16(self.n_locals + pos)
+    }
+
+    /// The slot currently holding the value at stack position `pos`.
+    fn slot_of(&self, pos: usize) -> Result<u16, Trap> {
+        match self.vstack[pos] {
+            Src::Canon => self.canon(pos),
+            Src::Fwd(s) => Ok(s),
+        }
+    }
+
+    /// Pops the top operand, returning the slot its value lives in.
+    fn pop(&mut self) -> Result<u16, Trap> {
+        let pos = self
+            .vstack
+            .len()
+            .checked_sub(1)
+            .ok_or_else(|| bad("register lowering: operand stack underflow"))?;
+        let s = self.slot_of(pos)?;
+        self.vstack.pop();
+        self.stats.stack_ops_eliminated += 1;
+        Ok(s)
+    }
+
+    /// Pushes a canonical operand, returning the slot to write it to.
+    fn push(&mut self) -> Result<u16, Trap> {
+        let s = self.canon(self.vstack.len())?;
+        self.vstack.push(Src::Canon);
+        self.max_height = self.max_height.max(self.vstack.len());
+        self.stats.stack_ops_eliminated += 1;
+        Ok(s)
+    }
+
+    fn emit_move(&mut self, src: u16, dst: u16) {
+        self.out.push(RegOp::Move { src, dst });
+        self.stats.moves_inserted += 1;
+    }
+
+    /// Flushes every forwarded entry except the top `keep_top` to its
+    /// canonical slot (branch/call edges need canonical state).
+    fn flush_below(&mut self, keep_top: usize) -> Result<(), Trap> {
+        let n = self.vstack.len().saturating_sub(keep_top);
+        for pos in 0..n {
+            if let Src::Fwd(s) = self.vstack[pos] {
+                let dst = self.canon(pos)?;
+                self.emit_move(s, dst);
+                self.vstack[pos] = Src::Canon;
+            }
+        }
+        Ok(())
+    }
+
+    fn flush_all(&mut self) -> Result<(), Trap> {
+        self.flush_below(0)
+    }
+
+    /// Before a write to local slot `local`: any pending operand still
+    /// forwarded from that local (except the top `keep_top`, which the
+    /// writing op itself consumes) must be copied out first.
+    fn guard_local_write(&mut self, local: u16, keep_top: usize) -> Result<(), Trap> {
+        let n = self.vstack.len().saturating_sub(keep_top);
+        for pos in 0..n {
+            if self.vstack[pos] == Src::Fwd(local) {
+                let dst = self.canon(pos)?;
+                self.emit_move(local, dst);
+                self.vstack[pos] = Src::Canon;
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates and converts a local index carried by a (possibly
+    /// unvalidated) flat op.
+    fn local(&self, idx: u32) -> Result<u16, Trap> {
+        if (idx as usize) < self.n_locals {
+            slot16(idx as usize)
+        } else {
+            Err(bad("register lowering: local index out of range"))
+        }
+    }
+}
+
+/// Marks every jump target in (possibly fused) flat code.
+fn mark_targets(ops: &[FlatOp]) -> Result<Vec<bool>, Trap> {
+    let mut is_target = vec![false; ops.len() + 1];
+    let mut mark = |t: u32| {
+        is_target
+            .get_mut(t as usize)
+            .map(|b| *b = true)
+            .ok_or_else(|| bad("jump target out of bounds"))
+    };
+    for op in ops {
+        match op {
+            FlatOp::Jump { target }
+            | FlatOp::JumpIfZero { target }
+            | FlatOp::JumpIfNonZero { target }
+            | FlatOp::Br { target, .. }
+            | FlatOp::BrIf { target, .. }
+            | FlatOp::FusedCmpBrZ { target, .. }
+            | FlatOp::FusedCmpBrNZ { target, .. }
+            | FlatOp::FusedCmpBrLLZ { target, .. }
+            | FlatOp::FusedCmpBrLLNZ { target, .. }
+            | FlatOp::FusedCmpBrLKZ { target, .. }
+            | FlatOp::FusedCmpBrLKNZ { target, .. }
+            | FlatOp::FusedCmpBrSLZ { target, .. }
+            | FlatOp::FusedCmpBrSLNZ { target, .. } => mark(*target)?,
+            FlatOp::BrTable { entries } => {
+                for e in entries.iter() {
+                    mark(e.target)?;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(is_target)
+}
+
+/// The load-time register-code validator: every absolute jump target (and
+/// every `br_table` entry) must land on a real instruction after the
+/// old→new remap.
+fn check_jump_targets(code: &[RegOp]) -> Result<(), Trap> {
+    let n = code.len() as u32;
+    let check = |t: u32| {
+        if t < n {
+            Ok(())
+        } else {
+            Err(bad("register jump target out of bounds"))
+        }
+    };
+    for op in code {
+        match op {
+            RegOp::Jump { target }
+            | RegOp::BrIf { target, .. }
+            | RegOp::BrMoves { target, .. }
+            | RegOp::BrIfMoves { target, .. }
+            | RegOp::CmpBr { target, .. }
+            | RegOp::CmpBrK { target, .. }
+            | RegOp::CmpBrLtSZ { target, .. }
+            | RegOp::CmpBrLtSNZ { target, .. } => check(*target)?,
+            RegOp::BrTable { entries, .. } => {
+                for e in entries.iter() {
+                    check(e.target)?;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Lowers one (fused) flat function to register form.
+///
+/// `heights` is the operand-stack entry height of every flat op, recorded
+/// during the structural lowering — it re-seeds the abstract stack at
+/// dynamically-unreachable fall-through code where no simulation state
+/// survives.
+///
+/// # Errors
+///
+/// Returns [`Trap::Instantiation`] when the function cannot be
+/// register-lowered (frame larger than the `u16` slot encoding, or an
+/// invariant violated by malformed input); the caller falls back to the
+/// stack-form engine for the whole module.
+#[allow(clippy::too_many_lines)]
+pub(crate) fn lower_func(
+    f: &FlatFunc,
+    heights: &[u32],
+    module: &Module,
+    stats: &mut RegStats,
+) -> Result<RegFunc, Trap> {
+    let ops = &f.code;
+    let n = ops.len();
+    if heights.len() != n {
+        return Err(bad("register lowering: height table out of sync"));
+    }
+    let is_target = mark_targets(ops)?;
+    let n_locals = f.n_locals as usize;
+    let n_results = f.n_results as usize;
+
+    let mut lo = Lowerer {
+        out: Vec::with_capacity(n),
+        vstack: Vec::new(),
+        n_locals,
+        max_height: 0,
+        stats,
+    };
+    let mut old2new = vec![0u32; n + 1];
+    // The previous op ended its basic block: the abstract stack must be
+    // re-seeded from the recorded entry height (canonical by convention —
+    // every edge into a target flushes first).
+    let mut terminated = false;
+
+    // The arity of a call target, for arg/result placement.
+    let call_arity = |func: u32| -> Result<(usize, usize), Trap> {
+        let ty_idx = module
+            .func_type_idx(func)
+            .ok_or_else(|| bad("call target out of range"))?;
+        let ty = module
+            .types
+            .get(ty_idx as usize)
+            .ok_or_else(|| bad("call type index out of range"))?;
+        Ok((ty.params.len(), ty.results.len()))
+    };
+
+    for i in 0..n {
+        if terminated {
+            lo.vstack.clear();
+            lo.vstack.resize(heights[i] as usize, Src::Canon);
+            lo.max_height = lo.max_height.max(lo.vstack.len());
+            terminated = false;
+        } else if is_target[i] {
+            // Fall-through into a jump target: forwarded operands become
+            // canonical here so every predecessor agrees on the state.
+            lo.flush_all()?;
+            if lo.vstack.len() != heights[i] as usize {
+                return Err(bad("register lowering: height mismatch at jump target"));
+            }
+        }
+        old2new[i] = lo.out.len() as u32;
+
+        match &ops[i] {
+            FlatOp::Unreachable => {
+                lo.out.push(RegOp::Unreachable);
+                terminated = true;
+            }
+            FlatOp::Jump { target } => {
+                lo.flush_all()?;
+                lo.out.push(RegOp::Jump { target: *target });
+                terminated = true;
+            }
+            FlatOp::JumpIfZero { target } => {
+                lo.flush_below(1)?;
+                let cond = lo.pop()?;
+                lo.out.push(RegOp::BrIf {
+                    cond,
+                    jump_if: false,
+                    target: *target,
+                });
+            }
+            FlatOp::JumpIfNonZero { target } => {
+                lo.flush_below(1)?;
+                let cond = lo.pop()?;
+                lo.out.push(RegOp::BrIf {
+                    cond,
+                    jump_if: true,
+                    target: *target,
+                });
+            }
+            FlatOp::Br {
+                target,
+                keep,
+                height,
+            } => {
+                lo.flush_all()?;
+                let h = lo.vstack.len();
+                if h < *keep as usize {
+                    return Err(bad("register lowering: br keeps more than the stack"));
+                }
+                let src = slot16(n_locals + h - *keep as usize)?;
+                let dst = slot16(n_locals + *height as usize)?;
+                if *keep == 0 || src == dst {
+                    lo.out.push(RegOp::Jump { target: *target });
+                } else {
+                    lo.out.push(RegOp::BrMoves {
+                        target: *target,
+                        src,
+                        dst,
+                        keep: slot16(*keep as usize)?,
+                    });
+                }
+                terminated = true;
+            }
+            FlatOp::BrIf {
+                target,
+                keep,
+                height,
+            } => {
+                lo.flush_below(1)?;
+                let cond = lo.pop()?;
+                let h = lo.vstack.len();
+                if h < *keep as usize {
+                    return Err(bad("register lowering: br_if keeps more than the stack"));
+                }
+                let src = slot16(n_locals + h - *keep as usize)?;
+                let dst = slot16(n_locals + *height as usize)?;
+                if *keep == 0 || src == dst {
+                    lo.out.push(RegOp::BrIf {
+                        cond,
+                        jump_if: true,
+                        target: *target,
+                    });
+                } else {
+                    lo.out.push(RegOp::BrIfMoves {
+                        cond,
+                        jump_if: true,
+                        target: *target,
+                        src,
+                        dst,
+                        keep: slot16(*keep as usize)?,
+                    });
+                }
+            }
+            FlatOp::BrTable { entries } => {
+                lo.flush_below(1)?;
+                let idx = lo.pop()?;
+                let h = lo.vstack.len();
+                let mut reg_entries = Vec::with_capacity(entries.len());
+                for e in entries.iter() {
+                    let keep = e.keep as usize;
+                    if h < keep {
+                        return Err(bad("register lowering: br_table keeps more than the stack"));
+                    }
+                    reg_entries.push(RegBrEntry {
+                        target: e.target,
+                        src: slot16(n_locals + h - keep)?,
+                        dst: slot16(n_locals + e.height as usize)?,
+                        keep: slot16(keep)?,
+                    });
+                }
+                lo.out.push(RegOp::BrTable {
+                    idx,
+                    entries: reg_entries.into_boxed_slice(),
+                });
+                terminated = true;
+            }
+            FlatOp::Return => {
+                lo.flush_all()?;
+                let h = lo.vstack.len();
+                if h < n_results {
+                    return Err(bad("register lowering: missing results at return"));
+                }
+                lo.out.push(RegOp::Return {
+                    src: slot16(n_locals + h - n_results)?,
+                });
+                terminated = true;
+            }
+            FlatOp::CallLocal { func } | FlatOp::CallImport { func } => {
+                let (n_args, n_res) = call_arity(*func)?;
+                lo.flush_all()?;
+                let h = lo.vstack.len();
+                if h < n_args {
+                    return Err(bad("register lowering: missing call arguments"));
+                }
+                let base = slot16(n_locals + h - n_args)?;
+                for _ in 0..n_args {
+                    lo.pop()?;
+                }
+                for _ in 0..n_res {
+                    lo.push()?;
+                }
+                lo.out.push(match &ops[i] {
+                    FlatOp::CallLocal { func } => RegOp::CallLocal { func: *func, base },
+                    _ => RegOp::CallImport { func: *func, base },
+                });
+            }
+            FlatOp::CallIndirect { type_idx } => {
+                let ty = module
+                    .types
+                    .get(*type_idx as usize)
+                    .ok_or_else(|| bad("call_indirect type index out of range"))?;
+                let (n_args, n_res) = (ty.params.len(), ty.results.len());
+                lo.flush_all()?;
+                let idx = lo.pop()?;
+                let h = lo.vstack.len();
+                if h < n_args {
+                    return Err(bad("register lowering: missing call arguments"));
+                }
+                let base = slot16(n_locals + h - n_args)?;
+                for _ in 0..n_args {
+                    lo.pop()?;
+                }
+                for _ in 0..n_res {
+                    lo.push()?;
+                }
+                lo.out.push(RegOp::CallIndirect {
+                    type_idx: *type_idx,
+                    idx,
+                    base,
+                });
+            }
+
+            FlatOp::Drop => {
+                lo.pop()?;
+            }
+            FlatOp::Select => {
+                let cond = lo.pop()?;
+                let b = lo.pop()?;
+                let a = lo.pop()?;
+                let dst = lo.push()?;
+                lo.out.push(RegOp::Select { cond, a, b, dst });
+            }
+
+            FlatOp::LocalGet(idx) => {
+                let s = lo.local(*idx)?;
+                lo.vstack.push(Src::Fwd(s));
+                lo.max_height = lo.max_height.max(lo.vstack.len());
+                lo.stats.gets_forwarded += 1;
+                lo.stats.stack_ops_eliminated += 1;
+            }
+            FlatOp::LocalSet(idx) => {
+                let dst = lo.local(*idx)?;
+                let src = lo.pop()?;
+                if src != dst {
+                    lo.guard_local_write(dst, 0)?;
+                    lo.emit_move(src, dst);
+                }
+            }
+            FlatOp::LocalTee(idx) => {
+                let dst = lo.local(*idx)?;
+                let top = lo
+                    .vstack
+                    .len()
+                    .checked_sub(1)
+                    .ok_or_else(|| bad("register lowering: tee on empty stack"))?;
+                let src = lo.slot_of(top)?;
+                if src != dst {
+                    lo.guard_local_write(dst, 1)?;
+                    lo.emit_move(src, dst);
+                }
+            }
+            FlatOp::GlobalGet(idx) => {
+                let dst = lo.push()?;
+                lo.out.push(RegOp::GlobalGet { idx: *idx, dst });
+            }
+            FlatOp::GlobalSet(idx) => {
+                let src = lo.pop()?;
+                lo.out.push(RegOp::GlobalSet { idx: *idx, src });
+            }
+
+            FlatOp::MemorySize => {
+                let dst = lo.push()?;
+                lo.out.push(RegOp::MemorySize { dst });
+            }
+            FlatOp::MemoryGrow => {
+                let src = lo.pop()?;
+                let dst = lo.push()?;
+                lo.out.push(RegOp::MemoryGrow { src, dst });
+            }
+            FlatOp::MemoryCopy | FlatOp::MemoryFill => {
+                lo.flush_all()?;
+                let h = lo.vstack.len();
+                if h < 3 {
+                    return Err(bad("register lowering: missing bulk-memory operands"));
+                }
+                let args = slot16(n_locals + h - 3)?;
+                for _ in 0..3 {
+                    lo.pop()?;
+                }
+                lo.out.push(match &ops[i] {
+                    FlatOp::MemoryCopy => RegOp::MemoryCopy { args },
+                    _ => RegOp::MemoryFill { args },
+                });
+            }
+
+            FlatOp::Const(v) => {
+                let dst = lo.push()?;
+                lo.out.push(RegOp::Const { bits: *v, dst });
+            }
+
+            FlatOp::FusedBinopLL { a, b, op } => {
+                let (a, b) = (lo.local(*a)?, lo.local(*b)?);
+                let dst = lo.push()?;
+                lo.out.push(sel_binop(*op, a, b, dst));
+            }
+            FlatOp::FusedBinopLK { a, k, op } => {
+                let a = lo.local(*a)?;
+                let dst = lo.push()?;
+                lo.out.push(sel_binop_k(*op, a, *k, dst));
+            }
+            FlatOp::FusedBinopLLSet { a, b, op, dst } => {
+                let (a, b) = (lo.local(*a)?, lo.local(*b)?);
+                let dst = lo.local(*dst)?;
+                lo.guard_local_write(dst, 0)?;
+                lo.out.push(sel_binop(*op, a, b, dst));
+            }
+            FlatOp::FusedBinopLKSet { a, k, op, dst } => {
+                let a = lo.local(*a)?;
+                let dst = lo.local(*dst)?;
+                lo.guard_local_write(dst, 0)?;
+                lo.out.push(sel_binop_k(*op, a, u64::from(*k), dst));
+            }
+            FlatOp::FusedBinopSL { b, op } => {
+                let b = lo.local(*b)?;
+                let a = lo.pop()?;
+                let dst = lo.push()?;
+                lo.out.push(sel_binop(*op, a, b, dst));
+            }
+            FlatOp::FusedBinopSLSet { b, op, dst } => {
+                let b = lo.local(*b)?;
+                let a = lo.pop()?;
+                let dst = lo.local(*dst)?;
+                lo.guard_local_write(dst, 0)?;
+                lo.out.push(sel_binop(*op, a, b, dst));
+            }
+            FlatOp::FusedBinopSLStore {
+                b,
+                op,
+                offset,
+                kind,
+            } => {
+                let b = lo.local(*b)?;
+                let a = lo.pop()?;
+                let addr = lo.pop()?;
+                lo.out
+                    .push(sel_binop_store(*op, *kind, a, b, addr, *offset));
+            }
+            FlatOp::FusedBinopLLStore {
+                a,
+                b,
+                op,
+                offset,
+                kind,
+            } => {
+                let (a, b) = (lo.local(*a)?, lo.local(*b)?);
+                let addr = lo.pop()?;
+                lo.out
+                    .push(sel_binop_store(*op, *kind, a, b, addr, *offset));
+            }
+            FlatOp::FusedBinopSet { op, dst } => {
+                let b = lo.pop()?;
+                let a = lo.pop()?;
+                let dst = lo.local(*dst)?;
+                lo.guard_local_write(dst, 0)?;
+                lo.out.push(sel_binop(*op, a, b, dst));
+            }
+            FlatOp::LocalCopy { src, dst } => {
+                let (src, dst) = (lo.local(*src)?, lo.local(*dst)?);
+                if src != dst {
+                    lo.guard_local_write(dst, 0)?;
+                    lo.emit_move(src, dst);
+                }
+            }
+            FlatOp::FusedLoadL { addr, offset, kind } => {
+                let addr = lo.local(*addr)?;
+                let dst = lo.push()?;
+                lo.out.push(sel_load(*kind, addr, *offset, dst));
+            }
+            FlatOp::FusedStoreL { val, offset, kind } => {
+                let val = lo.local(*val)?;
+                let addr = lo.pop()?;
+                lo.out.push(sel_store(*kind, addr, val, *offset));
+            }
+            FlatOp::FusedAddLoad { offset, kind } => {
+                let idx = lo.pop()?;
+                let base = lo.pop()?;
+                let dst = lo.push()?;
+                lo.out
+                    .push(sel_scale_add_load(base, idx, 1, *kind, *offset, dst));
+            }
+            FlatOp::FusedBinopKS { k, op } => {
+                let a = lo.pop()?;
+                let dst = lo.push()?;
+                lo.out.push(sel_binop_k(*op, a, *k, dst));
+            }
+            FlatOp::FusedScaleAdd { k } => {
+                let idx = lo.pop()?;
+                let base = lo.pop()?;
+                let dst = lo.push()?;
+                lo.out.push(RegOp::ScaleAdd {
+                    base,
+                    idx,
+                    k: *k,
+                    dst,
+                });
+            }
+            FlatOp::FusedScaleAddLoad { k, offset, kind } => {
+                let idx = lo.pop()?;
+                let base = lo.pop()?;
+                let dst = lo.push()?;
+                lo.out
+                    .push(sel_scale_add_load(base, idx, *k, *kind, *offset, dst));
+            }
+            FlatOp::FusedIdxLAdd { z, k } => {
+                let z = lo.local(*z)?;
+                let part = lo.pop()?;
+                let base = lo.pop()?;
+                let dst = lo.push()?;
+                lo.out.push(RegOp::IdxLAdd {
+                    base,
+                    part,
+                    z,
+                    k: *k,
+                    dst,
+                });
+            }
+            FlatOp::FusedIdxLAddLoad { z, k, offset, kind } => {
+                let z = lo.local(*z)?;
+                let part = lo.pop()?;
+                let base = lo.pop()?;
+                let dst = lo.push()?;
+                lo.out
+                    .push(sel_idx_l_add_load(base, part, z, *k, *kind, *offset, dst));
+            }
+            FlatOp::FusedBinopStore { op, offset, kind } => {
+                let b = lo.pop()?;
+                let a = lo.pop()?;
+                let addr = lo.pop()?;
+                lo.out
+                    .push(sel_binop_store(*op, *kind, a, b, addr, *offset));
+            }
+            FlatOp::FusedCmpBrZ { op, target } | FlatOp::FusedCmpBrNZ { op, target } => {
+                lo.flush_below(2)?;
+                let b = lo.pop()?;
+                let a = lo.pop()?;
+                let jump_if = matches!(&ops[i], FlatOp::FusedCmpBrNZ { .. });
+                lo.out.push(sel_cmp_br(*op, a, b, jump_if, *target));
+            }
+            FlatOp::FusedCmpBrLLZ { a, b, op, target }
+            | FlatOp::FusedCmpBrLLNZ { a, b, op, target } => {
+                lo.flush_all()?;
+                let (a, b) = (lo.local(*a)?, lo.local(*b)?);
+                let jump_if = matches!(&ops[i], FlatOp::FusedCmpBrLLNZ { .. });
+                lo.out.push(sel_cmp_br(*op, a, b, jump_if, *target));
+            }
+            FlatOp::FusedCmpBrLKZ { a, k, op, target }
+            | FlatOp::FusedCmpBrLKNZ { a, k, op, target } => {
+                lo.flush_all()?;
+                let a = lo.local(*a)?;
+                lo.out.push(RegOp::CmpBrK {
+                    op: *op,
+                    a,
+                    k: *k,
+                    jump_if: matches!(&ops[i], FlatOp::FusedCmpBrLKNZ { .. }),
+                    target: *target,
+                });
+            }
+            FlatOp::FusedCmpBrSLZ { b, op, target } | FlatOp::FusedCmpBrSLNZ { b, op, target } => {
+                lo.flush_below(1)?;
+                let b = lo.local(*b)?;
+                let a = lo.pop()?;
+                let jump_if = matches!(&ops[i], FlatOp::FusedCmpBrSLNZ { .. });
+                lo.out.push(sel_cmp_br(*op, a, b, jump_if, *target));
+            }
+
+            // Reinterpret casts are identities on raw slots: no code, the
+            // value stays wherever it lives.
+            FlatOp::I32ReinterpretF32
+            | FlatOp::I64ReinterpretF64
+            | FlatOp::F32ReinterpretI32
+            | FlatOp::F64ReinterpretI64 => {}
+
+            plain => {
+                if let Some(op) = binop_kind(plain) {
+                    let b = lo.pop()?;
+                    let a = lo.pop()?;
+                    let dst = lo.push()?;
+                    lo.out.push(sel_binop(op, a, b, dst));
+                } else if let Some(op) = unop_kind(plain) {
+                    let src = lo.pop()?;
+                    let dst = lo.push()?;
+                    lo.out.push(RegOp::Unop { op, src, dst });
+                } else if let Some((kind, offset)) = load_kind(plain) {
+                    let addr = lo.pop()?;
+                    let dst = lo.push()?;
+                    lo.out.push(sel_load(kind, addr, offset, dst));
+                } else if let Some((kind, offset)) = store_kind(plain) {
+                    let val = lo.pop()?;
+                    let addr = lo.pop()?;
+                    lo.out.push(sel_store(kind, addr, val, offset));
+                } else {
+                    return Err(bad("register lowering: unhandled flat op"));
+                }
+            }
+        }
+    }
+    old2new[n] = lo.out.len() as u32;
+
+    // Re-point every jump through the old→new map, then re-validate.
+    let mut code = lo.out;
+    for op in &mut code {
+        let remap = |t: &mut u32| {
+            *t = old2new[*t as usize];
+        };
+        match op {
+            RegOp::Jump { target }
+            | RegOp::BrIf { target, .. }
+            | RegOp::BrMoves { target, .. }
+            | RegOp::BrIfMoves { target, .. }
+            | RegOp::CmpBr { target, .. }
+            | RegOp::CmpBrK { target, .. }
+            | RegOp::CmpBrLtSZ { target, .. }
+            | RegOp::CmpBrLtSNZ { target, .. } => remap(target),
+            RegOp::BrTable { entries, .. } => {
+                for e in entries.iter_mut() {
+                    remap(&mut e.target);
+                }
+            }
+            _ => {}
+        }
+    }
+    check_jump_targets(&code)?;
+
+    slot16(n_locals + lo.max_height)?; // the whole frame must stay u16-addressable
+    let frame_size = (n_locals + lo.max_height) as u32;
+    let stats = lo.stats;
+    stats.funcs += 1;
+    stats.frame_slots += u64::from(frame_size);
+
+    Ok(RegFunc {
+        n_params: f.n_params,
+        n_locals: f.n_locals,
+        n_results: f.n_results,
+        frame_size,
+        result_types: f.result_types.clone(),
+        code: code.into_boxed_slice(),
+    })
+}
+
+/// Saved caller state for a guest-level call inside the register engine.
+struct Frame<'a> {
+    func: &'a RegFunc,
+    pc: usize,
+    base: usize,
+}
+
+/// Invokes function `func_idx` on the register engine.
+///
+/// # Errors
+///
+/// Returns exactly the traps the stack-form flat engine (and the
+/// tree-walking oracle) would.
+#[allow(clippy::too_many_arguments)] // One borrow per disjoint Instance field.
+pub(crate) fn run(
+    flat: &FlatModule,
+    types: &[FuncType],
+    table: &[Option<u32>],
+    memory: &mut Memory,
+    globals: &mut [Value],
+    host: &mut dyn HostEnv,
+    func_idx: u32,
+    args: &[Value],
+) -> Result<Vec<Value>, Trap> {
+    let prog = flat.reg.as_ref().expect("register program prepared");
+    if let FlatFuncDef::Import(imp) = &flat.funcs[func_idx as usize] {
+        let results = host.call(&imp.module, &imp.name, memory, args)?;
+        crate::exec::check_host_results(&imp.module, &imp.name, results.len(), imp.n_results)?;
+        return Ok(results);
+    }
+    let entry = prog.funcs[func_idx as usize]
+        .as_ref()
+        .expect("local function register-lowered");
+    let mut mem = memory.take_data();
+    let result = run_loop(
+        prog, flat, types, table, &mut mem, memory, globals, host, entry, args,
+    );
+    memory.put_data(mem);
+    result
+}
+
+/// The register engine's dispatch loop: no operand stack, only frames of
+/// statically-addressed slots (and the cached memory vec, handed back to
+/// [`Memory`] around host calls).
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+fn run_loop(
+    prog: &RegProgram,
+    flat: &FlatModule,
+    types: &[FuncType],
+    table: &[Option<u32>],
+    mem: &mut Vec<u8>,
+    memory: &mut Memory,
+    globals: &mut [Value],
+    host: &mut dyn HostEnv,
+    entry: &RegFunc,
+    args: &[Value],
+) -> Result<Vec<Value>, Trap> {
+    let mut stack: Vec<Slot> = vec![0; entry.frame_size as usize];
+    for (i, v) in args.iter().enumerate() {
+        stack[i] = slot_from_value(*v);
+    }
+
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut cur: &RegFunc = entry;
+    let mut base: usize = 0;
+    let mut pc: usize = 0;
+
+    // Frame-slot read/write (bounds-checked against the one shared vec;
+    // every frame was sized at its call).
+    macro_rules! r {
+        ($s:expr) => {
+            stack[base + $s as usize]
+        };
+    }
+    macro_rules! call_local {
+        ($callee:expr, $off:expr) => {{
+            let callee: &RegFunc = $callee;
+            if frames.len() + 1 >= MAX_CALL_DEPTH {
+                return Err(Trap::CallStackExhausted);
+            }
+            let new_base = base + $off as usize;
+            let need = new_base + callee.frame_size as usize;
+            if stack.len() < need {
+                stack.resize(need, 0);
+            }
+            // Non-param locals start zeroed; slots may hold stale data
+            // from a deeper earlier call (the vec never shrinks).
+            stack[new_base + callee.n_params as usize..new_base + callee.n_locals as usize].fill(0);
+            frames.push(Frame {
+                func: cur,
+                pc,
+                base,
+            });
+            cur = callee;
+            base = new_base;
+            pc = 0;
+        }};
+    }
+    macro_rules! call_import {
+        ($func:expr, $off:expr) => {{
+            let FlatFuncDef::Import(imp) = &flat.funcs[$func as usize] else {
+                unreachable!("resolved at lowering")
+            };
+            let abase = base + $off as usize;
+            let host_args: Vec<Value> = imp
+                .params
+                .iter()
+                .enumerate()
+                .map(|(k, ty)| value_from_slot(*ty, stack[abase + k]))
+                .collect();
+            // The host sees (and may grow) the real memory.
+            memory.put_data(std::mem::take(mem));
+            let call_result = host.call(&imp.module, &imp.name, memory, &host_args);
+            *mem = memory.take_data();
+            let results = call_result?;
+            let declared = types[flat.func_type_idx[$func as usize] as usize]
+                .results
+                .len();
+            crate::exec::check_host_results(&imp.module, &imp.name, results.len(), declared)?;
+            for (k, v) in results.into_iter().enumerate() {
+                stack[abase + k] = slot_from_value(v);
+            }
+        }};
+    }
+
+    loop {
+        let op = &cur.code[pc];
+        pc += 1;
+        match op {
+            RegOp::Unreachable => return Err(Trap::Unreachable),
+            RegOp::Jump { target } => pc = *target as usize,
+            RegOp::BrIf {
+                cond,
+                jump_if,
+                target,
+            } => {
+                if (as_u32(r!(*cond)) != 0) == *jump_if {
+                    pc = *target as usize;
+                }
+            }
+            RegOp::BrMoves {
+                target,
+                src,
+                dst,
+                keep,
+            } => {
+                let (s, d, k) = (base + *src as usize, base + *dst as usize, *keep as usize);
+                stack.copy_within(s..s + k, d);
+                pc = *target as usize;
+            }
+            RegOp::BrIfMoves {
+                cond,
+                jump_if,
+                target,
+                src,
+                dst,
+                keep,
+            } => {
+                if (as_u32(r!(*cond)) != 0) == *jump_if {
+                    let (s, d, k) = (base + *src as usize, base + *dst as usize, *keep as usize);
+                    stack.copy_within(s..s + k, d);
+                    pc = *target as usize;
+                }
+            }
+            RegOp::BrTable { idx, entries } => {
+                let i = as_u32(r!(*idx)) as usize;
+                let e = entries[i.min(entries.len() - 1)];
+                if e.keep > 0 && e.src != e.dst {
+                    let (s, d, k) = (
+                        base + e.src as usize,
+                        base + e.dst as usize,
+                        e.keep as usize,
+                    );
+                    stack.copy_within(s..s + k, d);
+                }
+                pc = e.target as usize;
+            }
+            RegOp::Return { src } => {
+                let n = cur.n_results as usize;
+                let s = base + *src as usize;
+                if s != base && n > 0 {
+                    stack.copy_within(s..s + n, base);
+                }
+                match frames.pop() {
+                    Some(fr) => {
+                        cur = fr.func;
+                        pc = fr.pc;
+                        base = fr.base;
+                    }
+                    None => {
+                        return Ok(cur
+                            .result_types
+                            .iter()
+                            .enumerate()
+                            .map(|(k, ty)| value_from_slot(*ty, stack[base + k]))
+                            .collect());
+                    }
+                }
+            }
+            RegOp::CallLocal { func, base: off } => {
+                let callee = prog.funcs[*func as usize]
+                    .as_ref()
+                    .expect("local function register-lowered");
+                call_local!(callee, *off);
+            }
+            RegOp::CallImport { func, base: off } => call_import!(*func, *off),
+            RegOp::CallIndirect {
+                type_idx,
+                idx,
+                base: off,
+            } => {
+                let i = as_u32(r!(*idx)) as usize;
+                let slot = *table.get(i).ok_or(Trap::TableOutOfBounds)?;
+                let f = slot.ok_or(Trap::UndefinedTableElement)?;
+                let actual = &types[flat.func_type_idx[f as usize] as usize];
+                let expected = &types[*type_idx as usize];
+                if actual != expected {
+                    return Err(Trap::IndirectTypeMismatch);
+                }
+                match &flat.funcs[f as usize] {
+                    FlatFuncDef::Import(_) => call_import!(f, *off),
+                    FlatFuncDef::Local(_) => {
+                        let callee = prog.funcs[f as usize]
+                            .as_ref()
+                            .expect("local function register-lowered");
+                        call_local!(callee, *off);
+                    }
+                }
+            }
+
+            RegOp::Select { cond, a, b, dst } => {
+                let v = if as_u32(r!(*cond)) != 0 {
+                    r!(*a)
+                } else {
+                    r!(*b)
+                };
+                r!(*dst) = v;
+            }
+            RegOp::Move { src, dst } => r!(*dst) = r!(*src),
+            RegOp::Const { bits, dst } => r!(*dst) = *bits,
+            RegOp::GlobalGet { idx, dst } => r!(*dst) = slot_from_value(globals[*idx as usize]),
+            RegOp::GlobalSet { idx, src } => {
+                globals[*idx as usize] =
+                    value_from_slot(flat.global_types[*idx as usize], r!(*src));
+            }
+
+            RegOp::Load {
+                kind,
+                addr,
+                offset,
+                dst,
+            } => {
+                let a = as_i32(r!(*addr));
+                r!(*dst) = do_load(*kind, mem, a, *offset)?;
+            }
+            RegOp::Store {
+                kind,
+                addr,
+                val,
+                offset,
+            } => {
+                let a = as_i32(r!(*addr));
+                do_store(*kind, mem, a, *offset, r!(*val))?;
+            }
+            RegOp::MemorySize { dst } => {
+                r!(*dst) = from_i32((mem.len() / crate::PAGE_SIZE) as i32);
+            }
+            RegOp::MemoryGrow { src, dst } => {
+                let delta = as_u32(r!(*src));
+                r!(*dst) = from_i32(Memory::grow_raw(mem, memory.max_pages(), delta));
+            }
+            RegOp::MemoryCopy { args } => {
+                let a = base + *args as usize;
+                let (dst, src, len) =
+                    (as_u32(stack[a]), as_u32(stack[a + 1]), as_u32(stack[a + 2]));
+                let mem_len = mem.len() as u64;
+                if u64::from(src) + u64::from(len) > mem_len
+                    || u64::from(dst) + u64::from(len) > mem_len
+                {
+                    return Err(Trap::MemoryOutOfBounds);
+                }
+                mem.copy_within(src as usize..(src + len) as usize, dst as usize);
+            }
+            RegOp::MemoryFill { args } => {
+                let a = base + *args as usize;
+                let (dst, val, len) = (
+                    as_u32(stack[a]),
+                    as_u32(stack[a + 1]) as u8,
+                    as_u32(stack[a + 2]),
+                );
+                if u64::from(dst) + u64::from(len) > mem.len() as u64 {
+                    return Err(Trap::MemoryOutOfBounds);
+                }
+                mem[dst as usize..(dst + len) as usize].fill(val);
+            }
+
+            RegOp::Unop { op, src, dst } => r!(*dst) = apply_unop(*op, r!(*src))?,
+            RegOp::Binop { op, a, b, dst } => {
+                r!(*dst) = apply_binop(*op, r!(*a), r!(*b))?;
+            }
+            RegOp::BinopK { op, a, k, dst } => {
+                r!(*dst) = apply_binop(*op, r!(*a), *k)?;
+            }
+
+            RegOp::AddI32 { a, b, dst } => {
+                r!(*dst) = from_i32(as_i32(r!(*a)).wrapping_add(as_i32(r!(*b))));
+            }
+            RegOp::SubI32 { a, b, dst } => {
+                r!(*dst) = from_i32(as_i32(r!(*a)).wrapping_sub(as_i32(r!(*b))));
+            }
+            RegOp::MulI32 { a, b, dst } => {
+                r!(*dst) = from_i32(as_i32(r!(*a)).wrapping_mul(as_i32(r!(*b))));
+            }
+            RegOp::AddI32K { a, k, dst } => {
+                r!(*dst) = from_i32(as_i32(r!(*a)).wrapping_add(*k as i32));
+            }
+            RegOp::AddF64 { a, b, dst } => {
+                r!(*dst) = from_f64(as_f64(r!(*a)) + as_f64(r!(*b)));
+            }
+            RegOp::SubF64 { a, b, dst } => {
+                r!(*dst) = from_f64(as_f64(r!(*a)) - as_f64(r!(*b)));
+            }
+            RegOp::MulF64 { a, b, dst } => {
+                r!(*dst) = from_f64(as_f64(r!(*a)) * as_f64(r!(*b)));
+            }
+            RegOp::DivF64 { a, b, dst } => {
+                r!(*dst) = from_f64(as_f64(r!(*a)) / as_f64(r!(*b)));
+            }
+            RegOp::LoadI32R { addr, offset, dst } => {
+                let a = as_i32(r!(*addr));
+                let b: [u8; 4] = crate::exec::mem_load(mem, a, *offset)?;
+                r!(*dst) = u64::from(u32::from_le_bytes(b));
+            }
+            RegOp::LoadF64R { addr, offset, dst } => {
+                let a = as_i32(r!(*addr));
+                let b: [u8; 8] = crate::exec::mem_load(mem, a, *offset)?;
+                r!(*dst) = u64::from_le_bytes(b);
+            }
+            RegOp::StoreI32R { addr, val, offset } => {
+                let a = as_i32(r!(*addr));
+                crate::exec::mem_store(mem, a, *offset, &(r!(*val) as u32).to_le_bytes())?;
+            }
+            RegOp::StoreF64R { addr, val, offset } => {
+                let a = as_i32(r!(*addr));
+                crate::exec::mem_store(mem, a, *offset, &r!(*val).to_le_bytes())?;
+            }
+            RegOp::ScaleAddLoadI32 {
+                base: b,
+                idx,
+                k,
+                offset,
+                dst,
+            } => {
+                let idx = as_i32(r!(*idx));
+                let addr = as_i32(r!(*b)).wrapping_add(idx.wrapping_mul(*k as i32));
+                let bytes: [u8; 4] = crate::exec::mem_load(mem, addr, *offset)?;
+                r!(*dst) = u64::from(u32::from_le_bytes(bytes));
+            }
+            RegOp::ScaleAddLoadF64 {
+                base: b,
+                idx,
+                k,
+                offset,
+                dst,
+            } => {
+                let idx = as_i32(r!(*idx));
+                let addr = as_i32(r!(*b)).wrapping_add(idx.wrapping_mul(*k as i32));
+                let bytes: [u8; 8] = crate::exec::mem_load(mem, addr, *offset)?;
+                r!(*dst) = u64::from_le_bytes(bytes);
+            }
+            RegOp::IdxLAddLoadI32 {
+                base: b,
+                part,
+                z,
+                k,
+                offset,
+                dst,
+            } => {
+                let idx = as_i32(r!(*part))
+                    .wrapping_add(as_i32(r!(*z)))
+                    .wrapping_mul(*k as i32);
+                let addr = as_i32(r!(*b)).wrapping_add(idx);
+                let bytes: [u8; 4] = crate::exec::mem_load(mem, addr, *offset)?;
+                r!(*dst) = u64::from(u32::from_le_bytes(bytes));
+            }
+            RegOp::IdxLAddLoadF64 {
+                base: b,
+                part,
+                z,
+                k,
+                offset,
+                dst,
+            } => {
+                let idx = as_i32(r!(*part))
+                    .wrapping_add(as_i32(r!(*z)))
+                    .wrapping_mul(*k as i32);
+                let addr = as_i32(r!(*b)).wrapping_add(idx);
+                let bytes: [u8; 8] = crate::exec::mem_load(mem, addr, *offset)?;
+                r!(*dst) = u64::from_le_bytes(bytes);
+            }
+            RegOp::AddStoreF64 { a, b, addr, offset } => {
+                let v = as_f64(r!(*a)) + as_f64(r!(*b));
+                let a = as_i32(r!(*addr));
+                crate::exec::mem_store(mem, a, *offset, &v.to_bits().to_le_bytes())?;
+            }
+            RegOp::MulStoreF64 { a, b, addr, offset } => {
+                let v = as_f64(r!(*a)) * as_f64(r!(*b));
+                let a = as_i32(r!(*addr));
+                crate::exec::mem_store(mem, a, *offset, &v.to_bits().to_le_bytes())?;
+            }
+            RegOp::CmpBrLtSZ { a, b, target } => {
+                if as_i32(r!(*a)) >= as_i32(r!(*b)) {
+                    pc = *target as usize;
+                }
+            }
+            RegOp::CmpBrLtSNZ { a, b, target } => {
+                if as_i32(r!(*a)) < as_i32(r!(*b)) {
+                    pc = *target as usize;
+                }
+            }
+            RegOp::BinopStore {
+                op,
+                a,
+                b,
+                addr,
+                kind,
+                offset,
+            } => {
+                let v = apply_binop(*op, r!(*a), r!(*b))?;
+                let addr = as_i32(r!(*addr));
+                do_store(*kind, mem, addr, *offset, v)?;
+            }
+            RegOp::CmpBr {
+                op,
+                a,
+                b,
+                jump_if,
+                target,
+            } => {
+                let v = apply_binop(*op, r!(*a), r!(*b))?;
+                if (as_u32(v) != 0) == *jump_if {
+                    pc = *target as usize;
+                }
+            }
+            RegOp::CmpBrK {
+                op,
+                a,
+                k,
+                jump_if,
+                target,
+            } => {
+                let v = apply_binop(*op, r!(*a), u64::from(*k))?;
+                if (as_u32(v) != 0) == *jump_if {
+                    pc = *target as usize;
+                }
+            }
+            RegOp::ScaleAdd {
+                base: b,
+                idx,
+                k,
+                dst,
+            } => {
+                let idx = as_i32(r!(*idx));
+                let bv = as_i32(r!(*b));
+                r!(*dst) = from_i32(bv.wrapping_add(idx.wrapping_mul(*k as i32)));
+            }
+            RegOp::ScaleAddLoad {
+                base: b,
+                idx,
+                k,
+                kind,
+                offset,
+                dst,
+            } => {
+                let idx = as_i32(r!(*idx));
+                let addr = as_i32(r!(*b)).wrapping_add(idx.wrapping_mul(*k as i32));
+                r!(*dst) = do_load(*kind, mem, addr, *offset)?;
+            }
+            RegOp::IdxLAdd {
+                base: b,
+                part,
+                z,
+                k,
+                dst,
+            } => {
+                let idx = as_i32(r!(*part))
+                    .wrapping_add(as_i32(r!(*z)))
+                    .wrapping_mul(*k as i32);
+                r!(*dst) = from_i32(as_i32(r!(*b)).wrapping_add(idx));
+            }
+            RegOp::IdxLAddLoad {
+                base: b,
+                part,
+                z,
+                k,
+                kind,
+                offset,
+                dst,
+            } => {
+                let idx = as_i32(r!(*part))
+                    .wrapping_add(as_i32(r!(*z)))
+                    .wrapping_mul(*k as i32);
+                let addr = as_i32(r!(*b)).wrapping_add(idx);
+                r!(*dst) = do_load(*kind, mem, addr, *offset)?;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::exec::{ExecMode, Instance, NoHost};
+    use crate::instr::Instr as I;
+    use crate::types::BlockType;
+
+    /// Runs an export on the oracle and the register engine (fused and
+    /// unfused); the register instances must actually be register-lowered.
+    fn run_reg_vs_oracle(
+        bytes: &[u8],
+        name: &str,
+        args: &[Value],
+    ) -> Vec<Result<Vec<Value>, Trap>> {
+        let module = crate::load(bytes).unwrap();
+        let mut out = Vec::new();
+        let mut interp =
+            Instance::instantiate(&module, ExecMode::Interpreted, &mut NoHost).unwrap();
+        out.push(interp.invoke(&mut NoHost, name, args));
+        for fuse in [true, false] {
+            let mut inst =
+                Instance::instantiate_with_engine(&module, ExecMode::Aot, fuse, true, &mut NoHost)
+                    .unwrap();
+            assert!(
+                inst.reg_stats().is_some(),
+                "register pass unexpectedly fell back (fuse={fuse})"
+            );
+            out.push(inst.invoke(&mut NoHost, name, args));
+        }
+        out
+    }
+
+    fn assert_reg_agrees(bytes: &[u8], name: &str, args: &[Value], ctx: &str) {
+        let outcomes = run_reg_vs_oracle(bytes, name, args);
+        assert_eq!(outcomes[0], outcomes[1], "{ctx}: fused register engine");
+        assert_eq!(outcomes[0], outcomes[2], "{ctx}: unfused register engine");
+    }
+
+    #[test]
+    fn reg_op_size_does_not_regress() {
+        // The whole code array is walked on every dispatch; the ceiling is
+        // the same 24 bytes the flat engine holds (set by `BrTable`'s fat
+        // `Box<[RegBrEntry]>`).
+        assert!(std::mem::size_of::<RegOp>() <= 24);
+    }
+
+    #[test]
+    fn forwarded_local_is_flushed_before_overwrite() {
+        // `local.get 0` forwards x; the fused `x = x + 1` then overwrites
+        // the local, so the pending operand must be copied out first:
+        // result is x_old + (x_old + 1), not (x_old+1)*2.
+        let mut b = ModuleBuilder::new();
+        let ty = b.add_type(&[ValType::I32], &[ValType::I32]);
+        let f = b.add_func(
+            ty,
+            &[],
+            vec![
+                I::LocalGet(0),
+                I::LocalGet(0),
+                I::I32Const(1),
+                I::I32Add,
+                I::LocalSet(0),
+                I::LocalGet(0),
+                I::I32Add,
+                I::End,
+            ],
+        );
+        b.export_func("f", f);
+        let bytes = b.build();
+        assert_reg_agrees(&bytes, "f", &[Value::I32(10)], "set hazard");
+        let out = run_reg_vs_oracle(&bytes, "f", &[Value::I32(10)])
+            .swap_remove(1)
+            .unwrap();
+        assert_eq!(out, vec![Value::I32(21)]);
+    }
+
+    #[test]
+    fn forwarded_local_survives_tee() {
+        // `local.tee 0` rewrites local 0 while an earlier `local.get 0`
+        // is still pending: (x + y) with local0 becoming y, then + local0.
+        let mut b = ModuleBuilder::new();
+        let ty = b.add_type(&[ValType::I32, ValType::I32], &[ValType::I32]);
+        let f = b.add_func(
+            ty,
+            &[],
+            vec![
+                I::LocalGet(0),
+                I::LocalGet(1),
+                I::LocalTee(0),
+                I::I32Add,
+                I::LocalGet(0),
+                I::I32Add,
+                I::End,
+            ],
+        );
+        b.export_func("f", f);
+        let bytes = b.build();
+        assert_reg_agrees(&bytes, "f", &[Value::I32(7), Value::I32(5)], "tee hazard");
+        let out = run_reg_vs_oracle(&bytes, "f", &[Value::I32(7), Value::I32(5)])
+            .swap_remove(1)
+            .unwrap();
+        assert_eq!(out, vec![Value::I32(17)]); // (7 + 5) + 5
+    }
+
+    #[test]
+    fn conditional_branch_with_value_transfer() {
+        // A `br_if` that must move its kept value below live fall-through
+        // operands lowers to `BrIfMoves`: the copy happens only when the
+        // branch is taken.
+        let mut b = ModuleBuilder::new();
+        let ty = b.add_type(&[ValType::I32], &[ValType::I32]);
+        let f = b.add_func(
+            ty,
+            &[],
+            vec![
+                I::I32Const(100),
+                I::Block(BlockType::Value(ValType::I32)),
+                I::I32Const(5),
+                I::I32Const(42),
+                I::LocalGet(0),
+                I::BrIf(0),
+                I::I32Add,
+                I::End,
+                I::I32Add,
+                I::End,
+            ],
+        );
+        b.export_func("f", f);
+        let bytes = b.build();
+        for (arg, want) in [(1, 142), (0, 147)] {
+            assert_reg_agrees(&bytes, "f", &[Value::I32(arg)], "br_if moves");
+            let out = run_reg_vs_oracle(&bytes, "f", &[Value::I32(arg)])
+                .swap_remove(1)
+                .unwrap();
+            assert_eq!(out, vec![Value::I32(want)], "arg {arg}");
+        }
+    }
+
+    #[test]
+    fn calls_place_arguments_at_the_callee_frame_base() {
+        // Caller operands below the arguments survive the call; forwarded
+        // argument values are flushed into the outgoing frame slots.
+        let mut b = ModuleBuilder::new();
+        let bin = b.add_type(&[ValType::I32, ValType::I32], &[ValType::I32]);
+        let callee = b.add_func(
+            bin,
+            &[],
+            vec![I::LocalGet(0), I::LocalGet(1), I::I32Sub, I::End],
+        );
+        let f = b.add_func(
+            bin,
+            &[],
+            vec![
+                I::I32Const(1000),
+                I::LocalGet(0),
+                I::LocalGet(1),
+                I::Call(callee),
+                I::I32Add,
+                I::End,
+            ],
+        );
+        b.export_func("f", f);
+        let bytes = b.build();
+        assert_reg_agrees(&bytes, "f", &[Value::I32(30), Value::I32(12)], "call");
+        let out = run_reg_vs_oracle(&bytes, "f", &[Value::I32(30), Value::I32(12)])
+            .swap_remove(1)
+            .unwrap();
+        assert_eq!(out, vec![Value::I32(1018)]);
+    }
+
+    #[test]
+    fn recursion_reuses_stale_frames_with_zeroed_locals() {
+        // A recursive countdown whose body relies on a zero-initialised
+        // declared local: returning from a deep call leaves stale slots in
+        // the shared frame vec, which the next call must re-zero.
+        let mut b = ModuleBuilder::new();
+        let ty = b.add_type(&[ValType::I32], &[ValType::I32]);
+        let f = b.add_func(
+            ty,
+            &[ValType::I32], // declared local, must read as 0 every call
+            vec![
+                I::LocalGet(0),
+                I::If(BlockType::Value(ValType::I32)),
+                I::LocalGet(0),
+                I::I32Const(1),
+                I::I32Sub,
+                I::Call(0),
+                I::LocalGet(1), // always 0
+                I::I32Add,
+                I::LocalGet(0),
+                I::I32Add,
+                I::Else,
+                I::I32Const(0),
+                I::End,
+                I::End,
+            ],
+        );
+        b.export_func("sum", f);
+        let bytes = b.build();
+        assert_reg_agrees(&bytes, "sum", &[Value::I32(10)], "recursion");
+        let out = run_reg_vs_oracle(&bytes, "sum", &[Value::I32(10)])
+            .swap_remove(1)
+            .unwrap();
+        assert_eq!(out, vec![Value::I32(55)]);
+    }
+
+    #[test]
+    fn reg_stats_report_the_pass_live() {
+        let mut b = ModuleBuilder::new();
+        let ty = b.add_type(&[ValType::I32], &[ValType::I32]);
+        let f = b.add_func(
+            ty,
+            &[ValType::I32],
+            vec![
+                I::LocalGet(0),
+                I::LocalSet(1), // LocalCopy -> Move
+                I::LocalGet(1),
+                I::I32Const(3),
+                I::I32Mul,
+                I::End,
+            ],
+        );
+        b.export_func("f", f);
+        let module = crate::load(&b.build()).unwrap();
+        let inst =
+            Instance::instantiate_with_engine(&module, ExecMode::Aot, true, true, &mut NoHost)
+                .unwrap();
+        let stats = inst.reg_stats().expect("register pass ran");
+        assert!(stats.funcs > 0, "{stats:?}");
+        assert!(stats.frame_slots > 0, "{stats:?}");
+        assert!(stats.moves_inserted > 0, "{stats:?}");
+        assert!(stats.stack_ops_eliminated > 0, "{stats:?}");
+        // And the stack-form instance reports nothing.
+        let stack_form =
+            Instance::instantiate_with_engine(&module, ExecMode::Aot, true, false, &mut NoHost)
+                .unwrap();
+        assert!(stack_form.reg_stats().is_none());
+    }
+
+    #[test]
+    fn unlowerable_function_falls_back_to_the_stack_engine() {
+        // A local index past the frame skips validation but must not
+        // produce register code: the whole module falls back (reg_stats
+        // absent) instead of erroring or mis-addressing slots.
+        use crate::module::{FuncBody, Module};
+        let module = Module {
+            types: vec![FuncType {
+                params: vec![],
+                results: vec![],
+            }],
+            func_imports: vec![],
+            funcs: vec![FuncBody {
+                type_idx: 0,
+                locals: vec![],
+                code: vec![I::LocalGet(9), I::Drop, I::End],
+            }],
+            tables: vec![],
+            memories: vec![],
+            globals: vec![],
+            exports: vec![],
+            start: None,
+            elems: vec![],
+            data: vec![],
+        };
+        let inst =
+            Instance::instantiate_with_engine(&module, ExecMode::Aot, true, true, &mut NoHost)
+                .unwrap();
+        assert!(inst.reg_stats().is_none(), "must fall back to stack form");
+    }
+}

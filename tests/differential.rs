@@ -1,47 +1,115 @@
-//! Differential testing of the two execution modes: for every PolyBench
-//! kernel in the suite — and for a corpus of randomized MiniC kernels —
-//! the flat engine (`ExecMode::Aot`) and the tree-walking interpreter
-//! (`ExecMode::Interpreted`, the oracle) must agree bit-for-bit when run
-//! inside WaTZ, and traps must be reported identically in both modes.
+//! Differential testing of the execution-engine ladder: for every
+//! PolyBench kernel in the suite — and for two corpora of randomized
+//! MiniC kernels — the tree-walking interpreter (`ExecMode::Interpreted`,
+//! the oracle), the unfused flat engine, the fused flat engine and the
+//! register engine must agree bit-for-bit, and traps must be reported
+//! identically in every engine. `WATZ_NO_FUSE=1` / `WATZ_NO_REG=1` pin
+//! the earlier rungs via the same `instantiate` path (CI runs those
+//! combinations too).
 
 use watz::runtime::{AppConfig, WatzRuntime};
-use watz::wasm::exec::{ExecMode, Value};
+use watz::wasm::exec::{ExecMode, Instance, NoHost, Value};
 
 const N: i32 = 12;
 
+/// The engine ladder as `(label, fuse, reg)` triples for the flat engine.
+const LADDER: [(&str, bool, bool); 3] = [
+    ("flat", false, false),
+    ("fused", true, false),
+    ("register", true, true),
+];
+
+/// Runs an export on the oracle plus the whole flat-engine ladder,
+/// returning `(label, outcome)` pairs (trap text on failure, so both
+/// results and traps participate in the parity assertion).
+fn run_ladder(
+    module: &watz::wasm::Module,
+    name: &str,
+    args: &[Value],
+) -> Vec<(&'static str, Result<Vec<Value>, String>)> {
+    let mut out = Vec::new();
+    let mut interp = Instance::instantiate(module, ExecMode::Interpreted, &mut NoHost).unwrap();
+    out.push((
+        "oracle",
+        interp
+            .invoke(&mut NoHost, name, args)
+            .map_err(|e| e.to_string()),
+    ));
+    for (label, fuse, reg) in LADDER {
+        let mut inst =
+            Instance::instantiate_with_engine(module, ExecMode::Aot, fuse, reg, &mut NoHost)
+                .unwrap();
+        assert_eq!(
+            inst.reg_stats().is_some(),
+            reg,
+            "{label}: register pass availability mismatch"
+        );
+        out.push((
+            label,
+            inst.invoke(&mut NoHost, name, args)
+                .map_err(|e| e.to_string()),
+        ));
+    }
+    out
+}
+
 #[test]
-fn all_polybench_kernels_agree_across_exec_modes() {
-    let rt = WatzRuntime::new_device(b"differential").unwrap();
+fn all_polybench_kernels_agree_across_engines() {
     for kernel in watz::bench_workloads::polybench::suite() {
         let wasm = watz::compiler::compile(kernel.minic)
             .unwrap_or_else(|e| panic!("{} failed to compile: {e:?}", kernel.name));
-        let mut results = Vec::new();
-        for mode in [ExecMode::Aot, ExecMode::Interpreted] {
-            let mut app = rt
-                .load(
-                    &wasm,
-                    &AppConfig {
-                        heap_bytes: 12 << 20,
-                        mode,
-                    },
-                )
-                .unwrap_or_else(|e| panic!("{} failed to load ({mode:?}): {e}", kernel.name));
-            let out = app
-                .invoke("kernel", &[Value::I32(N)])
-                .unwrap_or_else(|e| panic!("{} trapped ({mode:?}): {e}", kernel.name));
-            results.push(out);
+        let module = watz::wasm::load(&wasm).unwrap();
+        let outcomes = run_ladder(&module, "kernel", &[Value::I32(N)]);
+        let oracle = outcomes[0]
+            .1
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{} trapped on the oracle: {e}", kernel.name));
+        for (label, outcome) in &outcomes[1..] {
+            assert_eq!(
+                Ok(oracle),
+                outcome.as_ref(),
+                "kernel {} diverges between oracle and {label} engine",
+                kernel.name
+            );
         }
-        assert_eq!(
-            results[0], results[1],
-            "kernel {} diverges between AOT and interpreter",
-            kernel.name
-        );
-        // Both modes must also produce a finite checksum.
-        match results[0][0] {
+        // Every engine must also produce a finite checksum.
+        match oracle[0] {
             Value::F64(v) => assert!(v.is_finite(), "kernel {} non-finite", kernel.name),
             ref other => panic!("kernel {} returned {other:?}", kernel.name),
         }
     }
+}
+
+#[test]
+fn default_engine_follows_env_switches() {
+    // The explicit-matrix tests above pin every engine combination
+    // regardless of the environment; this test is what the CI
+    // `WATZ_NO_FUSE=1` / `WATZ_NO_REG=1` bisection steps actually gate —
+    // the *default* `Instance::instantiate` path must honour the
+    // switches, or bisecting with them silently tests the wrong engine.
+    let no_fuse =
+        std::env::var_os("WATZ_NO_FUSE").is_some_and(|v| !v.is_empty() && v.to_str() != Some("0"));
+    let no_reg =
+        std::env::var_os("WATZ_NO_REG").is_some_and(|v| !v.is_empty() && v.to_str() != Some("0"));
+    let wasm = watz::compiler::compile("int twice(int a) { return a + a; }").unwrap();
+    let module = watz::wasm::load(&wasm).unwrap();
+    let mut inst = Instance::instantiate(&module, ExecMode::Aot, &mut NoHost).unwrap();
+    let fused = inst.fusion_stats().expect("flat instance reports stats");
+    assert_eq!(
+        fused.total() == 0,
+        no_fuse,
+        "default fusion state must follow WATZ_NO_FUSE"
+    );
+    assert_eq!(
+        inst.reg_stats().is_none(),
+        no_reg,
+        "default register state must follow WATZ_NO_REG"
+    );
+    assert_eq!(
+        inst.invoke(&mut NoHost, "twice", &[Value::I32(21)])
+            .unwrap(),
+        vec![Value::I32(42)]
+    );
 }
 
 #[test]
@@ -251,9 +319,9 @@ fn gen_fusable_kernel(rng: &mut XorShift) -> String {
 
 #[test]
 fn fusable_corpus_covers_every_superinstruction_with_parity() {
-    use watz::wasm::exec::{Instance, NoHost};
     let mut rng = XorShift(0xf05e_d00d_5eed_0001);
     let mut total = watz::wasm::FusionStats::default();
+    let mut reg_total = watz::wasm::RegStats::default();
     let mut traps = 0usize;
     const PROGRAMS: usize = 24;
     for case in 0..PROGRAMS {
@@ -262,58 +330,88 @@ fn fusable_corpus_covers_every_superinstruction_with_parity() {
             .unwrap_or_else(|e| panic!("case {case} failed to compile: {e:?}\n{src}"));
         let module = watz::wasm::load(&wasm).unwrap();
         let args = [Value::I32(rng.next() as i32), Value::I32(rng.next() as i32)];
-        let mut outcomes: Vec<Result<Vec<Value>, String>> = Vec::new();
+        let mut outcomes: Vec<(&str, Result<Vec<Value>, String>)> = Vec::new();
         let mut interp =
             Instance::instantiate(&module, ExecMode::Interpreted, &mut NoHost).unwrap();
-        outcomes.push(
+        outcomes.push((
+            "oracle",
             interp
                 .invoke(&mut NoHost, "kernel", &args)
                 .map_err(|e| e.to_string()),
-        );
-        for fuse in [true, false] {
+        ));
+        // The full fused/unfused × register/stack matrix, with the
+        // aggregated pass counters collected from the primary engines.
+        for (label, fuse, reg) in [
+            ("fused+register", true, true),
+            ("fused", true, false),
+            ("unfused+register", false, true),
+            ("unfused", false, false),
+        ] {
             let mut inst =
-                Instance::instantiate_with_fusion(&module, ExecMode::Aot, fuse, &mut NoHost)
+                Instance::instantiate_with_engine(&module, ExecMode::Aot, fuse, reg, &mut NoHost)
                     .unwrap();
             let stats = inst.fusion_stats().expect("flat instance reports stats");
             if fuse {
-                total.merge(&stats);
+                if reg {
+                    total.merge(&stats);
+                }
             } else {
                 assert_eq!(stats.total(), 0, "case {case}: unfused instance fused");
             }
-            outcomes.push(
+            if reg {
+                let rstats = inst.reg_stats().expect("register instance reports stats");
+                if fuse {
+                    reg_total.merge(&rstats);
+                }
+            } else {
+                assert!(
+                    inst.reg_stats().is_none(),
+                    "case {case}: stack-form instance reports register stats"
+                );
+            }
+            outcomes.push((
+                label,
                 inst.invoke(&mut NoHost, "kernel", &args)
                     .map_err(|e| e.to_string()),
-            );
+            ));
         }
-        if outcomes[0].is_err() {
+        if outcomes[0].1.is_err() {
             traps += 1;
         }
-        assert_eq!(
-            outcomes[0], outcomes[1],
-            "case {case}: fused engine diverges from oracle:\n{src}"
-        );
-        assert_eq!(
-            outcomes[0], outcomes[2],
-            "case {case}: unfused engine diverges from oracle:\n{src}"
-        );
+        for k in 1..outcomes.len() {
+            assert_eq!(
+                outcomes[0].1, outcomes[k].1,
+                "case {case}: {} engine diverges from oracle:\n{src}",
+                outcomes[k].0
+            );
+        }
     }
-    // The corpus must actually exercise the fusion pass: every fused
-    // opcode kind fires at least once, and not every program traps.
+    // The corpus must actually exercise both passes: every fused opcode
+    // kind and every register counter fires at least once, and not every
+    // program traps.
     for (name, count) in total.counts() {
         assert!(
             count > 0,
             "superinstruction '{name}' never emitted by the fusable corpus"
         );
     }
+    for (name, count) in reg_total.counts() {
+        assert!(
+            count > 0,
+            "register counter '{name}' stayed zero across the fusable corpus"
+        );
+    }
     assert!(traps < PROGRAMS, "fusable corpus produced only traps");
 }
 
 #[test]
-fn trap_edges_agree_across_exec_modes() {
-    // MiniC-level pins for the edge semantics fusion could silently break:
-    // signed division overflow, division/remainder by zero, and the
-    // INT_MIN % -1 == 0 non-trap, each driven through compiled guests in
-    // both engines (the flat engine fuses these into superinstructions).
+fn trap_edges_agree_across_engines() {
+    // MiniC-level pins for the edge semantics fusion or register
+    // allocation could silently break: signed division overflow,
+    // division/remainder by zero, and the INT_MIN % -1 == 0 non-trap,
+    // each driven through compiled guests across the oracle and the whole
+    // flat-engine ladder (these windows fuse into superinstructions and
+    // then gain register operands).
     let rt = WatzRuntime::new_device(b"trap-edges").unwrap();
     let sources = [
         ("div", "int div(int a, int b) { return a / b; }"),
@@ -329,27 +427,15 @@ fn trap_edges_agree_across_exec_modes() {
     ];
     for (name, src) in sources {
         let wasm = watz::compiler::compile(src).unwrap();
+        let module = watz::wasm::load(&wasm).unwrap();
         for (a, b) in cases {
-            let mut outcomes = Vec::new();
-            for mode in [ExecMode::Interpreted, ExecMode::Aot] {
-                let mut app = rt
-                    .load(
-                        &wasm,
-                        &AppConfig {
-                            heap_bytes: 4 << 20,
-                            mode,
-                        },
-                    )
-                    .unwrap();
-                outcomes.push(
-                    app.invoke(name, &[Value::I32(a), Value::I32(b)])
-                        .map_err(|e| e.to_string()),
+            let outcomes = run_ladder(&module, name, &[Value::I32(a), Value::I32(b)]);
+            for (label, outcome) in &outcomes[1..] {
+                assert_eq!(
+                    &outcomes[0].1, outcome,
+                    "{name}({a},{b}) diverges between oracle and {label} engine"
                 );
             }
-            assert_eq!(
-                outcomes[0], outcomes[1],
-                "{name}({a},{b}) diverges between engines"
-            );
         }
     }
     // Pin the specific semantics, not just parity.
@@ -364,8 +450,7 @@ fn trap_edges_agree_across_exec_modes() {
 }
 
 #[test]
-fn randomized_minic_kernels_agree_across_exec_modes() {
-    let rt = WatzRuntime::new_device(b"differential-prop").unwrap();
+fn randomized_minic_kernels_agree_across_engines() {
     let mut rng = XorShift(0x5eed_cafe_f00d_d00d);
     let mut traps = 0usize;
     const PROGRAMS: usize = 40;
@@ -373,30 +458,21 @@ fn randomized_minic_kernels_agree_across_exec_modes() {
         let src = gen_kernel(&mut rng);
         let wasm = watz::compiler::compile(&src)
             .unwrap_or_else(|e| panic!("case {case} failed to compile: {e:?}\n{src}"));
+        let module = watz::wasm::load(&wasm).unwrap();
         let arg_a = rng.next() as i32;
         let arg_b = rng.next() as i32;
-        let args = [Value::I32(arg_a), Value::I32(arg_b)];
-        let mut outcomes = Vec::new();
-        for mode in [ExecMode::Interpreted, ExecMode::Aot] {
-            let mut app = rt
-                .load(
-                    &wasm,
-                    &AppConfig {
-                        heap_bytes: 4 << 20,
-                        mode,
-                    },
-                )
-                .unwrap_or_else(|e| panic!("case {case} failed to load ({mode:?}): {e}"));
-            // Results on success, trap text on failure: both must match.
-            outcomes.push(app.invoke("kernel", &args).map_err(|e| format!("{e}")));
-        }
-        if outcomes[0].is_err() {
+        // Results on success, trap text on failure: both must match
+        // across the oracle and the whole flat-engine ladder.
+        let outcomes = run_ladder(&module, "kernel", &[Value::I32(arg_a), Value::I32(arg_b)]);
+        if outcomes[0].1.is_err() {
             traps += 1;
         }
-        assert_eq!(
-            outcomes[0], outcomes[1],
-            "case {case} diverges between oracle and flat engine:\n{src}"
-        );
+        for (label, outcome) in &outcomes[1..] {
+            assert_eq!(
+                &outcomes[0].1, outcome,
+                "case {case} diverges between oracle and {label} engine:\n{src}"
+            );
+        }
     }
     // The corpus must exercise both outcomes, or the trap-parity half of
     // the property is vacuous.
