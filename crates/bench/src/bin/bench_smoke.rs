@@ -1,12 +1,13 @@
 //! `bench-smoke`: a seconds-scale hot-path regression gate for CI.
 //!
 //! Runs one PolyBench kernel through the execution-engine ladder — tree
-//! interpreter, unfused flat, fused flat, and the register engine — and
-//! one generator scalar multiplication through both P-256 paths, then
-//! asserts the optimised paths actually win by a comfortable margin. A
-//! regression in the flat engine, the fusion pass, the register pass or
-//! the fixed-base table fails the build loudly, without waiting for the
-//! minutes-scale full bench suite.
+//! interpreter, unfused flat, fused flat, and the register engine — one
+//! generator scalar multiplication through both P-256 paths, and one
+//! fleet worker-scaling round (1 vs 4 verifier workers), then asserts
+//! the optimised paths actually win by a comfortable margin. A
+//! regression in the flat engine, the fusion pass, the register pass,
+//! the fixed-base table or the fleet scheduler fails the build loudly,
+//! without waiting for the minutes-scale full bench suite.
 //!
 //! Set `WATZ_SMOKE_SWEEP=1` to additionally sweep the whole PolyBench
 //! suite across unfused/fused/register engines and print the per-kernel
@@ -16,6 +17,7 @@
 use std::time::{Duration, Instant};
 
 use watz_crypto::p256::{AffinePoint, U256};
+use watz_fleet::{FleetSim, FleetSimConfig};
 use watz_wasm::exec::{ExecMode, Instance, NoHost, Value};
 
 fn median(reps: usize, mut f: impl FnMut()) -> Duration {
@@ -196,6 +198,59 @@ fn main() {
         p256_speedup > 1.8,
         "fixed-base table no longer clearly beats double-and-add ({p256_speedup:.2}x)"
     );
+
+    // --- Fleet: worker scaling must not regress to the polled design. ---
+    // The pre-fix service polled one shared queue under a lock, so extra
+    // workers *cost* throughput. The event-driven service must scale on
+    // multi-core hosts and at worst tread water on 1-2 core ones, where
+    // parallel speedup is physically unavailable.
+    let sim = FleetSim::boot(FleetSimConfig {
+        shards: 1,
+        endorsed: 16,
+        rogue: 0,
+        stale: 0,
+        workers_per_shard: 1,
+        session_timeout: Duration::from_secs(10),
+        port: 7811,
+    })
+    .expect("fleet sim boots");
+    let warm = sim.run_with_workers(1);
+    assert_eq!(warm.provisioned, 16, "warm-up round provisions the fleet");
+    let best = |workers: usize| {
+        (0..3)
+            .map(|_| {
+                let r = sim.run_with_workers(workers);
+                assert_eq!(
+                    r.provisioned, 16,
+                    "all sessions served at {workers} workers"
+                );
+                assert_eq!(
+                    r.stats.accepted,
+                    r.stats.completed(),
+                    "every accepted session reaches an outcome"
+                );
+                r.throughput()
+            })
+            .fold(0.0f64, f64::max)
+    };
+    let fleet_one = best(1);
+    let fleet_four = best(4);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let fleet_ratio = fleet_four / fleet_one;
+    println!(
+        "fleet: 1 worker {fleet_one:.0} sessions/s  4 workers {fleet_four:.0} sessions/s  ratio {fleet_ratio:.2}x  ({cores} cores)"
+    );
+    if cores >= 4 {
+        assert!(
+            fleet_ratio > 1.6,
+            "4 fleet workers must clearly beat 1 on a {cores}-core host ({fleet_ratio:.2}x)"
+        );
+    } else {
+        assert!(
+            fleet_ratio > 0.5,
+            "extra fleet workers must not cost throughput on a {cores}-core host ({fleet_ratio:.2}x)"
+        );
+    }
 
     if std::env::var_os("WATZ_SMOKE_SWEEP").is_some() {
         sweep_suite();

@@ -27,6 +27,14 @@ pub const RECV_TIMEOUT: Duration = Duration::from_secs(10);
 /// the same cadence (callers may still override it per service).
 pub const DEFAULT_ACCEPT_POLL: Duration = Duration::from_millis(25);
 
+/// Default accept backlog of [`Network::listen`]: how many established but
+/// not-yet-accepted connections a listener buffers before further
+/// [`Network::connect`] calls block. Sized for fleet-scale connect storms
+/// (hundreds of devices dialling one verifier at once) — a backlog of 16,
+/// as previously hard-coded, made a 96-device storm serialize on the
+/// acceptor and polluted client-observed latency percentiles.
+pub const DEFAULT_ACCEPT_BACKLOG: usize = 1024;
+
 type Channel = (Sender<Vec<u8>>, Receiver<Vec<u8>>);
 
 /// The loopback network shared by every party on a device (and, in tests,
@@ -45,17 +53,30 @@ impl Network {
         }
     }
 
-    /// Binds a listener on `port`.
+    /// Binds a listener on `port` with the default accept backlog
+    /// ([`DEFAULT_ACCEPT_BACKLOG`]).
     ///
     /// # Errors
     ///
     /// Returns [`TeeError::Net`] if the port is already bound.
     pub fn listen(&self, port: u16) -> Result<Listener, TeeError> {
+        self.listen_with_backlog(port, DEFAULT_ACCEPT_BACKLOG)
+    }
+
+    /// Binds a listener on `port` buffering at most `backlog` established
+    /// but not-yet-accepted connections; while the backlog is full,
+    /// further [`Network::connect`] calls block until the listener
+    /// accepts (the loopback analogue of a full SYN queue).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::Net`] if the port is already bound.
+    pub fn listen_with_backlog(&self, port: u16, backlog: usize) -> Result<Listener, TeeError> {
         let mut listeners = self.listeners.lock();
         if listeners.contains_key(&port) {
             return Err(TeeError::Net(format!("port {port} already bound")));
         }
-        let (tx, rx) = bounded(16);
+        let (tx, rx) = bounded(backlog.max(1));
         listeners.insert(port, tx);
         Ok(Listener { accept_rx: rx })
     }
@@ -135,11 +156,33 @@ impl Listener {
     ///
     /// # Errors
     ///
-    /// Returns [`TeeError::Net`] on timeout.
+    /// Returns [`TeeError::Net`] on timeout or when the port has been
+    /// unbound, with distinguishable messages; use
+    /// [`Listener::accept_detailed`] to branch on the cause without
+    /// string matching.
     pub fn accept_timeout(&self, timeout: Duration) -> Result<Connection, TeeError> {
-        self.accept_rx
-            .recv_timeout(timeout)
-            .map_err(|_| TeeError::Net("accept timed out".into()))
+        self.accept_detailed(timeout).map_err(|e| match e {
+            RecvError::TimedOut => TeeError::Net("accept timed out".into()),
+            RecvError::Disconnected => TeeError::Net("listener closed (port unbound)".into()),
+        })
+    }
+
+    /// Accepts with a timeout, distinguishing "nobody dialled in time"
+    /// from "the port was unbound under us" — the latter is an
+    /// event-driven server's shutdown signal, so it can block on a long
+    /// accept instead of polling a stop flag.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::TimedOut`] when the timeout elapses;
+    /// [`RecvError::Disconnected`] once the port is unbound (buffered
+    /// connections are still delivered first).
+    pub fn accept_detailed(&self, timeout: Duration) -> Result<Connection, RecvError> {
+        use crossbeam::channel::RecvTimeoutError;
+        self.accept_rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => RecvError::TimedOut,
+            RecvTimeoutError::Disconnected => RecvError::Disconnected,
+        })
     }
 }
 
@@ -166,11 +209,43 @@ impl Connection {
     ///
     /// # Errors
     ///
-    /// Returns [`TeeError::Net`] on timeout or hangup.
+    /// Returns [`TeeError::Net`] on timeout or hangup, with
+    /// distinguishable messages (`"receive timed out"` vs
+    /// `"peer disconnected"`); use [`Connection::recv_detailed`] to
+    /// branch on the cause without string matching.
     pub fn recv(&self) -> Result<Vec<u8>, TeeError> {
-        self.rx
-            .recv_timeout(RECV_TIMEOUT)
-            .map_err(|_| TeeError::Net("receive timed out or peer disconnected".into()))
+        self.recv_detailed(RECV_TIMEOUT).map_err(|e| match e {
+            RecvError::TimedOut => TeeError::Net("receive timed out".into()),
+            RecvError::Disconnected => TeeError::Net("peer disconnected".into()),
+        })
+    }
+
+    /// Receives one message with a timeout, distinguishing a quiet peer
+    /// from a gone one — the blocking counterpart of
+    /// [`Connection::try_recv_detailed`]. Buffered messages are delivered
+    /// before a hangup is reported.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::TimedOut`] when the timeout elapses with the peer
+    /// still connected; [`RecvError::Disconnected`] once the peer dropped
+    /// its end and the buffer is drained.
+    pub fn recv_detailed(&self, timeout: Duration) -> Result<Vec<u8>, RecvError> {
+        use crossbeam::channel::RecvTimeoutError;
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => RecvError::TimedOut,
+            RecvTimeoutError::Disconnected => RecvError::Disconnected,
+        })
+    }
+
+    /// The underlying receive channel, for registration in a
+    /// [`crossbeam::channel::Select`]: event-driven servers add every
+    /// session's receiver (plus their own admission channels) to one
+    /// select and sleep until a real message, hangup, or deadline —
+    /// instead of busy-polling [`Connection::try_recv_detailed`].
+    #[must_use]
+    pub fn receiver(&self) -> &Receiver<Vec<u8>> {
+        &self.rx
     }
 
     /// Non-blocking receive attempt.
@@ -198,6 +273,19 @@ impl Connection {
             Err(TryRecvError::Disconnected) => TryRecv::Disconnected,
         }
     }
+}
+
+/// Why a blocking receive/accept returned without data — the timeout/
+/// hangup distinction [`TryRecv`] draws for the non-blocking path,
+/// extended to [`Connection::recv_detailed`] and
+/// [`Listener::accept_detailed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// The timeout elapsed; the peer (or port) is still up.
+    TimedOut,
+    /// The peer hung up (or the listening port was unbound) and all
+    /// buffered data has been delivered.
+    Disconnected,
 }
 
 /// Outcome of [`Connection::try_recv_detailed`].
@@ -272,6 +360,117 @@ mod tests {
         assert!(server.try_recv().is_err());
         client.send(b"x").unwrap();
         assert_eq!(server.try_recv().unwrap(), b"x");
+    }
+
+    #[test]
+    fn connect_storm_does_not_block_without_acceptor() {
+        // Regression for the hard-coded bounded(16) accept backlog: a
+        // 96-device connect storm must complete while nobody accepts —
+        // otherwise admission serializes inside connect() and the wait
+        // pollutes client-observed latency percentiles. Run the storm on
+        // a helper thread so a regression fails the assertion instead of
+        // hanging the suite.
+        let net = std::sync::Arc::new(Network::new());
+        let listener = net.listen(7006).unwrap();
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let stormer = {
+            let net = std::sync::Arc::clone(&net);
+            std::thread::spawn(move || {
+                let conns: Vec<Connection> = (0..96).map(|_| net.connect(7006).unwrap()).collect();
+                done_tx.send(conns.len()).unwrap();
+            })
+        };
+        assert_eq!(
+            done_rx.recv_timeout(Duration::from_secs(5)),
+            Ok(96),
+            "default backlog must absorb a fleet-scale connect storm mid-drain"
+        );
+        stormer.join().unwrap();
+        for _ in 0..96 {
+            listener.accept().unwrap();
+        }
+    }
+
+    #[test]
+    fn tiny_backlog_blocks_connects_until_accepted() {
+        // listen_with_backlog caps the pending-connection buffer; a
+        // third dial blocks until the acceptor drains, then completes.
+        let net = std::sync::Arc::new(Network::new());
+        let listener = net.listen_with_backlog(7007, 2).unwrap();
+        let storming = {
+            let net = std::sync::Arc::clone(&net);
+            std::thread::spawn(move || {
+                for _ in 0..4 {
+                    net.connect(7007).unwrap();
+                }
+            })
+        };
+        for _ in 0..4 {
+            listener.accept().unwrap();
+        }
+        storming.join().unwrap();
+    }
+
+    #[test]
+    fn recv_detailed_distinguishes_timeout_from_hangup() {
+        let net = Network::new();
+        let listener = net.listen(7008).unwrap();
+        let client = net.connect(7008).unwrap();
+        let server = listener.accept().unwrap();
+        assert_eq!(
+            server.recv_detailed(Duration::from_millis(10)),
+            Err(RecvError::TimedOut),
+            "quiet but connected peer is a timeout"
+        );
+        client.send(b"bye").unwrap();
+        drop(client);
+        assert_eq!(
+            server.recv_detailed(Duration::from_millis(10)),
+            Ok(b"bye".to_vec()),
+            "buffered data drains before the hangup"
+        );
+        assert_eq!(
+            server.recv_detailed(Duration::from_millis(10)),
+            Err(RecvError::Disconnected)
+        );
+        // The legacy string-typed path stays distinguishable too.
+        match server.recv() {
+            Err(TeeError::Net(msg)) => assert_eq!(msg, "peer disconnected"),
+            other => panic!("expected disconnect error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accept_detailed_reports_unbind_as_disconnect() {
+        let net = Network::new();
+        let listener = net.listen(7009).unwrap();
+        let _pending = net.connect(7009).unwrap();
+        net.unbind(7009);
+        // The buffered connection is still delivered...
+        assert!(listener.accept_detailed(Duration::from_millis(10)).is_ok());
+        // ...then the unbind surfaces as a disconnect, not a timeout.
+        assert!(matches!(
+            listener.accept_detailed(Duration::from_millis(10)),
+            Err(RecvError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn connection_receiver_registers_in_a_select() {
+        use crossbeam::channel::Select;
+        let net = Network::new();
+        let listener = net.listen(7010).unwrap();
+        let client = net.connect(7010).unwrap();
+        let server = listener.accept().unwrap();
+        let mut sel = Select::new();
+        let idx = sel.recv(server.receiver());
+        assert!(
+            sel.ready_timeout(Duration::from_millis(10)).is_err(),
+            "nothing sent yet"
+        );
+        client.send(b"wake").unwrap();
+        assert_eq!(sel.ready_timeout(Duration::from_secs(1)), Ok(idx));
+        assert_eq!(server.try_recv().unwrap(), b"wake");
     }
 
     #[test]

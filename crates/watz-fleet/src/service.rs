@@ -1,11 +1,29 @@
 //! The concurrent verifier service.
 //!
 //! Architecture: one **acceptor** thread pulls connections off the
-//! listener and pushes them into a shared queue; N **worker** threads
-//! drain the queue, each running its admitted sessions as explicit
-//! non-blocking state machines ([`Connection::try_recv`] only — a worker
-//! never blocks on a single peer). Sessions carry a deadline, so a
-//! stalled attester is evicted instead of wedging the pool.
+//! listener and dispatches them **round-robin onto per-worker admission
+//! channels** — there is no shared queue and no lock anywhere in a
+//! worker's hot loop. Each of the N **worker** threads exclusively owns
+//! its admitted sessions and runs them as explicit non-blocking state
+//! machines ([`Connection::try_recv_detailed`] only — a worker never
+//! blocks on a single peer). Sessions carry a deadline, so a stalled
+//! attester is evicted instead of wedging the pool.
+//!
+//! Workers are **event-driven**: after a sweep that makes no progress, a
+//! worker blocks on a [`crossbeam::channel::Select`] registered over its
+//! admission channel plus every live session's receiver, with the wait
+//! bounded by the nearest session deadline. An idle worker therefore
+//! sleeps until a real event (new connection, message, peer hangup,
+//! shutdown) instead of burning a fixed poll interval — the fix for the
+//! flat-to-negative worker-scaling curve the polled shared-queue design
+//! produced.
+//!
+//! Shutdown is event-driven too: stopping unbinds the port, which wakes
+//! the acceptor's blocking accept with a disconnect; the acceptor exits
+//! and drops the admission senders, which in turn wakes every worker's
+//! select with a disconnected admission channel. Workers drain their
+//! buffered admissions and in-flight sessions, then exit — no session is
+//! lost across the per-worker queues.
 //!
 //! Both secure-world steps are batched. Workers sweep all their sessions
 //! first, staging every `msg0` and `msg2` that arrived, then run each
@@ -15,15 +33,14 @@
 //! queued sessions exactly where the paper's single-session design pays
 //! it per attester.
 
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use optee_sim::net::{Connection, TryRecv, DEFAULT_ACCEPT_POLL};
+use crossbeam::channel::{unbounded, Receiver, Select, Sender, TryRecvError};
+use optee_sim::net::{Connection, RecvError, TryRecv, DEFAULT_ACCEPT_BACKLOG, DEFAULT_ACCEPT_POLL};
 use optee_sim::{TeeError, TrustedOs};
-use parking_lot::Mutex;
 use tz_hal::Platform;
 use watz_attestation::verifier::{Verifier, VerifierConfig};
 use watz_attestation::wire::{Msg0, Msg1, Msg2, Msg3, APPRAISAL_FAILED};
@@ -33,16 +50,21 @@ use watz_crypto::fortuna::Fortuna;
 /// Tuning knobs for a [`FleetVerifier`].
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
-    /// Worker threads draining the shared connection queue.
+    /// Worker threads, each owning its own admission channel and
+    /// sessions (the acceptor dispatches round-robin).
     pub workers: usize,
-    /// How long the acceptor blocks per accept poll before re-checking
-    /// the shutdown flag.
+    /// Upper bound on one blocking accept before the acceptor re-checks
+    /// its stop flag — a liveness backstop, not a poll cadence: the
+    /// accept wakes immediately on a connection or on port unbind.
     pub accept_poll: Duration,
+    /// Listener backlog: established-but-unaccepted connections buffered
+    /// before further `connect`s block (sized for connect storms).
+    pub accept_backlog: usize,
     /// Per-session deadline: a session that makes no progress for this
     /// long is evicted and counted as timed out.
     pub session_timeout: Duration,
     /// In-flight session cap per worker (back-pressure: connections past
-    /// the cap wait in the queue).
+    /// the cap wait in that worker's admission channel).
     pub max_sessions_per_worker: usize,
 }
 
@@ -51,6 +73,7 @@ impl Default for FleetConfig {
         FleetConfig {
             workers: 4,
             accept_poll: DEFAULT_ACCEPT_POLL,
+            accept_backlog: DEFAULT_ACCEPT_BACKLOG,
             session_timeout: Duration::from_secs(2),
             max_sessions_per_worker: 64,
         }
@@ -59,9 +82,9 @@ impl Default for FleetConfig {
 
 /// Per-outcome statistics of a [`FleetVerifier`] (a snapshot).
 ///
-/// Every admitted session ends in exactly one of the four outcome
-/// buckets, so `served + rejected + malformed + timed_out` equals the
-/// number of completed sessions.
+/// Every admitted session ends in exactly one of the five outcome
+/// buckets, so `served + rejected + malformed + timed_out + disconnected`
+/// equals the number of completed sessions.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FleetStats {
     /// Connections accepted off the listener.
@@ -73,9 +96,14 @@ pub struct FleetStats {
     pub rejected: u64,
     /// Sessions dropped because a message failed to parse.
     pub malformed: u64,
-    /// Sessions evicted at their deadline (stalled or disconnected
-    /// mid-handshake).
+    /// Sessions evicted at their deadline (stalled mid-handshake but
+    /// still connected).
     pub timed_out: u64,
+    /// Sessions whose peer hung up before a verdict (dropped connection
+    /// mid-handshake, or unreachable while a reply was being sent) —
+    /// kept distinct from `timed_out` so a fleet operator can tell
+    /// flapping devices from slow ones.
+    pub disconnected: u64,
     /// Individual `msg2` appraisals performed.
     pub appraised: u64,
     /// Secure-world entries spent on those appraisals: one per batch, so
@@ -91,7 +119,7 @@ impl FleetStats {
     /// Sessions that ran to an outcome.
     #[must_use]
     pub fn completed(&self) -> u64 {
-        self.served + self.rejected + self.malformed + self.timed_out
+        self.served + self.rejected + self.malformed + self.timed_out + self.disconnected
     }
 
     /// Merges another snapshot into this one (shard aggregation).
@@ -101,6 +129,7 @@ impl FleetStats {
         self.rejected += other.rejected;
         self.malformed += other.malformed;
         self.timed_out += other.timed_out;
+        self.disconnected += other.disconnected;
         self.appraised += other.appraised;
         self.appraisal_batches += other.appraisal_batches;
         self.msg1_batches += other.msg1_batches;
@@ -115,6 +144,7 @@ struct StatsInner {
     rejected: AtomicU64,
     malformed: AtomicU64,
     timed_out: AtomicU64,
+    disconnected: AtomicU64,
     appraised: AtomicU64,
     appraisal_batches: AtomicU64,
     msg1_batches: AtomicU64,
@@ -128,6 +158,7 @@ impl StatsInner {
             rejected: self.rejected.load(Ordering::SeqCst),
             malformed: self.malformed.load(Ordering::SeqCst),
             timed_out: self.timed_out.load(Ordering::SeqCst),
+            disconnected: self.disconnected.load(Ordering::SeqCst),
             appraised: self.appraised.load(Ordering::SeqCst),
             appraisal_batches: self.appraisal_batches.load(Ordering::SeqCst),
             msg1_batches: self.msg1_batches.load(Ordering::SeqCst),
@@ -205,10 +236,9 @@ impl Session {
 
 /// Everything a worker thread needs, bundled to keep spawns tidy.
 struct WorkerCtx {
-    queue: Arc<Mutex<VecDeque<Connection>>>,
-    /// Set only once the acceptor has exited, so no connection can be
-    /// pushed after a worker's final queue-empty check.
-    drain: Arc<AtomicBool>,
+    /// This worker's private admission channel; the acceptor holds the
+    /// sending half and drops it on shutdown, which is the drain signal.
+    admission: Receiver<Connection>,
     stats: Arc<StatsInner>,
     platform: Platform,
     config: VerifierConfig,
@@ -216,9 +246,6 @@ struct WorkerCtx {
     max_sessions: usize,
     rng: Fortuna,
 }
-
-/// How long an idle worker sleeps before re-polling its sessions.
-const IDLE_POLL: Duration = Duration::from_micros(500);
 
 /// Pulls every session's staged message (if any) out next to the session
 /// itself, so batch processing never depends on index bookkeeping. Shared
@@ -235,34 +262,31 @@ fn take_staged<M>(
 
 fn worker_loop(mut ctx: WorkerCtx) {
     let mut sessions: Vec<Session> = Vec::new();
+    // Raised when the acceptor has exited (admission senders dropped);
+    // buffered admissions were already delivered first, so once this is
+    // set and the session list empties, the worker is fully drained.
+    let mut draining = false;
     loop {
-        // Admit queued connections up to the in-flight cap. Deadlines
-        // start at admission, so a connection that waited in the queue is
-        // not unfairly aged. Pop under the lock, construct outside it:
-        // cloning the verifier config (endorsement list, secret) must not
-        // serialize the other workers.
-        let admitted: Vec<Connection> = {
-            let mut queue = ctx.queue.lock();
-            let room = ctx.max_sessions.saturating_sub(sessions.len());
-            let take = room.min(queue.len());
-            queue.drain(..take).collect()
-        };
-        for conn in admitted {
-            sessions.push(Session::new(
-                conn,
-                Verifier::new(ctx.config.clone()),
-                ctx.session_timeout,
-            ));
-        }
-
-        if sessions.is_empty() && ctx.drain.load(Ordering::SeqCst) {
-            // Drain semantics: the drain flag is raised only after the
-            // acceptor has exited, so a final queue-empty check here
-            // cannot race with a late accepted connection.
-            if ctx.queue.lock().is_empty() {
-                break;
+        // Admit dispatched connections up to the in-flight cap — from
+        // this worker's own channel, no shared lock. Deadlines start at
+        // admission, so a connection that waited in the channel is not
+        // unfairly aged.
+        while sessions.len() < ctx.max_sessions {
+            match ctx.admission.try_recv() {
+                Ok(conn) => sessions.push(Session::new(
+                    conn,
+                    Verifier::new(ctx.config.clone()),
+                    ctx.session_timeout,
+                )),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    draining = true;
+                    break;
+                }
             }
-            continue;
+        }
+        if draining && sessions.is_empty() {
+            break;
         }
 
         let mut progressed = false;
@@ -313,8 +337,9 @@ fn worker_loop(mut ctx: WorkerCtx) {
                 }
                 TryRecv::Disconnected => {
                     // Dead peer: free the session slot immediately rather
-                    // than pinning it until the deadline.
-                    ctx.stats.timed_out.fetch_add(1, Ordering::SeqCst);
+                    // than pinning it until the deadline, and account it
+                    // as a disconnect, not a timeout.
+                    ctx.stats.disconnected.fetch_add(1, Ordering::SeqCst);
                     session.done = true;
                     progressed = true;
                 }
@@ -339,7 +364,9 @@ fn worker_loop(mut ctx: WorkerCtx) {
                 match outcome {
                     Ok(msg1) => {
                         if session.conn.send(&msg1.to_bytes()).is_err() {
-                            ctx.stats.timed_out.fetch_add(1, Ordering::SeqCst);
+                            // The peer vanished while we derived its
+                            // challenge: a disconnect, not a timeout.
+                            ctx.stats.disconnected.fetch_add(1, Ordering::SeqCst);
                             session.done = true;
                         } else {
                             session.phase = Phase::AwaitMsg2;
@@ -387,17 +414,44 @@ fn worker_loop(mut ctx: WorkerCtx) {
         }
 
         sessions.retain(|s| !s.done);
-        if !progressed {
-            std::thread::sleep(IDLE_POLL);
+        if progressed {
+            // Something moved; sweep again immediately — replies we just
+            // sent typically provoke the peer's next message.
+            continue;
+        }
+
+        // Event-driven wait: block on a select over the admission channel
+        // (unless full or draining) and every live session's receiver.
+        // Any message, hangup, new connection, or acceptor exit fires the
+        // select; the nearest session deadline bounds the sleep so
+        // evictions still happen on time. No fixed poll interval, no
+        // idle CPU burn.
+        let mut select = Select::new();
+        if !draining && sessions.len() < ctx.max_sessions {
+            select.recv(&ctx.admission);
+        }
+        for session in &sessions {
+            select.recv(session.conn.receiver());
+        }
+        match sessions.iter().map(|s| s.deadline).min() {
+            Some(deadline) => {
+                let _ = select.ready_timeout(deadline.saturating_duration_since(Instant::now()));
+            }
+            // No sessions (and not draining, or we'd have exited): the
+            // admission channel is registered and shutdown arrives as its
+            // disconnect, so a fully blocking wait is safe.
+            None => {
+                let _ = select.ready();
+            }
         }
     }
 }
 
-/// A fleet-scale verifier service: shared accept queue, worker pool,
+/// A fleet-scale verifier service: round-robin acceptor dispatch onto
+/// per-worker admission channels, event-driven select-based workers,
 /// non-blocking sessions, batched appraisal, per-outcome stats.
 pub struct FleetVerifier {
     stop: Arc<AtomicBool>,
-    drain: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     stats: Arc<StatsInner>,
@@ -428,33 +482,22 @@ impl FleetVerifier {
         fleet: FleetConfig,
         port: u16,
     ) -> Result<Self, TeeError> {
-        let listener = os.network().listen(port)?;
+        let listener = os
+            .network()
+            .listen_with_backlog(port, fleet.accept_backlog)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let drain = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(StatsInner::default());
-        let queue: Arc<Mutex<VecDeque<Connection>>> = Arc::new(Mutex::new(VecDeque::new()));
 
-        let acceptor = {
-            let stop = Arc::clone(&stop);
-            let stats = Arc::clone(&stats);
-            let queue = Arc::clone(&queue);
-            let accept_poll = fleet.accept_poll;
-            std::thread::spawn(move || {
-                while !stop.load(Ordering::SeqCst) {
-                    let Ok(conn) = listener.accept_timeout(accept_poll) else {
-                        continue;
-                    };
-                    stats.accepted.fetch_add(1, Ordering::SeqCst);
-                    queue.lock().push_back(conn);
-                }
-            })
-        };
-
+        let mut admission_txs: Vec<Sender<Connection>> = Vec::new();
         let workers = (0..fleet.workers.max(1))
             .map(|i| {
+                // Unbounded: the acceptor must never block on a slow
+                // worker (back-pressure is the per-worker session cap,
+                // which leaves excess connections queued here).
+                let (tx, rx) = unbounded();
+                admission_txs.push(tx);
                 let ctx = WorkerCtx {
-                    queue: Arc::clone(&queue),
-                    drain: Arc::clone(&drain),
+                    admission: rx,
                     stats: Arc::clone(&stats),
                     platform: os.platform().clone(),
                     config: config.clone(),
@@ -466,9 +509,44 @@ impl FleetVerifier {
             })
             .collect();
 
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            let accept_poll = fleet.accept_poll;
+            std::thread::spawn(move || {
+                let mut next = 0usize;
+                loop {
+                    match listener.accept_detailed(accept_poll) {
+                        Ok(conn) => {
+                            stats.accepted.fetch_add(1, Ordering::SeqCst);
+                            // Round-robin dispatch; the send is unbounded
+                            // and the receiver outlives the acceptor, so
+                            // it neither blocks nor fails.
+                            let _ = admission_txs[next].send(conn);
+                            next = (next + 1) % admission_txs.len();
+                        }
+                        // Quiet listener: loop back into the accept. The
+                        // stop flag is only a backstop — the real
+                        // shutdown signal is the unbind below, so every
+                        // connection buffered in the backlog (its peer's
+                        // connect() already returned) is drained first,
+                        // never silently dropped.
+                        Err(RecvError::TimedOut) => {
+                            if stop.load(Ordering::SeqCst) {
+                                break;
+                            }
+                        }
+                        // Port unbound and backlog drained: shutdown.
+                        Err(RecvError::Disconnected) => break,
+                    }
+                }
+                // Dropping admission_txs here disconnects every worker's
+                // admission channel — the drain signal.
+            })
+        };
+
         Ok(FleetVerifier {
             stop,
-            drain,
             acceptor: Some(acceptor),
             workers,
             stats,
@@ -496,16 +574,17 @@ impl FleetVerifier {
         self.stats.snapshot()
     }
 
-    /// Two-phase teardown (idempotent): stop and join the acceptor first,
-    /// and only then raise the drain flag — workers must not exit while a
-    /// late-accepted connection could still be pushed onto the queue.
+    /// Two-phase teardown (idempotent): unbind the port — which wakes and
+    /// stops the acceptor — and join it first; only the acceptor's exit
+    /// drops the admission senders, so no worker can observe a
+    /// disconnected admission channel while a late-accepted connection is
+    /// still in flight towards it.
     fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         self.os.network().unbind(self.port);
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
-        self.drain.store(true, Ordering::SeqCst);
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -525,28 +604,31 @@ mod tests {
     #[test]
     fn stats_merge_and_completed_add_up() {
         let mut a = FleetStats {
-            accepted: 10,
+            accepted: 11,
             served: 5,
             rejected: 2,
             malformed: 1,
             timed_out: 2,
+            disconnected: 1,
             appraised: 7,
             appraisal_batches: 3,
             msg1_batches: 4,
         };
         let b = FleetStats {
-            accepted: 4,
+            accepted: 5,
             served: 3,
             rejected: 1,
             malformed: 0,
             timed_out: 0,
+            disconnected: 1,
             appraised: 4,
             appraisal_batches: 2,
             msg1_batches: 1,
         };
         a.merge(&b);
-        assert_eq!(a.accepted, 14);
-        assert_eq!(a.completed(), 14);
+        assert_eq!(a.accepted, 16);
+        assert_eq!(a.completed(), 16);
+        assert_eq!(a.disconnected, 2);
         assert_eq!(a.appraised, 11);
         assert_eq!(a.appraisal_batches, 5);
         assert_eq!(a.msg1_batches, 5);
@@ -556,6 +638,7 @@ mod tests {
     fn default_config_uses_shared_accept_poll() {
         let config = FleetConfig::default();
         assert_eq!(config.accept_poll, DEFAULT_ACCEPT_POLL);
+        assert_eq!(config.accept_backlog, DEFAULT_ACCEPT_BACKLOG);
         assert!(config.workers >= 1);
         assert!(config.max_sessions_per_worker >= 1);
         assert!(config.session_timeout > Duration::ZERO);

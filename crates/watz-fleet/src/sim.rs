@@ -263,8 +263,12 @@ impl std::fmt::Display for FleetReport {
         )?;
         writeln!(
             f,
-            "  server:  served {}  rejected {}  malformed {}  timed-out {}",
-            self.stats.served, self.stats.rejected, self.stats.malformed, self.stats.timed_out
+            "  server:  served {}  rejected {}  malformed {}  timed-out {}  disconnected {}",
+            self.stats.served,
+            self.stats.rejected,
+            self.stats.malformed,
+            self.stats.timed_out,
+            self.stats.disconnected
         )?;
         writeln!(
             f,

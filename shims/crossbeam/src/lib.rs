@@ -1,84 +1,484 @@
 //! In-tree stand-in for the `crossbeam` crate.
 //!
-//! Only the bounded-channel subset used by `optee-sim`'s loopback network
-//! is provided, implemented over `std::sync::mpsc::sync_channel` (which has
-//! the same blocking-when-full semantics as `crossbeam::channel::bounded`).
+//! The subset used by `optee-sim`'s loopback network and `watz-fleet`'s
+//! event-driven worker scheduling is provided: bounded and unbounded
+//! MPSC channels plus a [`channel::Select`] that can block on *many*
+//! receivers of different element types at once.
+//!
+//! The previous revision wrapped `std::sync::mpsc::sync_channel`, which
+//! cannot participate in a select; this one owns the channel state
+//! (`Mutex<VecDeque>` + condvars) so a receiver can additionally register
+//! lightweight wakers. A `Select` waits on one shared [signal] that every
+//! registered channel fires on send *and* on sender-disconnect — the two
+//! events that make a receive operation ready.
 
 #![forbid(unsafe_code)]
 
 /// Multi-producer channels (subset of `crossbeam::channel`).
 pub mod channel {
-    use std::sync::mpsc;
-    use std::time::Duration;
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, Weak};
+    use std::time::{Duration, Instant};
 
-    pub use std::sync::mpsc::{RecvTimeoutError, SendError, TryRecvError};
+    /// The sending half was unable to deliver: the receiver is gone.
+    /// Carries the undelivered value back, like `mpsc::SendError`.
+    pub struct SendError<T>(pub T);
 
-    /// The sending half of a bounded channel. Cloneable.
-    #[derive(Debug)]
-    pub struct Sender<T>(mpsc::SyncSender<T>);
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Why a non-blocking receive returned without a message.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is empty but senders are still alive.
+        Empty,
+        /// Every sender is gone and the buffer is drained.
+        Disconnected,
+    }
+
+    /// Why a timed receive returned without a message.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed first.
+        Timeout,
+        /// Every sender is gone and the buffer is drained.
+        Disconnected,
+    }
+
+    /// Why a blocking receive returned without a message (disconnect is
+    /// the only possibility).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Why [`Select::ready_timeout`] returned without a ready operation.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ReadyTimeoutError;
+
+    /// A one-bit wake signal a [`Select`] sleeps on; registered channels
+    /// fire it whenever a receive operation may have become ready.
+    /// (Public only because [`SelectHandle::watch`] mentions it; there is
+    /// nothing callers can do with one directly.)
+    #[derive(Default)]
+    pub struct Signal {
+        fired: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    impl Signal {
+        fn notify(&self) {
+            let mut fired = self.fired.lock().unwrap_or_else(|e| e.into_inner());
+            *fired = true;
+            self.cv.notify_all();
+        }
+
+        /// Waits until fired (consuming the signal) or the deadline.
+        /// Returns whether the signal fired.
+        fn wait(&self, deadline: Option<Instant>) -> bool {
+            let mut fired = self.fired.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if *fired {
+                    *fired = false;
+                    return true;
+                }
+                match deadline {
+                    None => {
+                        fired = self.cv.wait(fired).unwrap_or_else(|e| e.into_inner());
+                    }
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return false;
+                        }
+                        let (guard, timeout) = self
+                            .cv
+                            .wait_timeout(fired, d - now)
+                            .unwrap_or_else(|e| e.into_inner());
+                        fired = guard;
+                        if timeout.timed_out() && !*fired {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        /// `None` = unbounded.
+        cap: Option<usize>,
+        senders: usize,
+        receiver_alive: bool,
+        /// Select signals watching this channel for recv readiness.
+        watchers: Vec<Weak<Signal>>,
+    }
+
+    impl<T> Inner<T> {
+        /// A receive operation would not block: a message is buffered, or
+        /// no sender is left (so a receive resolves to `Disconnected`).
+        fn recv_ready(&self) -> bool {
+            !self.queue.is_empty() || self.senders == 0
+        }
+
+        /// Fires (and prunes) every registered select watcher.
+        fn wake_watchers(&mut self) {
+            self.watchers.retain(|w| {
+                w.upgrade().is_some_and(|signal| {
+                    signal.notify();
+                    true
+                })
+            });
+        }
+    }
+
+    struct Chan<T> {
+        inner: Mutex<Inner<T>>,
+        /// Message buffered or all senders gone.
+        recv_ready: Condvar,
+        /// Space freed or the receiver gone.
+        send_ready: Condvar,
+    }
+
+    impl<T> Chan<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    /// The sending half of a channel. Cloneable.
+    pub struct Sender<T>(Arc<Chan<T>>);
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender(..)")
+        }
+    }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            self.0.lock().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.0.lock();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                // Disconnect makes every pending/future receive ready.
+                inner.wake_watchers();
+                self.0.recv_ready.notify_all();
+            }
         }
     }
 
     impl<T> Sender<T> {
-        /// Sends `value`, blocking while the channel is full.
+        /// Sends `value`, blocking while a bounded channel is full.
         ///
         /// # Errors
         ///
         /// Returns [`SendError`] if the receiving half has been dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value)
+            let mut inner = self.0.lock();
+            loop {
+                if !inner.receiver_alive {
+                    return Err(SendError(value));
+                }
+                let full = inner.cap.is_some_and(|cap| inner.queue.len() >= cap);
+                if !full {
+                    inner.queue.push_back(value);
+                    inner.wake_watchers();
+                    self.0.recv_ready.notify_one();
+                    return Ok(());
+                }
+                inner = self
+                    .0
+                    .send_ready
+                    .wait(inner)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
         }
     }
 
-    /// The receiving half of a bounded channel.
-    #[derive(Debug)]
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    /// The receiving half of a channel (single consumer by convention).
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver(..)")
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.0.lock();
+            inner.receiver_alive = false;
+            inner.queue.clear();
+            self.0.send_ready.notify_all();
+        }
+    }
 
     impl<T> Receiver<T> {
+        fn pop(&self, inner: &mut Inner<T>) -> Option<T> {
+            let value = inner.queue.pop_front()?;
+            self.0.send_ready.notify_one();
+            Some(value)
+        }
+
         /// Blocks until a message arrives or every sender is dropped.
         ///
         /// # Errors
         ///
-        /// Returns [`mpsc::RecvError`] if the channel is disconnected.
-        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
-            self.0.recv()
+        /// Returns [`RecvError`] if the channel is disconnected and
+        /// drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.0.lock();
+            loop {
+                if let Some(value) = self.pop(&mut inner) {
+                    return Ok(value);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self
+                    .0
+                    .recv_ready
+                    .wait(inner)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
         }
 
-        /// Blocks for at most `timeout` waiting for a message.
+        /// Blocks for at most `timeout` waiting for a message. Buffered
+        /// messages are delivered before a disconnect is reported.
         ///
         /// # Errors
         ///
         /// Returns [`RecvTimeoutError`] on timeout or disconnection.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            self.0.recv_timeout(timeout)
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.0.lock();
+            loop {
+                if let Some(value) = self.pop(&mut inner) {
+                    return Ok(value);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .0
+                    .recv_ready
+                    .wait_timeout(inner, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                inner = guard;
+            }
         }
 
-        /// Returns a pending message without blocking.
+        /// Returns a pending message without blocking. Buffered messages
+        /// are delivered before a disconnect is reported.
         ///
         /// # Errors
         ///
-        /// Returns [`TryRecvError`] if the channel is empty or disconnected.
+        /// Returns [`TryRecvError`] if the channel is empty or
+        /// disconnected.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.try_recv()
+            let mut inner = self.0.lock();
+            if let Some(value) = self.pop(&mut inner) {
+                return Ok(value);
+            }
+            if inner.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
         }
     }
 
-    /// Creates a bounded channel with capacity `cap`.
+    fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receiver_alive: true,
+                watchers: Vec::new(),
+            }),
+            recv_ready: Condvar::new(),
+            send_ready: Condvar::new(),
+        });
+        (Sender(Arc::clone(&chan)), Receiver(chan))
+    }
+
+    /// Creates a bounded channel with capacity `cap` (> 0; the shim does
+    /// not model crossbeam's zero-capacity rendezvous channels, which
+    /// nothing in this workspace uses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is 0.
     #[must_use]
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender(tx), Receiver(rx))
+        assert!(cap > 0, "rendezvous (capacity-0) channels are not modelled");
+        channel(Some(cap))
+    }
+
+    /// Creates an unbounded channel: `send` never blocks.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// A receiver a [`Select`] can wait on, independent of element type.
+    pub trait SelectHandle {
+        /// Registers a wake signal to fire when a receive becomes ready.
+        fn watch(&self, signal: &Arc<Signal>);
+        /// Whether a receive operation would complete without blocking
+        /// (message buffered, or channel disconnected).
+        fn is_ready(&self) -> bool;
+    }
+
+    impl<T> SelectHandle for Receiver<T> {
+        fn watch(&self, signal: &Arc<Signal>) {
+            let mut inner = self.0.lock();
+            // Prune stale watchers from selects that already returned, so
+            // long-lived channels do not accumulate dead registrations.
+            inner.watchers.retain(|w| w.strong_count() > 0);
+            inner.watchers.push(Arc::downgrade(signal));
+        }
+
+        fn is_ready(&self) -> bool {
+            self.0.lock().recv_ready()
+        }
+    }
+
+    /// Waits for any of several receive operations to become ready
+    /// (the `crossbeam::channel::Select` "ready" API).
+    ///
+    /// ```
+    /// # use crossbeam::channel::{unbounded, Select};
+    /// let (tx, rx) = unbounded();
+    /// tx.send(7u32).unwrap();
+    /// let mut sel = Select::new();
+    /// let idx = sel.recv(&rx);
+    /// assert_eq!(sel.ready(), idx);
+    /// assert_eq!(rx.try_recv().unwrap(), 7);
+    /// ```
+    pub struct Select<'a> {
+        handles: Vec<&'a dyn SelectHandle>,
+        signal: Arc<Signal>,
+        registered: bool,
+        /// Rotates the readiness scan so one always-busy channel cannot
+        /// starve the others.
+        next_start: usize,
+    }
+
+    impl fmt::Debug for Select<'_> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "Select {{ handles: {} }}", self.handles.len())
+        }
+    }
+
+    impl Default for Select<'_> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<'a> Select<'a> {
+        /// An empty select.
+        #[must_use]
+        pub fn new() -> Self {
+            Select {
+                handles: Vec::new(),
+                signal: Arc::new(Signal::default()),
+                registered: false,
+                next_start: 0,
+            }
+        }
+
+        /// Adds a receive operation; returns its index as later reported
+        /// by [`Select::ready`] / [`Select::ready_timeout`].
+        pub fn recv<T>(&mut self, receiver: &'a Receiver<T>) -> usize {
+            assert!(
+                !self.registered,
+                "cannot add operations to a Select after waiting on it"
+            );
+            self.handles.push(receiver);
+            self.handles.len() - 1
+        }
+
+        fn poll_ready(&mut self) -> Option<usize> {
+            let n = self.handles.len();
+            for k in 0..n {
+                let i = (self.next_start + k) % n;
+                if self.handles[i].is_ready() {
+                    self.next_start = i + 1;
+                    return Some(i);
+                }
+            }
+            None
+        }
+
+        fn wait_deadline(&mut self, deadline: Option<Instant>) -> Result<usize, ReadyTimeoutError> {
+            if self.handles.is_empty() {
+                // Nothing can ever become ready; sleeping forever would be
+                // a caller bug, so only the timed form is allowed.
+                let d = deadline.expect("Select::ready() on an empty select would block forever");
+                self.signal.wait(Some(d));
+                return Err(ReadyTimeoutError);
+            }
+            // Register before the first readiness check so a message that
+            // lands in between still fires the signal (no lost wakeup).
+            if !self.registered {
+                for handle in &self.handles {
+                    handle.watch(&self.signal);
+                }
+                self.registered = true;
+            }
+            loop {
+                if let Some(i) = self.poll_ready() {
+                    return Ok(i);
+                }
+                if !self.signal.wait(deadline) {
+                    return Err(ReadyTimeoutError);
+                }
+            }
+        }
+
+        /// Blocks until some registered operation is ready and returns its
+        /// index. The operation is *not* performed — follow up with
+        /// `try_recv` on the corresponding receiver.
+        ///
+        /// # Panics
+        ///
+        /// Panics if no operation was registered (it would block forever).
+        pub fn ready(&mut self) -> usize {
+            self.wait_deadline(None)
+                .expect("untimed ready() only returns on readiness")
+        }
+
+        /// Like [`Select::ready`], bounded by `timeout`.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`ReadyTimeoutError`] if nothing became ready in time.
+        pub fn ready_timeout(&mut self, timeout: Duration) -> Result<usize, ReadyTimeoutError> {
+            self.wait_deadline(Some(Instant::now() + timeout))
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::channel;
-    use std::time::Duration;
+    use super::channel::{self, Select, TryRecvError};
+    use std::time::{Duration, Instant};
 
     #[test]
     fn bounded_round_trip() {
@@ -97,5 +497,126 @@ mod tests {
         tx.send(2u8).unwrap();
         assert_eq!(rx.recv().unwrap(), 1);
         assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_drained() {
+        let (tx, rx) = channel::bounded(1);
+        tx.send(1u8).unwrap();
+        let handle = std::thread::spawn(move || {
+            tx.send(2u8).unwrap(); // blocks until the first recv
+            drop(tx);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert!(rx.recv().is_err(), "disconnected after sender drop");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn unbounded_send_never_blocks() {
+        let (tx, rx) = channel::unbounded();
+        for i in 0..10_000u32 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10_000u32 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn disconnect_drains_buffer_first() {
+        let (tx, rx) = channel::bounded(4);
+        tx.send(9u8).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv().unwrap(), 9);
+        assert_eq!(rx.try_recv().unwrap_err(), TryRecvError::Disconnected);
+    }
+
+    #[test]
+    fn select_times_out_when_nothing_ready() {
+        let (_tx, rx) = channel::bounded::<u8>(1);
+        let mut sel = Select::new();
+        sel.recv(&rx);
+        let start = Instant::now();
+        assert!(sel.ready_timeout(Duration::from_millis(30)).is_err());
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn select_wakes_on_cross_thread_send() {
+        let (tx, rx) = channel::bounded(1);
+        let (tx2, rx2) = channel::bounded::<u8>(1);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            tx.send(42u32).unwrap();
+        });
+        let mut sel = Select::new();
+        let first = sel.recv(&rx2);
+        let second = sel.recv(&rx);
+        let idx = sel.ready_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(idx, second);
+        assert_ne!(idx, first);
+        assert_eq!(rx.try_recv().unwrap(), 42);
+        handle.join().unwrap();
+        drop(tx2);
+    }
+
+    #[test]
+    fn select_reports_disconnect_as_ready() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            drop(tx);
+        });
+        let mut sel = Select::new();
+        let idx = sel.recv(&rx);
+        assert_eq!(sel.ready_timeout(Duration::from_secs(5)).unwrap(), idx);
+        assert_eq!(rx.try_recv().unwrap_err(), TryRecvError::Disconnected);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn select_sees_message_sent_before_wait() {
+        // Readiness present before the first wait: no wakeup needed at all.
+        let (tx, rx) = channel::unbounded();
+        tx.send(1u8).unwrap();
+        let mut sel = Select::new();
+        let idx = sel.recv(&rx);
+        assert_eq!(sel.ready(), idx);
+    }
+
+    #[test]
+    fn select_rotation_does_not_starve() {
+        // Both channels stay ready; repeated waits must visit both.
+        let (tx_a, rx_a) = channel::unbounded();
+        let (tx_b, rx_b) = channel::unbounded();
+        for _ in 0..4 {
+            tx_a.send(0u8).unwrap();
+            tx_b.send(1u8).unwrap();
+        }
+        let mut sel = Select::new();
+        let a = sel.recv(&rx_a);
+        let b = sel.recv(&rx_b);
+        let mut seen = [false, false];
+        for _ in 0..4 {
+            let idx = sel.ready();
+            seen[idx] = true;
+            if idx == a {
+                rx_a.try_recv().unwrap();
+            } else {
+                assert_eq!(idx, b);
+                rx_b.try_recv().unwrap();
+            }
+        }
+        assert!(seen[a] && seen[b], "rotation visits every ready channel");
     }
 }
