@@ -17,8 +17,9 @@
 use std::time::{Duration, Instant};
 
 use watz_crypto::p256::{AffinePoint, U256};
-use watz_fleet::{FleetSim, FleetSimConfig};
+use watz_fleet::{FleetSim, FleetSimConfig, FleetStats};
 use watz_wasm::exec::{ExecMode, Instance, NoHost, Value};
+use watz_wasm::ProfileMode;
 
 fn median(reps: usize, mut f: impl FnMut()) -> Duration {
     let mut samples: Vec<Duration> = (0..reps)
@@ -46,6 +47,58 @@ fn time_kernel(inst: &mut Instance, n: i32, reps: usize) -> Duration {
                 .unwrap(),
         );
     })
+}
+
+/// On a gate failure, re-runs the kernel with counting enabled on every
+/// rung and dumps each [`watz_wasm::ExecProfile`], so a failed CI run
+/// carries the observability data needed to localize the regression.
+fn dump_exec_profiles(module: &watz_wasm::Module, n: i32) {
+    eprintln!("--- per-rung execution profiles for the failed gate (n={n}) ---");
+    let rungs = [
+        ("tree", ExecMode::Interpreted, false, false),
+        ("unfused", ExecMode::Aot, false, false),
+        ("fused", ExecMode::Aot, true, false),
+        ("register", ExecMode::Aot, true, true),
+    ];
+    for (label, mode, fuse, reg) in rungs {
+        let Ok(mut inst) = Instance::instantiate_with_profile(
+            module,
+            mode,
+            fuse,
+            reg,
+            ProfileMode::Count,
+            &mut NoHost,
+        ) else {
+            eprintln!("  {label}: failed to instantiate");
+            continue;
+        };
+        let _ = inst.invoke(&mut NoHost, "kernel", &[Value::I32(n)]);
+        match inst.profile() {
+            Some(p) => eprintln!("  {label}:\n{p}"),
+            None => eprintln!("  {label}: no profile recorded"),
+        }
+    }
+}
+
+/// Dumps fleet counters on a worker-scaling gate failure.
+fn dump_fleet_stats(label: &str, stats: &FleetStats) {
+    eprintln!("--- fleet stats for the failed gate ({label}) ---");
+    eprintln!(
+        "  accepted {}  served {}  rejected {}  malformed {}  timed-out {}  disconnected {}",
+        stats.accepted,
+        stats.served,
+        stats.rejected,
+        stats.malformed,
+        stats.timed_out,
+        stats.disconnected
+    );
+    eprintln!(
+        "  appraised {} in {} appraisal batches, {} msg1 batches ({} world switches)",
+        stats.appraised,
+        stats.appraisal_batches,
+        stats.msg1_batches,
+        stats.msg1_batches + stats.appraisal_batches
+    );
 }
 
 fn sweep_suite() {
@@ -101,6 +154,8 @@ fn sweep_suite() {
 }
 
 fn main() {
+    println!("{}", watz_bench::host_info());
+
     // --- Wasm: one mid-size kernel across the whole engine ladder. ---
     let kernel = workloads::polybench::by_name("gemm").expect("gemm in suite");
     let wasm = minic::compile(kernel.minic).expect("kernel compiles");
@@ -176,23 +231,62 @@ fn main() {
     let p256_speedup = t_generic.as_secs_f64() / t_fixed.as_secs_f64();
     println!("p256 k*G: fixed {t_fixed:?}  generic {t_generic:?}  speedup {p256_speedup:.2}x");
 
+    // --- Profiling must be free when off: the default instances above
+    // run the NoProfile dispatch loops, so they must not be slower than
+    // the counting loop beyond timer noise. A failure here means the
+    // zero-overhead-when-off monomorphization leaked counting work into
+    // the default path.
+    let mut reg_counted = Instance::instantiate_with_profile(
+        &module,
+        ExecMode::Aot,
+        true,
+        true,
+        ProfileMode::Count,
+        &mut NoHost,
+    )
+    .expect("profiled instance");
+    let t_counted = time_kernel(&mut reg_counted, n, 5);
+    let profile = reg_counted.profile().expect("counting profile exists");
+    println!(
+        "gemm({n}): reg+count {t_counted:?}  reg {t_reg:?}  ({} guest instrs, {} host ops, {:.2} ops/instr)",
+        profile.instret,
+        profile.host_ops,
+        profile.ops_per_instr()
+    );
+
     // Gates: generous margins below the measured ratios (~3.9x flat vs
     // tree, ~1.4x fused vs unfused, ~1.4x register vs fused, ~4x
     // fixed-base) so CI noise does not flake, but a real regression (the
     // flat engine falling back to scanning, the fusion pass stopping to
     // fire, the register pass falling back to the stack form or slowing
     // the dispatch loop, the table losing mixed addition) trips them.
-    assert!(
+    // Engine-gate failures dump per-rung execution profiles first
+    // (instret, dispatch ops, class mix), so the CI log localizes the
+    // regression without a rerun.
+    let gate = |ok: bool, msg: &str| {
+        if !ok {
+            dump_exec_profiles(&module, n);
+            panic!("{msg}");
+        }
+    };
+    gate(
         wasm_speedup > 1.3,
-        "flat engine no longer clearly beats the tree interpreter ({wasm_speedup:.2}x)"
+        &format!("flat engine no longer clearly beats the tree interpreter ({wasm_speedup:.2}x)"),
     );
-    assert!(
+    gate(
         fuse_speedup > 1.0,
-        "superinstruction fusion regressed the flat engine ({fuse_speedup:.2}x)"
+        &format!("superinstruction fusion regressed the flat engine ({fuse_speedup:.2}x)"),
     );
-    assert!(
+    gate(
         reg_speedup > 1.1,
-        "register allocation regressed the fused engine ({reg_speedup:.2}x)"
+        &format!("register allocation regressed the fused engine ({reg_speedup:.2}x)"),
+    );
+    gate(
+        t_reg.as_secs_f64() <= t_counted.as_secs_f64() * 1.05,
+        &format!(
+            "profiling-off path is slower than the counting path ({t_reg:?} vs {t_counted:?}); \
+             the default dispatch loop gained profiling work"
+        ),
     );
     assert!(
         p256_speedup > 1.8,
@@ -217,38 +311,56 @@ fn main() {
     let warm = sim.run_with_workers(1);
     assert_eq!(warm.provisioned, 16, "warm-up round provisions the fleet");
     let best = |workers: usize| {
-        (0..3)
-            .map(|_| {
-                let r = sim.run_with_workers(workers);
-                assert_eq!(
-                    r.provisioned, 16,
-                    "all sessions served at {workers} workers"
-                );
-                assert_eq!(
-                    r.stats.accepted,
-                    r.stats.completed(),
-                    "every accepted session reaches an outcome"
-                );
-                r.throughput()
-            })
-            .fold(0.0f64, f64::max)
+        let mut best_throughput = 0.0f64;
+        let mut best_stats = FleetStats::default();
+        for _ in 0..3 {
+            let r = sim.run_with_workers(workers);
+            assert_eq!(
+                r.provisioned, 16,
+                "all sessions served at {workers} workers"
+            );
+            assert_eq!(
+                r.stats.accepted,
+                r.stats.completed(),
+                "every accepted session reaches an outcome"
+            );
+            if r.throughput() > best_throughput {
+                best_throughput = r.throughput();
+                best_stats = r.stats;
+            }
+        }
+        (best_throughput, best_stats)
     };
-    let fleet_one = best(1);
-    let fleet_four = best(4);
+    let (fleet_one, stats_one) = best(1);
+    let (fleet_four, stats_four) = best(4);
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let fleet_ratio = fleet_four / fleet_one;
     println!(
         "fleet: 1 worker {fleet_one:.0} sessions/s  4 workers {fleet_four:.0} sessions/s  ratio {fleet_ratio:.2}x  ({cores} cores)"
     );
+    // A scaling-gate failure dumps both rounds' outcome and batching
+    // counters: a jump in timed-out/disconnected or in world switches
+    // per appraisal usually names the culprit directly.
+    let fleet_gate = |ok: bool, msg: &str| {
+        if !ok {
+            dump_fleet_stats("1 worker", &stats_one);
+            dump_fleet_stats("4 workers", &stats_four);
+            panic!("{msg}");
+        }
+    };
     if cores >= 4 {
-        assert!(
+        fleet_gate(
             fleet_ratio > 1.6,
-            "4 fleet workers must clearly beat 1 on a {cores}-core host ({fleet_ratio:.2}x)"
+            &format!(
+                "4 fleet workers must clearly beat 1 on a {cores}-core host ({fleet_ratio:.2}x)"
+            ),
         );
     } else {
-        assert!(
+        fleet_gate(
             fleet_ratio > 0.5,
-            "extra fleet workers must not cost throughput on a {cores}-core host ({fleet_ratio:.2}x)"
+            &format!(
+                "extra fleet workers must not cost throughput on a {cores}-core host ({fleet_ratio:.2}x)"
+            ),
         );
     }
 

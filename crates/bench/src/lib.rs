@@ -56,3 +56,67 @@ pub fn header(title: &str, paper: &str) {
     println!("\n=== {title} ===");
     println!("    paper reference: {paper}");
 }
+
+/// The machine a measurement was taken on, recorded alongside every
+/// newly appended `BENCH_*.json` entry so trajectories stay comparable
+/// across machine classes.
+#[derive(Debug, Clone)]
+pub struct HostInfo {
+    /// Logical CPU count.
+    pub cores: usize,
+    /// Target architecture (`x86_64`, `aarch64`, ...).
+    pub arch: &'static str,
+    /// OS kernel release, e.g. `6.18.5`.
+    pub kernel: String,
+    /// `rustc --version` of the toolchain that built the harness.
+    pub rustc: String,
+}
+
+impl HostInfo {
+    /// The `host` object for a `BENCH_*.json` entry.
+    #[must_use]
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"cores\": {}, \"arch\": \"{}\", \"kernel\": \"{}\", \"rustc\": \"{}\"}}",
+            self.cores, self.arch, self.kernel, self.rustc
+        )
+    }
+}
+
+impl std::fmt::Display for HostInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "host: {} cores, {}, kernel {}, {}",
+            self.cores, self.arch, self.kernel, self.rustc
+        )
+    }
+}
+
+/// Probes the current machine; fields degrade to `"unknown"` rather
+/// than failing (benches must run on stripped-down CI hosts too).
+#[must_use]
+pub fn host_info() -> HostInfo {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let kernel = std::fs::read_to_string("/proc/sys/kernel/osrelease")
+        .map(|s| s.trim().to_string())
+        .or_else(|_| {
+            std::process::Command::new("uname")
+                .arg("-r")
+                .output()
+                .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        })
+        .unwrap_or_else(|_| "unknown".to_string());
+    let rustc =
+        std::process::Command::new(std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string()))
+            .arg("--version")
+            .output()
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+            .unwrap_or_else(|_| "unknown".to_string());
+    HostInfo {
+        cores,
+        arch: std::env::consts::ARCH,
+        kernel,
+        rustc,
+    }
+}

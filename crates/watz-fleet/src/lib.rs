@@ -41,5 +41,8 @@
 pub mod service;
 pub mod sim;
 
-pub use service::{appraise_batch, prepare_msg1_batch, FleetConfig, FleetStats, FleetVerifier};
+pub use service::{
+    appraise_batch, percentiles_us, prepare_msg1_batch, FleetConfig, FleetStats, FleetVerifier,
+    PhaseStats,
+};
 pub use sim::{DeviceKind, DeviceRecord, FleetReport, FleetSim, FleetSimConfig};

@@ -32,6 +32,16 @@
 //! for the evidence appraisal) — amortising the world-switch cost across
 //! queued sessions exactly where the paper's single-session design pays
 //! it per attester.
+//!
+//! **Observability** mirrors the engine's zero-overhead-when-off
+//! discipline ([`watz_wasm::profile`](../../watz-wasm/src/profile.rs)):
+//! each session records phase timestamps (accept→msg0→msg1→msg2→msg3)
+//! into [`PhaseStats`], but the recording reuses the `Instant`s the sweep
+//! already takes for deadline bookkeeping, buffers samples in a
+//! worker-local struct, and touches the shared mutex at most once per
+//! sweep — and only on sweeps where some session actually crossed a phase
+//! boundary. An idle or steady-state worker pays nothing beyond the
+//! deadline clock it always read.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -41,6 +51,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Select, Sender, TryRecvError};
 use optee_sim::net::{Connection, RecvError, TryRecv, DEFAULT_ACCEPT_BACKLOG, DEFAULT_ACCEPT_POLL};
 use optee_sim::{TeeError, TrustedOs};
+use parking_lot::Mutex;
 use tz_hal::Platform;
 use watz_attestation::verifier::{Verifier, VerifierConfig};
 use watz_attestation::wire::{Msg0, Msg1, Msg2, Msg3, APPRAISAL_FAILED};
@@ -136,6 +147,72 @@ impl FleetStats {
     }
 }
 
+/// Per-phase handshake timing samples (microseconds), one entry per
+/// session that crossed the phase boundary.
+///
+/// The four phases itemize verifier-side session latency the same way
+/// the engine's `ExecProfile` itemizes kernel time: where a session's
+/// wall clock actually went between accept and the final verdict.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseStats {
+    /// Accept (admission to a worker) → `msg0` arrival.
+    pub accept_to_msg0: Vec<u64>,
+    /// `msg0` arrival → `msg1` challenge sent (includes the batched
+    /// secure-world entry the session waited on).
+    pub msg0_to_msg1: Vec<u64>,
+    /// `msg1` sent → evidence-bearing `msg2` arrival (attester think
+    /// time plus network).
+    pub msg1_to_msg2: Vec<u64>,
+    /// `msg2` arrival → verdict (`msg3` or rejection) sent (includes the
+    /// batched appraisal entry).
+    pub msg2_to_msg3: Vec<u64>,
+}
+
+impl PhaseStats {
+    /// No phase boundary was ever crossed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.accept_to_msg0.is_empty()
+            && self.msg0_to_msg1.is_empty()
+            && self.msg1_to_msg2.is_empty()
+            && self.msg2_to_msg3.is_empty()
+    }
+
+    /// Merges another snapshot into this one (shard/worker aggregation).
+    pub fn merge(&mut self, other: &PhaseStats) {
+        self.accept_to_msg0.extend_from_slice(&other.accept_to_msg0);
+        self.msg0_to_msg1.extend_from_slice(&other.msg0_to_msg1);
+        self.msg1_to_msg2.extend_from_slice(&other.msg1_to_msg2);
+        self.msg2_to_msg3.extend_from_slice(&other.msg2_to_msg3);
+    }
+
+    /// `(name, samples)` pairs in handshake order, for reporting.
+    #[must_use]
+    pub fn phases(&self) -> [(&'static str, &[u64]); 4] {
+        [
+            ("accept→msg0", &self.accept_to_msg0),
+            ("msg0→msg1", &self.msg0_to_msg1),
+            ("msg1→msg2", &self.msg1_to_msg2),
+            ("msg2→msg3", &self.msg2_to_msg3),
+        ]
+    }
+}
+
+/// p50/p95/p99 of unsorted microsecond samples; `None` when empty.
+#[must_use]
+pub fn percentiles_us(samples: &[u64]) -> Option<(u64, u64, u64)> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = |p: f64| {
+        let idx = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    };
+    Some((rank(50.0), rank(95.0), rank(99.0)))
+}
+
 /// Shared atomic counters behind [`FleetStats`].
 #[derive(Debug, Default)]
 struct StatsInner {
@@ -148,6 +225,9 @@ struct StatsInner {
     appraised: AtomicU64,
     appraisal_batches: AtomicU64,
     msg1_batches: AtomicU64,
+    /// Phase timing samples; locked once per sweep at most (see the
+    /// module-level observability note).
+    phases: Mutex<PhaseStats>,
 }
 
 impl StatsInner {
@@ -218,20 +298,36 @@ struct Session {
     /// Parsed `msg2` staged for the next appraisal batch.
     pending_msg2: Option<Msg2>,
     done: bool,
+    /// When this worker admitted the connection (phase-timing origin).
+    admitted: Instant,
+    /// When each handshake boundary was crossed; `None` until then.
+    msg0_at: Option<Instant>,
+    msg1_at: Option<Instant>,
+    msg2_at: Option<Instant>,
 }
 
 impl Session {
     fn new(conn: Connection, verifier: Verifier, timeout: Duration) -> Self {
+        let admitted = Instant::now();
         Session {
             conn,
             verifier,
             phase: Phase::AwaitMsg0,
-            deadline: Instant::now() + timeout,
+            deadline: admitted + timeout,
             pending_msg0: None,
             pending_msg2: None,
             done: false,
+            admitted,
+            msg0_at: None,
+            msg1_at: None,
+            msg2_at: None,
         }
     }
+}
+
+/// Saturating `Duration` → whole microseconds for phase samples.
+fn micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
 /// Everything a worker thread needs, bundled to keep spawns tidy.
@@ -293,6 +389,9 @@ fn worker_loop(mut ctx: WorkerCtx) {
         let now = Instant::now();
         let mut staged_msg0 = 0usize;
         let mut staged = 0usize;
+        // Worker-local phase samples for this sweep; merged into the
+        // shared stats under one lock acquisition at the end.
+        let mut local_phases = PhaseStats::default();
 
         // Sweep every session once; never block on any single peer.
         for session in sessions.iter_mut() {
@@ -314,6 +413,10 @@ fn worker_loop(mut ctx: WorkerCtx) {
                             };
                             session.pending_msg0 = Some(msg0);
                             staged_msg0 += 1;
+                            session.msg0_at = Some(now);
+                            local_phases
+                                .accept_to_msg0
+                                .push(micros(now.saturating_duration_since(session.admitted)));
                         }
                         Phase::AwaitMsg2 => {
                             let Ok(msg2) = Msg2::from_bytes(&raw) else {
@@ -324,6 +427,12 @@ fn worker_loop(mut ctx: WorkerCtx) {
                             };
                             session.pending_msg2 = Some(msg2);
                             staged += 1;
+                            session.msg2_at = Some(now);
+                            if let Some(msg1_at) = session.msg1_at {
+                                local_phases
+                                    .msg1_to_msg2
+                                    .push(micros(now.saturating_duration_since(msg1_at)));
+                            }
                         }
                     }
                 }
@@ -360,6 +469,10 @@ fn worker_loop(mut ctx: WorkerCtx) {
                 &mut ctx.rng,
             );
             ctx.stats.msg1_batches.fetch_add(1, Ordering::SeqCst);
+            // One timestamp for the whole batch: every session in it
+            // shared the same secure-world entry, so its challenge was
+            // ready at the same moment.
+            let sent_at = Instant::now();
             for ((session, _), outcome) in batch_sessions.iter_mut().zip(outcomes) {
                 match outcome {
                     Ok(msg1) => {
@@ -370,6 +483,12 @@ fn worker_loop(mut ctx: WorkerCtx) {
                             session.done = true;
                         } else {
                             session.phase = Phase::AwaitMsg2;
+                            session.msg1_at = Some(sent_at);
+                            if let Some(msg0_at) = session.msg0_at {
+                                local_phases
+                                    .msg0_to_msg1
+                                    .push(micros(sent_at.saturating_duration_since(msg0_at)));
+                            }
                         }
                     }
                     Err(_) => {
@@ -398,6 +517,9 @@ fn worker_loop(mut ctx: WorkerCtx) {
             ctx.stats
                 .appraised
                 .fetch_add(outcomes.len() as u64, Ordering::SeqCst);
+            // As with msg1: the verdicts all left the shared appraisal
+            // batch at once, so one timestamp covers the batch.
+            let verdict_at = Instant::now();
             for ((session, _), outcome) in batch_sessions.iter_mut().zip(outcomes) {
                 match outcome {
                     Ok(msg3) => {
@@ -409,8 +531,18 @@ fn worker_loop(mut ctx: WorkerCtx) {
                         let _ = session.conn.send(APPRAISAL_FAILED);
                     }
                 }
+                // A verdict went out either way; both count as msg3 time.
+                if let Some(msg2_at) = session.msg2_at {
+                    local_phases
+                        .msg2_to_msg3
+                        .push(micros(verdict_at.saturating_duration_since(msg2_at)));
+                }
                 session.done = true;
             }
+        }
+
+        if !local_phases.is_empty() {
+            ctx.stats.phases.lock().merge(&local_phases);
         }
 
         sessions.retain(|s| !s.done);
@@ -567,6 +699,12 @@ impl FleetVerifier {
         self.stats.snapshot()
     }
 
+    /// A snapshot of the per-phase handshake timing samples.
+    #[must_use]
+    pub fn phase_stats(&self) -> PhaseStats {
+        self.stats.phases.lock().clone()
+    }
+
     /// Stops accepting, drains in-flight and queued sessions (bounded by
     /// the per-session deadline), and returns the final statistics.
     pub fn shutdown(mut self) -> FleetStats {
@@ -579,7 +717,7 @@ impl FleetVerifier {
     /// drops the admission senders, so no worker can observe a
     /// disconnected admission channel while a late-accepted connection is
     /// still in flight towards it.
-    fn stop_and_join(&mut self) {
+    pub(crate) fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         self.os.network().unbind(self.port);
         if let Some(h) = self.acceptor.take() {
@@ -632,6 +770,34 @@ mod tests {
         assert_eq!(a.appraised, 11);
         assert_eq!(a.appraisal_batches, 5);
         assert_eq!(a.msg1_batches, 5);
+    }
+
+    #[test]
+    fn phase_stats_merge_and_percentiles() {
+        let mut a = PhaseStats::default();
+        assert!(a.is_empty());
+        assert_eq!(percentiles_us(&a.accept_to_msg0), None);
+
+        a.accept_to_msg0.extend(1..=100u64);
+        let mut b = PhaseStats::default();
+        b.msg2_to_msg3.push(7);
+        a.merge(&b);
+        assert!(!a.is_empty());
+        assert_eq!(a.accept_to_msg0.len(), 100);
+        assert_eq!(a.msg2_to_msg3, vec![7]);
+
+        let (p50, p95, p99) = percentiles_us(&a.accept_to_msg0).unwrap();
+        assert!((50..=51).contains(&p50), "p50 {p50}");
+        assert!((95..=96).contains(&p95), "p95 {p95}");
+        assert!((99..=100).contains(&p99), "p99 {p99}");
+        // Singleton: every percentile is the one sample.
+        assert_eq!(percentiles_us(&a.msg2_to_msg3), Some((7, 7, 7)));
+        // Phase order matches the handshake.
+        let names: Vec<&str> = a.phases().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            ["accept→msg0", "msg0→msg1", "msg1→msg2", "msg2→msg3"]
+        );
     }
 
     #[test]

@@ -32,7 +32,7 @@ use watz_crypto::ecdsa::SigningKey;
 use watz_crypto::fortuna::Fortuna;
 use watz_crypto::sha256::Sha256;
 
-use crate::service::{FleetConfig, FleetStats, FleetVerifier};
+use crate::service::{percentiles_us, FleetConfig, FleetStats, FleetVerifier, PhaseStats};
 
 /// What kind of attester a simulated device is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -209,6 +209,8 @@ pub struct FleetReport {
     pub failed: u64,
     /// Server-side per-outcome statistics, aggregated across shards.
     pub stats: FleetStats,
+    /// Server-side per-phase handshake timings, aggregated across shards.
+    pub phases: PhaseStats,
     /// Per-session client-observed latencies, sorted ascending.
     latencies: Vec<Duration>,
 }
@@ -237,6 +239,13 @@ impl FleetReport {
         }
         let rank = (p / 100.0 * (self.latencies.len() - 1) as f64).round() as usize;
         Some(self.latencies[rank.min(self.latencies.len() - 1)])
+    }
+
+    /// Secure-world entries the round cost (msg1 + appraisal batches) —
+    /// the world switches batching exists to amortize.
+    #[must_use]
+    pub fn world_switches(&self) -> u64 {
+        self.stats.msg1_batches + self.stats.appraisal_batches
     }
 }
 
@@ -272,9 +281,20 @@ impl std::fmt::Display for FleetReport {
         )?;
         writeln!(
             f,
-            "  batching: {} appraisals in {} secure-world entries",
-            self.stats.appraised, self.stats.appraisal_batches
+            "  batching: {} appraisals in {} secure-world entries ({} world switches total)",
+            self.stats.appraised,
+            self.stats.appraisal_batches,
+            self.world_switches()
         )?;
+        for (name, samples) in self.phases.phases() {
+            if let Some((p50, p95, p99)) = percentiles_us(samples) {
+                writeln!(
+                    f,
+                    "  phase {name}: p50 {p50}us p95 {p95}us p99 {p99}us ({} samples)",
+                    samples.len()
+                )?;
+            }
+        }
         write!(
             f,
             "  throughput {:.0} sessions/s, latency p50 {} p95 {} p99 {}",
@@ -526,8 +546,14 @@ impl FleetSim {
         let elapsed = started.elapsed();
 
         let mut stats = FleetStats::default();
-        for verifier in verifiers {
-            stats.merge(&verifier.shutdown());
+        let mut phases = PhaseStats::default();
+        for mut verifier in verifiers {
+            // Join the workers first: the last sweep's phase flush lands
+            // only once its worker exits, so snapshotting before the join
+            // could drop tail samples.
+            verifier.stop_and_join();
+            phases.merge(&verifier.phase_stats());
+            stats.merge(&verifier.stats());
         }
 
         let (mut provisioned, mut rejected, mut failed) = (0u64, 0u64, 0u64);
@@ -555,6 +581,7 @@ impl FleetSim {
             rejected,
             failed,
             stats,
+            phases,
             latencies,
         }
     }
@@ -573,6 +600,7 @@ mod tests {
             rejected: 0,
             failed: 0,
             stats: FleetStats::default(),
+            phases: PhaseStats::default(),
             latencies,
         }
     }

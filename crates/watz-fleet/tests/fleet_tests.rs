@@ -98,6 +98,19 @@ fn sixty_four_devices_attest_concurrently_against_one_service() {
         report.latency_percentile(50.0).is_some(),
         "completed sessions must yield latency percentiles"
     );
+    // Every served session crossed all four handshake boundaries, so
+    // each phase carries exactly one timing sample per session.
+    for (name, samples) in report.phases.phases() {
+        assert_eq!(samples.len(), 64, "phase {name} sample count");
+    }
+    assert_eq!(
+        report.world_switches(),
+        report.stats.msg1_batches + report.stats.appraisal_batches
+    );
+    assert!(
+        report.world_switches() >= 2,
+        "at least one msg1 batch and one appraisal batch"
+    );
 }
 
 #[test]

@@ -51,6 +51,7 @@ use std::collections::HashMap;
 use crate::flat;
 use crate::instr::Instr;
 use crate::module::{ExportKind, Module};
+use crate::profile::{classify, ExecProfile, NoProfile, ProfileMode, Profiler};
 use crate::types::{BlockType, FuncType, ValType};
 use crate::PAGE_SIZE;
 
@@ -485,6 +486,9 @@ pub struct Instance {
     table: Vec<Option<u32>>,
     exports: HashMap<String, (ExportKind, u32)>,
     mode: ExecMode,
+    /// Live counters when the instance was created with
+    /// [`ProfileMode::Count`]; `None` keeps the unprofiled hot path.
+    profile: Option<Box<ExecProfile>>,
 }
 
 impl Instance {
@@ -545,6 +549,28 @@ impl Instance {
         mode: ExecMode,
         fuse: bool,
         reg: bool,
+        host: &mut dyn HostEnv,
+    ) -> Result<Self, Trap> {
+        Self::instantiate_with_profile(module, mode, fuse, reg, ProfileMode::from_env(), host)
+    }
+
+    /// [`Instance::instantiate_with_engine`] with explicit control over
+    /// execution profiling. [`ProfileMode::Count`] maintains an
+    /// [`ExecProfile`] (retired guest instructions, dispatch ops,
+    /// per-class histogram, back edges, traps) readable via
+    /// [`Instance::profile`]; [`ProfileMode::Off`] — the default, and
+    /// what every other entry point selects unless `WATZ_PROFILE` is set
+    /// — runs the unchanged unprofiled dispatch loops.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Instance::instantiate`].
+    pub fn instantiate_with_profile(
+        module: &Module,
+        mode: ExecMode,
+        fuse: bool,
+        reg: bool,
+        profile: ProfileMode,
         host: &mut dyn HostEnv,
     ) -> Result<Self, Trap> {
         let memory = module
@@ -626,6 +652,10 @@ impl Instance {
                 .map(|e| (e.name.clone(), (e.kind, e.index)))
                 .collect(),
             mode,
+            profile: match profile {
+                ProfileMode::Count => Some(Box::default()),
+                ProfileMode::Off => None,
+            },
         };
 
         for data in &module.data {
@@ -666,6 +696,14 @@ impl Instance {
         self.flat.as_ref().and_then(flat::FlatModule::reg_stats)
     }
 
+    /// Live execution counters, when the instance was created with
+    /// [`ProfileMode::Count`] (or `WATZ_PROFILE` was set). Counters
+    /// accumulate across invocations, including the start function.
+    #[must_use]
+    pub fn profile(&self) -> Option<&ExecProfile> {
+        self.profile.as_deref()
+    }
+
     /// The instance's linear memory.
     #[must_use]
     pub fn memory(&self) -> &Memory {
@@ -704,7 +742,13 @@ impl Instance {
                 "argument mismatch for '{name}'"
             )));
         }
-        self.call_function(host, idx, args, 0)
+        let result = self.call_function(host, idx, args, 0);
+        if result.is_err() {
+            if let Some(p) = &mut self.profile {
+                p.traps += 1;
+            }
+        }
+        result
     }
 
     fn func_type(&self, func_idx: u32) -> &FuncType {
@@ -736,6 +780,7 @@ impl Instance {
                     host,
                     func_idx,
                     args,
+                    self.profile.as_deref_mut(),
                 )
             } else {
                 flat::run(
@@ -747,6 +792,7 @@ impl Instance {
                     host,
                     func_idx,
                     args,
+                    self.profile.as_deref_mut(),
                 )
             };
         }
@@ -764,7 +810,16 @@ impl Instance {
                 for ty in &self.bodies[body_idx].locals {
                     locals.push(Value::zero(*ty));
                 }
-                self.exec_body(host, body_idx, locals)
+                // Take the profile out for the duration of the walk so the
+                // generic loop can borrow it alongside `&mut self`.
+                match self.profile.take() {
+                    Some(mut p) => {
+                        let result = self.exec_body(host, body_idx, locals, &mut *p);
+                        self.profile = Some(p);
+                        result
+                    }
+                    None => self.exec_body(host, body_idx, locals, &mut NoProfile),
+                }
             }
         }
     }
@@ -792,11 +847,12 @@ impl Instance {
     /// [`Frame`] onto a heap-allocated vector, so [`MAX_CALL_DEPTH`] levels of
     /// guest recursion are safe regardless of the host's stack size.
     #[allow(clippy::too_many_lines)]
-    fn exec_body(
+    fn exec_body<P: Profiler>(
         &mut self,
         host: &mut dyn HostEnv,
         mut body_idx: usize,
         mut locals: Vec<Value>,
+        prof: &mut P,
     ) -> Result<Vec<Value>, Trap> {
         let mut result_arity = self.types[self.bodies[body_idx].type_idx as usize]
             .results
@@ -925,6 +981,9 @@ impl Instance {
                 stack.drain(label.height..keep);
                 pc = label.target;
                 if label.is_loop {
+                    if P::ENABLED {
+                        prof.backedge();
+                    }
                     labels.truncate(idx + 1);
                 } else {
                     labels.truncate(idx);
@@ -939,6 +998,13 @@ impl Instance {
             }
             let instr = instr_at!(pc);
             pc += 1;
+            // Retirement is inclusive at fetch: the instruction counts
+            // before it executes (and so before it can trap). Shape-only
+            // opcodes classify to weight 0 but still count as a dispatch.
+            if P::ENABLED {
+                let (cls, weight) = classify(&instr);
+                prof.retire1(cls, weight);
+            }
             match instr {
                 Instr::Unreachable => return Err(Trap::Unreachable),
                 Instr::Nop => {}

@@ -93,6 +93,7 @@ use crate::exec::{
 };
 use crate::instr::Instr;
 use crate::module::{FuncBody, Module};
+use crate::profile::{OpClass, ProfOp, Profiler};
 use crate::types::{BlockType, FuncType, ValType};
 
 /// An untagged 64-bit operand-stack slot.
@@ -323,6 +324,28 @@ pub(crate) enum BinOpKind {
     F64Gt,
     F64Le,
     F64Ge,
+}
+
+impl BinOpKind {
+    /// Whether the operator can trap (integer `div`/`rem`).
+    ///
+    /// Retired-instruction counting is inclusive at fetch, so exact
+    /// cross-rung instret parity on trapping inputs requires that a
+    /// trap-capable binop is always the *last* guest op of its fused
+    /// window — [`binop_follow`] refuses to extend past one.
+    pub(crate) fn traps(self) -> bool {
+        matches!(
+            self,
+            BinOpKind::I32DivS
+                | BinOpKind::I32DivU
+                | BinOpKind::I32RemS
+                | BinOpKind::I32RemU
+                | BinOpKind::I64DivS
+                | BinOpKind::I64DivU
+                | BinOpKind::I64RemS
+                | BinOpKind::I64RemU
+        )
+    }
 }
 
 /// Applies a fusable binary operator to two raw slots.
@@ -1186,6 +1209,9 @@ pub(crate) struct FlatFunc {
     pub(crate) n_results: u32,
     pub(crate) result_types: Box<[ValType]>,
     pub(crate) code: Box<[FlatOp]>,
+    /// Retirement metadata, 1:1 with `code` (built at lowering; read
+    /// only by the counting dispatch loop and the register pass).
+    pub(crate) prof: Box<[ProfOp]>,
 }
 
 /// One entry in the function index space.
@@ -1370,6 +1396,10 @@ fn lower(
     let mut ops: Vec<FlatOp> = Vec::with_capacity(body.code.len());
     // Operand-stack entry height of each op in `ops`, kept 1:1.
     let mut heights: Vec<u32> = Vec::with_capacity(body.code.len());
+    // Retirement metadata of each op in `ops`, kept 1:1 (synthetic ops
+    // that replace erased structure — the else-jump, the function-final
+    // return — weigh 0 so instret matches the tree oracle exactly).
+    let mut prof: Vec<ProfOp> = Vec::with_capacity(body.code.len());
     let mut ctrl: Vec<Ctrl> = vec![Ctrl {
         is_loop: false,
         label_height: 0,
@@ -1433,6 +1463,7 @@ fn lower(
             }
             // Entry height includes the already-popped condition.
             heights.push((height + usize::from($conditional)) as u32);
+            prof.push(ProfOp::of(OpClass::Control, 1));
             ops.push(op);
         }};
     }
@@ -1455,6 +1486,9 @@ fn lower(
             height = frame.label_height + frame.results;
             if ctrl.is_empty() {
                 heights.push(height as u32);
+                // The tree oracle falls off the body without dispatching
+                // an opcode here, so the synthetic return retires nothing.
+                prof.push(ProfOp::zero());
                 ops.push(FlatOp::Return);
             }
         }};
@@ -1507,6 +1541,7 @@ fn lower(
             Instr::Nop => {}
             Instr::Unreachable => {
                 heights.push(height as u32);
+                prof.push(ProfOp::of(OpClass::Control, 1));
                 ops.push(FlatOp::Unreachable);
                 ctrl.last_mut()
                     .ok_or_else(|| bad("empty control"))?
@@ -1545,6 +1580,7 @@ fn lower(
                 let (params, results) = block_arities(module, *bt)?;
                 let ep = ops.len() as u32;
                 heights.push((height + 1) as u32);
+                prof.push(ProfOp::of(OpClass::Control, 1));
                 ops.push(FlatOp::JumpIfZero { target: 0 });
                 ctrl.push(Ctrl {
                     is_loop: false,
@@ -1562,6 +1598,8 @@ fn lower(
                 // Reachable then-branch falls through: jump over the else.
                 let jmp = ops.len() as u32;
                 heights.push(height as u32);
+                // The tree oracle's `else` dispatch weighs 0 (shape only).
+                prof.push(ProfOp::zero());
                 ops.push(FlatOp::Jump { target: 0 });
                 let frame = ctrl.last_mut().ok_or_else(|| bad("else outside a frame"))?;
                 frame.patches.push((jmp, u32::MAX));
@@ -1614,6 +1652,7 @@ fn lower(
                     ctrl[frame_idx].patches.push((op_idx, slot));
                 }
                 heights.push((height + 1) as u32); // entry includes the index
+                prof.push(ProfOp::of(OpClass::Control, 1));
                 ops.push(FlatOp::BrTable {
                     entries: entries.into_boxed_slice(),
                 });
@@ -1623,6 +1662,7 @@ fn lower(
             }
             Instr::Return => {
                 heights.push(height as u32);
+                prof.push(ProfOp::of(OpClass::Control, 1));
                 ops.push(FlatOp::Return);
                 ctrl.last_mut()
                     .ok_or_else(|| bad("empty control"))?
@@ -1637,6 +1677,7 @@ fn lower(
                     .get(ty_idx as usize)
                     .ok_or_else(|| bad("call type index out of range"))?;
                 heights.push(height as u32);
+                prof.push(ProfOp::of(OpClass::Call, 1));
                 height = sub_height!(fty.params.len()) + fty.results.len();
                 if *f < n_imports {
                     ops.push(FlatOp::CallImport { func: *f });
@@ -1650,6 +1691,7 @@ fn lower(
                     .get(*type_idx as usize)
                     .ok_or_else(|| bad("call_indirect type index out of range"))?;
                 heights.push(height as u32);
+                prof.push(ProfOp::of(OpClass::Call, 1));
                 height = sub_height!(1 + fty.params.len()) + fty.results.len();
                 ops.push(FlatOp::CallIndirect {
                     type_idx: *type_idx,
@@ -1658,6 +1700,7 @@ fn lower(
             other => {
                 let (op, pops, pushes) = map_simple(other)?;
                 heights.push(height as u32);
+                prof.push(ProfOp::of_instr(other));
                 height = sub_height!(pops) + pushes;
                 ops.push(op);
             }
@@ -1668,10 +1711,11 @@ fn lower(
         return Err(bad("truncated body: unbalanced control (missing end)"));
     }
     debug_assert_eq!(ops.len(), heights.len());
-    let (code, heights) = if fuse {
-        fuse_ops(ops, heights, fusion)?
+    debug_assert_eq!(ops.len(), prof.len());
+    let (code, heights, prof) = if fuse {
+        fuse_ops(ops, heights, prof, fusion)?
     } else {
-        (ops, heights)
+        (ops, heights, prof)
     };
     check_jump_targets(&code)?;
     Ok((
@@ -1681,6 +1725,7 @@ fn lower(
             n_results: n_results as u32,
             result_types: ty.results.clone().into_boxed_slice(),
             code: code.into_boxed_slice(),
+            prof: prof.into_boxed_slice(),
         },
         heights,
     ))
@@ -1734,11 +1779,16 @@ fn check_jump_targets(code: &[FlatOp]) -> Result<(), Trap> {
 /// A window may only swallow ops that are **not** jump targets — branch
 /// destinations always stay window starts, which is what makes the remap
 /// a plain index lookup (see the module docs for the invariant).
+/// A lowered body after fusion: ops, entry heights, and retirement
+/// metadata, index-aligned.
+type FusedBody = (Vec<FlatOp>, Vec<u32>, Vec<ProfOp>);
+
 fn fuse_ops(
     ops: Vec<FlatOp>,
     heights: Vec<u32>,
+    prof: Vec<ProfOp>,
     fusion: &mut FusionStats,
-) -> Result<(Vec<FlatOp>, Vec<u32>), Trap> {
+) -> Result<FusedBody, Trap> {
     let n = ops.len();
     let mut is_target = vec![false; n + 1];
     for op in &ops {
@@ -1765,6 +1815,7 @@ fn fuse_ops(
 
     let mut out = Vec::with_capacity(n);
     let mut heights_out = Vec::with_capacity(n);
+    let mut prof_out = Vec::with_capacity(n);
     // old index -> new index; `u32::MAX` marks an op swallowed into the
     // middle of a window (never a legal jump target).
     let mut old2new = vec![u32::MAX; n + 1];
@@ -1772,10 +1823,34 @@ fn fuse_ops(
     while i < n {
         old2new[i] = out.len() as u32;
         heights_out.push(heights[i]);
-        i += fuse_at(&ops, &is_target, i, &mut out, fusion);
+        let consumed = fuse_at(&ops, &is_target, i, &mut out, fusion);
+        // A fused window retires every guest op it swallowed, inclusively
+        // at fetch. The binop-set forms exclude their trailing `local.set`
+        // from the fetch-time weight: the binop may trap (div/rem), and
+        // the oracle would not have dispatched the set, so the dispatch
+        // arms retire it separately once the binop succeeds. All other
+        // windows never extend past a trap point, making fetch-time
+        // retirement exact even on trapping inputs.
+        let deferred_set = matches!(
+            out.last(),
+            Some(
+                FlatOp::FusedBinopLLSet { .. }
+                    | FlatOp::FusedBinopLKSet { .. }
+                    | FlatOp::FusedBinopSLSet { .. }
+                    | FlatOp::FusedBinopSet { .. }
+            )
+        );
+        let mut window = prof[i];
+        let end = i + consumed - usize::from(deferred_set);
+        for p in &prof[i + 1..end] {
+            window.merge(p);
+        }
+        prof_out.push(window);
+        i += consumed;
     }
     old2new[n] = out.len() as u32;
     debug_assert_eq!(out.len(), heights_out.len());
+    debug_assert_eq!(out.len(), prof_out.len());
 
     for op in &mut out {
         let remap = |t: &mut u32| {
@@ -1808,7 +1883,7 @@ fn fuse_ops(
             _ => {}
         }
     }
-    Ok((out, heights_out))
+    Ok((out, heights_out, prof_out))
 }
 
 /// What follows a fusable binop inside a window, deciding the fused form.
@@ -1826,17 +1901,35 @@ enum BinopFollow {
     BrNZ(u32),
 }
 
-/// Classifies the ops following a binop at `ops[j - 1]`; returns the
-/// follower and how many extra ops it swallows.
+/// Classifies the ops following a binop `kind` at `ops[j - 1]`; returns
+/// the follower and how many extra ops it swallows.
 ///
 /// A chain of `i32.eqz` between the binop and a conditional jump is
 /// absorbed by flipping the jump's polarity per inversion: the chain's
 /// value is consumed only by the zero-test, so `v; eqzⁿ; jump-if-non-zero`
 /// is `jump when v == 0` for odd `n` and `jump when v != 0` for even `n`
 /// (MiniC's truthiness normalization emits exactly these chains).
-fn binop_follow(ops: &[FlatOp], free: impl Fn(usize) -> bool, j: usize) -> (BinopFollow, usize) {
+///
+/// A trap-capable binop (`div`/`rem`) may only sink into a `local.set`:
+/// the set's retirement is deferred until the division succeeds (see the
+/// `FusedBinopLLSet`/`FusedBinopLKSet` dispatch arms), so
+/// inclusive-at-fetch instret stays exact on trapping inputs. Store and
+/// branch follows would put a second trap point or a control transfer
+/// after the division, which the deferred-suffix scheme does not cover.
+fn binop_follow(
+    ops: &[FlatOp],
+    free: impl Fn(usize) -> bool,
+    j: usize,
+    kind: BinOpKind,
+) -> (BinopFollow, usize) {
     if !free(j) {
         return (BinopFollow::None, 0);
+    }
+    if kind.traps() {
+        return match &ops[j] {
+            FlatOp::LocalSet(dst) => (BinopFollow::Set(*dst), 1),
+            _ => (BinopFollow::None, 0),
+        };
     }
     match &ops[j] {
         FlatOp::LocalSet(dst) => (BinopFollow::Set(*dst), 1),
@@ -1887,7 +1980,7 @@ fn fuse_at(
                 FlatOp::LocalGet(b) if free(i + 2) => {
                     if let Some(op) = binop_kind(&ops[i + 2]) {
                         let b = *b;
-                        let (follow, extra) = binop_follow(ops, free, i + 3);
+                        let (follow, extra) = binop_follow(ops, free, i + 3, op);
                         match follow {
                             BinopFollow::Set(dst) => {
                                 s.binop_ll_set += 1;
@@ -1930,7 +2023,7 @@ fn fuse_at(
                         // zero-extended u32 (to keep `FlatOp` at 16
                         // bytes); wider slots keep the plain LK form.
                         if let Ok(k32) = u32::try_from(k) {
-                            let (follow, extra) = binop_follow(ops, free, i + 3);
+                            let (follow, extra) = binop_follow(ops, free, i + 3, op);
                             match follow {
                                 BinopFollow::Set(dst) => {
                                     s.binop_lk_set += 1;
@@ -2017,7 +2110,7 @@ fn fuse_at(
                     // `local.get b; binop` with the left operand already
                     // on the stack: the SL family.
                     if let Some(op) = binop_kind(next) {
-                        let (follow, extra) = binop_follow(ops, free, i + 2);
+                        let (follow, extra) = binop_follow(ops, free, i + 2, op);
                         match follow {
                             BinopFollow::Set(dst) => {
                                 s.binop_sl_set += 1;
@@ -2111,7 +2204,7 @@ fn fuse_at(
         }
         lead => {
             if let Some(op) = binop_kind(lead) {
-                let (follow, extra) = binop_follow(ops, free, i + 1);
+                let (follow, extra) = binop_follow(ops, free, i + 1, op);
                 match follow {
                     BinopFollow::Set(dst) => {
                         s.binop_set += 1;
@@ -2370,6 +2463,7 @@ pub(crate) fn run(
     host: &mut dyn HostEnv,
     func_idx: u32,
     args: &[Value],
+    profile: Option<&mut crate::profile::ExecProfile>,
 ) -> Result<Vec<Value>, Trap> {
     let entry = match &flat.funcs[func_idx as usize] {
         FlatFuncDef::Import(imp) => {
@@ -2380,16 +2474,33 @@ pub(crate) fn run(
         FlatFuncDef::Local(f) => f,
     };
     let mut mem = memory.take_data();
-    let result = run_loop(
-        flat, types, table, &mut mem, memory, globals, host, entry, args,
-    );
+    // Monomorphise the dispatch loop per profile mode: the `NoProfile`
+    // instantiation is the unchanged hot path (every counting statement
+    // is compile-time dead), the `ExecProfile` one counts.
+    let result = match profile {
+        Some(p) => run_loop(
+            flat, types, table, &mut mem, memory, globals, host, entry, args, p,
+        ),
+        None => run_loop(
+            flat,
+            types,
+            table,
+            &mut mem,
+            memory,
+            globals,
+            host,
+            entry,
+            args,
+            &mut crate::profile::NoProfile,
+        ),
+    };
     memory.put_data(mem);
     result
 }
 
 /// The flat engine's dispatch loop, operating on the cached memory vec.
 #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
-fn run_loop(
+fn run_loop<P: Profiler>(
     flat: &FlatModule,
     types: &[FuncType],
     table: &[Option<u32>],
@@ -2399,6 +2510,7 @@ fn run_loop(
     host: &mut dyn HostEnv,
     entry: &FlatFunc,
     args: &[Value],
+    prof: &mut P,
 ) -> Result<Vec<Value>, Trap> {
     let mut stack: Vec<Slot> = Vec::with_capacity(64);
     for v in args {
@@ -2458,10 +2570,20 @@ fn run_loop(
             crate::exec::mem_store(mem, addr, $off, &$conv(v))?;
         }};
     }
+    // Taken-branch hook: `pc` is already past the op, so `target < pc`
+    // is exactly "at or before this op" — a loop back edge.
+    macro_rules! backedge {
+        ($target:expr) => {
+            if P::ENABLED && ($target as usize) < pc {
+                prof.backedge();
+            }
+        };
+    }
     // Branch stack fix-up + jump: keep the top `keep` slots, reset the
     // operand stack to height `height` above this frame's operand base.
     macro_rules! do_br {
         ($target:expr, $keep:expr, $height:expr) => {{
+            backedge!($target);
             let dest = base + cur.n_locals as usize + $height as usize;
             let keep = $keep as usize;
             let src = stack.len() - keep;
@@ -2514,17 +2636,27 @@ fn run_loop(
 
     loop {
         let op = &cur.code[pc];
+        // Retirement is inclusive at fetch: the op's full guest-op weight
+        // counts before it executes (and so before it can trap).
+        if P::ENABLED {
+            prof.retire(&cur.prof[pc]);
+        }
         pc += 1;
         match op {
             FlatOp::Unreachable => return Err(Trap::Unreachable),
-            FlatOp::Jump { target } => pc = *target as usize,
+            FlatOp::Jump { target } => {
+                backedge!(*target);
+                pc = *target as usize;
+            }
             FlatOp::JumpIfZero { target } => {
                 if as_u32(pop!()) == 0 {
+                    backedge!(*target);
                     pc = *target as usize;
                 }
             }
             FlatOp::JumpIfNonZero { target } => {
                 if as_u32(pop!()) != 0 {
+                    backedge!(*target);
                     pc = *target as usize;
                 }
             }
@@ -2698,10 +2830,18 @@ fn run_loop(
             }
             FlatOp::FusedBinopLLSet { a, b, op, dst } => {
                 let r = apply_binop(*op, stack[base + *a as usize], stack[base + *b as usize])?;
+                // The trailing `local.set` retires only once the binop
+                // succeeded — fetch-time weight excludes it (see fuse_ops).
+                if P::ENABLED {
+                    prof.retire_tail(OpClass::Local, 1);
+                }
                 stack[base + *dst as usize] = r;
             }
             FlatOp::FusedBinopLKSet { a, k, op, dst } => {
                 let r = apply_binop(*op, stack[base + *a as usize], u64::from(*k))?;
+                if P::ENABLED {
+                    prof.retire_tail(OpClass::Local, 1);
+                }
                 stack[base + *dst as usize] = r;
             }
             FlatOp::FusedBinopSL { b, op } => {
@@ -2712,6 +2852,9 @@ fn run_loop(
             FlatOp::FusedBinopSLSet { b, op, dst } => {
                 let x = pop!();
                 let r = apply_binop(*op, x, stack[base + *b as usize])?;
+                if P::ENABLED {
+                    prof.retire_tail(OpClass::Local, 1);
+                }
                 stack[base + *dst as usize] = r;
             }
             FlatOp::FusedBinopSLStore {
@@ -2739,7 +2882,11 @@ fn run_loop(
             FlatOp::FusedBinopSet { op, dst } => {
                 let b = pop!();
                 let a = pop!();
-                stack[base + *dst as usize] = apply_binop(*op, a, b)?;
+                let r = apply_binop(*op, a, b)?;
+                if P::ENABLED {
+                    prof.retire_tail(OpClass::Local, 1);
+                }
+                stack[base + *dst as usize] = r;
             }
             FlatOp::LocalCopy { src, dst } => {
                 stack[base + *dst as usize] = stack[base + *src as usize];
@@ -2799,6 +2946,7 @@ fn run_loop(
                 let b = pop!();
                 let a = pop!();
                 if as_u32(apply_binop(*op, a, b)?) == 0 {
+                    backedge!(*target);
                     pc = *target as usize;
                 }
             }
@@ -2806,6 +2954,7 @@ fn run_loop(
                 let b = pop!();
                 let a = pop!();
                 if as_u32(apply_binop(*op, a, b)?) != 0 {
+                    backedge!(*target);
                     pc = *target as usize;
                 }
             }
@@ -2813,6 +2962,7 @@ fn run_loop(
                 let x = stack[base + *a as usize];
                 let y = stack[base + *b as usize];
                 if as_u32(apply_binop(*op, x, y)?) == 0 {
+                    backedge!(*target);
                     pc = *target as usize;
                 }
             }
@@ -2820,30 +2970,35 @@ fn run_loop(
                 let x = stack[base + *a as usize];
                 let y = stack[base + *b as usize];
                 if as_u32(apply_binop(*op, x, y)?) != 0 {
+                    backedge!(*target);
                     pc = *target as usize;
                 }
             }
             FlatOp::FusedCmpBrLKZ { a, k, op, target } => {
                 let x = stack[base + *a as usize];
                 if as_u32(apply_binop(*op, x, u64::from(*k))?) == 0 {
+                    backedge!(*target);
                     pc = *target as usize;
                 }
             }
             FlatOp::FusedCmpBrLKNZ { a, k, op, target } => {
                 let x = stack[base + *a as usize];
                 if as_u32(apply_binop(*op, x, u64::from(*k))?) != 0 {
+                    backedge!(*target);
                     pc = *target as usize;
                 }
             }
             FlatOp::FusedCmpBrSLZ { b, op, target } => {
                 let x = pop!();
                 if as_u32(apply_binop(*op, x, stack[base + *b as usize])?) == 0 {
+                    backedge!(*target);
                     pc = *target as usize;
                 }
             }
             FlatOp::FusedCmpBrSLNZ { b, op, target } => {
                 let x = pop!();
                 if as_u32(apply_binop(*op, x, stack[base + *b as usize])?) != 0 {
+                    backedge!(*target);
                     pc = *target as usize;
                 }
             }
@@ -3609,6 +3764,63 @@ mod tests {
         }
         let oracle = oracle_outcome(&bytes, "divk", &[Value::I32(i32::MIN)]);
         assert_eq!(oracle.unwrap_err(), Trap::IntegerOverflow);
+    }
+
+    #[test]
+    fn div_in_fused_set_window_retires_exactly() {
+        // The same LKSet shape as above, profiled: the trap point sits
+        // mid-window (`get; const; div; set` fuses, the set's retirement
+        // deferred until the div succeeds). On trap every rung must
+        // retire exactly the oracle's 3 guest ops (get, const, div —
+        // inclusive of the trapping div); on success all 5 (plus the
+        // trailing re-get of the local).
+        let mut b = ModuleBuilder::new();
+        let ty = b.add_type(&[ValType::I32], &[ValType::I32]);
+        let f = b.add_func(
+            ty,
+            &[ValType::I32],
+            vec![
+                I::LocalGet(0),
+                I::I32Const(-1),
+                I::I32DivS,
+                I::LocalSet(1),
+                I::LocalGet(1),
+                I::End,
+            ],
+        );
+        b.export_func("divk", f);
+        let bytes = b.build();
+        let module = crate::load(&bytes).unwrap();
+        let flat = FlatModule::compile_with(&module, true, false).unwrap();
+        assert_eq!(flat.fusion_stats().binop_lk_set, 1, "LKSet must fuse");
+        for (arg, expect_trap, expect_instret) in
+            [(i32::MIN, true, 3), (42, false, 5), (-42, false, 5)]
+        {
+            for (label, mode, fuse, reg) in [
+                ("oracle", ExecMode::Interpreted, true, true),
+                ("flat", ExecMode::Aot, false, false),
+                ("fused", ExecMode::Aot, true, false),
+                ("register", ExecMode::Aot, true, true),
+            ] {
+                let mut inst = Instance::instantiate_with_profile(
+                    &module,
+                    mode,
+                    fuse,
+                    reg,
+                    crate::profile::ProfileMode::Count,
+                    &mut NoHost,
+                )
+                .unwrap();
+                let outcome = inst.invoke(&mut NoHost, "divk", &[Value::I32(arg)]);
+                assert_eq!(outcome.is_err(), expect_trap, "{label} divk({arg})");
+                let p = inst.profile().expect("counting instance profiles");
+                assert_eq!(
+                    p.instret, expect_instret,
+                    "{label} divk({arg}) retired the wrong guest-op count"
+                );
+                assert_eq!(p.traps, u64::from(expect_trap), "{label} divk({arg}) traps");
+            }
+        }
     }
 
     #[test]

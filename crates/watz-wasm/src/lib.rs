@@ -61,6 +61,7 @@ pub mod flat;
 pub mod instr;
 pub mod leb128;
 pub mod module;
+pub mod profile;
 pub mod reg;
 pub mod types;
 pub mod validate;
@@ -69,6 +70,7 @@ pub use decode::DecodeError;
 pub use exec::{ExecMode, HostEnv, Instance, NoHost, Trap, Value};
 pub use flat::FusionStats;
 pub use module::Module;
+pub use profile::{ExecProfile, ProfileMode};
 pub use reg::RegStats;
 pub use validate::ValidationError;
 

@@ -57,6 +57,7 @@ use crate::flat::{
     StoreKind,
 };
 use crate::module::Module;
+use crate::profile::{OpClass, ProfOp, Profiler};
 use crate::types::{FuncType, ValType};
 
 /// True when the `WATZ_NO_REG` environment switch (any non-empty value
@@ -650,6 +651,9 @@ pub(crate) struct RegFunc {
     pub(crate) frame_size: u32,
     pub(crate) result_types: Box<[ValType]>,
     pub(crate) code: Box<[RegOp]>,
+    /// Retirement metadata, 1:1 with `code`: the guest instructions each
+    /// register op accounts for when profiling is on.
+    pub(crate) prof: Box<[ProfOp]>,
 }
 
 /// A module's register-form code, carried by
@@ -1045,6 +1049,23 @@ pub(crate) fn lower_func(
     // every edge into a target flushes first).
     let mut terminated = false;
 
+    // Retirement metadata, kept 1:1 with `lo.out`. Each flat op's weight
+    // accumulates into `pending` and attaches to the *first* register op
+    // emitted on its behalf (fix-up moves included — they cannot trap and
+    // run before the main op on the same path, so inclusive-at-fetch
+    // retirement stays exact even on trapping programs). Emit-less ops
+    // (forwarded gets, drops, same-slot sets) leave their weight pending
+    // for the next emission on the same fall-through path.
+    let mut rprof: Vec<ProfOp> = Vec::with_capacity(n);
+    let mut pending = ProfOp::zero();
+    macro_rules! sync_prof {
+        () => {
+            while rprof.len() < lo.out.len() {
+                rprof.push(std::mem::take(&mut pending));
+            }
+        };
+    }
+
     // The arity of a call target, for arg/result placement.
     let call_arity = |func: u32| -> Result<(usize, usize), Trap> {
         let ty_idx = module
@@ -1067,11 +1088,35 @@ pub(crate) fn lower_func(
             // Fall-through into a jump target: forwarded operands become
             // canonical here so every predecessor agrees on the state.
             lo.flush_all()?;
+            sync_prof!();
+            if pending != ProfOp::zero() {
+                // Emit-less ops left retirement weight pending and no
+                // flush move was emitted to carry it. A self-move keeps
+                // the weight on the fall-through path only — jumping
+                // predecessors already retired their own ops.
+                if lo.n_locals == 0 {
+                    lo.max_height = lo.max_height.max(1);
+                }
+                lo.emit_move(0, 0);
+                sync_prof!();
+            }
             if lo.vstack.len() != heights[i] as usize {
                 return Err(bad("register lowering: height mismatch at jump target"));
             }
         }
         old2new[i] = lo.out.len() as u32;
+        pending.merge(&f.prof[i]);
+        // Binop-set forms retire their trailing `local.set` only after
+        // the (possibly trapping) binop succeeds: its weight joins
+        // `pending` after this op's sync, attaching to the next emission
+        // on the fall-through path (or a carrier move at a join).
+        let deferred_set = matches!(
+            &ops[i],
+            FlatOp::FusedBinopLLSet { .. }
+                | FlatOp::FusedBinopLKSet { .. }
+                | FlatOp::FusedBinopSLSet { .. }
+                | FlatOp::FusedBinopSet { .. }
+        );
 
         match &ops[i] {
             FlatOp::Unreachable => {
@@ -1517,8 +1562,16 @@ pub(crate) fn lower_func(
                 }
             }
         }
+        sync_prof!();
+        if deferred_set {
+            pending.merge(&ProfOp::of(OpClass::Local, 1));
+        }
     }
     old2new[n] = lo.out.len() as u32;
+    // Every body ends on a terminator (flat lowering closes with Return),
+    // which always emits, so no weight can be left pending.
+    debug_assert_eq!(rprof.len(), lo.out.len());
+    debug_assert_eq!(pending, ProfOp::zero());
 
     // Re-point every jump through the old→new map, then re-validate.
     let mut code = lo.out;
@@ -1558,6 +1611,7 @@ pub(crate) fn lower_func(
         frame_size,
         result_types: f.result_types.clone(),
         code: code.into_boxed_slice(),
+        prof: rprof.into_boxed_slice(),
     })
 }
 
@@ -1584,6 +1638,7 @@ pub(crate) fn run(
     host: &mut dyn HostEnv,
     func_idx: u32,
     args: &[Value],
+    profile: Option<&mut crate::profile::ExecProfile>,
 ) -> Result<Vec<Value>, Trap> {
     let prog = flat.reg.as_ref().expect("register program prepared");
     if let FlatFuncDef::Import(imp) = &flat.funcs[func_idx as usize] {
@@ -1595,9 +1650,27 @@ pub(crate) fn run(
         .as_ref()
         .expect("local function register-lowered");
     let mut mem = memory.take_data();
-    let result = run_loop(
-        prog, flat, types, table, &mut mem, memory, globals, host, entry, args,
-    );
+    // Monomorphize the dispatch loop on the profiler: the `None` arm
+    // instantiates with the no-op profiler, whose guarded counting code
+    // is erased entirely — the default hot path gains no work.
+    let result = match profile {
+        Some(p) => run_loop(
+            prog, flat, types, table, &mut mem, memory, globals, host, entry, args, p,
+        ),
+        None => run_loop(
+            prog,
+            flat,
+            types,
+            table,
+            &mut mem,
+            memory,
+            globals,
+            host,
+            entry,
+            args,
+            &mut crate::profile::NoProfile,
+        ),
+    };
     memory.put_data(mem);
     result
 }
@@ -1606,7 +1679,7 @@ pub(crate) fn run(
 /// statically-addressed slots (and the cached memory vec, handed back to
 /// [`Memory`] around host calls).
 #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
-fn run_loop(
+fn run_loop<P: Profiler>(
     prog: &RegProgram,
     flat: &FlatModule,
     types: &[FuncType],
@@ -1617,6 +1690,7 @@ fn run_loop(
     host: &mut dyn HostEnv,
     entry: &RegFunc,
     args: &[Value],
+    prof: &mut P,
 ) -> Result<Vec<Value>, Trap> {
     let mut stack: Vec<Slot> = vec![0; entry.frame_size as usize];
     for (i, v) in args.iter().enumerate() {
@@ -1686,18 +1760,37 @@ fn run_loop(
         }};
     }
 
+    // Counts a taken branch as a loop back edge when it jumps backward
+    // (`pc` is already past the current op, so `target < pc` is exact).
+    macro_rules! backedge {
+        ($target:expr) => {
+            if P::ENABLED && ($target as usize) < pc {
+                prof.backedge();
+            }
+        };
+    }
+
     loop {
         let op = &cur.code[pc];
+        // Inclusive at fetch: a trapping op still retires its guest
+        // instructions, matching the tree oracle's dispatch-then-trap.
+        if P::ENABLED {
+            prof.retire(&cur.prof[pc]);
+        }
         pc += 1;
         match op {
             RegOp::Unreachable => return Err(Trap::Unreachable),
-            RegOp::Jump { target } => pc = *target as usize,
+            RegOp::Jump { target } => {
+                backedge!(*target);
+                pc = *target as usize;
+            }
             RegOp::BrIf {
                 cond,
                 jump_if,
                 target,
             } => {
                 if (as_u32(r!(*cond)) != 0) == *jump_if {
+                    backedge!(*target);
                     pc = *target as usize;
                 }
             }
@@ -1709,6 +1802,7 @@ fn run_loop(
             } => {
                 let (s, d, k) = (base + *src as usize, base + *dst as usize, *keep as usize);
                 stack.copy_within(s..s + k, d);
+                backedge!(*target);
                 pc = *target as usize;
             }
             RegOp::BrIfMoves {
@@ -1722,6 +1816,7 @@ fn run_loop(
                 if (as_u32(r!(*cond)) != 0) == *jump_if {
                     let (s, d, k) = (base + *src as usize, base + *dst as usize, *keep as usize);
                     stack.copy_within(s..s + k, d);
+                    backedge!(*target);
                     pc = *target as usize;
                 }
             }
@@ -1736,6 +1831,7 @@ fn run_loop(
                     );
                     stack.copy_within(s..s + k, d);
                 }
+                backedge!(e.target);
                 pc = e.target as usize;
             }
             RegOp::Return { src } => {
@@ -1973,11 +2069,13 @@ fn run_loop(
             }
             RegOp::CmpBrLtSZ { a, b, target } => {
                 if as_i32(r!(*a)) >= as_i32(r!(*b)) {
+                    backedge!(*target);
                     pc = *target as usize;
                 }
             }
             RegOp::CmpBrLtSNZ { a, b, target } => {
                 if as_i32(r!(*a)) < as_i32(r!(*b)) {
+                    backedge!(*target);
                     pc = *target as usize;
                 }
             }
@@ -2002,6 +2100,7 @@ fn run_loop(
             } => {
                 let v = apply_binop(*op, r!(*a), r!(*b))?;
                 if (as_u32(v) != 0) == *jump_if {
+                    backedge!(*target);
                     pc = *target as usize;
                 }
             }
@@ -2014,6 +2113,7 @@ fn run_loop(
             } => {
                 let v = apply_binop(*op, r!(*a), u64::from(*k))?;
                 if (as_u32(v) != 0) == *jump_if {
+                    backedge!(*target);
                     pc = *target as usize;
                 }
             }

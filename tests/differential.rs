@@ -9,6 +9,7 @@
 
 use watz::runtime::{AppConfig, WatzRuntime};
 use watz::wasm::exec::{ExecMode, Instance, NoHost, Value};
+use watz::wasm::ProfileMode;
 
 const N: i32 = 12;
 
@@ -22,12 +23,18 @@ const LADDER: [(&str, bool, bool); 3] = [
 /// Runs an export on the oracle plus the whole flat-engine ladder,
 /// returning `(label, outcome)` pairs (trap text on failure, so both
 /// results and traps participate in the parity assertion).
+///
+/// Every rung also re-runs with profiling on ([`ProfileMode::Count`]),
+/// asserting the retired-guest-instruction invariant: all four rungs must
+/// retire the same instret for the same input — including on traps, where
+/// the count runs up to and including the trapping instruction.
 fn run_ladder(
     module: &watz::wasm::Module,
     name: &str,
     args: &[Value],
 ) -> Vec<(&'static str, Result<Vec<Value>, String>)> {
     let mut out = Vec::new();
+    let mut instret: Vec<(&'static str, u64)> = Vec::new();
     let mut interp = Instance::instantiate(module, ExecMode::Interpreted, &mut NoHost).unwrap();
     out.push((
         "oracle",
@@ -35,6 +42,24 @@ fn run_ladder(
             .invoke(&mut NoHost, name, args)
             .map_err(|e| e.to_string()),
     ));
+    {
+        let mut prof_inst = Instance::instantiate_with_profile(
+            module,
+            ExecMode::Interpreted,
+            true,
+            true,
+            ProfileMode::Count,
+            &mut NoHost,
+        )
+        .unwrap();
+        let profiled = prof_inst
+            .invoke(&mut NoHost, name, args)
+            .map_err(|e| e.to_string());
+        assert_eq!(out[0].1, profiled, "oracle diverges with profiling on");
+        let p = prof_inst.profile().expect("counting instance profiles");
+        assert_eq!(p.traps, u64::from(profiled.is_err()), "oracle trap count");
+        instret.push(("oracle", p.instret));
+    }
     for (label, fuse, reg) in LADDER {
         let mut inst =
             Instance::instantiate_with_engine(module, ExecMode::Aot, fuse, reg, &mut NoHost)
@@ -44,11 +69,33 @@ fn run_ladder(
             reg,
             "{label}: register pass availability mismatch"
         );
-        out.push((
-            label,
-            inst.invoke(&mut NoHost, name, args)
-                .map_err(|e| e.to_string()),
-        ));
+        let outcome = inst
+            .invoke(&mut NoHost, name, args)
+            .map_err(|e| e.to_string());
+        let mut prof_inst = Instance::instantiate_with_profile(
+            module,
+            ExecMode::Aot,
+            fuse,
+            reg,
+            ProfileMode::Count,
+            &mut NoHost,
+        )
+        .unwrap();
+        let profiled = prof_inst
+            .invoke(&mut NoHost, name, args)
+            .map_err(|e| e.to_string());
+        assert_eq!(outcome, profiled, "{label}: diverges with profiling on");
+        let p = prof_inst.profile().expect("counting instance profiles");
+        assert_eq!(p.traps, u64::from(profiled.is_err()), "{label} trap count");
+        instret.push((label, p.instret));
+        out.push((label, outcome));
+    }
+    for (label, n) in &instret[1..] {
+        assert_eq!(
+            instret[0].1, *n,
+            "instret parity broken: oracle retired {} but {label} retired {n}",
+            instret[0].1
+        );
     }
     out
 }
@@ -374,6 +421,41 @@ fn fusable_corpus_covers_every_superinstruction_with_parity() {
                 inst.invoke(&mut NoHost, "kernel", &args)
                     .map_err(|e| e.to_string()),
             ));
+        }
+        // The same matrix with profiling on: every rung must retire the
+        // same guest-instruction count (traps included — the corpus'
+        // division statements trap on some random inputs).
+        let mut retired: Vec<(&str, u64)> = Vec::new();
+        for (label, mode, fuse, reg) in [
+            ("oracle", ExecMode::Interpreted, true, true),
+            ("fused+register", ExecMode::Aot, true, true),
+            ("fused", ExecMode::Aot, true, false),
+            ("unfused+register", ExecMode::Aot, false, true),
+            ("unfused", ExecMode::Aot, false, false),
+        ] {
+            let mut inst = Instance::instantiate_with_profile(
+                &module,
+                mode,
+                fuse,
+                reg,
+                ProfileMode::Count,
+                &mut NoHost,
+            )
+            .unwrap();
+            let outcome = inst
+                .invoke(&mut NoHost, "kernel", &args)
+                .map_err(|e| e.to_string());
+            assert_eq!(
+                outcomes[0].1, outcome,
+                "case {case}: {label} diverges with profiling on:\n{src}"
+            );
+            retired.push((label, inst.profile().expect("profiled instance").instret));
+        }
+        for (label, n) in &retired[1..] {
+            assert_eq!(
+                retired[0].1, *n,
+                "case {case}: instret parity broken between oracle and {label}:\n{src}"
+            );
         }
         if outcomes[0].1.is_err() {
             traps += 1;
