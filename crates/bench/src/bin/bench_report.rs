@@ -571,6 +571,89 @@ fn main() {
     )
     .unwrap();
 
+    // --- Live static-analysis counters (deterministic, like instret). ---
+    writeln!(
+        w,
+        "\n## Static analysis: proven bounds checks and IR verification"
+    )
+    .unwrap();
+    writeln!(w).unwrap();
+    writeln!(
+        w,
+        "Live counters from compiling each kernel with the range analysis, bounds-check\n\
+         elision, and the independent IR verifier all on (the `WATZ_VERIFY_IR=1`\n\
+         configuration). **proven** is memory accesses the interval/subsumption\n\
+         analysis discharged; **elided** is proven accesses actually rewritten to\n\
+         check-free opcodes (flat + register forms counted separately);\n\
+         **obligations** is check-free opcodes whose proof the verifier re-derived\n\
+         from scratch before accepting the code. Counts are exact properties of the\n\
+         kernels, so this table is machine-independent and drift-gated like the rest\n\
+         of the report."
+    )
+    .unwrap();
+    writeln!(w).unwrap();
+    writeln!(
+        w,
+        "| kernel | accesses | proven | interval | subsumed | elided | verified ops | branch targets | obligations |"
+    )
+    .unwrap();
+    writeln!(w, "|---|---|---|---|---|---|---|---|---|").unwrap();
+    let mut total = watz_wasm::analysis::RangeStats::default();
+    let mut vtotal = watz_wasm::verify::VerifyStats::default();
+    let mut proven_kernels = 0usize;
+    for kernel in &suite {
+        let wasm = minic::compile(kernel.minic).expect("kernel compiles");
+        let module = watz_wasm::load(&wasm).expect("kernel loads");
+        let inst = Instance::instantiate_with_analysis(
+            &module,
+            ExecMode::Aot,
+            true,
+            true,
+            true,
+            true,
+            &mut NoHost,
+        )
+        .unwrap_or_else(|e| panic!("IR verifier rejected {}: {e}", kernel.name));
+        let a = inst.range_stats().expect("analysis ran");
+        let v = inst.verify_stats().expect("verification ran");
+        writeln!(
+            w,
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            kernel.name,
+            a.accesses,
+            a.proven(),
+            a.proven_interval,
+            a.proven_subsumed,
+            a.elided,
+            v.flat_ops + v.reg_ops,
+            v.branch_targets,
+            v.obligations,
+        )
+        .unwrap();
+        proven_kernels += usize::from(a.proven() > 0);
+        total.merge(&a);
+        vtotal.merge(&v);
+    }
+    writeln!(w).unwrap();
+    writeln!(
+        w,
+        "Suite totals: **{}/{}** kernels with at least one proven access; {} of {}\n\
+         accesses proven ({} interval + {} subsumed), {} rewritten check-free; the\n\
+         verifier checked {} opcodes and {} branch targets and re-derived all {}\n\
+         elision proofs with zero findings.",
+        proven_kernels,
+        suite.len(),
+        total.proven(),
+        total.accesses,
+        total.proven_interval,
+        total.proven_subsumed,
+        total.elided,
+        vtotal.flat_ops + vtotal.reg_ops,
+        vtotal.branch_targets,
+        vtotal.obligations,
+    )
+    .unwrap();
+
     // --- Times + MIPS from the latest absolute-time sweep entry. ---
     let fig5 = trajectories.iter().find(|t| t.target == "fig5_polybench");
     if let Some(fig5) = fig5 {

@@ -293,6 +293,78 @@ fn main() {
         "fixed-base table no longer clearly beats double-and-add ({p256_speedup:.2}x)"
     );
 
+    // --- Static analysis: the verifier must pass the optimised code and
+    // the range analysis must actually discharge bounds checks on gemm.
+    // Both instances run with WATZ_VERIFY_IR semantics forced on, so the
+    // smoke gate exercises the verifier even when CI env steps don't.
+    let mut reg_elided = Instance::instantiate_with_analysis(
+        &module,
+        ExecMode::Aot,
+        true,
+        true,
+        true,
+        true,
+        &mut NoHost,
+    )
+    .expect("verifier accepts the elided gemm lowering");
+    let mut reg_unelided = Instance::instantiate_with_analysis(
+        &module,
+        ExecMode::Aot,
+        true,
+        true,
+        false,
+        true,
+        &mut NoHost,
+    )
+    .expect("verifier accepts the unelided gemm lowering");
+    let vstats = reg_elided.verify_stats().expect("verification ran");
+    assert!(vstats.funcs > 0, "verifier saw no functions for gemm");
+    assert!(
+        vstats.obligations > 0,
+        "elided gemm must carry proof obligations for its check-free accesses"
+    );
+    let astats = reg_elided.range_stats().expect("analysis stats exist");
+    assert!(astats.proven() > 0, "range analysis proved nothing on gemm");
+    assert!(astats.elided > 0, "no bounds checks elided on gemm");
+    let astats_off = reg_unelided.range_stats().expect("analysis stats exist");
+    assert_eq!(
+        astats_off.elided, 0,
+        "elision-off instance must keep every bounds check"
+    );
+    assert_eq!(
+        astats_off.proven(),
+        astats.proven(),
+        "proof counts must not depend on whether the rewrite runs"
+    );
+    let out_elided = reg_elided.invoke(&mut NoHost, "kernel", &args).unwrap();
+    let out_unelided = reg_unelided.invoke(&mut NoHost, "kernel", &args).unwrap();
+    assert_eq!(
+        out_elided, out_reg,
+        "bounds-check elision changes gemm({n})"
+    );
+    assert_eq!(
+        out_unelided, out_reg,
+        "elision-off compile changes gemm({n})"
+    );
+    let t_elide = time_kernel(&mut reg_elided, n, 5);
+    let t_noelide = time_kernel(&mut reg_unelided, n, 5);
+    let elide_ratio = t_noelide.as_secs_f64() / t_elide.as_secs_f64();
+    println!(
+        "gemm({n}): elided {t_elide:?}  checked {t_noelide:?}  ratio {elide_ratio:.2}x  ({} proven: {} interval + {} subsumed, {} elided, {} verify obligations)",
+        astats.proven(),
+        astats.proven_interval,
+        astats.proven_subsumed,
+        astats.elided,
+        vstats.obligations
+    );
+    gate(
+        t_elide.as_secs_f64() <= t_noelide.as_secs_f64() * 1.10,
+        &format!(
+            "bounds-check elision made gemm slower ({t_elide:?} elided vs {t_noelide:?} checked); \
+             the check-free opcodes regressed the dispatch loop"
+        ),
+    );
+
     // --- Fleet: worker scaling must not regress to the polled design. ---
     // The pre-fix service polled one shared queue under a lock, so extra
     // workers *cost* throughput. The event-driven service must scale on

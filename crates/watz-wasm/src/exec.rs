@@ -383,6 +383,50 @@ pub(crate) fn mem_load<const N: usize>(
     Ok(*bytes)
 }
 
+/// A check-free memory access missed its statically proven bound.
+///
+/// Unreachable by construction: the elision pass only emits check-free
+/// opcodes for accesses the range analysis proved `< min_memory_size`,
+/// memory never shrinks, and the verifier re-derives every proof before
+/// a verified instance runs. Kept out of line so the check-free dispatch
+/// arms stay branch-light.
+#[cold]
+#[inline(never)]
+pub(crate) fn nc_violation() -> ! {
+    panic!("check-free memory access out of bounds: elision proof violated")
+}
+
+/// Loads `N` bytes at `base + offset` for a check-free (statically
+/// proven in-bounds) access. The slice lookup stays — safe code — but
+/// the trap plumbing is gone: a miss is an analysis bug, not a guest
+/// error.
+#[inline]
+pub(crate) fn nc_load<const N: usize>(mem: &[u8], base: i32, offset: u32) -> [u8; N] {
+    let ea = u64::from(base as u32) + u64::from(offset);
+    let bytes = usize::try_from(ea)
+        .ok()
+        .and_then(|a| a.checked_add(N).and_then(|end| mem.get(a..end)))
+        .and_then(|s| <&[u8; N]>::try_from(s).ok());
+    match bytes {
+        Some(b) => *b,
+        None => nc_violation(),
+    }
+}
+
+/// Stores `bytes` at `base + offset` for a check-free access.
+#[inline]
+pub(crate) fn nc_store(mem: &mut [u8], base: i32, offset: u32, bytes: &[u8]) {
+    let ea = u64::from(base as u32) + u64::from(offset);
+    let slot = usize::try_from(ea).ok().and_then(|a| {
+        a.checked_add(bytes.len())
+            .and_then(move |end| mem.get_mut(a..end))
+    });
+    match slot {
+        Some(s) => s.copy_from_slice(bytes),
+        None => nc_violation(),
+    }
+}
+
 /// Guards the host-call boundary: a [`HostEnv`] returning a result count
 /// other than the import's declared arity would silently diverge the
 /// engines (stale slots in the register engine, corrupted operand-stack
@@ -489,6 +533,9 @@ pub struct Instance {
     /// Live counters when the instance was created with
     /// [`ProfileMode::Count`]; `None` keeps the unprofiled hot path.
     profile: Option<Box<ExecProfile>>,
+    /// Verifier counters when the compiled IR was verified at
+    /// instantiation (`WATZ_VERIFY_IR` or the explicit entry point).
+    verify: Option<crate::verify::VerifyStats>,
 }
 
 impl Instance {
@@ -573,6 +620,63 @@ impl Instance {
         profile: ProfileMode,
         host: &mut dyn HostEnv,
     ) -> Result<Self, Trap> {
+        Self::instantiate_inner(
+            module,
+            mode,
+            fuse,
+            reg,
+            !crate::analysis::elision_disabled_by_env(),
+            crate::verify::strict(),
+            profile,
+            host,
+        )
+    }
+
+    /// [`Instance::instantiate_with_engine`] with explicit control over the
+    /// static-analysis passes: `elide` enables the bounds-check-elision
+    /// rewrite (range-analysis proofs are still computed and counted when it
+    /// is off), and `verify` runs the independent IR verifier over every
+    /// compiled rung before the instance can execute. The environment
+    /// switches `WATZ_NO_ELIDE` / `WATZ_VERIFY_IR` reach the same
+    /// combinations without code changes.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Instance::instantiate`], plus
+    /// [`Trap::Instantiation`] when `verify` is set and the compiled IR
+    /// fails verification.
+    pub fn instantiate_with_analysis(
+        module: &Module,
+        mode: ExecMode,
+        fuse: bool,
+        reg: bool,
+        elide: bool,
+        verify: bool,
+        host: &mut dyn HostEnv,
+    ) -> Result<Self, Trap> {
+        Self::instantiate_inner(
+            module,
+            mode,
+            fuse,
+            reg,
+            elide,
+            verify,
+            ProfileMode::from_env(),
+            host,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn instantiate_inner(
+        module: &Module,
+        mode: ExecMode,
+        fuse: bool,
+        reg: bool,
+        elide: bool,
+        verify: bool,
+        profile: ProfileMode,
+        host: &mut dyn HostEnv,
+    ) -> Result<Self, Trap> {
         let memory = module
             .memories
             .first()
@@ -608,8 +712,19 @@ impl Instance {
         // superinstruction fusion pass and the register-allocation pass
         // unless they are switched off.
         let flat = match mode {
-            ExecMode::Aot => Some(flat::FlatModule::compile_with(module, fuse, reg)?),
+            ExecMode::Aot => Some(flat::FlatModule::compile_full(module, fuse, reg, elide)?),
             ExecMode::Interpreted => None,
+        };
+
+        // Independent re-verification of everything the lowering pipeline
+        // produced: abstract interpretation from the flat bodies alone, no
+        // shared state with the lowering code above.
+        let verify_stats = match &flat {
+            Some(fm) if verify => Some(
+                crate::verify::verify_module(fm, &module.types)
+                    .map_err(|e| Trap::Instantiation(format!("IR verification: {e}")))?,
+            ),
+            _ => None,
         };
 
         let globals = module
@@ -656,6 +771,7 @@ impl Instance {
                 ProfileMode::Count => Some(Box::default()),
                 ProfileMode::Off => None,
             },
+            verify: verify_stats,
         };
 
         for data in &module.data {
@@ -694,6 +810,40 @@ impl Instance {
     #[must_use]
     pub fn reg_stats(&self) -> Option<crate::reg::RegStats> {
         self.flat.as_ref().and_then(flat::FlatModule::reg_stats)
+    }
+
+    /// Verifier counters from instantiation-time IR verification (`None`
+    /// for interpreted instances and when verification was not requested —
+    /// neither `WATZ_VERIFY_IR` nor [`Instance::instantiate_with_analysis`]
+    /// with `verify` set).
+    #[must_use]
+    pub fn verify_stats(&self) -> Option<crate::verify::VerifyStats> {
+        self.verify
+    }
+
+    /// Range-analysis counters from the flat lowering (`None` for
+    /// interpreted instances). Proof counts are maintained even when the
+    /// elision rewrite itself is off (`WATZ_NO_ELIDE`), so A/B runs can
+    /// confirm the same accesses were proven.
+    #[must_use]
+    pub fn range_stats(&self) -> Option<crate::analysis::RangeStats> {
+        self.flat.as_ref().map(|f| f.analysis)
+    }
+
+    /// Re-runs the independent IR verifier over this instance's compiled
+    /// code and returns fresh counters; `None` for interpreted instances
+    /// (there is no compiled IR to verify).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`crate::verify::VerifyError`] found, as at
+    /// instantiation.
+    pub fn verify_ir(
+        &self,
+    ) -> Option<Result<crate::verify::VerifyStats, crate::verify::VerifyError>> {
+        self.flat
+            .as_ref()
+            .map(|fm| crate::verify::verify_module(fm, &self.types))
     }
 
     /// Live execution counters, when the instance was created with

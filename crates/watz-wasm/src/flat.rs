@@ -244,8 +244,9 @@ fn i64_rem_u(a: u64, b: u64) -> Result<u64, Trap> {
 
 /// A fusable two-operand numeric or relational operator, shared by every
 /// fused superinstruction form. Variants mirror the spec's instruction
-/// names 1:1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// names 1:1. (`Hash` feeds the value-numbering keys in
+/// [`crate::analysis`].)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub(crate) enum BinOpKind {
     I32Add,
@@ -526,6 +527,52 @@ pub(crate) fn do_store(
     v: Slot,
 ) -> Result<(), Trap> {
     use crate::exec::mem_store as st;
+    match kind {
+        StoreKind::I32 | StoreKind::F32 => st(mem, base, offset, &(v as u32).to_le_bytes()),
+        StoreKind::I64 | StoreKind::F64 => st(mem, base, offset, &v.to_le_bytes()),
+        StoreKind::I32S8 | StoreKind::I64S8 => st(mem, base, offset, &[(v & 0xff) as u8]),
+        StoreKind::I32S16 | StoreKind::I64S16 => st(mem, base, offset, &(v as u16).to_le_bytes()),
+        StoreKind::I64S32 => st(mem, base, offset, &(v as u32).to_le_bytes()),
+    }
+}
+
+/// Performs a check-free load at `base + offset`: the elision pass
+/// proved the access in bounds, so there is no trap path (see
+/// [`crate::exec::nc_load`]).
+#[inline]
+pub(crate) fn do_load_nc(kind: LoadKind, mem: &[u8], base: i32, offset: u32) -> Slot {
+    use crate::exec::nc_load as ld;
+    match kind {
+        LoadKind::I32 => from_i32(i32::from_le_bytes(ld(mem, base, offset))),
+        LoadKind::I64 => from_i64(i64::from_le_bytes(ld(mem, base, offset))),
+        LoadKind::F32 => u64::from(u32::from_le_bytes(ld(mem, base, offset))),
+        LoadKind::F64 => u64::from_le_bytes(ld(mem, base, offset)),
+        LoadKind::I32L8S => {
+            let b: [u8; 1] = ld(mem, base, offset);
+            from_i32(i32::from(b[0] as i8))
+        }
+        LoadKind::I32L8U | LoadKind::I64L8U => {
+            let b: [u8; 1] = ld(mem, base, offset);
+            u64::from(b[0])
+        }
+        LoadKind::I32L16S => from_i32(i32::from(i16::from_le_bytes(ld(mem, base, offset)))),
+        LoadKind::I32L16U | LoadKind::I64L16U => {
+            u64::from(u16::from_le_bytes(ld(mem, base, offset)))
+        }
+        LoadKind::I64L8S => {
+            let b: [u8; 1] = ld(mem, base, offset);
+            from_i64(i64::from(b[0] as i8))
+        }
+        LoadKind::I64L16S => from_i64(i64::from(i16::from_le_bytes(ld(mem, base, offset)))),
+        LoadKind::I64L32S => from_i64(i64::from(i32::from_le_bytes(ld(mem, base, offset)))),
+        LoadKind::I64L32U => u64::from(u32::from_le_bytes(ld(mem, base, offset))),
+    }
+}
+
+/// Performs a check-free store of raw slot `v` at `base + offset`.
+#[inline]
+pub(crate) fn do_store_nc(kind: StoreKind, mem: &mut [u8], base: i32, offset: u32, v: Slot) {
+    use crate::exec::nc_store as st;
     match kind {
         StoreKind::I32 | StoreKind::F32 => st(mem, base, offset, &(v as u32).to_le_bytes()),
         StoreKind::I64 | StoreKind::F64 => st(mem, base, offset, &v.to_le_bytes()),
@@ -957,6 +1004,20 @@ pub(crate) enum FlatOp {
     I64Extend8S,
     I64Extend16S,
     I64Extend32S,
+
+    /// A plain load whose address the range analysis proved in bounds:
+    /// same stack effect as the checked form, no trap path. Only the
+    /// elision pass emits this, and the verifier re-derives the proof
+    /// ([`crate::verify::VerifyError::UnprovenCheckFree`]).
+    LoadNC {
+        kind: LoadKind,
+        offset: u32,
+    },
+    /// A plain store whose address the range analysis proved in bounds.
+    StoreNC {
+        kind: StoreKind,
+        offset: u32,
+    },
 }
 
 /// Per-kind counts of superinstructions emitted by the fusion pass over a
@@ -1228,23 +1289,36 @@ pub(crate) struct FlatModule {
     pub(crate) funcs: Vec<FlatFuncDef>,
     pub(crate) func_type_idx: Box<[u32]>,
     pub(crate) global_types: Box<[ValType]>,
-    fusion: FusionStats,
+    pub(crate) fusion: FusionStats,
     /// Register-form code (one per local function), present when the
     /// register-allocation pass ran and succeeded for every function.
     pub(crate) reg: Option<crate::reg::RegProgram>,
+    /// The memory's minimum size in bytes — the floor every in-bounds
+    /// proof is anchored to (linear memory never shrinks).
+    pub(crate) min_mem: u64,
+    /// Range-analysis and bounds-check-elision counters.
+    pub(crate) analysis: crate::analysis::RangeStats,
 }
 
 impl FlatModule {
     /// Lowers every function body of a validated module; `fuse` controls
-    /// the superinstruction peephole pass and `reg` the register-allocation
-    /// pass on top of it.
+    /// the superinstruction peephole pass, `reg` the register-allocation
+    /// pass on top of it, and `elide` the bounds-check elision rewrite.
+    /// Elision runs strictly after the register pass (which consumes the
+    /// original checked bodies), then rewrites the flat and register forms
+    /// independently.
     ///
     /// # Errors
     ///
     /// Returns [`Trap::Instantiation`] when the module is malformed (a
     /// truncated/unbalanced body, out-of-range indices) — lowering never
     /// panics, even on input that skipped validation.
-    pub(crate) fn compile_with(module: &Module, fuse: bool, reg: bool) -> Result<FlatModule, Trap> {
+    pub(crate) fn compile_full(
+        module: &Module,
+        fuse: bool,
+        reg: bool,
+        elide: bool,
+    ) -> Result<FlatModule, Trap> {
         let mut funcs = Vec::with_capacity(module.func_count());
         let mut func_type_idx = Vec::with_capacity(module.func_count());
         let mut reg_funcs: Vec<Option<crate::reg::RegFunc>> =
@@ -1287,7 +1361,7 @@ impl FlatModule {
             .map(|g| g.ty.val_type)
             .collect::<Vec<_>>()
             .into_boxed_slice();
-        let reg = if reg_ok {
+        let mut reg = if reg_ok {
             Some(crate::reg::RegProgram {
                 funcs: reg_funcs.into_boxed_slice(),
                 stats: reg_stats,
@@ -1295,12 +1369,48 @@ impl FlatModule {
         } else {
             None
         };
+        let min_mem = module
+            .memories
+            .first()
+            .map_or(0, |l| u64::from(l.min) * crate::PAGE_SIZE as u64);
+        // Bounds-check elision, strictly after the register pass: the
+        // register lowering consumes the original checked flat bodies,
+        // then each form is analyzed and rewritten independently. The
+        // entry heights come from the verifier's own walk so elision and
+        // verification always agree on reachability.
+        let mut analysis = crate::analysis::RangeStats::default();
+        for i in 0..funcs.len() {
+            let proofs = {
+                let ctx = crate::verify::ModuleCtx {
+                    funcs: &funcs,
+                    types: &module.types,
+                    global_types: &global_types,
+                    min_mem,
+                };
+                let FlatFuncDef::Local(f) = &funcs[i] else {
+                    continue;
+                };
+                let heights = crate::verify::flat_entry_heights(f, &ctx, i as u32)
+                    .map_err(|e| bad(&format!("IR self-check failed: {e}")))?;
+                crate::analysis::flat_proofs(f, &heights, &ctx)
+            };
+            if let FlatFuncDef::Local(f) = &mut funcs[i] {
+                crate::analysis::apply_flat_elision(f, &proofs, elide, &mut analysis);
+            }
+        }
+        if let Some(prog) = &mut reg {
+            for rf in prog.funcs.iter_mut().flatten() {
+                crate::analysis::elide_reg(rf, min_mem, elide, &mut analysis);
+            }
+        }
         Ok(FlatModule {
             funcs,
             func_type_idx: func_type_idx.into_boxed_slice(),
             global_types,
             fusion,
             reg,
+            min_mem,
+            analysis,
         })
     }
 
@@ -1379,7 +1489,7 @@ fn set_target(op: &mut FlatOp, slot: u32, target: u32) {
 /// operand-stack underflow. A module that passed [`crate::validate`] never
 /// hits these, but lowering must not panic the host either way.
 #[allow(clippy::too_many_lines)]
-fn lower(
+pub(crate) fn lower(
     module: &Module,
     body: &FuncBody,
     fuse: bool,
@@ -1712,6 +1822,12 @@ fn lower(
     }
     debug_assert_eq!(ops.len(), heights.len());
     debug_assert_eq!(ops.len(), prof.len());
+    // Under WATZ_VERIFY_IR the length parity holds in release builds
+    // too: the arrays are consumed 1:1 by the dispatch loops and the
+    // register pass, so a skew is an unconditional lowering bug.
+    if crate::verify::strict() && (ops.len() != heights.len() || ops.len() != prof.len()) {
+        return Err(bad("lowering produced skewed ops/heights/prof arrays"));
+    }
     let (code, heights, prof) = if fuse {
         fuse_ops(ops, heights, prof, fusion)?
     } else {
@@ -1851,6 +1967,10 @@ fn fuse_ops(
     old2new[n] = out.len() as u32;
     debug_assert_eq!(out.len(), heights_out.len());
     debug_assert_eq!(out.len(), prof_out.len());
+    // Release-mode twin of the asserts above, under WATZ_VERIFY_IR.
+    if crate::verify::strict() && (out.len() != heights_out.len() || out.len() != prof_out.len()) {
+        return Err(bad("fusion produced skewed ops/heights/prof arrays"));
+    }
 
     for op in &mut out {
         let remap = |t: &mut u32| {
@@ -2789,6 +2909,17 @@ fn run_loop<P: Profiler>(
             FlatOp::I64Store16(off) => store!(*off, |v| (v as u16).to_le_bytes()),
             FlatOp::I64Store32(off) => store!(*off, |v| (v as u32).to_le_bytes()),
 
+            FlatOp::LoadNC { kind, offset } => {
+                let t = top!();
+                let addr = as_i32(*t);
+                *t = do_load_nc(*kind, mem, addr, *offset);
+            }
+            FlatOp::StoreNC { kind, offset } => {
+                let v = pop!();
+                let addr = as_i32(pop!());
+                do_store_nc(*kind, mem, addr, *offset, v);
+            }
+
             FlatOp::MemorySize => stack.push(from_i32((mem.len() / crate::PAGE_SIZE) as i32)),
             FlatOp::MemoryGrow => {
                 let t = top!();
@@ -3625,12 +3756,12 @@ mod tests {
         );
         b.export_func("sum", f);
         let module = crate::load(&b.build()).unwrap();
-        let flat = FlatModule::compile_with(&module, true, false).unwrap();
+        let flat = FlatModule::compile_full(&module, true, false, true).unwrap();
         let stats = flat.fusion_stats();
         assert_eq!(stats.cmp_br, 1, "loop exit must fuse: {stats:?}");
         assert_eq!(stats.binop_ll_set, 1, "{stats:?}");
         assert_eq!(stats.binop_lk_set, 1, "{stats:?}");
-        let unfused = FlatModule::compile_with(&module, false, false).unwrap();
+        let unfused = FlatModule::compile_full(&module, false, false, true).unwrap();
         assert_eq!(unfused.fusion_stats().total(), 0);
         // And the fused loop still computes the same sum.
         assert_matrix_agrees(&b.build(), "sum", &[Value::I32(10)], "sum loop");
@@ -3757,7 +3888,7 @@ mod tests {
         b.export_func("divk", f);
         let bytes = b.build();
         let module = crate::load(&bytes).unwrap();
-        let flat = FlatModule::compile_with(&module, true, false).unwrap();
+        let flat = FlatModule::compile_full(&module, true, false, true).unwrap();
         assert_eq!(flat.fusion_stats().binop_lk_set, 1, "LKSet must fuse");
         for a in [i32::MIN, 42, -42] {
             assert_matrix_agrees(&bytes, "divk", &[Value::I32(a)], &format!("divk({a})"));
@@ -3791,7 +3922,7 @@ mod tests {
         b.export_func("divk", f);
         let bytes = b.build();
         let module = crate::load(&bytes).unwrap();
-        let flat = FlatModule::compile_with(&module, true, false).unwrap();
+        let flat = FlatModule::compile_full(&module, true, false, true).unwrap();
         assert_eq!(flat.fusion_stats().binop_lk_set, 1, "LKSet must fuse");
         for (arg, expect_trap, expect_instret) in
             [(i32::MIN, true, 3), (42, false, 5), (-42, false, 5)]
@@ -3890,7 +4021,7 @@ mod tests {
         b.export_func("store", store);
         let bytes = b.build();
         let module = crate::load(&bytes).unwrap();
-        let flat = FlatModule::compile_with(&module, true, false).unwrap();
+        let flat = FlatModule::compile_full(&module, true, false, true).unwrap();
         let stats = flat.fusion_stats();
         assert!(stats.load_l + stats.add_load + stats.idx_load > 0 || stats.store_l > 0);
         for addr in [0, 65520, 65529, 65536, -1, i32::MAX] {

@@ -22,6 +22,12 @@
 //!   real thing emits native code; ours stays portable, so the AOT/interp
 //!   gap is smaller than the paper's 28x, as documented in
 //!   EXPERIMENTS.md);
+//! * an independent **IR verifier** and value-range **analysis** ([`verify`],
+//!   [`analysis`]): abstract interpretation over the compiled rungs that
+//!   re-proves every lowering invariant (`WATZ_VERIFY_IR=1` makes it a
+//!   hard instantiation gate, [`VerifyStats`]) and proves memory accesses
+//!   in bounds so the flat and register engines can run them check-free
+//!   (`WATZ_NO_ELIDE=1` disables the rewrite, [`RangeStats`]);
 //! * an **encoder** and a programmatic **builder** ([`encode`], [`builder`])
 //!   used by the MiniC compiler (the reproduction's stand-in for WASI-SDK)
 //!   and by tests.
@@ -53,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod builder;
 pub mod decode;
 pub mod encode;
@@ -65,7 +72,9 @@ pub mod profile;
 pub mod reg;
 pub mod types;
 pub mod validate;
+pub mod verify;
 
+pub use analysis::RangeStats;
 pub use decode::DecodeError;
 pub use exec::{ExecMode, HostEnv, Instance, NoHost, Trap, Value};
 pub use flat::FusionStats;
@@ -73,6 +82,7 @@ pub use module::Module;
 pub use profile::{ExecProfile, ProfileMode};
 pub use reg::RegStats;
 pub use validate::ValidationError;
+pub use verify::{VerifyError, VerifyStats};
 
 /// Size of a WebAssembly linear-memory page (64 KiB).
 pub const PAGE_SIZE: usize = 65536;

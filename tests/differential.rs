@@ -90,6 +90,35 @@ fn run_ladder(
         instret.push((label, p.instret));
         out.push((label, outcome));
     }
+    // Verified rungs: the independent IR verifier is a hard
+    // instantiation gate here (not just under WATZ_VERIFY_IR=1), and
+    // bounds-check elision must change neither results nor traps.
+    for (label, elide) in [
+        ("register+verify", true),
+        ("register+verify-noelide", false),
+    ] {
+        let mut inst = Instance::instantiate_with_analysis(
+            module,
+            ExecMode::Aot,
+            true,
+            true,
+            elide,
+            true,
+            &mut NoHost,
+        )
+        .unwrap_or_else(|e| panic!("{label}: IR verification rejected a lowered module: {e}"));
+        let vs = inst.verify_stats().expect("verification ran");
+        assert!(vs.funcs > 0, "{label}: nothing verified");
+        let rs = inst.range_stats().expect("analysis stats available");
+        if !elide {
+            assert_eq!(rs.elided, 0, "{label}: elision-off must not rewrite");
+        }
+        out.push((
+            label,
+            inst.invoke(&mut NoHost, name, args)
+                .map_err(|e| e.to_string()),
+        ));
+    }
     for (label, n) in &instret[1..] {
         assert_eq!(
             instret[0].1, *n,

@@ -1,0 +1,331 @@
+//! Repo-local task runner (`cargo run -p xtask -- lint`).
+//!
+//! `lint` enforces two offline rules CI gates on, beyond what clippy
+//! covers:
+//!
+//! 1. **No `.unwrap()` / `.expect(` in the hot dispatch loops** — the
+//!    tree interpreter's `exec_body`, and `run_loop` in the flat and
+//!    register engines. A panic there is a guest-reachable crash of the
+//!    whole runtime, so every use must be individually justified in the
+//!    allowlist (`xtask/lint-allow.txt`).
+//! 2. **No narrowing `as` casts in the wire-format parsers** — the
+//!    attestation protocol codec (`watz-attestation/src/wire.rs`) and
+//!    the LEB128 decoder (`watz-wasm/src/leb128.rs`). A silent
+//!    truncation of an attacker-controlled length or index is exactly
+//!    how wire parsers go wrong; conversions must be `try_from` or
+//!    explicitly allowlisted (e.g. masking the low byte).
+//!
+//! Both scans work on comment- and string-stripped source so matches in
+//! docs or literals don't count, and `#[cfg(test)]` modules are out of
+//! scope. Findings are compared against `xtask/lint-allow.txt`: lines of
+//! `file-suffix|needle`, where a finding is allowed when its file path
+//! ends with `file-suffix` and the offending line contains `needle`.
+//! Unused allowlist entries are reported as failures too, so the list
+//! can only shrink.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The dispatch-loop scan targets: `(file, function name)`.
+const DISPATCH_LOOPS: [(&str, &str); 3] = [
+    ("crates/watz-wasm/src/exec.rs", "fn exec_body"),
+    ("crates/watz-wasm/src/flat.rs", "fn run_loop"),
+    ("crates/watz-wasm/src/reg.rs", "fn run_loop"),
+];
+
+/// The wire-parser cast-scan targets.
+const WIRE_PARSERS: [&str; 2] = [
+    "crates/watz-attestation/src/wire.rs",
+    "crates/watz-wasm/src/leb128.rs",
+];
+
+/// Narrowing integer casts a wire parser must not perform silently.
+const NARROWING: [&str; 6] = ["as u8", "as u16", "as u32", "as i8", "as i16", "as i32"];
+
+struct Finding {
+    file: PathBuf,
+    line_no: usize,
+    line: String,
+    what: String,
+}
+
+fn lint() -> ExitCode {
+    let root = repo_root();
+    let allow_path = root.join("xtask/lint-allow.txt");
+    let allow = std::fs::read_to_string(&allow_path).unwrap_or_default();
+    let allowlist: Vec<(String, String)> = allow
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (file, needle) = l.split_once('|')?;
+            Some((file.trim().to_string(), needle.trim().to_string()))
+        })
+        .collect();
+
+    let mut findings = Vec::new();
+    for (file, func) in DISPATCH_LOOPS {
+        let path = root.join(file);
+        let src = read(&path);
+        let stripped = strip_comments_and_strings(&src);
+        let Some((start, end)) = fn_body_span(&stripped, func) else {
+            findings.push(Finding {
+                file: path.clone(),
+                line_no: 0,
+                line: String::new(),
+                what: format!("lint target `{func}` not found (did the loop move?)"),
+            });
+            continue;
+        };
+        scan_lines(&src, &stripped, start, end, &path, &mut findings, |s| {
+            [".unwrap()", ".expect("]
+                .iter()
+                .find(|n| s.contains(**n))
+                .map(|n| format!("`{n}` in a dispatch loop"))
+        });
+    }
+    for file in WIRE_PARSERS {
+        let path = root.join(file);
+        let src = read(&path);
+        let stripped = strip_comments_and_strings(&src);
+        // Unit tests at the file tail are out of scope.
+        let end = stripped.find("#[cfg(test)]").unwrap_or(stripped.len());
+        scan_lines(&src, &stripped, 0, end, &path, &mut findings, |s| {
+            NARROWING
+                .iter()
+                .find(|n| s.contains(**n))
+                .map(|n| format!("narrowing `{n}` cast in a wire parser"))
+        });
+    }
+
+    let mut used = vec![false; allowlist.len()];
+    let mut fatal = 0usize;
+    for f in &findings {
+        let fp = f.file.to_string_lossy();
+        let allowed = allowlist.iter().enumerate().any(|(i, (file, needle))| {
+            let hit = fp.ends_with(file.as_str()) && f.line.contains(needle.as_str());
+            if hit {
+                used[i] = true;
+            }
+            hit
+        });
+        if !allowed {
+            fatal += 1;
+            eprintln!(
+                "lint: {}:{}: {}\n    {}",
+                fp,
+                f.line_no,
+                f.what,
+                f.line.trim()
+            );
+        }
+    }
+    for (i, (file, needle)) in allowlist.iter().enumerate() {
+        if !used[i] {
+            fatal += 1;
+            eprintln!("lint: stale allowlist entry `{file}|{needle}` matches nothing — remove it");
+        }
+    }
+    if fatal == 0 {
+        println!(
+            "lint: ok ({} allowlisted use(s) across {} dispatch loop(s) and {} wire parser(s))",
+            findings.len(),
+            DISPATCH_LOOPS.len(),
+            WIRE_PARSERS.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("lint: {fatal} finding(s); justify in xtask/lint-allow.txt or fix");
+        ExitCode::FAILURE
+    }
+}
+
+fn repo_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR is <root>/xtask.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask lives one level under the repo root")
+        .to_path_buf()
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("lint target {} unreadable: {e}", path.display()))
+}
+
+/// Runs `check` over every line intersecting `start..end` of the
+/// stripped text, reporting the corresponding raw-source line.
+fn scan_lines(
+    src: &str,
+    stripped: &str,
+    start: usize,
+    end: usize,
+    path: &Path,
+    findings: &mut Vec<Finding>,
+    check: impl Fn(&str) -> Option<String>,
+) {
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let mut offset = 0usize;
+    for (i, line) in stripped.lines().enumerate() {
+        let line_start = offset;
+        offset += line.len() + 1;
+        if line_start + line.len() < start || line_start >= end {
+            continue;
+        }
+        if let Some(what) = check(line) {
+            findings.push(Finding {
+                file: path.to_path_buf(),
+                line_no: i + 1,
+                line: raw_lines.get(i).copied().unwrap_or("").to_string(),
+                what,
+            });
+        }
+    }
+}
+
+/// Byte span of the brace-matched body of the first `needle` match in
+/// comment/string-stripped source.
+fn fn_body_span(stripped: &str, needle: &str) -> Option<(usize, usize)> {
+    let at = stripped.find(needle)?;
+    let open = at + stripped[at..].find('{')?;
+    let bytes = stripped.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((at, i + 1));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Replaces the contents of comments, string literals, and char
+/// literals with spaces, preserving byte offsets and line structure so
+/// scans can't match inside docs or literals. Handles `//`, nested
+/// `/* */`, `"…"` with escapes, raw strings `r"…"`/`r#"…"#`, and char
+/// literals (while leaving lifetimes like `'a` alone).
+fn strip_comments_and_strings(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = b.to_vec();
+    let mut i = 0usize;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 0usize;
+                while i < b.len() {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if b[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
+                // Raw string: r"…", r#"…"#, r##"…"##, …
+                let mut j = i + 1;
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    let close: Vec<u8> = std::iter::once(b'"')
+                        .chain(std::iter::repeat_n(b'#', hashes))
+                        .collect();
+                    let body_start = j + 1;
+                    let rel = src.as_bytes()[body_start..]
+                        .windows(close.len())
+                        .position(|w| w == close.as_slice());
+                    let end = rel.map_or(b.len(), |r| body_start + r + close.len());
+                    for k in body_start..end.saturating_sub(close.len()) {
+                        if b[k] != b'\n' {
+                            out[k] = b' ';
+                        }
+                    }
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+            b'"' => {
+                i += 1;
+                while i < b.len() && b[i] != b'"' {
+                    if b[i] == b'\\' {
+                        out[i] = b' ';
+                        i += 1;
+                        if i < b.len() && b[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                    } else if b[i] != b'\n' {
+                        out[i] = b' ';
+                    }
+                    i += 1;
+                }
+                i += 1;
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a literal closes with a `'`
+                // within a few bytes ('x', '\n', '\u{1F600}').
+                let lookahead = &b[i + 1..(i + 12).min(b.len())];
+                let close = if lookahead.first() == Some(&b'\\') {
+                    lookahead
+                        .iter()
+                        .skip(1)
+                        .position(|&c| c == b'\'')
+                        .map(|p| p + 1)
+                } else {
+                    (lookahead.get(1) == Some(&b'\'')).then_some(1)
+                };
+                if let Some(p) = close {
+                    for k in i + 1..=i + 1 + p {
+                        if b[k] != b'\n' {
+                            out[k] = b' ';
+                        }
+                    }
+                    i += p + 2;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    String::from_utf8(out).expect("stripping preserves UTF-8 only when input is ASCII-punctuated")
+}
