@@ -10,6 +10,7 @@ use std::time::Duration;
 
 use watz_bench::{header, reps, scale};
 use watz_fleet::sim::{fmt_latency, FleetSim, FleetSimConfig};
+use watz_fleet::OpenLoopConfig;
 
 fn main() {
     header(
@@ -29,12 +30,16 @@ fn main() {
     .expect("fleet boot");
     println!("  {devices} devices, one shard, {rounds} rounds per point");
 
+    let mut one_worker_rate = 0.0f64;
     for workers in [1usize, 2, 4, 8] {
         let mut reports: Vec<_> = (0..rounds.max(1))
             .map(|_| sim.run_with_workers(workers))
             .collect();
         reports.sort_by(|a, b| a.throughput().total_cmp(&b.throughput()));
         let median = &reports[reports.len() / 2];
+        if workers == 1 {
+            one_worker_rate = median.throughput();
+        }
         println!(
             "  workers {workers:>2}: {:>8.0} sessions/s   p50 {:>9}  p95 {:>9}  p99 {:>9}  batches/appraisals {}/{}",
             median.throughput(),
@@ -45,4 +50,33 @@ fn main() {
             median.stats.appraised,
         );
     }
+
+    // --- Open-loop overload: arrivals faster than capacity. ---
+    // A fixed arrival schedule at ~3x the 1-worker closed-loop rate just
+    // measured; latency is taken from the *scheduled* arrival, so
+    // queueing delay counts (coordinated-omission corrected). Tight
+    // admission caps make the verifier shed the excess with BUSY instead
+    // of queueing without bound — the honest overload numbers, shed
+    // counts included.
+    let offered_rate = 3.0 * one_worker_rate.max(1.0);
+    let overload_sim = FleetSim::boot(FleetSimConfig {
+        shards: 1,
+        endorsed: devices.min(32),
+        rogue: 0,
+        stale: 0,
+        session_timeout: Duration::from_secs(30),
+        port: 7702,
+        max_sessions_per_worker: 4,
+        max_queued_per_worker: 4,
+        ..FleetSimConfig::default()
+    })
+    .expect("overload fleet boot");
+    let overload = overload_sim.run_open_loop(&OpenLoopConfig {
+        sessions: devices * 2,
+        interval: Duration::from_secs_f64(1.0 / offered_rate),
+        workers: 1,
+        client_threads: 16,
+    });
+    println!("  open-loop overload (~3x 1-worker capacity, caps 4+4 per worker):");
+    println!("{overload}");
 }

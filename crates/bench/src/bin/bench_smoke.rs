@@ -84,13 +84,14 @@ fn dump_exec_profiles(module: &watz_wasm::Module, n: i32) {
 fn dump_fleet_stats(label: &str, stats: &FleetStats) {
     eprintln!("--- fleet stats for the failed gate ({label}) ---");
     eprintln!(
-        "  accepted {}  served {}  rejected {}  malformed {}  timed-out {}  disconnected {}",
+        "  accepted {}  served {}  rejected {}  malformed {}  timed-out {}  disconnected {}  shed {}",
         stats.accepted,
         stats.served,
         stats.rejected,
         stats.malformed,
         stats.timed_out,
-        stats.disconnected
+        stats.disconnected,
+        stats.shed
     );
     eprintln!(
         "  appraised {} in {} appraisal batches, {} msg1 batches ({} world switches)",
@@ -378,6 +379,7 @@ fn main() {
         workers_per_shard: 1,
         session_timeout: Duration::from_secs(10),
         port: 7811,
+        ..FleetSimConfig::default()
     })
     .expect("fleet sim boots");
     let warm = sim.run_with_workers(1);
@@ -435,6 +437,72 @@ fn main() {
             ),
         );
     }
+
+    // --- Fleet: load shedding must keep overload latency bounded. ---
+    // Offer sessions open-loop at ~3x the single-worker capacity just
+    // measured. A service with tight admission caps sheds the excess and
+    // keeps p99 (measured from the *scheduled* arrival, so queueing delay
+    // counts) near the per-session service time; a service with
+    // effectively unbounded caps queues everything and its p99 grows with
+    // the backlog. If shedding stops working — BUSY never sent, caps
+    // ignored, or the shed reply itself queues behind the backlog — the
+    // two runs converge and the gate trips.
+    let overload_interval = Duration::from_secs_f64(1.0 / (3.0 * fleet_one));
+    let overload = |caps: (usize, usize), port: u16| {
+        let sim = FleetSim::boot(FleetSimConfig {
+            shards: 1,
+            endorsed: 8,
+            rogue: 0,
+            stale: 0,
+            workers_per_shard: 1,
+            // Long enough that the server never evicts a queued session
+            // mid-round: eviction silence would block the client for the
+            // full transport timeout and poison the latency samples.
+            session_timeout: Duration::from_secs(30),
+            port,
+            max_sessions_per_worker: caps.0,
+            max_queued_per_worker: caps.1,
+            ..FleetSimConfig::default()
+        })
+        .expect("overload sim boots");
+        sim.run_open_loop(&watz_fleet::OpenLoopConfig {
+            sessions: 150,
+            interval: overload_interval,
+            workers: 1,
+            client_threads: 8,
+        })
+    };
+    let shedded = overload((2, 2), 7812);
+    let unshedded = overload((4096, 4096), 7813);
+    let p99_shed = shedded
+        .latency_percentile(99.0)
+        .expect("shedded run completed some sessions");
+    let p99_queue = unshedded
+        .latency_percentile(99.0)
+        .expect("unshedded run completed some sessions");
+    println!(
+        "fleet overload ({:.0}/s offered): shedded p99 {p99_shed:?} (shed {})  unshedded p99 {p99_queue:?} (shed {})",
+        shedded.offered_rate(),
+        shedded.shed,
+        unshedded.shed,
+    );
+    assert!(
+        shedded.shed > 0,
+        "an overloaded service with tight caps must shed sessions"
+    );
+    assert_eq!(
+        unshedded.shed, 0,
+        "caps of 4096 must never trip on a 150-session round"
+    );
+    assert!(
+        shedded.provisioned > 0,
+        "shedding must not starve admitted sessions"
+    );
+    assert!(
+        p99_shed < p99_queue,
+        "load shedding no longer bounds overload latency \
+         (shedded p99 {p99_shed:?} >= unshedded p99 {p99_queue:?})"
+    );
 
     if std::env::var_os("WATZ_SMOKE_SWEEP").is_some() {
         sweep_suite();

@@ -11,6 +11,8 @@
 //! surface as errors instead of hangs.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -37,11 +39,225 @@ pub const DEFAULT_ACCEPT_BACKLOG: usize = 1024;
 
 type Channel = (Sender<Vec<u8>>, Receiver<Vec<u8>>);
 
+/// xorshift64: the repo-standard deterministic PRNG (no external crates).
+/// `state` must be non-zero.
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// splitmix64 finalizer: stretches a structured seed (plan seed XOR
+/// connection id) into a well-mixed xorshift state.
+fn mix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Converts a probability in `[0.0, 1.0]` to a threshold comparable against
+/// the top 32 bits of an xorshift draw. `1.0` maps to `2^32`, which every
+/// 32-bit draw is below, so a rate of exactly 1.0 always fires.
+fn fault_threshold(rate: f64) -> u64 {
+    (rate.clamp(0.0, 1.0) * 4_294_967_296.0) as u64
+}
+
+/// The class of an injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The message was silently discarded; the sender saw `Ok`.
+    Drop,
+    /// Delivery was delayed (the sending thread slept, modelling a slow
+    /// supplicant buffer) but the payload arrived intact.
+    Delay,
+    /// One or more payload bytes were flipped in flight.
+    Corrupt,
+    /// The message was delivered twice.
+    Duplicate,
+    /// The endpoint was killed mid-handshake: the send failed and every
+    /// later operation on this end reports a disconnect.
+    Disconnect,
+}
+
+/// Which half of the connection performed the faulted send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDir {
+    /// The dialling side's send (supplicant → verifier).
+    ClientToServer,
+    /// The accepting side's send (verifier → supplicant).
+    ServerToClient,
+}
+
+/// One injected fault, recorded in the network-wide fault log so tests can
+/// assert exactly what the plan did to each connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Connection index, in dial order since the plan was installed.
+    pub conn: u64,
+    /// Direction of the faulted send.
+    pub dir: FaultDir,
+    /// Send-operation index on that endpoint (0 = first send).
+    pub seq: u64,
+    /// What was injected.
+    pub kind: FaultKind,
+}
+
+/// A seeded, deterministic fault-injection plan.
+///
+/// Installed per-[`Network`] with [`Network::install_fault_plan`]; every
+/// connection dialled *after* the install carries two fault hooks (one per
+/// direction), each with its own xorshift stream derived from
+/// `(plan seed, connection index, direction)`. Fault decisions therefore
+/// depend only on the seed, the connection's dial order, and the message
+/// sequence on that endpoint — never on thread timing — so a failing chaos
+/// run is reproducible from its seed alone.
+///
+/// All faults are applied at the `send` boundary (an injected disconnect
+/// also poisons the endpoint's receive side). With no plan installed,
+/// connections carry no hook and the send/recv paths cost one `Option`
+/// check — zero overhead for every existing benchmark.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_t: u64,
+    delay_t: u64,
+    max_delay: Duration,
+    corrupt_t: u64,
+    corrupt_bytes: usize,
+    duplicate_t: u64,
+    disconnect_t: u64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing; chain rate builders to arm faults.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_t: 0,
+            delay_t: 0,
+            max_delay: Duration::ZERO,
+            corrupt_t: 0,
+            corrupt_bytes: 1,
+            duplicate_t: 0,
+            disconnect_t: 0,
+        }
+    }
+
+    /// The seed the plan was built with (printed by soak tests on failure).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Probability per send that the message is silently discarded.
+    #[must_use]
+    pub fn drop_rate(mut self, rate: f64) -> Self {
+        self.drop_t = fault_threshold(rate);
+        self
+    }
+
+    /// Probability per send of a deterministic delay, uniform in
+    /// `[0, max_delay]`. The delay blocks the sending thread.
+    #[must_use]
+    pub fn delay_rate(mut self, rate: f64, max_delay: Duration) -> Self {
+        self.delay_t = fault_threshold(rate);
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Probability per send that `bytes` payload bytes are flipped (each
+    /// XORed with a non-zero mask, so the payload always differs).
+    #[must_use]
+    pub fn corrupt_rate(mut self, rate: f64, bytes: usize) -> Self {
+        self.corrupt_t = fault_threshold(rate);
+        self.corrupt_bytes = bytes.max(1);
+        self
+    }
+
+    /// Probability per send that the message is delivered twice.
+    #[must_use]
+    pub fn duplicate_rate(mut self, rate: f64) -> Self {
+        self.duplicate_t = fault_threshold(rate);
+        self
+    }
+
+    /// Probability per send that the endpoint is killed mid-handshake:
+    /// the send fails with [`TeeError::Net`] and every later send/recv on
+    /// this end reports a disconnect.
+    #[must_use]
+    pub fn disconnect_rate(mut self, rate: f64) -> Self {
+        self.disconnect_t = fault_threshold(rate);
+        self
+    }
+}
+
+/// xorshift state + send counter for one faulted endpoint.
+#[derive(Debug)]
+struct FaultRng {
+    state: u64,
+    seq: u64,
+}
+
+/// Per-endpoint fault machinery, attached to a [`Connection`] at dial time
+/// when a plan is installed.
+#[derive(Debug)]
+struct FaultHook {
+    plan: FaultPlan,
+    conn: u64,
+    dir: FaultDir,
+    rng: Mutex<FaultRng>,
+    dead: AtomicBool,
+    log: Arc<Mutex<Vec<FaultEvent>>>,
+}
+
+impl FaultHook {
+    fn new(plan: &FaultPlan, conn: u64, dir: FaultDir, log: Arc<Mutex<Vec<FaultEvent>>>) -> Self {
+        let lane = conn
+            .wrapping_mul(2)
+            .wrapping_add(matches!(dir, FaultDir::ServerToClient) as u64);
+        FaultHook {
+            plan: plan.clone(),
+            conn,
+            dir,
+            rng: Mutex::new(FaultRng {
+                state: mix64(plan.seed ^ mix64(lane)) | 1,
+                seq: 0,
+            }),
+            dead: AtomicBool::new(false),
+            log,
+        }
+    }
+
+    fn record(&self, seq: u64, kind: FaultKind) {
+        self.log.lock().push(FaultEvent {
+            conn: self.conn,
+            dir: self.dir,
+            seq,
+            kind,
+        });
+    }
+}
+
+/// Fault-plan install state: the plan plus the dial-order counter that
+/// assigns connection indices.
+#[derive(Debug)]
+struct FaultInstall {
+    plan: FaultPlan,
+    next_conn: u64,
+}
+
 /// The loopback network shared by every party on a device (and, in tests,
 /// between "devices" that share a `Network`).
 #[derive(Debug)]
 pub struct Network {
     listeners: Mutex<HashMap<u16, Sender<Connection>>>,
+    fault: Mutex<Option<FaultInstall>>,
+    fault_log: Arc<Mutex<Vec<FaultEvent>>>,
 }
 
 impl Network {
@@ -50,7 +266,35 @@ impl Network {
     pub fn new() -> Self {
         Network {
             listeners: Mutex::new(HashMap::new()),
+            fault: Mutex::new(None),
+            fault_log: Arc::new(Mutex::new(Vec::new())),
         }
+    }
+
+    /// Installs a fault plan. Connections dialled after this call carry
+    /// fault hooks; connections that already exist are unaffected (their
+    /// hooks, if any, came from the previously installed plan). The
+    /// connection-index counter restarts at 0 on every install.
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        *self.fault.lock() = Some(FaultInstall { plan, next_conn: 0 });
+    }
+
+    /// Removes the installed fault plan. Connections dialled afterwards
+    /// are clean; already-dialled connections keep their hooks.
+    pub fn clear_fault_plan(&self) {
+        *self.fault.lock() = None;
+    }
+
+    /// A snapshot of every fault injected since the log was last drained.
+    #[must_use]
+    pub fn fault_log(&self) -> Vec<FaultEvent> {
+        self.fault_log.lock().clone()
+    }
+
+    /// Drains and returns the fault log.
+    #[must_use]
+    pub fn take_fault_log(&self) -> Vec<FaultEvent> {
+        std::mem::take(&mut *self.fault_log.lock())
     }
 
     /// Binds a listener on `port` with the default accept backlog
@@ -114,11 +358,36 @@ impl Network {
                 .cloned()
                 .ok_or_else(|| TeeError::Net(format!("connection refused on port {port}")))?
         };
+        let (client_hook, server_hook) = {
+            let mut fault = self.fault.lock();
+            match fault.as_mut() {
+                None => (None, None),
+                Some(install) => {
+                    let conn = install.next_conn;
+                    install.next_conn += 1;
+                    (
+                        Some(Box::new(FaultHook::new(
+                            &install.plan,
+                            conn,
+                            FaultDir::ClientToServer,
+                            Arc::clone(&self.fault_log),
+                        ))),
+                        Some(Box::new(FaultHook::new(
+                            &install.plan,
+                            conn,
+                            FaultDir::ServerToClient,
+                            Arc::clone(&self.fault_log),
+                        ))),
+                    )
+                }
+            }
+        };
         let (c2s_tx, c2s_rx): Channel = bounded(64);
         let (s2c_tx, s2c_rx): Channel = bounded(64);
         let server_side = Connection {
             tx: s2c_tx,
             rx: c2s_rx,
+            faults: server_hook,
         };
         accept_tx
             .send(server_side)
@@ -126,6 +395,7 @@ impl Network {
         Ok(Connection {
             tx: c2s_tx,
             rx: s2c_rx,
+            faults: client_hook,
         })
     }
 }
@@ -191,6 +461,9 @@ impl Listener {
 pub struct Connection {
     tx: Sender<Vec<u8>>,
     rx: Receiver<Vec<u8>>,
+    /// Fault hook from the plan installed when this connection was
+    /// dialled; `None` (the common case) costs one branch per operation.
+    faults: Option<Box<FaultHook>>,
 }
 
 impl Connection {
@@ -198,11 +471,90 @@ impl Connection {
     ///
     /// # Errors
     ///
-    /// Returns [`TeeError::Net`] if the peer hung up.
+    /// Returns [`TeeError::Net`] if the peer hung up (or an injected
+    /// disconnect killed this endpoint).
     pub fn send(&self, data: &[u8]) -> Result<(), TeeError> {
+        match &self.faults {
+            None => self
+                .tx
+                .send(data.to_vec())
+                .map_err(|_| TeeError::Net("peer disconnected".into())),
+            Some(hook) => self.send_faulty(hook, data),
+        }
+    }
+
+    /// The faulted send path: draws one decision per fault class in a
+    /// fixed order (disconnect, drop, corrupt, duplicate, delay) so the
+    /// schedule depends only on `(seed, connection, seq)`, then applies
+    /// whatever fired. Corruption mutates a copy; the caller's buffer is
+    /// never touched.
+    fn send_faulty(&self, hook: &FaultHook, data: &[u8]) -> Result<(), TeeError> {
+        if hook.dead.load(Ordering::Relaxed) {
+            return Err(TeeError::Net("peer disconnected".into()));
+        }
+        let plan = &hook.plan;
+        let mut g = hook.rng.lock();
+        let seq = g.seq;
+        g.seq += 1;
+        let (disconnect, drop_it, corrupt, duplicate, delay) = {
+            let mut fire = |threshold: u64| (xorshift64(&mut g.state) >> 32) < threshold;
+            (
+                fire(plan.disconnect_t),
+                fire(plan.drop_t),
+                fire(plan.corrupt_t),
+                fire(plan.duplicate_t),
+                fire(plan.delay_t),
+            )
+        };
+        if disconnect {
+            drop(g);
+            hook.dead.store(true, Ordering::Relaxed);
+            hook.record(seq, FaultKind::Disconnect);
+            return Err(TeeError::Net("peer disconnected".into()));
+        }
+        if drop_it {
+            drop(g);
+            hook.record(seq, FaultKind::Drop);
+            return Ok(());
+        }
+        let mut payload = data.to_vec();
+        if corrupt && !payload.is_empty() {
+            for _ in 0..plan.corrupt_bytes {
+                let r = xorshift64(&mut g.state);
+                let pos = (r as usize) % payload.len();
+                // OR 1 keeps the mask non-zero, so the byte always changes.
+                let mask = (((r >> 32) & 0xFF) as u8) | 1;
+                payload[pos] ^= mask;
+            }
+        }
+        let delay_for = delay.then(|| {
+            let frac = ((xorshift64(&mut g.state) >> 40) as f64) / ((1u64 << 24) as f64);
+            plan.max_delay.mul_f64(frac)
+        });
+        drop(g);
+        if corrupt && !payload.is_empty() {
+            hook.record(seq, FaultKind::Corrupt);
+        }
+        if let Some(d) = delay_for {
+            hook.record(seq, FaultKind::Delay);
+            std::thread::sleep(d);
+        }
         self.tx
-            .send(data.to_vec())
-            .map_err(|_| TeeError::Net("peer disconnected".into()))
+            .send(payload.clone())
+            .map_err(|_| TeeError::Net("peer disconnected".into()))?;
+        if duplicate {
+            hook.record(seq, FaultKind::Duplicate);
+            // Peer may legitimately vanish between the copies.
+            let _ = self.tx.send(payload);
+        }
+        Ok(())
+    }
+
+    /// True once an injected disconnect has killed this endpoint.
+    fn fault_killed(&self) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|h| h.dead.load(Ordering::Relaxed))
     }
 
     /// Receives one message (blocking, with timeout).
@@ -232,6 +584,9 @@ impl Connection {
     /// its end and the buffer is drained.
     pub fn recv_detailed(&self, timeout: Duration) -> Result<Vec<u8>, RecvError> {
         use crossbeam::channel::RecvTimeoutError;
+        if self.fault_killed() {
+            return Err(RecvError::Disconnected);
+        }
         self.rx.recv_timeout(timeout).map_err(|e| match e {
             RecvTimeoutError::Timeout => RecvError::TimedOut,
             RecvTimeoutError::Disconnected => RecvError::Disconnected,
@@ -254,6 +609,9 @@ impl Connection {
     ///
     /// Returns [`TeeError::Net`] if no message is ready.
     pub fn try_recv(&self) -> Result<Vec<u8>, TeeError> {
+        if self.fault_killed() {
+            return Err(TeeError::Net("peer disconnected".into()));
+        }
         self.rx
             .try_recv()
             .map_err(|_| TeeError::Net("no message ready".into()))
@@ -267,6 +625,9 @@ impl Connection {
     /// [`TryRecv::Disconnected`] is reported.
     pub fn try_recv_detailed(&self) -> TryRecv {
         use crossbeam::channel::TryRecvError;
+        if self.fault_killed() {
+            return TryRecv::Disconnected;
+        }
         match self.rx.try_recv() {
             Ok(data) => TryRecv::Message(data),
             Err(TryRecvError::Empty) => TryRecv::Empty,
@@ -471,6 +832,148 @@ mod tests {
         client.send(b"wake").unwrap();
         assert_eq!(sel.ready_timeout(Duration::from_secs(1)), Ok(idx));
         assert_eq!(server.try_recv().unwrap(), b"wake");
+    }
+
+    fn faulted_pair(net: &Network, port: u16) -> (Connection, Connection) {
+        let listener = net.listen(port).unwrap();
+        let client = net.connect(port).unwrap();
+        let server = listener.accept().unwrap();
+        net.unbind(port);
+        (client, server)
+    }
+
+    #[test]
+    fn fault_plan_absent_means_no_hooks_and_empty_log() {
+        let net = Network::new();
+        let (client, server) = faulted_pair(&net, 7100);
+        assert!(client.faults.is_none() && server.faults.is_none());
+        client.send(b"clean").unwrap();
+        assert_eq!(server.recv().unwrap(), b"clean");
+        assert!(net.fault_log().is_empty());
+    }
+
+    #[test]
+    fn drop_fault_is_silent_for_sender_and_logged() {
+        let net = Network::new();
+        net.install_fault_plan(FaultPlan::new(1).drop_rate(1.0));
+        let (client, server) = faulted_pair(&net, 7101);
+        client.send(b"lost").unwrap();
+        assert_eq!(
+            server.recv_detailed(Duration::from_millis(20)),
+            Err(RecvError::TimedOut),
+            "dropped frame must never arrive"
+        );
+        let log = net.fault_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(
+            log[0],
+            FaultEvent {
+                conn: 0,
+                dir: FaultDir::ClientToServer,
+                seq: 0,
+                kind: FaultKind::Drop
+            }
+        );
+    }
+
+    #[test]
+    fn corrupt_fault_flips_bytes_but_preserves_length() {
+        let net = Network::new();
+        net.install_fault_plan(FaultPlan::new(2).corrupt_rate(1.0, 3));
+        let (client, server) = faulted_pair(&net, 7102);
+        let sent = [0u8; 32];
+        client.send(&sent).unwrap();
+        let got = server.recv().unwrap();
+        assert_eq!(got.len(), sent.len());
+        assert_ne!(got, sent, "corruption must change the payload");
+        assert!(net
+            .fault_log()
+            .iter()
+            .any(|e| e.kind == FaultKind::Corrupt && e.conn == 0));
+    }
+
+    #[test]
+    fn duplicate_fault_delivers_twice() {
+        let net = Network::new();
+        net.install_fault_plan(FaultPlan::new(3).duplicate_rate(1.0));
+        let (client, server) = faulted_pair(&net, 7103);
+        client.send(b"twin").unwrap();
+        assert_eq!(server.recv().unwrap(), b"twin");
+        assert_eq!(server.recv().unwrap(), b"twin");
+        assert_eq!(net.fault_log()[0].kind, FaultKind::Duplicate);
+    }
+
+    #[test]
+    fn delay_fault_delivers_late_but_intact() {
+        let net = Network::new();
+        net.install_fault_plan(FaultPlan::new(4).delay_rate(1.0, Duration::from_millis(10)));
+        let (client, server) = faulted_pair(&net, 7104);
+        client.send(b"slow").unwrap();
+        assert_eq!(server.recv().unwrap(), b"slow");
+        assert_eq!(net.fault_log()[0].kind, FaultKind::Delay);
+    }
+
+    #[test]
+    fn disconnect_fault_kills_the_endpoint_both_ways() {
+        let net = Network::new();
+        net.install_fault_plan(FaultPlan::new(5).disconnect_rate(1.0));
+        let (client, server) = faulted_pair(&net, 7105);
+        assert!(client.send(b"doomed").is_err(), "send fails at the kill");
+        assert_eq!(
+            client.recv_detailed(Duration::from_millis(10)),
+            Err(RecvError::Disconnected),
+            "a killed endpoint cannot receive either"
+        );
+        assert_eq!(client.try_recv_detailed(), TryRecv::Disconnected);
+        // The peer sees a normal hangup once the killed side is dropped.
+        drop(client);
+        assert_eq!(
+            server.recv_detailed(Duration::from_millis(100)),
+            Err(RecvError::Disconnected)
+        );
+        let log = net.fault_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].kind, FaultKind::Disconnect);
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let net = Network::new();
+            net.install_fault_plan(
+                FaultPlan::new(seed)
+                    .drop_rate(0.3)
+                    .corrupt_rate(0.3, 2)
+                    .duplicate_rate(0.2),
+            );
+            for port in 0..4u16 {
+                let (client, server) = faulted_pair(&net, 7110 + port);
+                for i in 0..8u8 {
+                    client.send(&[i; 16]).unwrap();
+                    server.send(&[i ^ 0xFF; 16]).unwrap();
+                }
+            }
+            net.take_fault_log()
+        };
+        let a = run(0xC0FFEE);
+        let b = run(0xC0FFEE);
+        assert!(!a.is_empty(), "moderate rates over 64 sends must fire");
+        assert_eq!(a, b, "same seed, same dial order => identical schedule");
+        assert_ne!(a, run(0xBEEF), "a different seed reshuffles the plan");
+    }
+
+    #[test]
+    fn clear_fault_plan_leaves_new_connections_clean() {
+        let net = Network::new();
+        net.install_fault_plan(FaultPlan::new(6).drop_rate(1.0));
+        let (faulted, _server) = faulted_pair(&net, 7120);
+        net.clear_fault_plan();
+        let (clean_client, clean_server) = faulted_pair(&net, 7121);
+        clean_client.send(b"through").unwrap();
+        assert_eq!(clean_server.recv().unwrap(), b"through");
+        // The already-dialled connection keeps its hook.
+        faulted.send(b"gone").unwrap();
+        assert_eq!(net.fault_log().len(), 1);
     }
 
     #[test]

@@ -1,4 +1,12 @@
-//! The attester role (the WaTZ device side of the protocol).
+//! The attester role (the WaTZ device side of the protocol), plus the
+//! retrying network client ([`AttestClient`]) real supplicants use: a full
+//! attestation attempt per try, capped exponential backoff with
+//! deterministic jitter, and a typed taxonomy separating retryable
+//! transport faults from terminal appraisal rejections.
+
+use std::time::{Duration, Instant};
+
+use optee_sim::net::{Connection, Network, RecvError, RECV_TIMEOUT};
 
 use watz_crypto::cmac::AesCmac;
 use watz_crypto::ecdh::EphemeralKeyPair;
@@ -11,7 +19,7 @@ use watz_crypto::sha256::Sha256;
 use crate::evidence::session_anchor;
 use crate::service::AttestationService;
 use crate::timed;
-use crate::wire::{Msg0, Msg1, Msg2, Msg3};
+use crate::wire::{Msg0, Msg1, Msg2, Msg3, APPRAISAL_FAILED, INTEGRITY_FAILED, SERVER_BUSY};
 use crate::{RaError, StepTimings};
 
 enum State {
@@ -63,7 +71,7 @@ impl Attester {
         let mut t = StepTimings::default();
         let session = timed!(t, key_generation, EphemeralKeyPair::generate(rng));
         let ga = timed!(t, memory, session.public_bytes());
-        let msg0 = timed!(t, memory, Msg0 { ga });
+        let msg0 = timed!(t, memory, Msg0 { ga, attempt: 0 });
         (
             Attester {
                 state: State::AwaitMsg1 { session },
@@ -246,5 +254,439 @@ impl Attester {
     #[must_use]
     pub fn is_done(&self) -> bool {
         matches!(self.state, State::Done)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retry policy and fault taxonomy
+// ---------------------------------------------------------------------------
+
+/// xorshift64 over a splitmix-stretched seed; the repo-standard
+/// deterministic PRNG, used here for backoff jitter.
+fn jitter_draw(seed: u64, attempt: u32) -> u64 {
+    let mut z = seed
+        .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    let mut x = (z ^ (z >> 31)) | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+/// Why one attestation attempt failed. The taxonomy exists so the retry
+/// driver (and fleet clients) can distinguish faults worth retrying —
+/// transport losses, shedding, suspected in-flight corruption — from
+/// verdicts that no amount of retrying will change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttemptError {
+    /// `connect` failed: nothing is listening (or the listener is gone).
+    Refused,
+    /// A send failed mid-handshake: the peer hung up (or an injected
+    /// disconnect killed the connection).
+    SendFailed,
+    /// The peer stayed connected but a reply never arrived in time.
+    Timeout,
+    /// The peer hung up while a reply was awaited.
+    PeerClosed,
+    /// The service shed this session ([`SERVER_BUSY`]): overloaded, not
+    /// broken — back off and retry.
+    Busy,
+    /// A reply failed to parse or authenticate — indistinguishable, from
+    /// the supplicant's seat, from in-flight corruption, so it is
+    /// retryable (a genuinely hostile verifier just exhausts the budget).
+    Garbled(RaError),
+    /// The verifier answered [`INTEGRITY_FAILED`]: what *we* sent did not
+    /// parse or authenticate over there. Retryable for the same reason as
+    /// [`AttemptError::Garbled`] — in-flight corruption of an outgoing
+    /// frame looks exactly like this.
+    IntegrityRejected,
+    /// The verifier answered [`APPRAISAL_FAILED`]: an authoritative
+    /// rejection of this device's evidence. Terminal.
+    Rejected,
+    /// Local protocol misuse (e.g. state-machine order). Terminal.
+    Fatal(RaError),
+}
+
+impl AttemptError {
+    /// True for faults where a fresh handshake has a chance of succeeding.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, AttemptError::Rejected | AttemptError::Fatal(_))
+    }
+}
+
+impl std::fmt::Display for AttemptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttemptError::Refused => write!(f, "connection refused"),
+            AttemptError::SendFailed => write!(f, "send failed mid-handshake"),
+            AttemptError::Timeout => write!(f, "reply timed out"),
+            AttemptError::PeerClosed => write!(f, "peer closed mid-handshake"),
+            AttemptError::Busy => write!(f, "shed by the service (busy)"),
+            AttemptError::Garbled(e) => write!(f, "garbled reply: {e}"),
+            AttemptError::IntegrityRejected => {
+                write!(f, "verifier reported an integrity failure (retryable)")
+            }
+            AttemptError::Rejected => write!(f, "appraisal rejected"),
+            AttemptError::Fatal(e) => write!(f, "fatal protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AttemptError {}
+
+/// Why a whole [`AttestClient::attest`] run gave up. Every variant carries
+/// the attempt count so fleet stats can track retries even for failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttestError {
+    /// A terminal (non-retryable) verdict; retrying would not help.
+    Terminal {
+        /// Attempts made, including the terminal one.
+        attempts: u32,
+        /// The terminal error.
+        last: AttemptError,
+    },
+    /// Every allowed attempt failed with a retryable fault.
+    Exhausted {
+        /// Attempts made (equals the policy's `max_attempts`).
+        attempts: u32,
+        /// The last retryable fault observed.
+        last: AttemptError,
+    },
+    /// The overall deadline budget ran out before the next retry.
+    DeadlineExceeded {
+        /// Attempts made before the budget ran out.
+        attempts: u32,
+        /// The last fault observed.
+        last: AttemptError,
+    },
+}
+
+impl AttestError {
+    /// Attempts made before giving up.
+    #[must_use]
+    pub fn attempts(&self) -> u32 {
+        match self {
+            AttestError::Terminal { attempts, .. }
+            | AttestError::Exhausted { attempts, .. }
+            | AttestError::DeadlineExceeded { attempts, .. } => *attempts,
+        }
+    }
+
+    /// The last per-attempt error observed.
+    #[must_use]
+    pub fn last(&self) -> &AttemptError {
+        match self {
+            AttestError::Terminal { last, .. }
+            | AttestError::Exhausted { last, .. }
+            | AttestError::DeadlineExceeded { last, .. } => last,
+        }
+    }
+}
+
+impl std::fmt::Display for AttestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttestError::Terminal { attempts, last } => {
+                write!(f, "terminal after {attempts} attempt(s): {last}")
+            }
+            AttestError::Exhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempt(s): {last}")
+            }
+            AttestError::DeadlineExceeded { attempts, last } => {
+                write!(f, "deadline exceeded after {attempts} attempt(s): {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AttestError {}
+
+/// Retry schedule for [`AttestClient::attest`]: capped exponential backoff
+/// with deterministic jitter and an overall deadline budget. Every retry
+/// restarts the full handshake (fresh connection, fresh ephemeral keys) —
+/// required anyway by the protocol's freshness rules (§IV req. 4/5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed (first try included). Minimum 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Ceiling on a single backoff pause.
+    pub max_backoff: Duration,
+    /// Overall budget: once `elapsed + next backoff` would cross it, the
+    /// client gives up with [`AttestError::DeadlineExceeded`].
+    pub deadline: Duration,
+    /// Per-reply receive timeout within one attempt.
+    pub recv_timeout: Duration,
+    /// Seed for the deterministic jitter stream. Give each device its own
+    /// seed or a fleet of synchronised failures retries in lockstep.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            deadline: Duration::from_secs(10),
+            recv_timeout: RECV_TIMEOUT,
+            jitter_seed: 1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The pause before the retry following `failed_attempts` failures:
+    /// `min(base * 2^(n-1), max)` scaled by a jitter factor in
+    /// `[0.5, 1.0)` drawn deterministically from `(jitter_seed, n)`.
+    #[must_use]
+    pub fn backoff(&self, failed_attempts: u32) -> Duration {
+        let exp = failed_attempts.saturating_sub(1).min(16);
+        let raw = self
+            .base_backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.max_backoff);
+        let frac =
+            ((jitter_draw(self.jitter_seed, failed_attempts) >> 40) as f64) / ((1u64 << 24) as f64);
+        raw.mul_f64(0.5 + frac * 0.5)
+    }
+}
+
+/// A successful [`AttestClient::attest`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryOutcome {
+    /// The provisioned secret blob.
+    pub secret: Vec<u8>,
+    /// Attempts made, including the successful one (1 = first try).
+    pub attempts: u32,
+}
+
+/// The supplicant-side network client: dials the verifier service over the
+/// loopback [`Network`], runs the full four-message protocol per attempt,
+/// and (via [`AttestClient::attest`]) retries retryable faults under a
+/// [`RetryPolicy`].
+#[derive(Debug)]
+pub struct AttestClient<'a> {
+    /// The network the verifier service listens on.
+    pub net: &'a Network,
+    /// The service's port.
+    pub port: u16,
+    /// This device's attestation service (quote issuer).
+    pub service: &'a AttestationService,
+    /// Measurement of the hosted application.
+    pub measurement: [u8; 32],
+    /// The verifier identity pinned into the application.
+    pub pinned_verifier_key: [u8; 64],
+}
+
+/// Maps a protocol-layer failure to the retry taxonomy: state-machine
+/// misuse is fatal, every authentication failure is indistinguishable from
+/// in-flight corruption and therefore retryable.
+fn classify_protocol_error(e: RaError) -> AttemptError {
+    match e {
+        RaError::BadState(_) => AttemptError::Fatal(e),
+        _ => AttemptError::Garbled(e),
+    }
+}
+
+impl AttestClient<'_> {
+    /// One full attestation attempt: connect, msg0 → msg3, decrypt. The
+    /// wire `attempt` counter is a diagnostic hint for the verifier's
+    /// `retries_observed` bucket.
+    ///
+    /// Consecutive identical frames are discarded (tolerates duplicate
+    /// delivery without aborting the handshake).
+    ///
+    /// # Errors
+    ///
+    /// Returns a classified [`AttemptError`]; see the variant docs for
+    /// which are retryable.
+    pub fn attempt(
+        &self,
+        attempt: u8,
+        recv_timeout: Duration,
+        rng: &mut Fortuna,
+    ) -> Result<Vec<u8>, AttemptError> {
+        let conn = self
+            .net
+            .connect(self.port)
+            .map_err(|_| AttemptError::Refused)?;
+        let (mut attester, mut msg0) = Attester::start(rng);
+        msg0.attempt = attempt;
+        let mut last_frame: Option<Vec<u8>> = None;
+        if conn.send(&msg0.to_bytes()).is_err() {
+            return Err(classify_send_failure(&conn, &mut last_frame));
+        }
+
+        let raw1 = recv_reply(&conn, recv_timeout, &mut last_frame)?;
+        let msg1 = Msg1::from_bytes(&raw1).map_err(AttemptError::Garbled)?;
+        let (msg2, _t) = attester
+            .attest(
+                &msg1,
+                &self.pinned_verifier_key,
+                self.service,
+                &self.measurement,
+            )
+            .map_err(classify_protocol_error)?;
+        if conn.send(&msg2.to_bytes()).is_err() {
+            return Err(classify_send_failure(&conn, &mut last_frame));
+        }
+
+        let raw3 = recv_reply(&conn, recv_timeout, &mut last_frame)?;
+        let msg3 = Msg3::from_bytes(&raw3).map_err(AttemptError::Garbled)?;
+        let (secret, _t) = attester
+            .handle_msg3(&msg3)
+            .map_err(classify_protocol_error)?;
+        Ok(secret)
+    }
+
+    /// The resilient entry point: runs [`AttestClient::attempt`] under
+    /// `policy`, restarting the full handshake on every retryable fault.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::Terminal`] on a non-retryable verdict,
+    /// [`AttestError::Exhausted`] when attempts run out,
+    /// [`AttestError::DeadlineExceeded`] when the time budget does.
+    pub fn attest(
+        &self,
+        policy: &RetryPolicy,
+        rng: &mut Fortuna,
+    ) -> Result<RetryOutcome, AttestError> {
+        let started = Instant::now();
+        let max_attempts = policy.max_attempts.max(1);
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let wire_attempt = u8::try_from((attempts - 1).min(255)).unwrap_or(u8::MAX);
+            match self.attempt(wire_attempt, policy.recv_timeout, rng) {
+                Ok(secret) => return Ok(RetryOutcome { secret, attempts }),
+                Err(last) if !last.is_retryable() => {
+                    return Err(AttestError::Terminal { attempts, last })
+                }
+                Err(last) => {
+                    if attempts >= max_attempts {
+                        return Err(AttestError::Exhausted { attempts, last });
+                    }
+                    let pause = policy.backoff(attempts);
+                    if started.elapsed() + pause >= policy.deadline {
+                        return Err(AttestError::DeadlineExceeded { attempts, last });
+                    }
+                    std::thread::sleep(pause);
+                }
+            }
+        }
+    }
+}
+
+/// Classifies a failed send. The peer hanging up usually means
+/// [`AttemptError::SendFailed`] — but a shedding service replies
+/// [`SERVER_BUSY`] *before* hanging up, and that frame is still buffered
+/// on our end of the connection. Drain it so a shed session reports
+/// [`AttemptError::Busy`] (back off) rather than a generic send failure.
+fn classify_send_failure(conn: &Connection, last_frame: &mut Option<Vec<u8>>) -> AttemptError {
+    match recv_reply(conn, Duration::ZERO, last_frame) {
+        Err(
+            verdict @ (AttemptError::Busy
+            | AttemptError::IntegrityRejected
+            | AttemptError::Rejected),
+        ) => verdict,
+        _ => AttemptError::SendFailed,
+    }
+}
+
+/// Receives the next meaningful frame: maps transport failures into the
+/// taxonomy, recognises the service's single-byte verdict markers, and
+/// skips a consecutive duplicate of the previous frame.
+fn recv_reply(
+    conn: &Connection,
+    timeout: Duration,
+    last_frame: &mut Option<Vec<u8>>,
+) -> Result<Vec<u8>, AttemptError> {
+    loop {
+        let frame = match conn.recv_detailed(timeout) {
+            Ok(f) => f,
+            Err(RecvError::TimedOut) => return Err(AttemptError::Timeout),
+            Err(RecvError::Disconnected) => return Err(AttemptError::PeerClosed),
+        };
+        if frame == SERVER_BUSY {
+            return Err(AttemptError::Busy);
+        }
+        if frame == INTEGRITY_FAILED {
+            return Err(AttemptError::IntegrityRejected);
+        }
+        if frame == APPRAISAL_FAILED {
+            return Err(AttemptError::Rejected);
+        }
+        if last_frame.as_deref() == Some(frame.as_slice()) {
+            continue; // duplicate delivery: discard and wait for the next
+        }
+        *last_frame = Some(frame.clone());
+        return Ok(frame);
+    }
+}
+
+#[cfg(test)]
+mod retry_tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_caps_and_jitters_deterministically() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(80),
+            jitter_seed: 42,
+            ..RetryPolicy::default()
+        };
+        for n in 1..=10u32 {
+            let pause = policy.backoff(n);
+            let cap = Duration::from_millis(10u64 << (n - 1).min(16)).min(policy.max_backoff);
+            assert!(pause <= cap, "attempt {n}: {pause:?} above cap {cap:?}");
+            assert!(
+                pause >= cap / 2,
+                "attempt {n}: jitter floor is half the cap"
+            );
+            assert_eq!(pause, policy.backoff(n), "same (seed, n) => same pause");
+        }
+        let other = RetryPolicy {
+            jitter_seed: 43,
+            ..policy.clone()
+        };
+        assert_ne!(other.backoff(4), policy.backoff(4), "seed moves the jitter");
+    }
+
+    #[test]
+    fn taxonomy_separates_retryable_from_terminal() {
+        for e in [
+            AttemptError::Refused,
+            AttemptError::SendFailed,
+            AttemptError::Timeout,
+            AttemptError::PeerClosed,
+            AttemptError::Busy,
+            AttemptError::Garbled(RaError::BadMac),
+        ] {
+            assert!(e.is_retryable(), "{e} must be retryable");
+        }
+        for e in [
+            AttemptError::Rejected,
+            AttemptError::Fatal(RaError::BadState("handle_msg1")),
+        ] {
+            assert!(!e.is_retryable(), "{e} must be terminal");
+        }
+    }
+
+    #[test]
+    fn attest_error_carries_attempt_counts() {
+        let e = AttestError::Exhausted {
+            attempts: 4,
+            last: AttemptError::Timeout,
+        };
+        assert_eq!(e.attempts(), 4);
+        assert_eq!(e.last(), &AttemptError::Timeout);
     }
 }

@@ -17,35 +17,61 @@ const TAG_MSG3: u8 = 0xa3;
 /// message tag.
 pub const APPRAISAL_FAILED: &[u8] = &[0xEE];
 
+/// Single-byte marker an overloaded verifier service sends instead of
+/// accepting a session: the connection was shed by admission control and
+/// the attester should back off and retry. Deliberately not a valid
+/// message tag, and distinct from [`APPRAISAL_FAILED`] because shedding
+/// is retryable while a failed appraisal is terminal.
+pub const SERVER_BUSY: &[u8] = &[0xEB];
+
+/// Single-byte marker a verifier service sends when a session failed for a
+/// **tamper-evident** reason — an unparseable frame, a bad MAC or
+/// signature, an off-curve session key, a session/anchor mismatch. From
+/// the verifier's seat this is indistinguishable from in-flight
+/// corruption, so unlike [`APPRAISAL_FAILED`] (an authoritative verdict on
+/// well-formed evidence: unknown device, untrusted measurement, stale
+/// version) it is **retryable**: an honest supplicant whose frames were
+/// corrupted succeeds on a fresh handshake, while a hostile one merely
+/// exhausts its own retry budget.
+pub const INTEGRITY_FAILED: &[u8] = &[0xEC];
+
 /// `msg0`: the attester's ephemeral public session key `Ga`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Msg0 {
     /// Attester public session key (x || y).
     pub ga: [u8; 64],
+    /// How many earlier attempts this supplicant abandoned before this
+    /// one (0 = first try). Diagnostic only — not covered by any MAC, so
+    /// the verifier treats it as a hint (`retries_observed`), never as
+    /// an input to appraisal.
+    pub attempt: u8,
 }
 
 impl Msg0 {
     /// Serializes the message.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(65);
+        let mut out = Vec::with_capacity(66);
         out.push(TAG_MSG0);
         out.extend_from_slice(&self.ga);
+        out.push(self.attempt);
         out
     }
 
-    /// Parses the message.
+    /// Parses the message. The 65-byte pre-retry layout (no attempt
+    /// counter) is still accepted and reads as attempt 0.
     ///
     /// # Errors
     ///
     /// Returns [`RaError::Malformed`] for wrong tag or length.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, RaError> {
-        if bytes.len() != 65 || bytes[0] != TAG_MSG0 {
+        if !(bytes.len() == 65 || bytes.len() == 66) || bytes[0] != TAG_MSG0 {
             return Err(RaError::Malformed("msg0"));
         }
         let mut ga = [0u8; 64];
-        ga.copy_from_slice(&bytes[1..]);
-        Ok(Msg0 { ga })
+        ga.copy_from_slice(&bytes[1..65]);
+        let attempt = if bytes.len() == 66 { bytes[65] } else { 0 };
+        Ok(Msg0 { ga, attempt })
     }
 }
 
@@ -212,8 +238,40 @@ mod tests {
 
     #[test]
     fn msg0_roundtrip() {
-        let m = Msg0 { ga: [7; 64] };
+        let m = Msg0 {
+            ga: [7; 64],
+            attempt: 3,
+        };
         assert_eq!(Msg0::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn msg0_legacy_65_byte_layout_reads_as_attempt_zero() {
+        let m = Msg0 {
+            ga: [9; 64],
+            attempt: 5,
+        };
+        let legacy = &m.to_bytes()[..65];
+        let parsed = Msg0::from_bytes(legacy).unwrap();
+        assert_eq!(parsed.ga, m.ga);
+        assert_eq!(parsed.attempt, 0);
+        // But anything longer than the attempt byte is rejected.
+        let mut oversized = m.to_bytes();
+        oversized.push(0);
+        assert!(Msg0::from_bytes(&oversized).is_err());
+    }
+
+    #[test]
+    fn busy_and_failure_markers_are_not_valid_messages() {
+        for marker in [APPRAISAL_FAILED, SERVER_BUSY, INTEGRITY_FAILED] {
+            assert!(Msg0::from_bytes(marker).is_err());
+            assert!(Msg1::from_bytes(marker).is_err());
+            assert!(Msg2::from_bytes(marker).is_err());
+            assert!(Msg3::from_bytes(marker).is_err());
+        }
+        assert_ne!(APPRAISAL_FAILED, SERVER_BUSY);
+        assert_ne!(APPRAISAL_FAILED, INTEGRITY_FAILED);
+        assert_ne!(SERVER_BUSY, INTEGRITY_FAILED);
     }
 
     #[test]
@@ -265,7 +323,10 @@ mod tests {
 
     #[test]
     fn wrong_tags_rejected() {
-        let m0 = Msg0 { ga: [7; 64] };
+        let m0 = Msg0 {
+            ga: [7; 64],
+            attempt: 0,
+        };
         let mut bytes = m0.to_bytes();
         bytes[0] = 0xff;
         assert!(Msg0::from_bytes(&bytes).is_err());

@@ -42,7 +42,9 @@ pub mod service;
 pub mod sim;
 
 pub use service::{
-    appraise_batch, percentiles_us, prepare_msg1_batch, FleetConfig, FleetStats, FleetVerifier,
-    PhaseStats,
+    appraise_batch, percentiles_us, prepare_msg1_batch, ConfigError, FleetConfig, FleetStats,
+    FleetVerifier, PhaseStats, SpawnError,
 };
-pub use sim::{DeviceKind, DeviceRecord, FleetReport, FleetSim, FleetSimConfig};
+pub use sim::{
+    DeviceKind, DeviceRecord, FleetReport, FleetSim, FleetSimConfig, OpenLoopConfig, OpenLoopReport,
+};

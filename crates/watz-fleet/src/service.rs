@@ -43,7 +43,7 @@
 //! boundary. An idle or steady-state worker pays nothing beyond the
 //! deadline clock it always read.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -54,7 +54,9 @@ use optee_sim::{TeeError, TrustedOs};
 use parking_lot::Mutex;
 use tz_hal::Platform;
 use watz_attestation::verifier::{Verifier, VerifierConfig};
-use watz_attestation::wire::{Msg0, Msg1, Msg2, Msg3, APPRAISAL_FAILED};
+use watz_attestation::wire::{
+    Msg0, Msg1, Msg2, Msg3, APPRAISAL_FAILED, INTEGRITY_FAILED, SERVER_BUSY,
+};
 use watz_attestation::RaError;
 use watz_crypto::fortuna::Fortuna;
 
@@ -77,6 +79,13 @@ pub struct FleetConfig {
     /// In-flight session cap per worker (back-pressure: connections past
     /// the cap wait in that worker's admission channel).
     pub max_sessions_per_worker: usize,
+    /// Admission-queue depth per worker beyond the in-flight cap. Once a
+    /// worker owes `max_sessions_per_worker + max_queued_per_worker`
+    /// uncompleted sessions, the acceptor **sheds** further connections
+    /// bound for it: an immediate [`SERVER_BUSY`] reply instead of an
+    /// unbounded queue, keeping admission-to-reply latency bounded under
+    /// overload.
+    pub max_queued_per_worker: usize,
 }
 
 impl Default for FleetConfig {
@@ -87,15 +96,102 @@ impl Default for FleetConfig {
             accept_backlog: DEFAULT_ACCEPT_BACKLOG,
             session_timeout: Duration::from_secs(2),
             max_sessions_per_worker: 64,
+            max_queued_per_worker: 256,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Rejects configurations that would misbehave silently: a service
+    /// with zero workers or a zero session cap can never make progress,
+    /// a zero deadline evicts every session on its first sweep, and a
+    /// zero backlog cannot accept a single connection.
+    ///
+    /// # Errors
+    ///
+    /// The first violated rule as a typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.workers == 0 {
+            return Err(ConfigError::ZeroWorkers);
+        }
+        if self.session_timeout.is_zero() {
+            return Err(ConfigError::ZeroSessionTimeout);
+        }
+        if self.accept_backlog == 0 {
+            return Err(ConfigError::ZeroBacklog);
+        }
+        if self.max_sessions_per_worker == 0 {
+            return Err(ConfigError::ZeroSessionCap);
+        }
+        Ok(())
+    }
+}
+
+/// A [`FleetConfig`] rule violation (see [`FleetConfig::validate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `workers == 0`: nothing would ever process a session.
+    ZeroWorkers,
+    /// `session_timeout == 0`: every session would be evicted instantly.
+    ZeroSessionTimeout,
+    /// `accept_backlog == 0`: no connection could ever be established.
+    ZeroBacklog,
+    /// `max_sessions_per_worker == 0`: workers could never admit anyone.
+    ZeroSessionCap,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroWorkers => write!(f, "fleet config: workers must be >= 1"),
+            ConfigError::ZeroSessionTimeout => {
+                write!(f, "fleet config: session_timeout must be non-zero")
+            }
+            ConfigError::ZeroBacklog => write!(f, "fleet config: accept_backlog must be >= 1"),
+            ConfigError::ZeroSessionCap => {
+                write!(f, "fleet config: max_sessions_per_worker must be >= 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Why [`FleetVerifier::spawn`] failed.
+#[derive(Debug)]
+pub enum SpawnError {
+    /// The configuration was rejected by [`FleetConfig::validate`].
+    Config(ConfigError),
+    /// The listener could not be bound (port taken).
+    Net(TeeError),
+}
+
+impl std::fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpawnError::Config(e) => write!(f, "{e}"),
+            SpawnError::Net(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpawnError {}
+
+impl From<SpawnError> for TeeError {
+    fn from(e: SpawnError) -> Self {
+        match e {
+            SpawnError::Config(c) => TeeError::Net(c.to_string()),
+            SpawnError::Net(t) => t,
         }
     }
 }
 
 /// Per-outcome statistics of a [`FleetVerifier`] (a snapshot).
 ///
-/// Every admitted session ends in exactly one of the five outcome
-/// buckets, so `served + rejected + malformed + timed_out + disconnected`
-/// equals the number of completed sessions.
+/// Every accepted connection ends in exactly one of the six outcome
+/// buckets, so `served + rejected + malformed + timed_out + disconnected
+/// + shed` equals the number of completed sessions — and, after a drain,
+/// equals `accepted` exactly, faults or not.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FleetStats {
     /// Connections accepted off the listener.
@@ -115,6 +211,10 @@ pub struct FleetStats {
     /// kept distinct from `timed_out` so a fleet operator can tell
     /// flapping devices from slow ones.
     pub disconnected: u64,
+    /// Connections refused by admission control with a [`SERVER_BUSY`]
+    /// reply because their worker was already saturated (an outcome
+    /// bucket: a shed connection is accepted, answered, and closed).
+    pub shed: u64,
     /// Individual `msg2` appraisals performed.
     pub appraised: u64,
     /// Secure-world entries spent on those appraisals: one per batch, so
@@ -124,13 +224,27 @@ pub struct FleetStats {
     /// Secure-world entries spent deriving `msg1` challenges: one per
     /// batch of queued `msg0`s, mirroring `appraisal_batches`.
     pub msg1_batches: u64,
+    /// Diagnostic sub-counter (not an outcome bucket, overlaps
+    /// `malformed`/`rejected`): failures that are tamper-evident — parse
+    /// errors plus integrity-flavoured appraisal failures (bad MAC, bad
+    /// signature, session-key or anchor mismatch). Under an injected
+    /// corruption schedule this is where every tampered frame must land.
+    pub corrupt_rejected: u64,
+    /// Diagnostic sub-counter: sessions whose `msg0` carried a non-zero
+    /// attempt counter, i.e. the supplicant said it was retrying.
+    pub retries_observed: u64,
 }
 
 impl FleetStats {
     /// Sessions that ran to an outcome.
     #[must_use]
     pub fn completed(&self) -> u64 {
-        self.served + self.rejected + self.malformed + self.timed_out + self.disconnected
+        self.served
+            + self.rejected
+            + self.malformed
+            + self.timed_out
+            + self.disconnected
+            + self.shed
     }
 
     /// Merges another snapshot into this one (shard aggregation).
@@ -141,9 +255,12 @@ impl FleetStats {
         self.malformed += other.malformed;
         self.timed_out += other.timed_out;
         self.disconnected += other.disconnected;
+        self.shed += other.shed;
         self.appraised += other.appraised;
         self.appraisal_batches += other.appraisal_batches;
         self.msg1_batches += other.msg1_batches;
+        self.corrupt_rejected += other.corrupt_rejected;
+        self.retries_observed += other.retries_observed;
     }
 }
 
@@ -222,9 +339,12 @@ struct StatsInner {
     malformed: AtomicU64,
     timed_out: AtomicU64,
     disconnected: AtomicU64,
+    shed: AtomicU64,
     appraised: AtomicU64,
     appraisal_batches: AtomicU64,
     msg1_batches: AtomicU64,
+    corrupt_rejected: AtomicU64,
+    retries_observed: AtomicU64,
     /// Phase timing samples; locked once per sweep at most (see the
     /// module-level observability note).
     phases: Mutex<PhaseStats>,
@@ -239,11 +359,38 @@ impl StatsInner {
             malformed: self.malformed.load(Ordering::SeqCst),
             timed_out: self.timed_out.load(Ordering::SeqCst),
             disconnected: self.disconnected.load(Ordering::SeqCst),
+            shed: self.shed.load(Ordering::SeqCst),
             appraised: self.appraised.load(Ordering::SeqCst),
             appraisal_batches: self.appraisal_batches.load(Ordering::SeqCst),
             msg1_batches: self.msg1_batches.load(Ordering::SeqCst),
+            corrupt_rejected: self.corrupt_rejected.load(Ordering::SeqCst),
+            retries_observed: self.retries_observed.load(Ordering::SeqCst),
         }
     }
+
+    /// Books a session whose reply could not be delivered: the peer was
+    /// gone at verdict time, so the verdict bucket (already bumped, see
+    /// the observer-ordering note in the sweep) is rolled back in favour
+    /// of `disconnected`.
+    fn undeliverable(&self, verdict_bucket: &AtomicU64) {
+        verdict_bucket.fetch_sub(1, Ordering::SeqCst);
+        self.disconnected.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// True for appraisal failures that are tamper-evident — what an injected
+/// corruption schedule produces, as opposed to honest-but-unwelcome
+/// evidence (unknown device, stale version).
+fn is_integrity_failure(e: &RaError) -> bool {
+    matches!(
+        e,
+        RaError::BadMac
+            | RaError::BadSignature
+            | RaError::SessionKeyMismatch
+            | RaError::AnchorMismatch
+            | RaError::Crypto(_)
+            | RaError::Malformed(_)
+    )
 }
 
 /// Appraises a batch of `msg2`s inside a single secure-world entry.
@@ -298,6 +445,10 @@ struct Session {
     /// Parsed `msg2` staged for the next appraisal batch.
     pending_msg2: Option<Msg2>,
     done: bool,
+    /// The last frame processed, so a duplicated delivery (fault
+    /// injection, flaky transport) is discarded instead of being parsed
+    /// as the next protocol message and failing the session.
+    last_frame: Option<Vec<u8>>,
     /// When this worker admitted the connection (phase-timing origin).
     admitted: Instant,
     /// When each handshake boundary was crossed; `None` until then.
@@ -317,6 +468,7 @@ impl Session {
             pending_msg0: None,
             pending_msg2: None,
             done: false,
+            last_frame: None,
             admitted,
             msg0_at: None,
             msg1_at: None,
@@ -340,6 +492,11 @@ struct WorkerCtx {
     config: VerifierConfig,
     session_timeout: Duration,
     max_sessions: usize,
+    /// Sessions the acceptor has dispatched to this worker and the worker
+    /// has not completed (queued + in-flight). The acceptor reads it for
+    /// the shed decision; [`FleetVerifier::live_sessions`] sums it for
+    /// leak checks.
+    load: Arc<AtomicUsize>,
     rng: Fortuna,
 }
 
@@ -398,6 +555,10 @@ fn worker_loop(mut ctx: WorkerCtx) {
             match session.conn.try_recv_detailed() {
                 TryRecv::Message(raw) => {
                     progressed = true;
+                    // Duplicate delivery: drop the copy, keep the session.
+                    if session.last_frame.as_deref() == Some(raw.as_slice()) {
+                        continue;
+                    }
                     session.deadline = now + ctx.session_timeout;
                     match session.phase {
                         // Outcome counters are bumped BEFORE the reply is
@@ -407,11 +568,16 @@ fn worker_loop(mut ctx: WorkerCtx) {
                         Phase::AwaitMsg0 => {
                             let Ok(msg0) = Msg0::from_bytes(&raw) else {
                                 ctx.stats.malformed.fetch_add(1, Ordering::SeqCst);
-                                let _ = session.conn.send(APPRAISAL_FAILED);
+                                ctx.stats.corrupt_rejected.fetch_add(1, Ordering::SeqCst);
+                                let _ = session.conn.send(INTEGRITY_FAILED);
                                 session.done = true;
                                 continue;
                             };
+                            if msg0.attempt > 0 {
+                                ctx.stats.retries_observed.fetch_add(1, Ordering::SeqCst);
+                            }
                             session.pending_msg0 = Some(msg0);
+                            session.last_frame = Some(raw);
                             staged_msg0 += 1;
                             session.msg0_at = Some(now);
                             local_phases
@@ -421,11 +587,13 @@ fn worker_loop(mut ctx: WorkerCtx) {
                         Phase::AwaitMsg2 => {
                             let Ok(msg2) = Msg2::from_bytes(&raw) else {
                                 ctx.stats.malformed.fetch_add(1, Ordering::SeqCst);
-                                let _ = session.conn.send(APPRAISAL_FAILED);
+                                ctx.stats.corrupt_rejected.fetch_add(1, Ordering::SeqCst);
+                                let _ = session.conn.send(INTEGRITY_FAILED);
                                 session.done = true;
                                 continue;
                             };
                             session.pending_msg2 = Some(msg2);
+                            session.last_frame = Some(raw);
                             staged += 1;
                             session.msg2_at = Some(now);
                             if let Some(msg1_at) = session.msg1_at {
@@ -491,9 +659,17 @@ fn worker_loop(mut ctx: WorkerCtx) {
                             }
                         }
                     }
-                    Err(_) => {
+                    Err(e) => {
                         ctx.stats.rejected.fetch_add(1, Ordering::SeqCst);
-                        let _ = session.conn.send(APPRAISAL_FAILED);
+                        let reply = if is_integrity_failure(&e) {
+                            ctx.stats.corrupt_rejected.fetch_add(1, Ordering::SeqCst);
+                            INTEGRITY_FAILED
+                        } else {
+                            APPRAISAL_FAILED
+                        };
+                        if session.conn.send(reply).is_err() {
+                            ctx.stats.undeliverable(&ctx.stats.rejected);
+                        }
                         session.done = true;
                     }
                 }
@@ -521,14 +697,29 @@ fn worker_loop(mut ctx: WorkerCtx) {
             // batch at once, so one timestamp covers the batch.
             let verdict_at = Instant::now();
             for ((session, _), outcome) in batch_sessions.iter_mut().zip(outcomes) {
+                // The verdict bucket is still bumped before the reply
+                // (observer ordering); if the reply cannot be delivered
+                // the peer was already gone, so the session is re-booked
+                // as disconnected — a hangup after msg2 must not count as
+                // served.
                 match outcome {
                     Ok(msg3) => {
                         ctx.stats.served.fetch_add(1, Ordering::SeqCst);
-                        let _ = session.conn.send(&msg3.to_bytes());
+                        if session.conn.send(&msg3.to_bytes()).is_err() {
+                            ctx.stats.undeliverable(&ctx.stats.served);
+                        }
                     }
-                    Err(_) => {
+                    Err(e) => {
                         ctx.stats.rejected.fetch_add(1, Ordering::SeqCst);
-                        let _ = session.conn.send(APPRAISAL_FAILED);
+                        let reply = if is_integrity_failure(&e) {
+                            ctx.stats.corrupt_rejected.fetch_add(1, Ordering::SeqCst);
+                            INTEGRITY_FAILED
+                        } else {
+                            APPRAISAL_FAILED
+                        };
+                        if session.conn.send(reply).is_err() {
+                            ctx.stats.undeliverable(&ctx.stats.rejected);
+                        }
                     }
                 }
                 // A verdict went out either way; both count as msg3 time.
@@ -545,7 +736,14 @@ fn worker_loop(mut ctx: WorkerCtx) {
             ctx.stats.phases.lock().merge(&local_phases);
         }
 
+        let before = sessions.len();
         sessions.retain(|s| !s.done);
+        let completed_now = before - sessions.len();
+        if completed_now > 0 {
+            // The acceptor's shed decision reads this gauge; decrement
+            // only once a session truly left the worker.
+            ctx.load.fetch_sub(completed_now, Ordering::SeqCst);
+        }
         if progressed {
             // Something moved; sweep again immediately — replies we just
             // sent typically provoke the peer's next message.
@@ -587,6 +785,9 @@ pub struct FleetVerifier {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     stats: Arc<StatsInner>,
+    /// Per-worker dispatched-but-not-completed gauges (shed decisions,
+    /// leak checks).
+    loads: Vec<Arc<AtomicUsize>>,
     port: u16,
     os: TrustedOs,
 }
@@ -607,34 +808,43 @@ impl FleetVerifier {
     ///
     /// # Errors
     ///
-    /// Returns [`TeeError::Net`] if the port is taken.
+    /// [`SpawnError::Config`] if the configuration fails
+    /// [`FleetConfig::validate`]; [`SpawnError::Net`] if the port is
+    /// taken.
     pub fn spawn(
         os: &TrustedOs,
         config: VerifierConfig,
         fleet: FleetConfig,
         port: u16,
-    ) -> Result<Self, TeeError> {
+    ) -> Result<Self, SpawnError> {
+        fleet.validate().map_err(SpawnError::Config)?;
         let listener = os
             .network()
-            .listen_with_backlog(port, fleet.accept_backlog)?;
+            .listen_with_backlog(port, fleet.accept_backlog)
+            .map_err(SpawnError::Net)?;
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(StatsInner::default());
 
         let mut admission_txs: Vec<Sender<Connection>> = Vec::new();
-        let workers = (0..fleet.workers.max(1))
+        let mut loads: Vec<Arc<AtomicUsize>> = Vec::new();
+        let workers = (0..fleet.workers)
             .map(|i| {
                 // Unbounded: the acceptor must never block on a slow
-                // worker (back-pressure is the per-worker session cap,
-                // which leaves excess connections queued here).
+                // worker (back-pressure is the per-worker session cap
+                // plus the shed threshold below, which bounds how much
+                // can ever be queued here).
                 let (tx, rx) = unbounded();
                 admission_txs.push(tx);
+                let load = Arc::new(AtomicUsize::new(0));
+                loads.push(Arc::clone(&load));
                 let ctx = WorkerCtx {
                     admission: rx,
                     stats: Arc::clone(&stats),
                     platform: os.platform().clone(),
                     config: config.clone(),
                     session_timeout: fleet.session_timeout,
-                    max_sessions: fleet.max_sessions_per_worker.max(1),
+                    max_sessions: fleet.max_sessions_per_worker,
+                    load,
                     rng: os.kernel_prng(&format!("fleet-worker-{i}")),
                 };
                 std::thread::spawn(move || worker_loop(ctx))
@@ -644,17 +854,36 @@ impl FleetVerifier {
         let acceptor = {
             let stop = Arc::clone(&stop);
             let stats = Arc::clone(&stats);
+            let loads = loads.clone();
             let accept_poll = fleet.accept_poll;
+            // A worker saturates once it owes this many uncompleted
+            // sessions; beyond it the acceptor sheds instead of queueing.
+            let shed_at = fleet
+                .max_sessions_per_worker
+                .saturating_add(fleet.max_queued_per_worker);
             std::thread::spawn(move || {
                 let mut next = 0usize;
                 loop {
                     match listener.accept_detailed(accept_poll) {
                         Ok(conn) => {
                             stats.accepted.fetch_add(1, Ordering::SeqCst);
-                            // Round-robin dispatch; the send is unbounded
-                            // and the receiver outlives the acceptor, so
-                            // it neither blocks nor fails.
-                            let _ = admission_txs[next].send(conn);
+                            if loads[next].load(Ordering::SeqCst) >= shed_at {
+                                // Load shedding: an immediate BUSY reply
+                                // bounds admission-to-reply latency where
+                                // an unbounded queue would let it grow
+                                // with the backlog. Shed is an outcome
+                                // bucket, so `accepted == completed()`
+                                // still holds after a drain.
+                                stats.shed.fetch_add(1, Ordering::SeqCst);
+                                let _ = conn.send(SERVER_BUSY);
+                            } else {
+                                // Round-robin dispatch; the send is
+                                // unbounded and the receiver outlives the
+                                // acceptor, so it neither blocks nor
+                                // fails.
+                                loads[next].fetch_add(1, Ordering::SeqCst);
+                                let _ = admission_txs[next].send(conn);
+                            }
                             next = (next + 1) % admission_txs.len();
                         }
                         // Quiet listener: loop back into the accept. The
@@ -682,9 +911,19 @@ impl FleetVerifier {
             acceptor: Some(acceptor),
             workers,
             stats,
+            loads,
             port,
             os: os.clone(),
         })
+    }
+
+    /// Sessions dispatched to workers and not yet completed (queued plus
+    /// in-flight), summed across workers. Zero once every admitted
+    /// session has reached an outcome — the "no leaked sessions" check
+    /// of the chaos suite.
+    #[must_use]
+    pub fn live_sessions(&self) -> usize {
+        self.loads.iter().map(|l| l.load(Ordering::SeqCst)).sum()
     }
 
     /// The port the service listens on.
@@ -742,34 +981,81 @@ mod tests {
     #[test]
     fn stats_merge_and_completed_add_up() {
         let mut a = FleetStats {
-            accepted: 11,
+            accepted: 12,
             served: 5,
             rejected: 2,
             malformed: 1,
             timed_out: 2,
             disconnected: 1,
+            shed: 1,
             appraised: 7,
             appraisal_batches: 3,
             msg1_batches: 4,
+            corrupt_rejected: 1,
+            retries_observed: 2,
         };
         let b = FleetStats {
-            accepted: 5,
+            accepted: 6,
             served: 3,
             rejected: 1,
             malformed: 0,
             timed_out: 0,
             disconnected: 1,
+            shed: 1,
             appraised: 4,
             appraisal_batches: 2,
             msg1_batches: 1,
+            corrupt_rejected: 0,
+            retries_observed: 1,
         };
         a.merge(&b);
-        assert_eq!(a.accepted, 16);
-        assert_eq!(a.completed(), 16);
+        assert_eq!(a.accepted, 18);
+        assert_eq!(a.completed(), 18, "shed is an outcome bucket");
         assert_eq!(a.disconnected, 2);
+        assert_eq!(a.shed, 2);
         assert_eq!(a.appraised, 11);
         assert_eq!(a.appraisal_batches, 5);
         assert_eq!(a.msg1_batches, 5);
+        assert_eq!(a.corrupt_rejected, 1);
+        assert_eq!(a.retries_observed, 3);
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_knobs() {
+        assert_eq!(FleetConfig::default().validate(), Ok(()));
+        let cases = [
+            (
+                FleetConfig {
+                    workers: 0,
+                    ..FleetConfig::default()
+                },
+                ConfigError::ZeroWorkers,
+            ),
+            (
+                FleetConfig {
+                    session_timeout: Duration::ZERO,
+                    ..FleetConfig::default()
+                },
+                ConfigError::ZeroSessionTimeout,
+            ),
+            (
+                FleetConfig {
+                    accept_backlog: 0,
+                    ..FleetConfig::default()
+                },
+                ConfigError::ZeroBacklog,
+            ),
+            (
+                FleetConfig {
+                    max_sessions_per_worker: 0,
+                    ..FleetConfig::default()
+                },
+                ConfigError::ZeroSessionCap,
+            ),
+        ];
+        for (config, expected) in cases {
+            assert_eq!(config.validate(), Err(expected));
+        }
     }
 
     #[test]

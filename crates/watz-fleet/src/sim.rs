@@ -20,14 +20,13 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use optee_sim::net::Network;
+use optee_sim::net::{FaultPlan, Network, RECV_TIMEOUT};
 use optee_sim::{TeeError, TrustedOs};
 use parking_lot::Mutex;
 use tz_hal::{Platform, PlatformConfig};
-use watz_attestation::attester::Attester;
+use watz_attestation::attester::{AttemptError, AttestClient, RetryPolicy};
 use watz_attestation::service::AttestationService;
 use watz_attestation::verifier::VerifierConfig;
-use watz_attestation::wire::{Msg1, Msg3, APPRAISAL_FAILED};
 use watz_crypto::ecdsa::SigningKey;
 use watz_crypto::fortuna::Fortuna;
 use watz_crypto::sha256::Sha256;
@@ -76,9 +75,21 @@ pub struct FleetSimConfig {
     pub workers_per_shard: usize,
     /// Per-session deadline at the verifiers.
     pub session_timeout: Duration,
+    /// In-flight session cap per verifier worker.
+    pub max_sessions_per_worker: usize,
+    /// Admission-queue depth per worker beyond which connections are
+    /// shed with a `SERVER_BUSY` reply (see [`FleetConfig`]).
+    pub max_queued_per_worker: usize,
     /// Port the shard-0 verifier binds; shard `k` uses `port + k` (each
     /// shard has its own network, so this only aids log readability).
     pub port: u16,
+    /// Fault plan installed on every shard's network for the duration of
+    /// each round (`None` = clean transport, zero overhead).
+    pub fault_plan: Option<FaultPlan>,
+    /// Client retry policy. `None` = single-attempt clients (the
+    /// pre-retry behaviour); `Some` clients retry retryable faults, each
+    /// device jittered on its own seed lane.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for FleetSimConfig {
@@ -90,7 +101,11 @@ impl Default for FleetSimConfig {
             stale: 4,
             workers_per_shard: 4,
             session_timeout: Duration::from_secs(2),
+            max_sessions_per_worker: 64,
+            max_queued_per_worker: 256,
             port: 7700,
+            fault_plan: None,
+            retry: None,
         }
     }
 }
@@ -188,6 +203,9 @@ enum ClientOutcome {
     Provisioned(usize, Duration),
     /// The verifier answered with the appraisal-failed marker.
     Rejected(Duration),
+    /// Admission control shed the session (`SERVER_BUSY`) and the retry
+    /// budget — if any — never got past it.
+    Shed,
     /// Network error / timeout before an answer.
     Failed,
 }
@@ -205,8 +223,14 @@ pub struct FleetReport {
     pub provisioned: u64,
     /// Devices rejected by appraisal (client-side rejections).
     pub rejected: u64,
+    /// Devices whose session was shed by admission control and never got
+    /// a verdict (client saw `SERVER_BUSY` as its final answer).
+    pub shed: u64,
     /// Devices that failed without a verdict (network errors, timeouts).
     pub failed: u64,
+    /// Extra attempts the clients made beyond their first (0 when no
+    /// retry policy is configured or no fault forced a retry).
+    pub retries: u64,
     /// Server-side per-outcome statistics, aggregated across shards.
     pub stats: FleetStats,
     /// Server-side per-phase handshake timings, aggregated across shards.
@@ -234,11 +258,7 @@ impl FleetReport {
     /// out) — an absent percentile, not a misleading zero.
     #[must_use]
     pub fn latency_percentile(&self, p: f64) -> Option<Duration> {
-        if self.latencies.is_empty() {
-            return None;
-        }
-        let rank = (p / 100.0 * (self.latencies.len() - 1) as f64).round() as usize;
-        Some(self.latencies[rank.min(self.latencies.len() - 1)])
+        percentile_of(&self.latencies, p)
     }
 
     /// Secure-world entries the round cost (msg1 + appraisal batches) —
@@ -247,6 +267,16 @@ impl FleetReport {
     pub fn world_switches(&self) -> u64 {
         self.stats.msg1_batches + self.stats.appraisal_batches
     }
+}
+
+/// Percentile `p` (0.0..=100.0) of an ascending-sorted latency list, or
+/// `None` when empty — an absent percentile, not a misleading zero.
+fn percentile_of(sorted: &[Duration], p: f64) -> Option<Duration> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    Some(sorted[rank.min(sorted.len() - 1)])
 }
 
 /// Formats an optional latency percentile for reports: `-` when absent.
@@ -267,17 +297,18 @@ impl std::fmt::Display for FleetReport {
         )?;
         writeln!(
             f,
-            "  client:  provisioned {}  rejected {}  failed {}",
-            self.provisioned, self.rejected, self.failed
+            "  client:  provisioned {}  rejected {}  shed {}  failed {}  (retries {})",
+            self.provisioned, self.rejected, self.shed, self.failed, self.retries
         )?;
         writeln!(
             f,
-            "  server:  served {}  rejected {}  malformed {}  timed-out {}  disconnected {}",
+            "  server:  served {}  rejected {}  malformed {}  timed-out {}  disconnected {}  shed {}",
             self.stats.served,
             self.stats.rejected,
             self.stats.malformed,
             self.stats.timed_out,
-            self.stats.disconnected
+            self.stats.disconnected,
+            self.stats.shed
         )?;
         writeln!(
             f,
@@ -306,53 +337,51 @@ impl std::fmt::Display for FleetReport {
     }
 }
 
-/// Runs one attestation session as a fleet client against `net:port`.
+/// Runs one attestation session as a fleet client against `net:port`,
+/// delegating the Msg0→Msg3 exchange to [`AttestClient`]. With a retry
+/// policy the full handshake is restarted on retryable faults; the second
+/// value is the number of attempts made (1 = no retries).
 ///
-/// Blocking (each device is its own thread in the simulator), driving
-/// the same Msg0→Msg3 exchange a WASI-RA guest performs.
+/// Blocking (each device is its own thread in the simulator).
 fn run_client(
     net: &Network,
     port: u16,
     service: &AttestationService,
     measurement: &[u8; 32],
     pinned: &[u8; 64],
+    retry: Option<&RetryPolicy>,
     rng: &mut Fortuna,
-) -> ClientOutcome {
+) -> (ClientOutcome, u32) {
     let start = Instant::now();
-    let Ok(conn) = net.connect(port) else {
-        return ClientOutcome::Failed;
+    let client = AttestClient {
+        net,
+        port,
+        service,
+        measurement: *measurement,
+        pinned_verifier_key: *pinned,
     };
-    let (mut attester, msg0) = Attester::start(rng);
-    if conn.send(&msg0.to_bytes()).is_err() {
-        return ClientOutcome::Failed;
-    }
-    let Ok(raw1) = conn.recv() else {
-        return ClientOutcome::Failed;
-    };
-    if raw1 == APPRAISAL_FAILED {
-        return ClientOutcome::Rejected(start.elapsed());
-    }
-    let Ok(msg1) = Msg1::from_bytes(&raw1) else {
-        return ClientOutcome::Failed;
-    };
-    let Ok((msg2, _)) = attester.attest(&msg1, pinned, service, measurement) else {
-        return ClientOutcome::Failed;
-    };
-    if conn.send(&msg2.to_bytes()).is_err() {
-        return ClientOutcome::Failed;
-    }
-    let Ok(raw3) = conn.recv() else {
-        return ClientOutcome::Failed;
-    };
-    if raw3 == APPRAISAL_FAILED {
-        return ClientOutcome::Rejected(start.elapsed());
-    }
-    let Ok(msg3) = Msg3::from_bytes(&raw3) else {
-        return ClientOutcome::Failed;
-    };
-    match attester.handle_msg3(&msg3) {
-        Ok((secret, _)) => ClientOutcome::Provisioned(secret.len(), start.elapsed()),
-        Err(_) => ClientOutcome::Failed,
+    match retry {
+        None => match client.attempt(0, RECV_TIMEOUT, rng) {
+            Ok(secret) => (ClientOutcome::Provisioned(secret.len(), start.elapsed()), 1),
+            Err(AttemptError::Rejected) => (ClientOutcome::Rejected(start.elapsed()), 1),
+            Err(AttemptError::Busy) => (ClientOutcome::Shed, 1),
+            Err(_) => (ClientOutcome::Failed, 1),
+        },
+        Some(policy) => match client.attest(policy, rng) {
+            Ok(outcome) => (
+                ClientOutcome::Provisioned(outcome.secret.len(), start.elapsed()),
+                outcome.attempts,
+            ),
+            Err(err) => {
+                let attempts = err.attempts();
+                let outcome = match err.last() {
+                    AttemptError::Rejected => ClientOutcome::Rejected(start.elapsed()),
+                    AttemptError::Busy => ClientOutcome::Shed,
+                    _ => ClientOutcome::Failed,
+                };
+                (outcome, attempts)
+            }
+        },
     }
 }
 
@@ -449,6 +478,37 @@ impl FleetSim {
         self.measurement
     }
 
+    /// Builds the round's verifier configuration: endorses every
+    /// scheduled endorsed AND stale device (stale ones must fail the
+    /// version gate, not the endorsement check — that would conflate them
+    /// with rogues).
+    fn verifier_base(&self, scheduled: &[&LazyDevice]) -> VerifierConfig {
+        let mut rng = Fortuna::from_seed(&self.verifier_identity_seed);
+        let identity = SigningKey::generate(&mut rng);
+        let mut base = VerifierConfig::new(identity)
+            .trust_measurement(self.measurement)
+            .require_min_version(1)
+            .with_secret(b"fleet configuration secret".to_vec());
+        for device in scheduled {
+            if device.kind != DeviceKind::Rogue {
+                base = base.endorse_device(device.device().service.public_key());
+            }
+        }
+        base
+    }
+
+    /// Drains and returns the fault logs of every shard network — what the
+    /// installed [`FaultPlan`] actually injected during the last round(s).
+    /// Empty when no plan was installed.
+    #[must_use]
+    pub fn take_fault_log(&self) -> Vec<optee_sim::net::FaultEvent> {
+        let mut log = Vec::new();
+        for shard in &self.shards {
+            log.extend(shard.os.shared_network().take_fault_log());
+        }
+        log
+    }
+
     /// Runs one round with the configured worker count per shard.
     #[must_use]
     pub fn run(&self) -> FleetReport {
@@ -493,25 +553,14 @@ impl FleetSim {
         for device in &scheduled {
             let _ = device.device();
         }
-        // Endorse scheduled endorsed AND stale devices: stale ones must
-        // fail the version gate, not the endorsement check (that would
-        // conflate them with rogues).
-        let mut rng = Fortuna::from_seed(&self.verifier_identity_seed);
-        let identity = SigningKey::generate(&mut rng);
-        let mut base = VerifierConfig::new(identity)
-            .trust_measurement(self.measurement)
-            .require_min_version(1)
-            .with_secret(b"fleet configuration secret".to_vec());
-        for device in &scheduled {
-            if device.kind != DeviceKind::Rogue {
-                base = base.endorse_device(device.device().service.public_key());
-            }
-        }
+        let base = self.verifier_base(&scheduled);
         let pinned = base.identity_public_key();
 
         let fleet_config = FleetConfig {
             workers: workers.max(1),
             session_timeout: self.config.session_timeout,
+            max_sessions_per_worker: self.config.max_sessions_per_worker,
+            max_queued_per_worker: self.config.max_queued_per_worker,
             ..FleetConfig::default()
         };
         let verifiers: Vec<FleetVerifier> = self
@@ -525,7 +574,16 @@ impl FleetSim {
             })
             .collect();
 
-        let outcomes: Arc<Mutex<Vec<ClientOutcome>>> =
+        // Install the fault plan only after the verifiers are up: the
+        // plan targets attestation traffic, not verifier bring-up. Client
+        // connections dialled from here on carry the fault hooks.
+        if let Some(plan) = &self.config.fault_plan {
+            for shard in &self.shards {
+                shard.os.shared_network().install_fault_plan(plan.clone());
+            }
+        }
+
+        let outcomes: Arc<Mutex<Vec<(ClientOutcome, u32)>>> =
             Arc::new(Mutex::new(Vec::with_capacity(scheduled.len())));
         let started = Instant::now();
         std::thread::scope(|scope| {
@@ -536,14 +594,34 @@ impl FleetSim {
                 let outcomes = Arc::clone(&outcomes);
                 let service = &device.device().service;
                 let id = device.id;
+                let retry = self.config.retry.clone().map(|mut policy| {
+                    // Each device jitters on its own seed lane so a burst
+                    // of synchronised failures does not retry in lockstep.
+                    policy.jitter_seed ^= 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(id) + 1);
+                    policy
+                });
                 scope.spawn(move || {
                     let mut rng = Fortuna::from_seed(format!("client-{id}").as_bytes());
-                    let outcome = run_client(&net, port, service, &measurement, &pinned, &mut rng);
+                    let outcome = run_client(
+                        &net,
+                        port,
+                        service,
+                        &measurement,
+                        &pinned,
+                        retry.as_ref(),
+                        &mut rng,
+                    );
                     outcomes.lock().push(outcome);
                 });
             }
         });
         let elapsed = started.elapsed();
+
+        if self.config.fault_plan.is_some() {
+            for shard in &self.shards {
+                shard.os.shared_network().clear_fault_plan();
+            }
+        }
 
         let mut stats = FleetStats::default();
         let mut phases = PhaseStats::default();
@@ -556,9 +634,11 @@ impl FleetSim {
             stats.merge(&verifier.stats());
         }
 
-        let (mut provisioned, mut rejected, mut failed) = (0u64, 0u64, 0u64);
+        let (mut provisioned, mut rejected, mut shed, mut failed) = (0u64, 0u64, 0u64, 0u64);
+        let mut retries = 0u64;
         let mut latencies = Vec::new();
-        for outcome in outcomes.lock().iter() {
+        for (outcome, attempts) in outcomes.lock().iter() {
+            retries += u64::from(attempts.saturating_sub(1));
             match outcome {
                 ClientOutcome::Provisioned(_, d) => {
                     provisioned += 1;
@@ -568,6 +648,7 @@ impl FleetSim {
                     rejected += 1;
                     latencies.push(*d);
                 }
+                ClientOutcome::Shed => shed += 1,
                 ClientOutcome::Failed => failed += 1,
             }
         }
@@ -579,11 +660,237 @@ impl FleetSim {
             elapsed,
             provisioned,
             rejected,
+            shed,
             failed,
+            retries,
             stats,
             phases,
             latencies,
         }
+    }
+
+    /// Runs an **open-loop** overload round against shard 0: sessions
+    /// arrive on a fixed schedule (one every `interval`) regardless of
+    /// whether earlier sessions have completed, which is how real fleets
+    /// overload a verifier. Latency is measured from each session's
+    /// *scheduled* arrival to its verdict, so queueing delay behind
+    /// schedule is charged to the session (no coordinated omission).
+    ///
+    /// Generator threads each own a disjoint set of endorsed shard-0
+    /// devices, so no device's attestation service is driven from two
+    /// threads at once. Sessions are single-attempt: a `SERVER_BUSY`
+    /// shed is this mode's terminal answer for the session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shard 0 has no endorsed device or the verifier port is
+    /// taken.
+    #[must_use]
+    pub fn run_open_loop(&self, cfg: &OpenLoopConfig) -> OpenLoopReport {
+        let shard = &self.shards[0];
+        let scheduled: Vec<&LazyDevice> = self
+            .devices
+            .iter()
+            .filter(|d| d.shard == 0 && d.kind == DeviceKind::Endorsed)
+            .collect();
+        assert!(
+            !scheduled.is_empty(),
+            "open-loop mode needs at least one endorsed device on shard 0"
+        );
+        for device in &scheduled {
+            let _ = device.device();
+        }
+        let base = self.verifier_base(&scheduled);
+        let pinned = base.identity_public_key();
+
+        let fleet_config = FleetConfig {
+            workers: cfg.workers.max(1),
+            session_timeout: self.config.session_timeout,
+            max_sessions_per_worker: self.config.max_sessions_per_worker,
+            max_queued_per_worker: self.config.max_queued_per_worker,
+            ..FleetConfig::default()
+        };
+        let mut verifier = FleetVerifier::spawn(&shard.os, base, fleet_config, self.config.port)
+            .expect("open-loop verifier port free");
+        if let Some(plan) = &self.config.fault_plan {
+            shard.os.shared_network().install_fault_plan(plan.clone());
+        }
+
+        let threads = cfg.client_threads.clamp(1, scheduled.len());
+        let results: Arc<Mutex<Vec<ClientOutcome>>> =
+            Arc::new(Mutex::new(Vec::with_capacity(cfg.sessions)));
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for (t, &device) in scheduled.iter().enumerate().take(threads) {
+                let net = shard.os.shared_network();
+                let port = self.config.port;
+                let measurement = self.measurement;
+                let results = Arc::clone(&results);
+                scope.spawn(move || {
+                    let mut rng = Fortuna::from_seed(format!("openloop-{t}").as_bytes());
+                    let client = AttestClient {
+                        net: &net,
+                        port,
+                        service: &device.device().service,
+                        measurement,
+                        pinned_verifier_key: pinned,
+                    };
+                    // Thread t owns arrivals t, t+T, t+2T, ...
+                    let mut i = t;
+                    while i < cfg.sessions {
+                        let due = started + cfg.interval.saturating_mul(i as u32);
+                        let now = Instant::now();
+                        if due > now {
+                            std::thread::sleep(due - now);
+                        }
+                        let outcome = match client.attempt(0, RECV_TIMEOUT, &mut rng) {
+                            Ok(secret) => ClientOutcome::Provisioned(secret.len(), due.elapsed()),
+                            Err(AttemptError::Rejected) => ClientOutcome::Rejected(due.elapsed()),
+                            Err(AttemptError::Busy) => ClientOutcome::Shed,
+                            Err(_) => ClientOutcome::Failed,
+                        };
+                        results.lock().push(outcome);
+                        i += threads;
+                    }
+                });
+            }
+        });
+        let elapsed = started.elapsed();
+
+        if self.config.fault_plan.is_some() {
+            shard.os.shared_network().clear_fault_plan();
+        }
+        verifier.stop_and_join();
+        let stats = verifier.stats();
+
+        let (mut provisioned, mut rejected, mut shed, mut failed) = (0u64, 0u64, 0u64, 0u64);
+        let mut latencies = Vec::new();
+        for outcome in results.lock().iter() {
+            match outcome {
+                ClientOutcome::Provisioned(_, d) => {
+                    provisioned += 1;
+                    latencies.push(*d);
+                }
+                ClientOutcome::Rejected(d) => {
+                    rejected += 1;
+                    latencies.push(*d);
+                }
+                ClientOutcome::Shed => shed += 1,
+                ClientOutcome::Failed => failed += 1,
+            }
+        }
+        latencies.sort_unstable();
+
+        OpenLoopReport {
+            offered: cfg.sessions,
+            interval: cfg.interval,
+            elapsed,
+            provisioned,
+            rejected,
+            shed,
+            failed,
+            stats,
+            latencies,
+        }
+    }
+}
+
+/// Arrival schedule for [`FleetSim::run_open_loop`].
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Total sessions offered.
+    pub sessions: usize,
+    /// Gap between scheduled arrivals (offered rate = 1/interval).
+    pub interval: Duration,
+    /// Verifier worker threads on shard 0.
+    pub workers: usize,
+    /// Generator threads (clamped to the endorsed shard-0 device count —
+    /// each thread owns its devices exclusively).
+    pub client_threads: usize,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        OpenLoopConfig {
+            sessions: 64,
+            interval: Duration::from_millis(5),
+            workers: 2,
+            client_threads: 8,
+        }
+    }
+}
+
+/// Result of one open-loop overload round.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// Sessions offered on the arrival schedule.
+    pub offered: usize,
+    /// The scheduled inter-arrival gap.
+    pub interval: Duration,
+    /// Wall-clock duration of the round.
+    pub elapsed: Duration,
+    /// Sessions provisioned with the secret.
+    pub provisioned: u64,
+    /// Sessions rejected by appraisal.
+    pub rejected: u64,
+    /// Sessions shed by admission control (`SERVER_BUSY`).
+    pub shed: u64,
+    /// Sessions that failed without any answer.
+    pub failed: u64,
+    /// Server-side per-outcome statistics.
+    pub stats: FleetStats,
+    /// Scheduled-arrival → verdict latencies of answered sessions
+    /// (provisioned + rejected), sorted ascending. Shed sessions are
+    /// excluded: their fast `BUSY` reply is not a verdict.
+    latencies: Vec<Duration>,
+}
+
+impl OpenLoopReport {
+    /// The offered arrival rate in sessions per second.
+    #[must_use]
+    pub fn offered_rate(&self) -> f64 {
+        let secs = self.interval.as_secs_f64();
+        if secs > 0.0 {
+            1.0 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Scheduled-arrival → verdict latency at percentile `p`
+    /// (0.0..=100.0); `None` when no session was answered.
+    #[must_use]
+    pub fn latency_percentile(&self, p: f64) -> Option<Duration> {
+        percentile_of(&self.latencies, p)
+    }
+}
+
+impl std::fmt::Display for OpenLoopReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "open-loop round: {} offered at {:.0}/s, done in {:.2?}",
+            self.offered,
+            self.offered_rate(),
+            self.elapsed
+        )?;
+        writeln!(
+            f,
+            "  client:  provisioned {}  rejected {}  shed {}  failed {}",
+            self.provisioned, self.rejected, self.shed, self.failed
+        )?;
+        writeln!(
+            f,
+            "  server:  served {}  shed {}  timed-out {}  disconnected {}",
+            self.stats.served, self.stats.shed, self.stats.timed_out, self.stats.disconnected
+        )?;
+        write!(
+            f,
+            "  verdict latency from scheduled arrival: p50 {} p95 {} p99 {}",
+            fmt_latency(self.latency_percentile(50.0)),
+            fmt_latency(self.latency_percentile(95.0)),
+            fmt_latency(self.latency_percentile(99.0))
+        )
     }
 }
 
@@ -598,7 +905,9 @@ mod tests {
             elapsed,
             provisioned,
             rejected: 0,
+            shed: 0,
             failed: 0,
+            retries: 0,
             stats: FleetStats::default(),
             phases: PhaseStats::default(),
             latencies,

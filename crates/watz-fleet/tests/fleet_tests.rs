@@ -9,12 +9,14 @@ use tz_hal::{Platform, PlatformConfig};
 use watz_attestation::attester::Attester;
 use watz_attestation::service::AttestationService;
 use watz_attestation::verifier::{Verifier, VerifierConfig};
-use watz_attestation::wire::{Msg1, Msg2, Msg3, APPRAISAL_FAILED};
+use watz_attestation::wire::{Msg1, Msg2, Msg3, INTEGRITY_FAILED};
 use watz_crypto::ecdsa::SigningKey;
 use watz_crypto::fortuna::Fortuna;
 use watz_crypto::sha256::Sha256;
 use watz_fleet::sim::{DeviceKind, FleetSim, FleetSimConfig};
-use watz_fleet::{appraise_batch, prepare_msg1_batch, FleetConfig, FleetVerifier};
+use watz_fleet::{
+    appraise_batch, prepare_msg1_batch, ConfigError, FleetConfig, FleetVerifier, SpawnError,
+};
 
 fn booted_os(seed: &[u8]) -> TrustedOs {
     let platform = Platform::new(PlatformConfig {
@@ -75,6 +77,7 @@ fn sixty_four_devices_attest_concurrently_against_one_service() {
         workers_per_shard: 4,
         session_timeout: Duration::from_secs(10),
         port: 7600,
+        ..FleetSimConfig::default()
     })
     .unwrap();
     let report = sim.run();
@@ -123,6 +126,7 @@ fn mixed_fleet_outcomes_add_up_across_shards() {
         workers_per_shard: 2,
         session_timeout: Duration::from_secs(10),
         port: 7620,
+        ..FleetSimConfig::default()
     })
     .unwrap();
 
@@ -192,7 +196,7 @@ fn stalled_mid_handshake_attester_does_not_block_other_sessions() {
     // not have to wait out the 30 s deadline — and malformed accounting
     // gets exercised on the way.
     stalled.send(b"garbage instead of msg2").unwrap();
-    assert_eq!(stalled.recv().unwrap(), APPRAISAL_FAILED);
+    assert_eq!(stalled.recv().unwrap(), INTEGRITY_FAILED);
     let stats = verifier.shutdown();
     assert_eq!(stats.served, 8);
     assert_eq!(stats.malformed, 1);
@@ -330,6 +334,7 @@ fn worker_scaling_is_not_negative() {
         workers_per_shard: 1,
         session_timeout: Duration::from_secs(10),
         port: 7680,
+        ..FleetSimConfig::default()
     })
     .unwrap();
     // Warm-up round: manufactures all devices so neither timed round
@@ -483,7 +488,7 @@ fn malformed_msg0_counted_and_rejected_fast() {
 
     let conn = os.network().connect(7642).unwrap();
     conn.send(b"definitely not a msg0").unwrap();
-    assert_eq!(conn.recv().unwrap(), APPRAISAL_FAILED);
+    assert_eq!(conn.recv().unwrap(), INTEGRITY_FAILED);
 
     let stats = verifier.shutdown();
     assert_eq!(stats.malformed, 1);
@@ -500,6 +505,7 @@ fn shard_networks_are_isolated_and_ports_freed_after_shutdown() {
         workers_per_shard: 1,
         session_timeout: Duration::from_secs(5),
         port: 7660,
+        ..FleetSimConfig::default()
     })
     .unwrap();
     let report = sim.run();
@@ -543,6 +549,7 @@ fn devices_manufacture_lazily_on_first_session() {
         workers_per_shard: 2,
         session_timeout: Duration::from_secs(10),
         port: 7690,
+        ..FleetSimConfig::default()
     })
     .unwrap();
     assert_eq!(sim.manufactured_count(), 0, "boot must not manufacture");
@@ -575,6 +582,133 @@ fn devices_manufacture_lazily_on_first_session() {
     assert_eq!(report.provisioned, 6);
     assert_eq!(report.rejected, 2, "rogue + stale rejected");
     assert_eq!(sim.manufactured_count(), 8);
+}
+
+#[test]
+fn crash_at_every_handshake_phase_lands_in_disconnected() {
+    // A client can die at any protocol boundary. Each hangup must resolve
+    // promptly as `disconnected` (never `timed_out` — the 30 s deadline is
+    // deliberately generous so a timeout misclassification would show),
+    // the worker's session set must shrink back to empty, and the verdict
+    // bookkeeping must stay exact.
+    let os = booted_os(b"fleet-crash-phase-device");
+    let service = AttestationService::install(&os);
+    let (config, pinned) = verifier_config_for(&[&service]);
+    let fleet = FleetConfig {
+        workers: 2,
+        session_timeout: Duration::from_secs(30),
+        ..FleetConfig::default()
+    };
+    let verifier = FleetVerifier::spawn(&os, config, fleet, 7647).unwrap();
+
+    // Phase 0: connect and hang up without a word.
+    drop(os.network().connect(7647).unwrap());
+
+    // Phase 1: hang up right after sending msg0.
+    let mut rng = Fortuna::from_seed(b"crash-after-msg0");
+    let c = os.network().connect(7647).unwrap();
+    let (_attester, msg0) = Attester::start(&mut rng);
+    c.send(&msg0.to_bytes()).unwrap();
+    drop(c);
+
+    // Phase 2: hang up after receiving msg1.
+    let mut rng = Fortuna::from_seed(b"crash-after-msg1");
+    let c = os.network().connect(7647).unwrap();
+    let (_attester, msg0) = Attester::start(&mut rng);
+    c.send(&msg0.to_bytes()).unwrap();
+    assert!(Msg1::from_bytes(&c.recv().unwrap()).is_ok());
+    drop(c);
+
+    // Phase 3: hang up right after sending msg2 — the appraisal verdict
+    // has nowhere to go, so the session must be re-accounted as a
+    // disconnect rather than counted served.
+    let mut rng = Fortuna::from_seed(b"crash-after-msg2");
+    let c = os.network().connect(7647).unwrap();
+    let (mut attester, msg0) = Attester::start(&mut rng);
+    c.send(&msg0.to_bytes()).unwrap();
+    let msg1 = Msg1::from_bytes(&c.recv().unwrap()).unwrap();
+    let (msg2, _) = attester
+        .attest(&msg1, &pinned, &service, &measurement())
+        .unwrap();
+    c.send(&msg2.to_bytes()).unwrap();
+    drop(c);
+
+    // An honest session still completes amid the wreckage.
+    let mut rng = Fortuna::from_seed(b"honest-amid-crashes");
+    let secret = honest_session(&os, 7647, &service, &pinned, &mut rng);
+    assert_eq!(secret, b"fleet secret");
+
+    // Hangups resolve without waiting out the 30 s deadline.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while verifier.live_sessions() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(verifier.live_sessions(), 0, "no leaked sessions");
+
+    let stats = verifier.shutdown();
+    assert_eq!(stats.served, 1);
+    assert_eq!(
+        stats.disconnected, 4,
+        "every crash phase lands in disconnected: {stats:?}"
+    );
+    assert_eq!(stats.timed_out, 0, "a hangup is never a timeout");
+    assert_eq!(stats.completed(), stats.accepted);
+}
+
+#[test]
+fn degenerate_fleet_config_is_rejected_at_spawn() {
+    // Misconfigured fleets must fail fast with a typed error instead of
+    // spawning workers that can never make progress.
+    let os = booted_os(b"fleet-config-reject-device");
+    let service = AttestationService::install(&os);
+    let (config, _pinned) = verifier_config_for(&[&service]);
+
+    for (bad, expect) in [
+        (
+            FleetConfig {
+                workers: 0,
+                ..FleetConfig::default()
+            },
+            ConfigError::ZeroWorkers,
+        ),
+        (
+            FleetConfig {
+                session_timeout: Duration::ZERO,
+                ..FleetConfig::default()
+            },
+            ConfigError::ZeroSessionTimeout,
+        ),
+        (
+            FleetConfig {
+                accept_backlog: 0,
+                ..FleetConfig::default()
+            },
+            ConfigError::ZeroBacklog,
+        ),
+        (
+            FleetConfig {
+                max_sessions_per_worker: 0,
+                ..FleetConfig::default()
+            },
+            ConfigError::ZeroSessionCap,
+        ),
+    ] {
+        let err = FleetVerifier::spawn(&os, config.clone(), bad, 7648).unwrap_err();
+        match err {
+            SpawnError::Config(c) => assert_eq!(c, expect),
+            SpawnError::Net(e) => panic!("expected a config rejection, got Net({e:?})"),
+        }
+        assert!(
+            !os.network().is_bound(7648),
+            "a rejected spawn must not leave the port bound"
+        );
+    }
+
+    // A port conflict is a Net error, not a config error.
+    let ok = FleetVerifier::spawn(&os, config.clone(), FleetConfig::default(), 7648).unwrap();
+    let err = FleetVerifier::spawn(&os, config, FleetConfig::default(), 7648).unwrap_err();
+    assert!(matches!(err, SpawnError::Net(_)));
+    let _ = ok.shutdown();
 }
 
 #[test]
